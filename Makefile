@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test test-all bench bench-fast examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-all:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-fast:
+	dune exec bench/main.exe -- --fast
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/inductance_sweep.exe
+	dune exec examples/scaling_study.exe
+	dune exec examples/signal_integrity.exe
+	dune exec examples/tree_buffering.exe
+	dune exec examples/bus_shielding.exe
+	dune exec examples/clock_tree.exe
+	dune exec examples/ring_oscillator.exe
+
+clean:
+	dune clean

@@ -1,0 +1,184 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Banerjee & Mehrotra, DAC 2001) and times the computational kernels
+   with Bechamel.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- --fast  -- skip the transient ring sims
+     dune exec bench/main.exe -- --no-bechamel  -- skip kernel timings *)
+
+let fast = Array.exists (fun a -> a = "--fast") Sys.argv
+let no_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Paper experiments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  section "T1: Table 1 -- technology parameters";
+  Rlc_experiments.Table1.print (Rlc_experiments.Table1.compute ())
+
+let run_fig2 () =
+  section "F2: Figure 2 -- second-order step responses";
+  Rlc_experiments.Fig2.print (Rlc_experiments.Fig2.compute ())
+
+let run_sweep_figs () =
+  section "F4-F8: inductance sweeps (Sections 3.1 / 3.2)";
+  let s250 = Rlc_experiments.Sweeps.run Rlc_tech.Presets.node_250nm in
+  let s100 = Rlc_experiments.Sweeps.run Rlc_tech.Presets.node_100nm in
+  let s100c =
+    Rlc_experiments.Sweeps.run Rlc_tech.Presets.node_100nm_250nm_dielectric
+  in
+  Rlc_experiments.Sweeps.print_fig4 [ s250; s100 ];
+  print_newline ();
+  Rlc_experiments.Sweeps.print_fig5 [ s250; s100 ];
+  print_newline ();
+  Rlc_experiments.Sweeps.print_fig6 [ s250; s100 ];
+  print_newline ();
+  Rlc_experiments.Sweeps.print_fig7 [ s250; s100; s100c ];
+  print_newline ();
+  Rlc_experiments.Sweeps.print_fig8 [ s250; s100 ];
+  print_newline ();
+  Rlc_experiments.Sweeps.print_baselines [ s100 ]
+
+let run_ring_waveforms () =
+  section "F9/F10: ring-oscillator waveforms (Section 3.3.1)";
+  let cases =
+    Rlc_experiments.Ring_figs.waveforms ~l_values:[ 1.8e-6; 2.2e-6 ] ()
+  in
+  List.iter Rlc_experiments.Ring_figs.print_waveform_case cases
+
+let run_ring_sweeps () =
+  section "F11/F12: ring-oscillator period and current density vs l";
+  let l_values = Rlc_experiments.Ring_figs.default_l_values () in
+  List.iter
+    (fun node ->
+      let points =
+        Rlc_experiments.Ring_figs.period_sweep node ~l_values
+      in
+      Rlc_experiments.Ring_figs.print_fig11
+        ~node_name:node.Rlc_tech.Node.name points;
+      print_newline ();
+      if String.equal node.Rlc_tech.Node.name "100nm" then
+        Rlc_experiments.Ring_figs.print_fig12
+          ~node_name:node.Rlc_tech.Node.name points)
+    [ Rlc_tech.Presets.node_100nm; Rlc_tech.Presets.node_250nm ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel kernel timings: one Test.make per table/figure kernel      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let node100 = Rlc_tech.Presets.node_100nm in
+  let node250 = Rlc_tech.Presets.node_250nm in
+  let stage =
+    Rlc_core.Stage.of_node node100 ~l:1.5e-6 ~h:0.012 ~k:300.0
+  in
+  let cs = Rlc_core.Pade.coeffs stage in
+  let t1 =
+    Test.make ~name:"T1:rc-closed-form" (Staged.stage (fun () ->
+        ignore (Rlc_core.Rc_opt.optimize node250)))
+  in
+  let f2 =
+    Test.make ~name:"F2:step-response-eval" (Staged.stage (fun () ->
+        ignore (Rlc_core.Step_response.eval cs 1e-10)))
+  in
+  let f4 =
+    Test.make ~name:"F4:critical-inductance" (Staged.stage (fun () ->
+        ignore (Rlc_core.Critical_inductance.of_stage stage)))
+  in
+  let f5 =
+    Test.make ~name:"F5/F6:newton-optimize" (Staged.stage (fun () ->
+        ignore (Rlc_core.Rlc_opt.optimize_newton_only node100 ~l:1.5e-6)))
+  in
+  let f7 =
+    Test.make ~name:"F7:delay-solve" (Staged.stage (fun () ->
+        ignore (Rlc_core.Delay.of_coeffs cs)))
+  in
+  let f8 =
+    Test.make ~name:"F8:residual-eval" (Staged.stage (fun () ->
+        ignore (Rlc_core.Rlc_opt.residuals stage)))
+  in
+  let ext3 =
+    Test.make ~name:"EXT:third-order-delay" (Staged.stage (fun () ->
+        ignore (Rlc_core.Third_order.delay_stage stage)))
+  in
+  let ext_exact =
+    Test.make ~name:"EXT:talbot-exact-eval" (Staged.stage (fun () ->
+        ignore
+          (Rlc_numerics.Laplace.step_response
+             (fun s -> Rlc_core.Transfer.eval stage s)
+             1e-10)))
+  in
+  let ring_step =
+    (* one short transient (200 steps) of a 1-stage buffered line *)
+    Test.make ~name:"F9-F12:transient-1kstep" (Staged.stage (fun () ->
+        let nl = Rlc_circuit.Netlist.create () in
+        let src = Rlc_circuit.Netlist.fresh_node nl in
+        let far = Rlc_circuit.Netlist.fresh_node nl in
+        Rlc_circuit.Netlist.add_vsource nl src Rlc_circuit.Netlist.ground
+          (Rlc_circuit.Stimulus.Dc 1.0);
+        Rlc_circuit.Ladder.make nl
+          { Rlc_circuit.Ladder.r = 4400.0; l = 1.5e-6; c = 123.33e-12;
+            length = 0.011; segments = 10 }
+          ~from_node:src ~to_node:far;
+        let _ =
+          Rlc_circuit.Transient.run nl ~t_end:1e-9 ~dt:1e-12
+            ~probes:[ Rlc_circuit.Transient.Node_v far ]
+        in
+        ()))
+  in
+  [ t1; f2; f4; f5; f7; f8; ext3; ext_exact; ring_step ]
+
+let run_bechamel () =
+  section "Kernel timings (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let tests = Test.make_grouped ~name:"kernels" ~fmt:"%s %s" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+          if ns >= 1e6 then Printf.printf "%-28s %10.3f ms/run\n" name (ns /. 1e6)
+          else if ns >= 1e3 then
+            Printf.printf "%-28s %10.3f us/run\n" name (ns /. 1e3)
+          else Printf.printf "%-28s %10.1f ns/run\n" name ns
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    rows
+
+let run_extensions () =
+  section "Extensions & ablations (beyond the paper)";
+  Rlc_experiments.Extensions.print_all_fast ();
+  if not fast then begin
+    print_newline ();
+    Rlc_experiments.Extensions.print_chain ()
+  end
+
+let () =
+  Printf.printf
+    "RLC interconnect performance-optimization reproduction -- benchmark \
+     harness\n";
+  run_table1 ();
+  run_fig2 ();
+  run_sweep_figs ();
+  if not fast then begin
+    run_ring_waveforms ();
+    run_ring_sweeps ()
+  end
+  else print_endline "\n[--fast: skipping transient ring experiments]";
+  run_extensions ();
+  if not no_bechamel then run_bechamel ()

@@ -1,0 +1,311 @@
+(* rlcopt -- command-line front end to the RLC interconnect
+   performance-optimization library (reproduction of Banerjee &
+   Mehrotra, DAC 2001). *)
+
+open Cmdliner
+
+let node_conv =
+  let parse s =
+    match Rlc_tech.Presets.find s with
+    | Some node -> Ok node
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown node %S (expected 250nm, 100nm or 100nm-c250)" s))
+  in
+  let print ppf node = Format.pp_print_string ppf node.Rlc_tech.Node.name in
+  Arg.conv (parse, print)
+
+let node_arg =
+  Arg.(
+    value
+    & opt node_conv Rlc_tech.Presets.node_100nm
+    & info [ "n"; "node" ] ~docv:"NODE"
+        ~doc:"Technology node: 250nm, 100nm or 100nm-c250.")
+
+let l_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "l"; "inductance" ] ~docv:"L"
+        ~doc:"Line inductance in nH/mm.")
+
+let f_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "f"; "fraction" ] ~docv:"F"
+        ~doc:"Delay threshold fraction (0 < F < 1), default 0.5.")
+
+(* ---- optimize ---- *)
+
+let optimize_cmd =
+  let run node l_nh f =
+    let l = Rlc_tech.Units.nh_per_mm l_nh in
+    let r = Rlc_core.Rlc_opt.optimize ~f node ~l in
+    let rc = Rlc_core.Rc_opt.optimize node in
+    Printf.printf "node           : %s\n" node.Rlc_tech.Node.name;
+    Printf.printf "l              : %.3f nH/mm\n" l_nh;
+    Printf.printf "h_optRLC       : %.4f mm   (h_optRC %.4f mm, ratio %.4f)\n"
+      (r.Rlc_core.Rlc_opt.h *. 1e3)
+      (rc.Rlc_core.Rc_opt.h_opt *. 1e3)
+      (r.Rlc_core.Rlc_opt.h /. rc.Rlc_core.Rc_opt.h_opt);
+    Printf.printf "k_optRLC       : %.1f      (k_optRC %.1f, ratio %.4f)\n"
+      r.Rlc_core.Rlc_opt.k rc.Rlc_core.Rc_opt.k_opt
+      (r.Rlc_core.Rlc_opt.k /. rc.Rlc_core.Rc_opt.k_opt);
+    Printf.printf "stage delay    : %.3f ps (%.0f%% threshold)\n"
+      (r.Rlc_core.Rlc_opt.tau *. 1e12) (f *. 100.0);
+    Printf.printf "delay / length : %.4f ps/mm\n"
+      (r.Rlc_core.Rlc_opt.delay_per_length *. 1e9);
+    Printf.printf "method         : %s%s\n"
+      (match r.Rlc_core.Rlc_opt.method_ with
+      | Rlc_core.Rlc_opt.Newton_g -> "newton (paper's equations 7-8)"
+      | Rlc_core.Rlc_opt.Nelder_mead -> "nelder-mead fallback")
+      (if r.Rlc_core.Rlc_opt.newton_converged then
+         Printf.sprintf ", %d iterations" r.Rlc_core.Rlc_opt.newton_iterations
+       else "")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Optimal repeater size and segment length for a given inductance.")
+    Term.(const run $ node_arg $ l_arg $ f_arg)
+
+(* ---- delay ---- *)
+
+let delay_cmd =
+  let h_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "H"; "length" ] ~docv:"H" ~doc:"Segment length in mm.")
+  in
+  let k_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "k"; "size" ] ~docv:"K" ~doc:"Repeater size (multiple of minimum).")
+  in
+  let run node l_nh f h_mm k =
+    let l = Rlc_tech.Units.nh_per_mm l_nh in
+    let stage =
+      Rlc_core.Stage.of_node node ~l ~h:(Rlc_tech.Units.mm h_mm) ~k
+    in
+    let cs = Rlc_core.Pade.coeffs stage in
+    let tau = Rlc_core.Delay.of_coeffs ~f cs in
+    let l_crit = Rlc_core.Critical_inductance.of_stage stage in
+    Printf.printf "b1             : %.6g s\n" cs.Rlc_core.Pade.b1;
+    Printf.printf "b2             : %.6g s^2\n" cs.Rlc_core.Pade.b2;
+    Printf.printf "damping        : %s (zeta = %.4f)\n"
+      (match Rlc_core.Pade.classify cs with
+      | Rlc_core.Pade.Underdamped -> "underdamped"
+      | Rlc_core.Pade.Critically_damped -> "critical"
+      | Rlc_core.Pade.Overdamped -> "overdamped")
+      (Rlc_core.Pade.zeta cs);
+    Printf.printf "l_crit         : %.4f nH/mm\n" (l_crit *. 1e6);
+    Printf.printf "delay (%2.0f%%)    : %.3f ps\n" (f *. 100.0) (tau *. 1e12);
+    Printf.printf "Elmore delay   : %.3f ps\n"
+      (Rlc_core.Elmore.stage_delay stage *. 1e12);
+    Printf.printf "overshoot      : %.2f%%\n"
+      (Rlc_core.Step_response.overshoot cs *. 100.0)
+  in
+  Cmd.v
+    (Cmd.info "delay" ~doc:"Delay analysis of an explicit (h, k) stage.")
+    Term.(const run $ node_arg $ l_arg $ f_arg $ h_arg $ k_arg)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let n_arg =
+    Arg.(
+      value
+      & opt int 21
+      & info [ "points" ] ~docv:"N" ~doc:"Number of sweep points.")
+  in
+  let run node n =
+    let sweep = Rlc_experiments.Sweeps.run ~n node in
+    Rlc_experiments.Sweeps.print_fig5 [ sweep ];
+    Rlc_experiments.Sweeps.print_fig6 [ sweep ];
+    Rlc_experiments.Sweeps.print_fig7 [ sweep ];
+    Rlc_experiments.Sweeps.print_fig8 [ sweep ]
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep line inductance and print the optimization ratios.")
+    Term.(const run $ node_arg $ n_arg)
+
+(* ---- table1 ---- *)
+
+let table1_cmd =
+  let run () = Rlc_experiments.Table1.print (Rlc_experiments.Table1.compute ()) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate Table 1 of the paper.")
+    Term.(const run $ const ())
+
+(* ---- ring ---- *)
+
+let ring_cmd =
+  let segments_arg =
+    Arg.(
+      value
+      & opt int 12
+      & info [ "segments" ] ~docv:"N" ~doc:"Ladder sections per line.")
+  in
+  let run node l_nh segments =
+    let l = Rlc_tech.Units.nh_per_mm l_nh in
+    let case =
+      List.hd
+        (Rlc_experiments.Ring_figs.waveforms ~node ~segments ~l_values:[ l ] ())
+    in
+    Rlc_experiments.Ring_figs.print_waveform_case case;
+    let m = case.Rlc_experiments.Ring_figs.measurement in
+    Printf.printf "peak current density : %.3e A/cm^2\n"
+      (m.Rlc_ringosc.Analysis.peak_current_density /. 1e4);
+    Printf.printf "rms current density  : %.3e A/cm^2\n"
+      (m.Rlc_ringosc.Analysis.rms_current_density /. 1e4)
+  in
+  Cmd.v
+    (Cmd.info "ring"
+       ~doc:"Simulate the five-stage ring oscillator at one inductance.")
+    Term.(const run $ node_arg $ l_arg $ segments_arg)
+
+(* ---- extract ---- *)
+
+let extract_cmd =
+  let run node =
+    let g = node.Rlc_tech.Node.geometry in
+    let quiet = Rlc_extraction.Capacitance.total ~miller:1.0 g in
+    let best, worst = Rlc_extraction.Capacitance.miller_range g in
+    let r = Rlc_extraction.Resistance.per_length g in
+    let l_min = Rlc_extraction.Inductance.microstrip_loop g in
+    let rc = Rlc_core.Rc_opt.optimize node in
+    let l_worst =
+      Rlc_extraction.Inductance.worst_case g ~length:rc.Rlc_core.Rc_opt.h_opt
+    in
+    Printf.printf "geometry            : %s\n"
+      (Format.asprintf "%a" Rlc_extraction.Geometry.pp g);
+    Printf.printf "r (bulk copper)     : %.3f ohm/mm (paper: %.3f)\n"
+      (r /. 1e3)
+      (node.Rlc_tech.Node.r /. 1e3);
+    Printf.printf
+      "c best / quiet / worst : %.1f / %.1f / %.1f pF/m (paper: %.1f)\n"
+      (best *. 1e12) (quiet *. 1e12) (worst *. 1e12)
+      (node.Rlc_tech.Node.c *. 1e12);
+    Printf.printf "l loop-min          : %.3f nH/mm\n" (l_min *. 1e6);
+    Printf.printf "l worst-case        : %.3f nH/mm (paper bound: < 5)\n"
+      (l_worst *. 1e6)
+  in
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"Analytic parasitic extraction for a node's top-metal geometry.")
+    Term.(const run $ node_arg)
+
+(* ---- extension commands ---- *)
+
+let models_cmd =
+  let run node = Rlc_experiments.Extensions.print_model_accuracy ~node () in
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:
+         "Delay-model accuracy ladder: Elmore / Kahng-Muddu / \
+          Ismail-Friedman / Pade-2 / Pade-3 / exact.")
+    Term.(const run $ node_arg)
+
+let power_cmd =
+  let run node l_nh =
+    Rlc_experiments.Extensions.print_power_pareto ~node
+      ~l:(Rlc_tech.Units.nh_per_mm l_nh) ()
+  in
+  Cmd.v
+    (Cmd.info "power" ~doc:"Power/delay Pareto front of repeater sizing.")
+    Term.(const run $ node_arg $ l_arg)
+
+let xtalk_cmd =
+  let run node = Rlc_experiments.Extensions.print_crosstalk ~node () in
+  Cmd.v
+    (Cmd.info "xtalk"
+       ~doc:"Coupled-pair switching-delay spread and victim noise.")
+    Term.(const run $ node_arg)
+
+let wiresize_cmd =
+  let run node = Rlc_experiments.Extensions.print_wire_sizing ~node () in
+  Cmd.v
+    (Cmd.info "wiresize"
+       ~doc:"Wire-width co-optimization inside the routing track.")
+    Term.(const run $ node_arg)
+
+let insert_cmd =
+  let run node l_nh =
+    Rlc_experiments.Extensions.print_insertion ~node
+      ~l:(Rlc_tech.Units.nh_per_mm l_nh) ()
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"Integer repeater insertion for fixed-length nets.")
+    Term.(const run $ node_arg $ l_arg)
+
+let eye_cmd =
+  let run node = Rlc_experiments.Extensions.print_eye ~node () in
+  Cmd.v
+    (Cmd.info "eye" ~doc:"PRBS eye opening and jitter vs inductance.")
+    Term.(const run $ node_arg)
+
+let bode_cmd =
+  let run node l_nh =
+    let stage =
+      Rlc_core.Rc_opt.stage node ~l:(Rlc_tech.Units.nh_per_mm l_nh)
+    in
+    let pts = Rlc_core.Frequency.bode ~points:80 stage ~f_min:1e7 ~f_max:3e10 in
+    Rlc_report.Ascii_plot.print
+      ~title:
+        (Printf.sprintf "|H| (dB) vs log10 f, %s at %.1f nH/mm"
+           node.Rlc_tech.Node.name l_nh)
+      [
+        Rlc_report.Ascii_plot.series ~label:'m'
+          ~xs:
+            (Array.of_list
+               (List.map (fun p -> Float.log10 p.Rlc_core.Frequency.freq) pts))
+          ~ys:
+            (Array.of_list
+               (List.map (fun p -> p.Rlc_core.Frequency.mag_db) pts));
+      ];
+    (match Rlc_core.Frequency.resonance stage with
+    | Some (f, db) ->
+        Printf.printf "resonance: %.1f dB at %.2f GHz\n" db (f /. 1e9)
+    | None -> print_endline "no resonant peaking (overdamped)");
+    Printf.printf "3 dB bandwidth: %.2f GHz\n"
+      (Rlc_core.Frequency.bandwidth_3db stage /. 1e9)
+  in
+  Cmd.v
+    (Cmd.info "bode" ~doc:"Frequency response of the RC-sized stage.")
+    Term.(const run $ node_arg $ l_arg)
+
+let buffer_tree_cmd =
+  let run node = Rlc_experiments.Extensions.print_tree_buffering ~node () in
+  Cmd.v
+    (Cmd.info "buffer-tree"
+       ~doc:"RLC-aware van Ginneken buffering of a branching demo net.")
+    Term.(const run $ node_arg)
+
+let variation_cmd =
+  let run node = Rlc_experiments.Extensions.print_variation ~node () in
+  Cmd.v
+    (Cmd.info "variation"
+       ~doc:"Delay statistics under inductance/Miller/driver variation.")
+    Term.(const run $ node_arg)
+
+let main_cmd =
+  let info =
+    Cmd.info "rlcopt" ~version:"1.0.0"
+      ~doc:
+        "Performance optimization of distributed RLC interconnects \
+         (reproduction of Banerjee & Mehrotra, DAC 2001)."
+  in
+  Cmd.group info
+    [
+      optimize_cmd; delay_cmd; sweep_cmd; table1_cmd; ring_cmd; extract_cmd;
+      models_cmd; power_cmd; xtalk_cmd; wiresize_cmd; insert_cmd; eye_cmd;
+      bode_cmd; buffer_tree_cmd; variation_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,75 @@
+(* rlcsim -- run a SPICE-flavoured netlist on the MNA transient engine.
+
+   Usage:  rlcsim CIRCUIT.sp [--csv OUT.csv] *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"NETLIST" ~doc:"Netlist file (see Rlc_circuit.Parser).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Dump all probe waveforms as CSV.")
+
+let probe_label deck = function
+  | Rlc_circuit.Transient.Node_v n ->
+      Printf.sprintf "v(%s)"
+        (Option.value ~default:(Printf.sprintf "node%d" n)
+           (Rlc_circuit.Parser.name_of_node deck n))
+  | Rlc_circuit.Transient.Branch_i name -> Printf.sprintf "i(%s)" name
+
+let summarize deck result probe =
+  let w = Rlc_circuit.Transient.get result probe in
+  let values = Rlc_waveform.Waveform.values w in
+  let lo, hi = Rlc_numerics.Stats.min_max values in
+  let final = values.(Array.length values - 1) in
+  Printf.printf "%-16s  final %12.6g   min %12.6g   max %12.6g   rms %12.6g\n"
+    (probe_label deck probe) final lo hi
+    (Rlc_waveform.Measure.rms w)
+
+let run file csv =
+  match Rlc_circuit.Parser.parse_file file with
+  | exception Rlc_circuit.Parser.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" file line msg;
+      exit 1
+  | deck ->
+      (match deck.Rlc_circuit.Parser.title with
+      | Some t -> Printf.printf "* %s\n" t
+      | None -> ());
+      let result = Rlc_circuit.Parser.run deck in
+      Printf.printf "transient: %d steps\n\n"
+        (Rlc_circuit.Transient.steps_taken result);
+      List.iter (summarize deck result) deck.Rlc_circuit.Parser.probes;
+      match csv with
+      | None -> ()
+      | Some path ->
+          let time = Rlc_circuit.Transient.time result in
+          let waves =
+            List.map
+              (fun p ->
+                ( probe_label deck p,
+                  Rlc_waveform.Waveform.values
+                    (Rlc_circuit.Transient.get result p) ))
+              deck.Rlc_circuit.Parser.probes
+          in
+          let rows =
+            List.init (Array.length time) (fun i ->
+                time.(i) :: List.map (fun (_, vs) -> vs.(i)) waves)
+          in
+          Rlc_report.Csv.write ~path
+            ~header:("time" :: List.map fst waves)
+            ~rows;
+          Printf.printf "\nwrote %s\n" path
+
+let cmd =
+  Cmd.v
+    (Cmd.info "rlcsim" ~version:"1.0.0"
+       ~doc:"Transient simulation of SPICE-flavoured RLC netlists.")
+    Term.(const run $ file_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

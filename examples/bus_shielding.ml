@@ -1,0 +1,55 @@
+(* Bus design: how wide can the switching-delay window get, and what a
+   shield track buys.
+
+   Section 1.1 of the paper argues that neighbour switching makes the
+   effective capacitance vary up to 4x and the inductance even more.
+   Here both statements are computed for an N-line bus via its analytic
+   propagation modes, and the classic fix — grounded shield tracks —
+   is priced against plain spacing at the same area cost.
+
+   Run with:  dune exec examples/bus_shielding.exe *)
+
+let () =
+  let node = Rlc_tech.Presets.node_100nm in
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let h = rc.Rlc_core.Rc_opt.h_opt and k = rc.Rlc_core.Rc_opt.k_opt in
+  let driver = node.Rlc_tech.Node.driver in
+  let pair =
+    Rlc_core.Coupled.of_geometry node.Rlc_tech.Node.geometry ~l_self:1.5e-6
+      ~length:h
+  in
+
+  print_endline "Delay window and victim noise vs bus width:";
+  List.iter
+    (fun n ->
+      let bus = Rlc_core.Bus.of_coupled ~n pair in
+      let lo, hi = Rlc_core.Bus.delay_envelope bus ~driver ~h ~k in
+      let cmin, cmax = Rlc_core.Bus.miller_capacitance_range bus in
+      Printf.printf
+        "  %2d lines: delay %.0f..%.0f ps (window %.0f%%), modal c range %.2fx, victim noise %.0f%%\n"
+        n (lo *. 1e12) (hi *. 1e12)
+        ((hi -. lo) /. lo *. 100.0)
+        (cmax /. cmin)
+        (Rlc_core.Bus.victim_noise_peak bus ~driver ~h ~k *. 100.0))
+    [ 2; 4; 8; 16 ];
+  Printf.printf
+    "  -> the modal capacitance range approaches the paper's '4x' bound\n\n";
+
+  print_endline "Spending one extra track per signal (same area for both):";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-9s c=%3.0f pF/m  l=%.2f nH/mm  delay %.0f ps  window %3.0f%%  noise %4.1f%%\n"
+        (Format.asprintf "%a" Rlc_core.Shielding.pp_layout
+           r.Rlc_core.Shielding.layout)
+        (r.Rlc_core.Shielding.c_eff *. 1e12)
+        (r.Rlc_core.Shielding.l_eff *. 1e6)
+        (r.Rlc_core.Shielding.nominal_delay *. 1e12)
+        (r.Rlc_core.Shielding.delay_spread *. 100.0)
+        (r.Rlc_core.Shielding.victim_noise *. 100.0))
+    (Rlc_core.Shielding.analyze node ~h ~k);
+  print_endline
+    "\nShields win on every axis: they pin the return path (collapsing the\n\
+     inductance and its uncertainty) while spacing only dilutes the\n\
+     capacitive coupling -- and removing capacitive coupling alone makes\n\
+     far-end noise WORSE by undoing the inductive/capacitive cancellation."

@@ -1,0 +1,78 @@
+(* Inductance uncertainty study.
+
+   On-chip inductance is not a design constant: it depends on where the
+   return current flows, which varies with the switching pattern of
+   neighbouring wires (Section 1.1 of the paper).  A designer therefore
+   needs to know how the optimal repeater insertion and the achievable
+   delay move across the whole plausible range of l — and how much is
+   lost by sizing for the wrong l.
+
+   Run with:  dune exec examples/inductance_sweep.exe *)
+
+let () =
+  let node = Rlc_tech.Presets.node_100nm in
+
+  (* Bound the plausible inductance range from the wire geometry. *)
+  let g = node.Rlc_tech.Node.geometry in
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let l_min = Rlc_extraction.Inductance.microstrip_loop g in
+  let l_max =
+    Rlc_extraction.Inductance.worst_case g ~length:rc.Rlc_core.Rc_opt.h_opt
+  in
+  Printf.printf
+    "Geometry-derived inductance range: %.3f .. %.3f nH/mm (paper sweeps 0..5)\n\n"
+    (l_min *. 1e6) (l_max *. 1e6);
+
+  (* Optimal sizing across the range. *)
+  let table =
+    Rlc_report.Table.create ~title:"Optimal sizing vs line inductance (100nm)"
+      ~columns:
+        [ "l (nH/mm)"; "h* (mm)"; "k*"; "tau/h (ps/mm)"; "worst-if-sized-here" ]
+  in
+  let ls = List.init 11 (fun i -> float_of_int i *. 0.5e-6) in
+  let opts = List.map (fun l -> (l, Rlc_core.Rlc_opt.optimize node ~l)) ls in
+  (* "worst-if-sized-here": fix (h,k) at this l's optimum, then find the
+     worst delay ratio across all other l values — the robustness
+     question Section 3.2 raises. *)
+  let penalty_of ~h ~k =
+    List.fold_left
+      (fun acc (l', opt') ->
+        let stage = Rlc_core.Stage.of_node node ~l:l' ~h ~k in
+        let dpl = Rlc_core.Delay.per_unit_length stage in
+        Float.max acc (dpl /. opt'.Rlc_core.Rlc_opt.delay_per_length))
+      1.0 opts
+  in
+  List.iter
+    (fun (l, opt) ->
+      let h = opt.Rlc_core.Rlc_opt.h and k = opt.Rlc_core.Rlc_opt.k in
+      Rlc_report.Table.add_row table
+        [
+          Printf.sprintf "%.1f" (l *. 1e6);
+          Printf.sprintf "%.2f" (h *. 1e3);
+          Printf.sprintf "%.0f" k;
+          Printf.sprintf "%.2f" (opt.Rlc_core.Rlc_opt.delay_per_length *. 1e9);
+          Printf.sprintf "%.3f" (penalty_of ~h ~k);
+        ])
+    opts;
+  Rlc_report.Table.print table;
+
+  (* Which l should a robust design assume?  Print the minimax choice. *)
+  let best =
+    List.fold_left
+      (fun (best_l, best_p) (l, opt) ->
+        let p =
+          penalty_of ~h:opt.Rlc_core.Rlc_opt.h ~k:opt.Rlc_core.Rlc_opt.k
+        in
+        if p < best_p then (l, p) else (best_l, best_p))
+      (nan, infinity) opts
+  in
+  Printf.printf
+    "\nMinimax design point: size for l = %.1f nH/mm (worst-case penalty %.1f%%\n\
+     across the whole range) rather than for l = 0 (penalty %.1f%%).\n"
+    (fst best *. 1e6)
+    ((snd best -. 1.0) *. 100.0)
+    ((penalty_of
+        ~h:(List.assoc 0.0 (List.map (fun (l, o) -> (l, o.Rlc_core.Rlc_opt.h)) opts))
+        ~k:(List.assoc 0.0 (List.map (fun (l, o) -> (l, o.Rlc_core.Rlc_opt.k)) opts))
+     -. 1.0)
+    *. 100.0)

@@ -1,0 +1,9 @@
+buffered rlc line (100nm node, l = 1.8 nH/mm)
+* a square wave drives a threshold inverter through a distributed line
+V1 drive 0 PULSE(0 1.2 0 20p 20p 2n 4n)
+X1 drive mid INV r_on=14.3 c_in=400f c_out=1.94p vdd=1.2 ttr=33p
+W1 mid far r=4.4k l=1.8u c=123.33p len=11.1m seg=12
+X2 far out INV r_on=14.3 c_in=400f c_out=1.94p vdd=1.2 ttr=33p
+.tran 1p 12n
+.probe v(far) v(out) i(W1_seg0)
+.end

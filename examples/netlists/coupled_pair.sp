@@ -1,0 +1,11 @@
+coupled line pair crosstalk
+V1 a 0 DC 1.0
+Ra a a1 27
+Rv q 0 1meg
+Rb q b1 27
+P1 a1 a2 b1 b2 r=24.4 l=8.3n m=5.3n
+Ca a2 0 700f
+Cb b2 0 700f
+.tran 1p 2n
+.probe v(a2) v(b2)
+.end

@@ -1,0 +1,116 @@
+open Rlc_numerics
+
+let operating_point ?(max_state_iterations = 64) netlist =
+  let n_nodes = Netlist.node_count netlist in
+  let elems = Netlist.elements netlist in
+  let n_vsrcs =
+    Array.fold_left
+      (fun acc e -> match e with Netlist.Vsource _ -> acc + 1 | _ -> acc)
+      0 elems
+  in
+  let m = n_nodes - 1 + n_vsrcs in
+  if m = 0 then invalid_arg "Dc.operating_point: empty circuit";
+  let vi node = node - 1 in
+  let a = Matrix.create m m in
+  let stamp_g na nb g =
+    if na <> 0 then Matrix.add_to a (vi na) (vi na) g;
+    if nb <> 0 then Matrix.add_to a (vi nb) (vi nb) g;
+    if na <> 0 && nb <> 0 then begin
+      Matrix.add_to a (vi na) (vi nb) (-.g);
+      Matrix.add_to a (vi nb) (vi na) (-.g)
+    end
+  in
+  let vrow = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Netlist.Resistor { a = na; b = nb; ohms } -> stamp_g na nb (1.0 /. ohms)
+      | Netlist.Rl_branch { a = na; b = nb; ohms; _ } ->
+          stamp_g na nb (1.0 /. ohms)
+      | Netlist.Coupled_rl { a1; b1; a2; b2; ohms; _ } ->
+          (* inductors short in DC: each branch is its resistance *)
+          stamp_g a1 b1 (1.0 /. ohms);
+          stamp_g a2 b2 (1.0 /. ohms)
+      | Netlist.Inverter { output; dev; _ } ->
+          stamp_g output Netlist.ground (1.0 /. dev.Devices.r_on)
+      | Netlist.Vsource { a = na; b = nb; _ } ->
+          let r = n_nodes - 1 + !vrow in
+          incr vrow;
+          if na <> 0 then begin
+            Matrix.add_to a (vi na) r 1.0;
+            Matrix.add_to a r (vi na) 1.0
+          end;
+          if nb <> 0 then begin
+            Matrix.add_to a (vi nb) r (-1.0);
+            Matrix.add_to a r (vi nb) (-1.0)
+          end
+      | Netlist.Capacitor _ | Netlist.Isource _ -> ())
+    elems;
+  let lu =
+    try Lu.decompose a
+    with Lu.Singular -> failwith "Dc.operating_point: singular system"
+  in
+  (* inverter states: fixed point over the linear solves *)
+  let n_invs =
+    Array.fold_left
+      (fun acc e -> match e with Netlist.Inverter _ -> acc + 1 | _ -> acc)
+      0 elems
+  in
+  let states = Array.make (Int.max n_invs 1) true in
+  let solve_with states =
+    let b = Array.make m 0.0 in
+    let vrow = ref 0 and inv = ref 0 in
+    Array.iter
+      (fun e ->
+        match e with
+        | Netlist.Vsource { stim; _ } ->
+            b.(n_nodes - 1 + !vrow) <- Stimulus.eval stim 0.0;
+            incr vrow
+        | Netlist.Isource { a = na; b = nb; stim } ->
+            let j = Stimulus.eval stim 0.0 in
+            if na <> 0 then b.(vi na) <- b.(vi na) -. j;
+            if nb <> 0 then b.(vi nb) <- b.(vi nb) +. j
+        | Netlist.Inverter { output; dev; _ } ->
+            let v_drive = if states.(!inv) then dev.Devices.vdd else 0.0 in
+            incr inv;
+            if output <> 0 then
+              b.(vi output) <- b.(vi output) +. (v_drive /. dev.Devices.r_on)
+        | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Rl_branch _
+        | Netlist.Coupled_rl _ -> ())
+      elems;
+    Lu.solve lu b
+  in
+  let rec iterate pass =
+    if pass > max_state_iterations then
+      failwith "Dc.operating_point: inverter states do not settle";
+    let x = solve_with states in
+    let changed = ref false in
+    let inv = ref 0 in
+    Array.iter
+      (fun e ->
+        match e with
+        | Netlist.Inverter { input; dev; _ } ->
+            let v_in = if input = 0 then 0.0 else x.(vi input) in
+            let s = Devices.drives_high dev ~v_in in
+            if s <> states.(!inv) then begin
+              states.(!inv) <- s;
+              changed := true
+            end;
+            incr inv
+        | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Rl_branch _
+        | Netlist.Coupled_rl _ | Netlist.Vsource _ | Netlist.Isource _ -> ())
+      elems;
+    if !changed then iterate (pass + 1) else x
+  in
+  let x = iterate 1 in
+  let out = Array.make n_nodes 0.0 in
+  for node = 1 to n_nodes - 1 do
+    out.(node) <- x.(vi node)
+  done;
+  out
+
+let initial_conditions ?max_state_iterations netlist =
+  let v = operating_point ?max_state_iterations netlist in
+  List.init
+    (Array.length v - 1)
+    (fun i -> (i + 1, v.(i + 1)))

@@ -1,0 +1,17 @@
+(** DC operating point: capacitors open, inductors short (their series
+    resistance remains), sources at their t = 0 value, inverter logic
+    states resolved by fixed-point iteration. *)
+
+val operating_point :
+  ?max_state_iterations:int -> Netlist.t -> float array
+(** Node voltages (index = node id, entry 0 is ground = 0 V).  Raises
+    [Failure] on a singular system — run {!Netlist.validate} first for
+    a better diagnostic — and [Failure] when the inverter states do not
+    settle (a ring oscillator has no stable DC point; use the transient
+    engine for those). *)
+
+val initial_conditions :
+  ?max_state_iterations:int -> Netlist.t -> (Netlist.node * float) list
+(** The operating point as an [initial_voltages] list for
+    {!Transient.run} — start a transient from the settled DC state
+    instead of all-zeros. *)

@@ -1,0 +1,34 @@
+type inverter = {
+  r_on : float;
+  c_in : float;
+  c_out : float;
+  vdd : float;
+  vth : float;
+  t_transition : float;
+}
+
+let inverter ~r_on ~c_in ~c_out ~vdd ?vth ?(t_transition = 0.0) () =
+  let vth = match vth with Some v -> v | None -> vdd /. 2.0 in
+  if r_on <= 0.0 then invalid_arg "Devices.inverter: r_on <= 0";
+  if c_in <= 0.0 || c_out <= 0.0 then
+    invalid_arg "Devices.inverter: capacitance <= 0";
+  if vdd <= 0.0 then invalid_arg "Devices.inverter: vdd <= 0";
+  if vth <= 0.0 || vth >= vdd then
+    invalid_arg "Devices.inverter: vth outside (0, vdd)";
+  if t_transition < 0.0 then invalid_arg "Devices.inverter: t_transition < 0";
+  { r_on; c_in; c_out; vdd; vth; t_transition }
+
+let inverter_of_driver driver ~k ~vdd ?vth ?t_transition () =
+  let t_transition =
+    match t_transition with
+    | Some t -> t
+    | None -> Rlc_tech.Driver.intrinsic_delay driver
+  in
+  inverter
+    ~r_on:(Rlc_tech.Driver.scaled_rs driver ~k)
+    ~c_in:(Rlc_tech.Driver.scaled_c0 driver ~k)
+    ~c_out:(Rlc_tech.Driver.scaled_cp driver ~k)
+    ~vdd ?vth ~t_transition ()
+
+let drives_high inv ~v_in = v_in < inv.vth
+let output_drive inv ~v_in = if drives_high inv ~v_in then inv.vdd else 0.0

@@ -1,0 +1,40 @@
+(** Behavioural device models.
+
+    The CMOS inverter follows the abstraction the paper's analysis
+    itself uses (Section 2.1): a linear output resistance switching the
+    output node towards VDD or ground depending on the input against a
+    threshold, with linear input and output capacitances.  This is the
+    model whose false-switching behaviour Section 3.3.1 studies. *)
+
+type inverter = {
+  r_on : float;  (** output (channel) resistance, ohm *)
+  c_in : float;  (** gate input capacitance, F *)
+  c_out : float;  (** output (drain) parasitic capacitance, F *)
+  vdd : float;  (** supply, V *)
+  vth : float;  (** switching threshold, V *)
+  t_transition : float;
+      (** time for the internal drive to traverse the full rail-to-rail
+          swing (finite switching speed of the real device); 0 gives an
+          ideal relay.  Fast ideal edges over-excite line ringing, so a
+          physical [t_transition] is essential for the Section 3.3
+          false-switching experiments to calibrate. *)
+}
+
+val inverter :
+  r_on:float -> c_in:float -> c_out:float -> vdd:float -> ?vth:float ->
+  ?t_transition:float -> unit -> inverter
+(** [vth] defaults to [vdd / 2], [t_transition] to 0 (ideal relay).
+    Validates positivity and 0 < vth < vdd. *)
+
+val inverter_of_driver :
+  Rlc_tech.Driver.t -> k:float -> vdd:float -> ?vth:float ->
+  ?t_transition:float -> unit -> inverter
+(** Sized inverter: r_on = rs/k, c_in = c0*k, c_out = cp*k.
+    [t_transition] defaults to the driver's size-independent intrinsic
+    delay rs * (c0 + cp). *)
+
+val drives_high : inverter -> v_in:float -> bool
+(** Inverting logic: true when [v_in < vth]. *)
+
+val output_drive : inverter -> v_in:float -> float
+(** Voltage the output stage pulls towards: vdd or 0. *)

@@ -1,0 +1,169 @@
+type node = int
+
+let ground = 0
+
+type element =
+  | Resistor of { a : node; b : node; ohms : float }
+  | Capacitor of { a : node; b : node; farads : float }
+  | Rl_branch of { a : node; b : node; ohms : float; henries : float }
+  | Coupled_rl of {
+      a1 : node;
+      b1 : node;
+      a2 : node;
+      b2 : node;
+      ohms : float;
+      henries : float;
+      mutual : float;
+    }
+  | Vsource of { a : node; b : node; stim : Stimulus.t }
+  | Isource of { a : node; b : node; stim : Stimulus.t }
+  | Inverter of { input : node; output : node; dev : Devices.inverter }
+
+type t = {
+  mutable n_nodes : int;
+  mutable elems : element list; (* reversed *)
+  mutable n_elems : int;
+  node_names : (string, node) Hashtbl.t;
+  elem_names : (string, int) Hashtbl.t;
+  elem_name_of_id : (int, string) Hashtbl.t;
+}
+
+let create () =
+  {
+    n_nodes = 1;
+    elems = [];
+    n_elems = 0;
+    node_names = Hashtbl.create 16;
+    elem_names = Hashtbl.create 16;
+    elem_name_of_id = Hashtbl.create 16;
+  }
+
+let fresh_node ?name t =
+  let n = t.n_nodes in
+  t.n_nodes <- n + 1;
+  (match name with
+  | None -> ()
+  | Some nm ->
+      if Hashtbl.mem t.node_names nm then
+        invalid_arg ("Netlist.fresh_node: duplicate node name " ^ nm);
+      Hashtbl.add t.node_names nm n);
+  n
+
+let node_count t = t.n_nodes
+let find_node t name = Hashtbl.find_opt t.node_names name
+
+let check_node t n ctx =
+  if n < 0 || n >= t.n_nodes then
+    invalid_arg (Printf.sprintf "Netlist.%s: node %d out of range" ctx n)
+
+let add_element ?name t e =
+  let id = t.n_elems in
+  t.elems <- e :: t.elems;
+  t.n_elems <- id + 1;
+  let nm =
+    match name with
+    | Some nm ->
+        if Hashtbl.mem t.elem_names nm then
+          invalid_arg ("Netlist: duplicate element name " ^ nm);
+        nm
+    | None -> Printf.sprintf "_e%d" id
+  in
+  Hashtbl.add t.elem_names nm id;
+  Hashtbl.add t.elem_name_of_id id nm
+
+let add_resistor ?name t a b ohms =
+  check_node t a "add_resistor";
+  check_node t b "add_resistor";
+  if ohms <= 0.0 then invalid_arg "Netlist.add_resistor: ohms <= 0";
+  add_element ?name t (Resistor { a; b; ohms })
+
+let add_capacitor ?name t a b farads =
+  check_node t a "add_capacitor";
+  check_node t b "add_capacitor";
+  if farads <= 0.0 then invalid_arg "Netlist.add_capacitor: farads <= 0";
+  add_element ?name t (Capacitor { a; b; farads })
+
+let add_rl_branch ?name t a b ~ohms ~henries =
+  check_node t a "add_rl_branch";
+  check_node t b "add_rl_branch";
+  if ohms <= 0.0 then invalid_arg "Netlist.add_rl_branch: ohms <= 0";
+  if henries < 0.0 then invalid_arg "Netlist.add_rl_branch: henries < 0";
+  add_element ?name t (Rl_branch { a; b; ohms; henries })
+
+let add_inductor ?name t a b henries =
+  if henries <= 0.0 then invalid_arg "Netlist.add_inductor: henries <= 0";
+  add_rl_branch ?name t a b ~ohms:1e-6 ~henries
+
+let add_coupled_rl ?name t ~a1 ~b1 ~a2 ~b2 ~ohms ~henries ~mutual =
+  List.iter (fun n -> check_node t n "add_coupled_rl") [ a1; b1; a2; b2 ];
+  if ohms <= 0.0 then invalid_arg "Netlist.add_coupled_rl: ohms <= 0";
+  if henries <= 0.0 then invalid_arg "Netlist.add_coupled_rl: henries <= 0";
+  if mutual < 0.0 || mutual >= henries then
+    invalid_arg "Netlist.add_coupled_rl: need 0 <= mutual < henries";
+  add_element ?name t (Coupled_rl { a1; b1; a2; b2; ohms; henries; mutual })
+
+let add_vsource ?name t a b stim =
+  check_node t a "add_vsource";
+  check_node t b "add_vsource";
+  Stimulus.validate stim;
+  add_element ?name t (Vsource { a; b; stim })
+
+let add_isource ?name t a b stim =
+  check_node t a "add_isource";
+  check_node t b "add_isource";
+  Stimulus.validate stim;
+  add_element ?name t (Isource { a; b; stim })
+
+let add_inverter ?name t ~input ~output dev =
+  check_node t input "add_inverter";
+  check_node t output "add_inverter";
+  if input = output then invalid_arg "Netlist.add_inverter: input = output";
+  add_element ?name t (Inverter { input; output; dev })
+
+let elements t = Array.of_list (List.rev t.elems)
+
+let find_element t name = Hashtbl.find_opt t.elem_names name
+
+let element_name t id =
+  match Hashtbl.find_opt t.elem_name_of_id id with
+  | Some nm -> nm
+  | None -> invalid_arg (Printf.sprintf "Netlist.element_name: no element %d" id)
+
+(* Every non-ground node must reach ground through elements that carry
+   DC current (everything except capacitors); otherwise MNA is
+   singular. *)
+let validate t =
+  let elems = elements t in
+  let adj = Array.make t.n_nodes [] in
+  let connect a b =
+    adj.(a) <- b :: adj.(a);
+    adj.(b) <- a :: adj.(b)
+  in
+  Array.iter
+    (fun e ->
+      match e with
+      | Resistor { a; b; _ } | Rl_branch { a; b; _ } | Vsource { a; b; _ } ->
+          connect a b
+      | Coupled_rl { a1; b1; a2; b2; _ } ->
+          connect a1 b1;
+          connect a2 b2
+      | Inverter { input; output; _ } ->
+          (* the output stage ties the output to the rails *)
+          connect output ground;
+          (* the gate is purely capacitive: no DC path via input *)
+          ignore input
+      | Capacitor _ | Isource _ -> ())
+    elems;
+  let visited = Array.make t.n_nodes false in
+  let rec dfs n =
+    if not visited.(n) then begin
+      visited.(n) <- true;
+      List.iter dfs adj.(n)
+    end
+  in
+  dfs ground;
+  for n = 1 to t.n_nodes - 1 do
+    if not visited.(n) then
+      invalid_arg
+        (Printf.sprintf "Netlist.validate: node %d has no DC path to ground" n)
+  done

@@ -1,0 +1,85 @@
+(** Circuit netlist builder.
+
+    Nodes are small integers; node 0 is ground.  Elements are added
+    imperatively (the natural idiom for netlist construction) and the
+    finished netlist is consumed read-only by the DC and transient
+    engines. *)
+
+type node = int
+
+val ground : node
+
+type element =
+  | Resistor of { a : node; b : node; ohms : float }
+  | Capacitor of { a : node; b : node; farads : float }
+  | Rl_branch of { a : node; b : node; ohms : float; henries : float }
+      (** Series R-L branch (one line segment); [henries = 0] degrades
+          to a plain resistor.  Branch current flows a -> b. *)
+  | Coupled_rl of {
+      a1 : node;
+      b1 : node;
+      a2 : node;
+      b2 : node;
+      ohms : float;
+      henries : float;
+      mutual : float;
+    }
+      (** Two magnetically coupled series R-L branches (a1 -> b1 and
+          a2 -> b2) with equal self inductance and mutual [mutual]
+          (0 <= mutual < henries) — one segment of a coupled line
+          pair. *)
+  | Vsource of { a : node; b : node; stim : Stimulus.t }
+      (** Ideal voltage source, positive terminal [a]. *)
+  | Isource of { a : node; b : node; stim : Stimulus.t }
+      (** Current flows a -> b through the source. *)
+  | Inverter of { input : node; output : node; dev : Devices.inverter }
+
+type t
+
+val create : unit -> t
+
+val fresh_node : ?name:string -> t -> node
+(** Allocate a new node.  Named nodes can be retrieved with
+    [find_node]. *)
+
+val node_count : t -> int
+(** Including ground. *)
+
+val find_node : t -> string -> node option
+
+val add_resistor : ?name:string -> t -> node -> node -> float -> unit
+val add_capacitor : ?name:string -> t -> node -> node -> float -> unit
+val add_rl_branch :
+  ?name:string -> t -> node -> node -> ohms:float -> henries:float -> unit
+val add_inductor : ?name:string -> t -> node -> node -> float -> unit
+(** Pure inductor: an RL branch with a negligible series resistance
+    (1 micro-ohm) for DC solvability. *)
+
+val add_coupled_rl :
+  ?name:string ->
+  t ->
+  a1:node -> b1:node -> a2:node -> b2:node ->
+  ohms:float -> henries:float -> mutual:float ->
+  unit
+(** See {!element.Coupled_rl}.  Current probes address the two branch
+    currents as ["<name>#1"] and ["<name>#2"]. *)
+
+val add_vsource : ?name:string -> t -> node -> node -> Stimulus.t -> unit
+val add_isource : ?name:string -> t -> node -> node -> Stimulus.t -> unit
+val add_inverter :
+  ?name:string -> t -> input:node -> output:node -> Devices.inverter -> unit
+
+val elements : t -> element array
+(** In insertion order; index is the element id. *)
+
+val find_element : t -> string -> int option
+(** Element id by name (for current probes). *)
+
+val element_name : t -> int -> string
+(** Name of element [id] (auto-generated when not provided). *)
+
+val validate : t -> unit
+(** Checks node indices are in range, element values are physical and
+    every non-ground node has a DC path to ground (otherwise the MNA
+    matrix is singular).  Raises [Invalid_argument] with a description
+    of the first problem found. *)

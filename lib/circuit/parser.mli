@@ -1,0 +1,54 @@
+(** A SPICE-flavoured netlist parser for the transient engine.
+
+    Supported card types (case-insensitive, [*] starts a comment,
+    values take SPICE magnitude suffixes f p n u m k meg g t and an
+    optional trailing unit like "pF"):
+
+    {v
+    Rname n1 n2 value                    resistor
+    Cname n1 n2 value                    capacitor
+    Lname n1 n2 value                    inductor
+    Bname n1 n2 r=.. l=..                series R-L branch (totals)
+    Wname n1 n2 r=.. l=.. c=.. len=.. seg=..
+                                         distributed RLC line (expanded
+                                         into a ladder; r/l/c per metre)
+    Pname a1 b1 a2 b2 r=.. l=.. m=..     coupled R-L branch pair (totals)
+    Vname n+ n- DC value                 sources; also
+    Vname n+ n- PULSE(v0 v1 td tr tf pw per)
+    Vname n+ n- PWL(t1 v1 t2 v2 ...)
+    Iname n+ n- DC value                 current source (same waveforms)
+    Xname in out INV r_on=.. c_in=.. c_out=.. vdd=.. [vth=..] [ttr=..]
+                                         threshold inverter
+    .tran dt t_end                       analysis request
+    .probe v(node) i(element) ...        what to record
+    .end                                 optional terminator
+    v}
+
+    Node names are arbitrary tokens; "0" and "gnd" are ground. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and description. *)
+
+type deck = {
+  netlist : Netlist.t;
+  tran : (float * float) option;  (** (dt, t_end) from [.tran] *)
+  probes : Transient.probe list;
+  title : string option;  (** first line when it is not a card *)
+}
+
+val node_of_name : deck -> string -> Netlist.node option
+(** Look up a node by its netlist-file name ("0"/"gnd" map to 0). *)
+
+val name_of_node : deck -> Netlist.node -> string option
+(** Reverse lookup (ground reports "0"). *)
+
+val parse_string : string -> deck
+val parse_file : string -> deck
+
+val parse_value : string -> float
+(** Parse one SPICE number ("4.4k", "100p", "2.5pF", "1meg") — exposed
+    for tests.  Raises [Failure] on malformed input. *)
+
+val run : deck -> Transient.result
+(** Run the deck's transient analysis.  Raises [Invalid_argument] when
+    the deck has no [.tran] card or no probes. *)

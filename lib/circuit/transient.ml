@@ -1,0 +1,596 @@
+open Rlc_numerics
+
+type integration = Trapezoidal | Backward_euler
+
+type probe = Node_v of Netlist.node | Branch_i of string
+
+(* Desugared element with per-element state indices. *)
+type compiled =
+  | Cr of { a : int; b : int; g : float }
+  | Cc of { a : int; b : int; c : float; state : int }
+  | Crl of { a : int; b : int; r : float; l : float; state : int }
+  | Ccrl of {
+      a1 : int;
+      b1 : int;
+      a2 : int;
+      b2 : int;
+      r : float;
+      l : float;
+      m : float;
+      state : int; (* index of branch-1 current; branch 2 is state+1 *)
+    }
+  | Cv of { a : int; b : int; stim : Stimulus.t; row : int }
+  | Ci of { a : int; b : int; stim : Stimulus.t }
+  | Cinv of {
+      input : int;
+      output : int;
+      dev : Devices.inverter;
+      state : int; (* index into inverter state array *)
+    }
+
+type result = {
+  time : float array;
+  probe_data : (probe * float array) list;
+  final_v : float array;
+  steps : int;
+  histogram : int array;
+  rejected_steps : int;
+}
+
+let time r = Array.copy r.time
+let final_voltages r = Array.copy r.final_v
+let steps_taken r = r.steps
+let state_iteration_histogram r = Array.copy r.histogram
+let rejected_steps r = r.rejected_steps
+
+let get r probe =
+  match List.assoc_opt probe r.probe_data with
+  | Some values -> Rlc_waveform.Waveform.create ~times:r.time ~values
+  | None -> raise Not_found
+
+(* Compile the netlist: inverters contribute their gate/drain
+   capacitors as separate compiled caps plus an output-stage record. *)
+let compile netlist =
+  let elems = Netlist.elements netlist in
+  let compiled = ref [] in
+  let caps = ref 0 and rls = ref 0 and vsrcs = ref 0 and invs = ref 0 in
+  let id_to_compiled = Hashtbl.create 16 in
+  Array.iteri
+    (fun id e ->
+      let push c =
+        compiled := c :: !compiled;
+        Hashtbl.replace id_to_compiled id c
+      in
+      match e with
+      | Netlist.Resistor { a; b; ohms } -> push (Cr { a; b; g = 1.0 /. ohms })
+      | Netlist.Capacitor { a; b; farads } ->
+          let state = !caps in
+          incr caps;
+          push (Cc { a; b; c = farads; state })
+      | Netlist.Rl_branch { a; b; ohms; henries } ->
+          if henries = 0.0 then push (Cr { a; b; g = 1.0 /. ohms })
+          else begin
+            let state = !rls in
+            incr rls;
+            push (Crl { a; b; r = ohms; l = henries; state })
+          end
+      | Netlist.Coupled_rl { a1; b1; a2; b2; ohms; henries; mutual } ->
+          let state = !rls in
+          rls := !rls + 2;
+          push
+            (Ccrl { a1; b1; a2; b2; r = ohms; l = henries; m = mutual; state })
+      | Netlist.Vsource { a; b; stim } ->
+          let row = !vsrcs in
+          incr vsrcs;
+          push (Cv { a; b; stim; row })
+      | Netlist.Isource { a; b; stim } -> push (Ci { a; b; stim })
+      | Netlist.Inverter { input; output; dev } ->
+          (* gate capacitance *)
+          let gate_state = !caps in
+          incr caps;
+          compiled :=
+            Cc { a = input; b = Netlist.ground; c = dev.Devices.c_in;
+                 state = gate_state }
+            :: !compiled;
+          (* drain capacitance *)
+          let drain_state = !caps in
+          incr caps;
+          compiled :=
+            Cc { a = output; b = Netlist.ground; c = dev.Devices.c_out;
+                 state = drain_state }
+            :: !compiled;
+          let state = !invs in
+          incr invs;
+          push (Cinv { input; output; dev; state }))
+    elems;
+  ( List.rev !compiled,
+    id_to_compiled,
+    (!caps, !rls, !vsrcs, !invs) )
+
+let alpha_of = function Trapezoidal -> 2.0 | Backward_euler -> 1.0
+
+(* mutable engine state *)
+type state = {
+  v : float array;
+  cap_i : float array;
+  rl_i : float array;
+  inv_high : bool array;
+  inv_drive : float array;
+}
+
+let copy_state s =
+  {
+    v = Array.copy s.v;
+    cap_i = Array.copy s.cap_i;
+    rl_i = Array.copy s.rl_i;
+    inv_high = Array.copy s.inv_high;
+    inv_drive = Array.copy s.inv_drive;
+  }
+
+let blit_state ~src ~dst =
+  Array.blit src.v 0 dst.v 0 (Array.length src.v);
+  Array.blit src.cap_i 0 dst.cap_i 0 (Array.length src.cap_i);
+  Array.blit src.rl_i 0 dst.rl_i 0 (Array.length src.rl_i);
+  Array.blit src.inv_high 0 dst.inv_high 0 (Array.length src.inv_high);
+  Array.blit src.inv_drive 0 dst.inv_drive 0 (Array.length src.inv_drive)
+
+type engine = {
+  compiled : compiled list;
+  compiled_of_id : (int, compiled) Hashtbl.t;
+  netlist : Netlist.t;
+  n_nodes : int;
+  m : int; (* unknown count: nodes-1 + vsources *)
+  state : state;
+  lu_cache : (int, Lu.t) Hashtbl.t;
+      (* keyed by (method tag, dt bits) hash *)
+  histogram : int array;
+  max_state_iterations : int;
+}
+
+let make_engine ?(max_state_iterations = 8) ?(initial_voltages = []) netlist =
+  if max_state_iterations < 1 then
+    invalid_arg "Transient: max_state_iterations < 1";
+  let n_nodes = Netlist.node_count netlist in
+  let compiled, compiled_of_id, (n_caps, n_rls, n_vsrcs, n_invs) =
+    compile netlist
+  in
+  let m = n_nodes - 1 + n_vsrcs in
+  if m = 0 then invalid_arg "Transient: empty circuit";
+  let state =
+    {
+      v = Array.make n_nodes 0.0;
+      cap_i = Array.make (Int.max n_caps 1) 0.0;
+      rl_i = Array.make (Int.max n_rls 1) 0.0;
+      inv_high = Array.make (Int.max n_invs 1) false;
+      inv_drive = Array.make (Int.max n_invs 1) 0.0;
+    }
+  in
+  List.iter
+    (fun (node, volt) ->
+      if node <= 0 || node >= n_nodes then
+        invalid_arg "Transient: initial voltage on bad node";
+      state.v.(node) <- volt)
+    initial_voltages;
+  List.iter
+    (function
+      | Cinv { input; dev; state = si; _ } ->
+          let high = Devices.drives_high dev ~v_in:state.v.(input) in
+          state.inv_high.(si) <- high;
+          state.inv_drive.(si) <- (if high then dev.Devices.vdd else 0.0)
+      | Cr _ | Cc _ | Crl _ | Ccrl _ | Cv _ | Ci _ -> ())
+    compiled;
+  {
+    compiled;
+    compiled_of_id;
+    netlist;
+    n_nodes;
+    m;
+    state;
+    lu_cache = Hashtbl.create 8;
+    histogram = Array.make max_state_iterations 0;
+    max_state_iterations;
+  }
+
+let vi node = node - 1
+
+let factorization eng meth dt =
+  let key =
+    Hashtbl.hash (meth, Int64.bits_of_float dt)
+  in
+  match Hashtbl.find_opt eng.lu_cache key with
+  | Some lu -> lu
+  | None ->
+      let a = Matrix.create eng.m eng.m in
+      let alpha = alpha_of meth in
+      let stamp_g na nb g =
+        if na <> 0 then Matrix.add_to a (vi na) (vi na) g;
+        if nb <> 0 then Matrix.add_to a (vi nb) (vi nb) g;
+        if na <> 0 && nb <> 0 then begin
+          Matrix.add_to a (vi na) (vi nb) (-.g);
+          Matrix.add_to a (vi nb) (vi na) (-.g)
+        end
+      in
+      List.iter
+        (fun c ->
+          match c with
+          | Cr { a = na; b = nb; g } -> stamp_g na nb g
+          | Cc { a = na; b = nb; c; _ } -> stamp_g na nb (alpha *. c /. dt)
+          | Crl { a = na; b = nb; r; l; _ } ->
+              stamp_g na nb (1.0 /. (r +. (alpha *. l /. dt)))
+          | Ccrl { a1; b1; a2; b2; r; l; m; _ } ->
+              (* i = G v with G = inv(R I + alpha L_mat / dt),
+                 L_mat = [l m; m l]; closed-form 2x2 inverse *)
+              let d = r +. (alpha *. l /. dt) in
+              let o = alpha *. m /. dt in
+              let det = (d *. d) -. (o *. o) in
+              let g_self = d /. det and g_cross = -.o /. det in
+              let stamp_cross na nb ma mb g =
+                if na <> 0 then begin
+                  if ma <> 0 then Matrix.add_to a (vi na) (vi ma) g;
+                  if mb <> 0 then Matrix.add_to a (vi na) (vi mb) (-.g)
+                end;
+                if nb <> 0 then begin
+                  if ma <> 0 then Matrix.add_to a (vi nb) (vi ma) (-.g);
+                  if mb <> 0 then Matrix.add_to a (vi nb) (vi mb) g
+                end
+              in
+              stamp_g a1 b1 g_self;
+              stamp_g a2 b2 g_self;
+              stamp_cross a1 b1 a2 b2 g_cross;
+              stamp_cross a2 b2 a1 b1 g_cross
+          | Cinv { output; dev; _ } ->
+              stamp_g output Netlist.ground (1.0 /. dev.Devices.r_on)
+          | Cv { a = na; b = nb; row; _ } ->
+              let r = eng.n_nodes - 1 + row in
+              if na <> 0 then begin
+                Matrix.add_to a (vi na) r 1.0;
+                Matrix.add_to a r (vi na) 1.0
+              end;
+              if nb <> 0 then begin
+                Matrix.add_to a (vi nb) r (-1.0);
+                Matrix.add_to a r (vi nb) (-1.0)
+              end
+          | Ci _ -> ())
+        eng.compiled;
+      let lu =
+        try Lu.decompose a
+        with Lu.Singular -> failwith "Transient: singular MNA matrix"
+      in
+      Hashtbl.replace eng.lu_cache key lu;
+      lu
+
+let slewed_drive dev ~dt current target_high =
+  let target = if target_high then dev.Devices.vdd else 0.0 in
+  if dev.Devices.t_transition <= 0.0 then target
+  else begin
+    let max_step = dev.Devices.vdd *. dt /. dev.Devices.t_transition in
+    let delta = target -. current in
+    if Float.abs delta <= max_step then target
+    else current +. Float.copy_sign max_step delta
+  end
+
+let build_rhs eng meth dt t_next trial_high =
+  let s = eng.state in
+  let b = Array.make eng.m 0.0 in
+  let alpha = alpha_of meth in
+  let vab na nb = s.v.(na) -. s.v.(nb) in
+  List.iter
+    (fun c ->
+      match c with
+      | Cr _ -> ()
+      | Cc { a = na; b = nb; c; state } ->
+          let g = alpha *. c /. dt in
+          let i_src =
+            (g *. vab na nb)
+            +. (match meth with
+               | Trapezoidal -> s.cap_i.(state)
+               | Backward_euler -> 0.0)
+          in
+          if na <> 0 then b.(vi na) <- b.(vi na) +. i_src;
+          if nb <> 0 then b.(vi nb) <- b.(vi nb) -. i_src
+      | Crl { a = na; b = nb; r; l; state } ->
+          let g = 1.0 /. (r +. (alpha *. l /. dt)) in
+          let i_src =
+            match meth with
+            | Trapezoidal ->
+                g *. (vab na nb +. (((2.0 *. l /. dt) -. r) *. s.rl_i.(state)))
+            | Backward_euler -> g *. (l /. dt) *. s.rl_i.(state)
+          in
+          if na <> 0 then b.(vi na) <- b.(vi na) -. i_src;
+          if nb <> 0 then b.(vi nb) <- b.(vi nb) +. i_src
+      | Ccrl { a1; b1; a2; b2; r; l; m; state } ->
+          let d = r +. (alpha *. l /. dt) in
+          let o = alpha *. m /. dt in
+          let det = (d *. d) -. (o *. o) in
+          let i1 = s.rl_i.(state) and i2 = s.rl_i.(state + 1) in
+          let w1, w2 =
+            match meth with
+            | Trapezoidal ->
+                ( vab a1 b1
+                  +. (((2.0 *. l /. dt) -. r) *. i1)
+                  +. (2.0 *. m /. dt *. i2),
+                  vab a2 b2
+                  +. (((2.0 *. l /. dt) -. r) *. i2)
+                  +. (2.0 *. m /. dt *. i1) )
+            | Backward_euler ->
+                ( (l /. dt *. i1) +. (m /. dt *. i2),
+                  (l /. dt *. i2) +. (m /. dt *. i1) )
+          in
+          let i1_src = ((d *. w1) -. (o *. w2)) /. det in
+          let i2_src = ((d *. w2) -. (o *. w1)) /. det in
+          if a1 <> 0 then b.(vi a1) <- b.(vi a1) -. i1_src;
+          if b1 <> 0 then b.(vi b1) <- b.(vi b1) +. i1_src;
+          if a2 <> 0 then b.(vi a2) <- b.(vi a2) -. i2_src;
+          if b2 <> 0 then b.(vi b2) <- b.(vi b2) +. i2_src
+      | Cinv { output; dev; state; _ } ->
+          let v_drive =
+            slewed_drive dev ~dt s.inv_drive.(state) trial_high.(state)
+          in
+          let g = 1.0 /. dev.Devices.r_on in
+          if output <> 0 then b.(vi output) <- b.(vi output) +. (g *. v_drive)
+      | Cv { row; stim; _ } ->
+          b.(eng.n_nodes - 1 + row) <- Stimulus.eval stim t_next
+      | Ci { a = na; b = nb; stim } ->
+          let j = Stimulus.eval stim t_next in
+          if na <> 0 then b.(vi na) <- b.(vi na) -. j;
+          if nb <> 0 then b.(vi nb) <- b.(vi nb) +. j)
+    eng.compiled;
+  b
+
+(* Advance the engine state by one step of [dt] ending at [t_next],
+   resolving the inverter logic by fixed point.  Mutates eng.state. *)
+let advance eng meth dt t_next =
+  let s = eng.state in
+  let lu = factorization eng meth dt in
+  let trial = Array.copy s.inv_high in
+  let solution = ref [||] in
+  let passes = ref 0 in
+  let stable = ref false in
+  while (not !stable) && !passes < eng.max_state_iterations do
+    incr passes;
+    let x = Lu.solve lu (build_rhs eng meth dt t_next trial) in
+    solution := x;
+    let changed = ref false in
+    List.iter
+      (function
+        | Cinv { input; dev; state; _ } ->
+            let v_in = if input = 0 then 0.0 else x.(vi input) in
+            let high = Devices.drives_high dev ~v_in in
+            if high <> trial.(state) then begin
+              trial.(state) <- high;
+              changed := true
+            end
+        | Cr _ | Cc _ | Crl _ | Ccrl _ | Cv _ | Ci _ -> ())
+      eng.compiled;
+    if not !changed then stable := true
+  done;
+  eng.histogram.(!passes - 1) <- eng.histogram.(!passes - 1) + 1;
+  let x = !solution in
+  let alpha = alpha_of meth in
+  let v_new = Array.make eng.n_nodes 0.0 in
+  for node = 1 to eng.n_nodes - 1 do
+    v_new.(node) <- x.(vi node)
+  done;
+  (* commit branch states (companion updates need the OLD voltages) *)
+  List.iter
+    (fun c ->
+      match c with
+      | Cc { a = na; b = nb; c; state } ->
+          let g = alpha *. c /. dt in
+          let old_vab = s.v.(na) -. s.v.(nb) in
+          let new_vab = v_new.(na) -. v_new.(nb) in
+          s.cap_i.(state) <-
+            (match meth with
+            | Trapezoidal -> (g *. (new_vab -. old_vab)) -. s.cap_i.(state)
+            | Backward_euler -> g *. (new_vab -. old_vab))
+      | Crl { a = na; b = nb; r; l; state } ->
+          let g = 1.0 /. (r +. (alpha *. l /. dt)) in
+          let old_vab = s.v.(na) -. s.v.(nb) in
+          let new_vab = v_new.(na) -. v_new.(nb) in
+          s.rl_i.(state) <-
+            (match meth with
+            | Trapezoidal ->
+                g
+                *. (new_vab +. old_vab
+                   +. (((2.0 *. l /. dt) -. r) *. s.rl_i.(state)))
+            | Backward_euler -> g *. (new_vab +. (l /. dt *. s.rl_i.(state))))
+      | Ccrl { a1; b1; a2; b2; r; l; m; state } ->
+          let d = r +. (alpha *. l /. dt) in
+          let o = alpha *. m /. dt in
+          let det = (d *. d) -. (o *. o) in
+          let i1 = s.rl_i.(state) and i2 = s.rl_i.(state + 1) in
+          let w1, w2 =
+            match meth with
+            | Trapezoidal ->
+                ( s.v.(a1) -. s.v.(b1)
+                  +. (((2.0 *. l /. dt) -. r) *. i1)
+                  +. (2.0 *. m /. dt *. i2),
+                  s.v.(a2) -. s.v.(b2)
+                  +. (((2.0 *. l /. dt) -. r) *. i2)
+                  +. (2.0 *. m /. dt *. i1) )
+            | Backward_euler ->
+                ( (l /. dt *. i1) +. (m /. dt *. i2),
+                  (l /. dt *. i2) +. (m /. dt *. i1) )
+          in
+          let u1 = (v_new.(a1) -. v_new.(b1)) +. w1 in
+          let u2 = (v_new.(a2) -. v_new.(b2)) +. w2 in
+          s.rl_i.(state) <- ((d *. u1) -. (o *. u2)) /. det;
+          s.rl_i.(state + 1) <- ((d *. u2) -. (o *. u1)) /. det
+      | Cr _ | Cv _ | Ci _ -> ()
+      | Cinv _ -> ())
+    eng.compiled;
+  List.iter
+    (function
+      | Cinv { dev; state; _ } ->
+          s.inv_drive.(state) <-
+            slewed_drive dev ~dt s.inv_drive.(state) trial.(state)
+      | Cr _ | Cc _ | Crl _ | Ccrl _ | Cv _ | Ci _ -> ())
+    eng.compiled;
+  Array.blit v_new 0 s.v 0 eng.n_nodes;
+  Array.blit trial 0 s.inv_high 0 (Array.length trial)
+
+(* ---------------- probing ---------------- *)
+
+let resolve_probe_element eng name =
+  match Netlist.find_element eng.netlist name with
+  | Some id -> Some (id, 0)
+  | None ->
+      let n = String.length name in
+      if
+        n > 2
+        && name.[n - 2] = '#'
+        && (name.[n - 1] = '1' || name.[n - 1] = '2')
+      then
+        match Netlist.find_element eng.netlist (String.sub name 0 (n - 2)) with
+        | Some id -> Some (id, Char.code name.[n - 1] - Char.code '1')
+        | None -> None
+      else None
+
+let branch_current eng name =
+  let s = eng.state in
+  match resolve_probe_element eng name with
+  | None -> 0.0
+  | Some (id, sub) -> begin
+      match Hashtbl.find_opt eng.compiled_of_id id with
+      | Some (Cr { a; b; g }) -> g *. (s.v.(a) -. s.v.(b))
+      | Some (Cc { state; _ }) -> s.cap_i.(state)
+      | Some (Crl { state; _ }) -> s.rl_i.(state)
+      | Some (Ccrl { state; _ }) -> s.rl_i.(state + sub)
+      | Some (Cinv { output; dev; state; _ }) ->
+          (s.inv_drive.(state) -. s.v.(output)) /. dev.Devices.r_on
+      | Some (Cv _ | Ci _) | None -> 0.0
+    end
+
+let probe_value eng = function
+  | Node_v node -> eng.state.v.(node)
+  | Branch_i name -> branch_current eng name
+
+let validate_probes eng probes =
+  List.iter
+    (fun p ->
+      match p with
+      | Node_v node ->
+          if node < 0 || node >= eng.n_nodes then
+            invalid_arg "Transient: probe on unknown node"
+      | Branch_i name ->
+          if resolve_probe_element eng name = None then
+            invalid_arg ("Transient.run: unknown element " ^ name))
+    probes
+
+(* ---------------- fixed-step driver ---------------- *)
+
+let run ?(integration = Trapezoidal) ?initial_voltages ?max_state_iterations
+    ?(record_every = 1) netlist ~t_end ~dt ~probes =
+  if t_end <= 0.0 then invalid_arg "Transient.run: t_end <= 0";
+  if dt <= 0.0 || dt >= t_end then invalid_arg "Transient.run: bad dt";
+  if record_every < 1 then invalid_arg "Transient.run: record_every < 1";
+  let eng = make_engine ?max_state_iterations ?initial_voltages netlist in
+  validate_probes eng probes;
+  let n_steps = int_of_float (Float.ceil (t_end /. dt)) in
+  let n_records = (n_steps / record_every) + 1 in
+  let probe_specs = List.map (fun p -> (p, Array.make n_records 0.0)) probes in
+  let times = Array.make n_records 0.0 in
+  let record slot =
+    List.iter (fun (p, arr) -> arr.(slot) <- probe_value eng p) probe_specs
+  in
+  record 0;
+  let slot = ref 0 in
+  for step = 1 to n_steps do
+    let meth =
+      match (step, integration) with 1, _ -> Backward_euler | _, m -> m
+    in
+    advance eng meth dt (float_of_int step *. dt);
+    if step mod record_every = 0 then begin
+      incr slot;
+      if !slot < n_records then begin
+        times.(!slot) <- float_of_int step *. dt;
+        record !slot
+      end
+    end
+  done;
+  let used = !slot + 1 in
+  {
+    time = Array.sub times 0 used;
+    probe_data =
+      List.map (fun (p, arr) -> (p, Array.sub arr 0 used)) probe_specs;
+    final_v = Array.copy eng.state.v;
+    steps = n_steps;
+    histogram = Array.copy eng.histogram;
+    rejected_steps = 0;
+  }
+
+(* ---------------- adaptive driver ---------------- *)
+
+let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
+    ?(atol = 1e-6) ?dt_min netlist ~t_end ~dt_max ~probes =
+  if t_end <= 0.0 then invalid_arg "Transient.run_adaptive: t_end <= 0";
+  if dt_max <= 0.0 || dt_max >= t_end then
+    invalid_arg "Transient.run_adaptive: bad dt_max";
+  if rtol <= 0.0 || atol <= 0.0 then
+    invalid_arg "Transient.run_adaptive: tolerances must be positive";
+  let dt_min =
+    match dt_min with Some d -> d | None -> dt_max /. 4096.0
+  in
+  if dt_min <= 0.0 || dt_min > dt_max then
+    invalid_arg "Transient.run_adaptive: bad dt_min";
+  let eng = make_engine ?max_state_iterations ?initial_voltages netlist in
+  validate_probes eng probes;
+  (* step-doubling error control: one dt step vs two dt/2 steps, both
+     trapezoidal; dt levels quantized to dt_max / 2^k so LU
+     factorizations are reused *)
+  let times = ref [ 0.0 ] in
+  let data = List.map (fun p -> (p, ref [ probe_value eng p ])) probes in
+  let record t =
+    times := t :: !times;
+    List.iter (fun (p, acc) -> acc := probe_value eng p :: !acc) data
+  in
+  let t = ref 0.0 in
+  let dt = ref (dt_max /. 16.0) in
+  let steps = ref 0 and rejected = ref 0 in
+  let first = ref true in
+  while !t < t_end -. (1e-12 *. t_end) do
+    let dt_now = Float.min !dt (t_end -. !t) in
+    let t_next = !t +. dt_now in
+    let meth = if !first then Backward_euler else Trapezoidal in
+    (* full step *)
+    let saved = copy_state eng.state in
+    advance eng meth dt_now t_next;
+    let v_full = Array.copy eng.state.v in
+    (* two half steps from the saved state *)
+    blit_state ~src:saved ~dst:eng.state;
+    advance eng meth (dt_now /. 2.0) (!t +. (dt_now /. 2.0));
+    advance eng
+      (if !first then Backward_euler else Trapezoidal)
+      (dt_now /. 2.0) t_next;
+    (* error estimate over node voltages *)
+    let err = ref 0.0 in
+    for node = 1 to eng.n_nodes - 1 do
+      let scale = atol +. (rtol *. Float.abs eng.state.v.(node)) in
+      err :=
+        Float.max !err (Float.abs (v_full.(node) -. eng.state.v.(node)) /. scale)
+    done;
+    if !err <= 1.0 || dt_now <= dt_min *. 1.0001 then begin
+      (* accept the (more accurate) half-step state *)
+      incr steps;
+      first := false;
+      t := t_next;
+      record !t;
+      if !err < 0.25 then dt := Float.min dt_max (dt_now *. 2.0)
+      else if !err > 0.75 then dt := Float.max dt_min (dt_now /. 2.0)
+    end
+    else begin
+      incr rejected;
+      blit_state ~src:saved ~dst:eng.state;
+      dt := Float.max dt_min (dt_now /. 2.0)
+    end
+  done;
+  let time = Array.of_list (List.rev !times) in
+  {
+    time;
+    probe_data =
+      List.map (fun (p, acc) -> (p, Array.of_list (List.rev !acc))) data;
+    final_v = Array.copy eng.state.v;
+    steps = !steps;
+    histogram = Array.copy eng.histogram;
+    rejected_steps = !rejected;
+  }

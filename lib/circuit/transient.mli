@@ -1,0 +1,72 @@
+(** Fixed-step MNA transient simulation.
+
+    Companion-model formulation: capacitors and series-RL branches
+    become Norton equivalents (trapezoidal by default, backward Euler
+    available and always used for the very first step), voltage sources
+    add branch-current unknowns, and the threshold-switched inverters
+    are resolved by a per-step fixed-point iteration on their logic
+    states.  Because switching only changes source terms, the MNA
+    matrix is factorised once and reused for every step. *)
+
+type integration = Trapezoidal | Backward_euler
+
+type probe =
+  | Node_v of Netlist.node  (** node voltage *)
+  | Branch_i of string  (** current through the named element;
+      supported for RL branches, resistors, capacitors and the output
+      stage of inverters *)
+
+type result
+
+val run :
+  ?integration:integration ->
+  ?initial_voltages:(Netlist.node * float) list ->
+  ?max_state_iterations:int ->
+  ?record_every:int ->
+  Netlist.t ->
+  t_end:float ->
+  dt:float ->
+  probes:probe list ->
+  result
+(** Simulate from t = 0 to [t_end] with step [dt].  Unlisted initial
+    node voltages start at 0; branch currents start at 0.
+    [record_every] (default 1) decimates the stored samples.
+    Raises [Invalid_argument] for nonsensical parameters or unknown
+    probe names, [Failure] if the MNA matrix is singular. *)
+
+val run_adaptive :
+  ?initial_voltages:(Netlist.node * float) list ->
+  ?max_state_iterations:int ->
+  ?rtol:float ->
+  ?atol:float ->
+  ?dt_min:float ->
+  Netlist.t ->
+  t_end:float ->
+  dt_max:float ->
+  probes:probe list ->
+  result
+(** Variable-step transient with step-doubling error control: each
+    candidate step is computed once at [dt] and once as two [dt/2]
+    trapezoidal steps; their per-node difference against
+    [atol + rtol * |v|] accepts, shrinks or grows the step.  Step sizes
+    stay on the dt_max / 2^k grid so MNA factorizations are reused.
+    Defaults: rtol 1e-3, atol 1e-6 (volts/amps), dt_min = dt_max/4096.
+    The result's time axis is non-uniform; [rejected_steps] counts
+    error-control rollbacks. *)
+
+val time : result -> float array
+
+val get : result -> probe -> Rlc_waveform.Waveform.t
+(** Waveform of a probe that was requested in [run]; raises
+    [Not_found] otherwise. *)
+
+val final_voltages : result -> float array
+(** Node voltages at [t_end] (index = node id). *)
+
+val steps_taken : result -> int
+val rejected_steps : result -> int
+(** Error-control rollbacks ([run_adaptive] only; 0 for [run]). *)
+
+val state_iteration_histogram : result -> int array
+(** [h.(i)] counts steps that needed [i+1] fixed-point passes —
+    diagnostic for the inverter switching resolution. *)

@@ -1,0 +1,19 @@
+(** Emit a netlist back into the {!Parser} deck format.
+
+    The writer and parser round-trip: parsing the emitted text yields a
+    netlist with the same elements in the same order (W cards were
+    already expanded at parse time, so they re-emit as their primitive
+    B/C cards).  Useful for dumping programmatically built circuits,
+    diffing, and as a parser test oracle. *)
+
+val stimulus_to_string : Stimulus.t -> string
+(** "DC v", "PULSE(...)" or "PWL(...)"; a [Step] is emitted as the
+    equivalent PWL. *)
+
+val netlist_to_string : ?title:string -> Netlist.t -> string
+(** One card per element, in insertion order, using the elements'
+    names and "n<id>" node names ("0" for ground). *)
+
+val deck_to_string : Parser.deck -> string
+(** Netlist plus the deck's [.tran] and [.probe] cards (probe nodes
+    use their original names where known). *)

@@ -1,0 +1,106 @@
+type t = {
+  n : int;
+  r : float;
+  l : float;
+  lm : float;
+  cg : float;
+  cc : float;
+}
+
+let theta bus j = Float.cos (float_of_int j *. Float.pi /. float_of_int (bus.n + 1))
+
+let make ~n ~r ~l ~lm ~cg ~cc =
+  if n < 2 then invalid_arg "Bus.make: n < 2";
+  if r <= 0.0 then invalid_arg "Bus.make: r <= 0";
+  if cg <= 0.0 then invalid_arg "Bus.make: cg <= 0";
+  if cc < 0.0 then invalid_arg "Bus.make: cc < 0";
+  if l < 0.0 then invalid_arg "Bus.make: l < 0";
+  if Float.abs lm *. 2.0 >= l && l > 0.0 then
+    invalid_arg "Bus.make: need |lm| < l/2 (modal positive-definiteness)";
+  if l = 0.0 && lm <> 0.0 then invalid_arg "Bus.make: lm without l";
+  { n; r; l; lm; cg; cc }
+
+let of_coupled ~n (pair : Coupled.t) =
+  make ~n ~r:pair.Coupled.r ~l:pair.Coupled.l_self
+    ~lm:(Float.min pair.Coupled.l_mutual (0.49 *. pair.Coupled.l_self))
+    ~cg:pair.Coupled.c_ground ~cc:pair.Coupled.c_coupling
+
+let mode_line bus j =
+  if j < 1 || j > bus.n then invalid_arg "Bus.mode_line: mode out of range";
+  let th = theta bus j in
+  Line.make ~r:bus.r
+    ~l:(bus.l +. (2.0 *. bus.lm *. th))
+    ~c:(bus.cg +. (2.0 *. bus.cc *. (1.0 -. th)))
+
+let mode_stage bus j ~driver ~h ~k =
+  Stage.make ~line:(mode_line bus j) ~driver ~h ~k
+
+let mode_delays ?f bus ~driver ~h ~k =
+  List.init bus.n (fun i ->
+      Delay.of_stage ?f (mode_stage bus (i + 1) ~driver ~h ~k))
+
+let delay_envelope ?f bus ~driver ~h ~k =
+  match mode_delays ?f bus ~driver ~h ~k with
+  | [] -> assert false
+  | d :: rest ->
+      List.fold_left
+        (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+        (d, d) rest
+
+(* orthonormal discrete sine basis: phi_j(i) = sqrt(2/(n+1)) sin(i j pi/(n+1)) *)
+let phi bus j i =
+  Float.sqrt (2.0 /. float_of_int (bus.n + 1))
+  *. Float.sin
+       (float_of_int i *. float_of_int j *. Float.pi
+       /. float_of_int (bus.n + 1))
+
+let victim_noise_peak bus ~driver ~h ~k =
+  (* centre line quiet, all others stepping *)
+  let victim = (bus.n + 1) / 2 in
+  let drive i = if i = victim then 0.0 else 1.0 in
+  (* modal amplitudes a_j = sum_i phi_j(i) d(i) *)
+  let amplitudes =
+    Array.init bus.n (fun jm1 ->
+        let j = jm1 + 1 in
+        let acc = ref 0.0 in
+        for i = 1 to bus.n do
+          acc := !acc +. (phi bus j i *. drive i)
+        done;
+        !acc)
+  in
+  let coeffs =
+    Array.init bus.n (fun jm1 ->
+        Pade.coeffs (mode_stage bus (jm1 + 1) ~driver ~h ~k))
+  in
+  let weights =
+    Array.init bus.n (fun jm1 -> phi bus (jm1 + 1) victim *. amplitudes.(jm1))
+  in
+  let horizon =
+    10.0 *. Array.fold_left (fun acc c -> Float.max acc c.Pade.b1) 0.0 coeffs
+  in
+  let samples = 2000 in
+  let peak = ref 0.0 in
+  for s = 1 to samples do
+    let t = float_of_int s /. float_of_int samples *. horizon in
+    let v = ref 0.0 in
+    Array.iteri
+      (fun jm1 w ->
+        if Float.abs w > 1e-15 then
+          v := !v +. (w *. Step_response.eval coeffs.(jm1) t))
+      weights;
+    peak := Float.max !peak (Float.abs !v)
+  done;
+  !peak
+
+let miller_capacitance_range bus =
+  let cs =
+    List.init bus.n (fun i ->
+        let th = theta bus (i + 1) in
+        bus.cg +. (2.0 *. bus.cc *. (1.0 -. th)))
+  in
+  match cs with
+  | [] -> assert false
+  | c :: rest ->
+      List.fold_left
+        (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+        (c, c) rest

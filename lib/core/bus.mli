@@ -1,0 +1,69 @@
+(** N-conductor bus: the multi-line generalization of {!Coupled}.
+
+    N identical lines with nearest-neighbour coupling have per-unit-
+    length matrices that are symmetric tridiagonal Toeplitz:
+
+      L = tridiag(lm, l, lm)        C = tridiag(-cc, cg + 2 cc, -cc)
+
+    Both are diagonalized by the discrete sine basis, so the bus
+    decouples into N analytic propagation modes
+
+      mode j (1-based):  theta_j = cos(j pi / (N+1))
+        l_j = l + 2 lm theta_j
+        c_j = cg + 2 cc (1 - theta_j)
+
+    The uniform Toeplitz diagonal means the boundary lines also see a
+    full cc on their outer side — i.e. the bus runs between grounded
+    guard tracks (the common shielded-bus layout).  {!Coupled} remains
+    the model of an ISOLATED pair; this module generalizes the guarded
+    array.  Each mode is an ordinary line, so delay and response
+    analysis lift from the single-line machinery.  Switching patterns
+    project onto the modes; the envelope over all patterns bounds the
+    delay uncertainty of a victim in a bus — and the modal capacitance
+    range approaches the paper's "effective capacitance varies by as
+    much as 4x" as the bus widens (cg + 2cc(1 -/+ cos pi/(N+1)) spans
+    (cg, cg + 4 cc)). *)
+
+type t = {
+  n : int;  (** number of conductors, >= 2 *)
+  r : float;  (** ohm/m per line *)
+  l : float;  (** self inductance, H/m *)
+  lm : float;  (** nearest-neighbour mutual, H/m; |lm| < l/2 for
+      positive-definite L across all modes *)
+  cg : float;  (** line-to-ground capacitance, F/m *)
+  cc : float;  (** neighbour coupling capacitance, F/m *)
+}
+
+val make :
+  n:int -> r:float -> l:float -> lm:float -> cg:float -> cc:float -> t
+(** Validates positivity and the modal positive-definiteness bounds
+    (l_j > 0 and c_j > 0 for every mode). *)
+
+val of_coupled : n:int -> Coupled.t -> t
+(** Reuse a {!Coupled} pair's parameters for a wider bus. *)
+
+val mode_line : t -> int -> Line.t
+(** [mode_line bus j] for j in 1..n. *)
+
+val mode_delays :
+  ?f:float -> t -> driver:Rlc_tech.Driver.t -> h:float -> k:float ->
+  float list
+(** 50% delay of every mode's line (ascending mode index). *)
+
+val delay_envelope :
+  ?f:float -> t -> driver:Rlc_tech.Driver.t -> h:float -> k:float ->
+  float * float
+(** (fastest, slowest) mode delay: bounds for the switching-dependent
+    delay of any line in the bus (every switching pattern's response is
+    a combination of modes, so its threshold crossing lies within the
+    mode envelope for monotone mode responses). *)
+
+val victim_noise_peak :
+  t -> driver:Rlc_tech.Driver.t -> h:float -> k:float -> float
+(** Peak noise on a quiet centre victim when all other lines switch
+    together, as a fraction of the aggressor swing — the many-aggressor
+    worst case, by modal superposition of the exact victim response. *)
+
+val miller_capacitance_range : t -> float * float
+(** (min, max) effective modal capacitance: the computed version of the
+    paper's "up to 4x" effective-capacitance statement. *)

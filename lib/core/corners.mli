@@ -1,0 +1,49 @@
+(** Deterministic process/environment corners.
+
+    {!Variation} samples the uncertainty; sign-off flows instead
+    enumerate named corners.  Each corner scales the wire parasitics,
+    pins the inductance somewhere in its plausible range, and scales
+    the driver strength; evaluating a design across all corners gives
+    the guaranteed-by-construction delay window. *)
+
+type corner = {
+  name : string;
+  r_scale : float;  (** wire resistance multiplier *)
+  c_scale : float;  (** wire capacitance multiplier (Miller band) *)
+  l_frac : float;  (** position in [0,1] of the node's inductance range *)
+  rs_scale : float;  (** driver resistance multiplier *)
+}
+
+val typical : corner
+val fast : corner
+(** Strong driver, light wire, minimal inductance. *)
+
+val slow : corner
+(** Weak driver, heavy wire, maximal inductance. *)
+
+val si_worst : corner
+(** The signal-integrity corner: strong driver INTO maximal inductance
+    — the underdamped extreme where overshoot peaks. *)
+
+val standard_set : corner list
+(** [typical; fast; slow; si_worst]. *)
+
+type evaluation = {
+  corner : corner;
+  delay_per_length : float;  (** s/m at the given (h, k) *)
+  overshoot : float;  (** fraction of swing *)
+  underdamped : bool;
+}
+
+val apply : Rlc_tech.Node.t -> corner -> h:float -> k:float -> Stage.t
+(** The stage a corner produces for a fixed design. *)
+
+val evaluate :
+  ?f:float -> ?corners:corner list -> Rlc_tech.Node.t -> h:float ->
+  k:float -> evaluation list
+(** Evaluate a design over [corners] (default {!standard_set}). *)
+
+val delay_window :
+  ?f:float -> ?corners:corner list -> Rlc_tech.Node.t -> h:float ->
+  k:float -> float * float
+(** (best, worst) delay/length over the corner set. *)

@@ -1,0 +1,80 @@
+type t = {
+  r : float;
+  l_self : float;
+  l_mutual : float;
+  c_ground : float;
+  c_coupling : float;
+}
+
+let make ~r ~l_self ~l_mutual ~c_ground ~c_coupling =
+  if r <= 0.0 then invalid_arg "Coupled.make: r <= 0";
+  if c_ground <= 0.0 then invalid_arg "Coupled.make: c_ground <= 0";
+  if c_coupling < 0.0 then invalid_arg "Coupled.make: c_coupling < 0";
+  if l_self < 0.0 then invalid_arg "Coupled.make: l_self < 0";
+  if l_mutual < 0.0 || (l_self > 0.0 && l_mutual >= l_self) then
+    invalid_arg "Coupled.make: need 0 <= l_mutual < l_self";
+  { r; l_self; l_mutual; c_ground; c_coupling }
+
+let of_geometry g ~l_self ~length =
+  let c_ground = Rlc_extraction.Capacitance.meijs_fokkema_ground g in
+  let c_coupling = Rlc_extraction.Capacitance.sakurai_coupling g in
+  let l_mutual =
+    if l_self = 0.0 then 0.0
+    else
+      Float.min
+        (0.95 *. l_self)
+        (Rlc_extraction.Inductance.mutual_parallel ~d:g.Rlc_extraction.Geometry.pitch
+           ~length)
+  in
+  make ~r:(Rlc_extraction.Resistance.per_length g) ~l_self ~l_mutual ~c_ground
+    ~c_coupling
+
+type mode = Even | Odd
+
+let mode_line t mode =
+  match mode with
+  | Even -> Line.make ~r:t.r ~l:(t.l_self +. t.l_mutual) ~c:t.c_ground
+  | Odd ->
+      let l = t.l_self -. t.l_mutual in
+      if l < 0.0 then invalid_arg "Coupled.mode_line: negative odd-mode l";
+      Line.make ~r:t.r ~l ~c:(t.c_ground +. (2.0 *. t.c_coupling))
+
+let mode_stage t mode ~driver ~h ~k =
+  Stage.make ~line:(mode_line t mode) ~driver ~h ~k
+
+(* quiet neighbours: coupling cap to a static line counts once *)
+let nominal_line t =
+  Line.make ~r:t.r ~l:t.l_self ~c:(t.c_ground +. t.c_coupling)
+
+type switching_delay = {
+  even_delay : float;
+  odd_delay : float;
+  nominal_delay : float;
+  spread : float;
+}
+
+let switching_delays ?f t ~driver ~h ~k =
+  let delay_of line = Delay.of_stage ?f (Stage.make ~line ~driver ~h ~k) in
+  let even_delay = delay_of (mode_line t Even) in
+  let odd_delay = delay_of (mode_line t Odd) in
+  let nominal_delay = delay_of (nominal_line t) in
+  {
+    even_delay;
+    odd_delay;
+    nominal_delay;
+    spread = (odd_delay -. even_delay) /. nominal_delay;
+  }
+
+let victim_noise_waveform ?(n = 2000) t ~driver ~h ~k ~t_end =
+  let cs_of mode = Pade.coeffs (mode_stage t mode ~driver ~h ~k) in
+  let even = cs_of Even and odd = cs_of Odd in
+  Rlc_waveform.Waveform.of_fn ~n
+    (fun time ->
+      0.5 *. (Step_response.eval even time -. Step_response.eval odd time))
+    ~t0:0.0 ~t1:t_end
+
+let victim_noise_peak t ~driver ~h ~k =
+  let cs = Pade.coeffs (mode_stage t Even ~driver ~h ~k) in
+  let horizon = 10.0 *. cs.Pade.b1 in
+  let w = victim_noise_waveform t ~driver ~h ~k ~t_end:horizon in
+  Rlc_waveform.Measure.peak_abs w

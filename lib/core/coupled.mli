@@ -1,0 +1,70 @@
+(** Two identical coupled RLC lines — the capacitive + inductive
+    coupling environment Section 1.1 of the paper describes (effective
+    line capacitance varying up to 4x with neighbour switching, and
+    even larger inductance variation through the return path).
+
+    For a symmetric pair the telegrapher equations decouple into the
+    even mode (both lines switch together: mutual inductance adds,
+    coupling capacitance disappears) and the odd mode (opposite
+    switching: mutual subtracts, coupling doubles):
+
+      even: (r, l + lm, cg)         odd: (r, l - lm, cg + 2 cc)
+
+    Each mode is an ordinary line, so the whole single-line machinery
+    (Padé, delay, optimizer) applies per mode; a quiet victim's
+    response is the half-difference of the modes. *)
+
+type t = {
+  r : float;  (** self resistance, ohm/m *)
+  l_self : float;  (** self inductance, H/m *)
+  l_mutual : float;  (** mutual inductance, H/m; 0 <= lm < l_self *)
+  c_ground : float;  (** line-to-ground capacitance, F/m *)
+  c_coupling : float;  (** line-to-line capacitance, F/m *)
+}
+
+val make :
+  r:float -> l_self:float -> l_mutual:float -> c_ground:float ->
+  c_coupling:float -> t
+(** Validates 0 <= l_mutual < l_self (passivity) and positivity. *)
+
+val of_geometry :
+  Rlc_extraction.Geometry.t -> l_self:float -> length:float -> t
+(** Populate the couplings from the extraction models: c_ground and
+    c_coupling from the Meijs-Fokkema / Sakurai formulas, l_mutual from
+    the parallel-filament partial mutual inductance at the wire pitch. *)
+
+type mode = Even | Odd
+
+val mode_line : t -> mode -> Line.t
+(** The decoupled single-line equivalent of a propagation mode.
+    Raises [Invalid_argument] if the odd-mode inductance would be
+    non-positive. *)
+
+val mode_stage :
+  t -> mode -> driver:Rlc_tech.Driver.t -> h:float -> k:float -> Stage.t
+
+type switching_delay = {
+  even_delay : float;  (** neighbours switch with the line, s *)
+  odd_delay : float;  (** neighbours switch against the line, s *)
+  nominal_delay : float;  (** quiet neighbours: (cg + cc) line, lm inert *)
+  spread : float;  (** (odd - even) / nominal: the switching-dependent
+      delay uncertainty the paper motivates.  Positive when coupling
+      capacitance dominates (the classical Miller picture); NEGATIVE
+      when mutual inductance dominates — inductive coupling flips the
+      worst-case switching pattern, a genuinely RLC effect. *)
+}
+
+val switching_delays :
+  ?f:float -> t -> driver:Rlc_tech.Driver.t -> h:float -> k:float ->
+  switching_delay
+
+val victim_noise_waveform :
+  ?n:int -> t -> driver:Rlc_tech.Driver.t -> h:float -> k:float ->
+  t_end:float -> Rlc_waveform.Waveform.t
+(** Response on a quiet victim when the aggressor's driver steps:
+    v_victim(t) = (v_even(t) - v_odd(t)) / 2 under the mode
+    second-order models. *)
+
+val victim_noise_peak :
+  t -> driver:Rlc_tech.Driver.t -> h:float -> k:float -> float
+(** Peak of the victim noise, as a fraction of the aggressor swing. *)

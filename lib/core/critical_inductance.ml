@@ -1,0 +1,20 @@
+let of_stage stage =
+  let { Line.r; c; _ } = stage.Stage.line in
+  let h = stage.Stage.h in
+  let rs = Stage.rs stage in
+  let cp = Stage.cp stage in
+  let cl = Stage.cl stage in
+  (* b1 and the l-independent part of b2 *)
+  let { Pade.b1; _ } = Pade.coeffs stage in
+  let fixed =
+    (r *. r *. c *. c *. (h ** 4.0) /. 24.0)
+    +. (rs *. (cp +. cl) *. r *. c *. h *. h /. 2.0)
+    +. (((rs *. c *. h) +. (cl *. r *. h)) *. r *. c *. h *. h /. 6.0)
+    +. (rs *. cp *. cl *. r *. h)
+  in
+  let l_weight = (c *. h *. h /. 2.0) +. (cl *. h) in
+  ((b1 *. b1 /. 4.0) -. fixed) /. l_weight
+
+let of_node node ~h ~k = of_stage (Stage.of_node node ~l:0.0 ~h ~k)
+
+let damping_margin stage = stage.Stage.line.Line.l -. of_stage stage

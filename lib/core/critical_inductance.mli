@@ -1,0 +1,22 @@
+(** Critical line inductance — equation (4) of the paper.
+
+    For a given segment length h and repeater size k, the inductance
+    per unit length that makes the second-order model critically damped
+    (b1^2 = 4 b2):
+
+    l_crit = ( b1^2/4 - r^2 c^2 h^4/24 - R_S (C_P + C_L) r c h^2/2
+             - (R_S c h + C_L r h) r c h^2/6 - R_S C_P C_L r h )
+             / ( c h^2/2 + C_L h )
+
+    Lines with l < l_crit are overdamped, l > l_crit underdamped.
+    Figure 4 plots l_crit at the optimized (h_opt, k_opt) against l. *)
+
+val of_stage : Stage.t -> float
+(** The stage's own [line.l] does not enter the result (b1 is
+    independent of l and the l-dependent part of b2 is factored out). *)
+
+val of_node : Rlc_tech.Node.t -> h:float -> k:float -> float
+
+val damping_margin : Stage.t -> float
+(** l - l_crit for the stage's actual inductance: positive means
+    underdamped (overshoot present). *)

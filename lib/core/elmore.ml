@@ -1,0 +1,19 @@
+let stage_delay stage =
+  let { Line.r; c; _ } = stage.Stage.line in
+  let h = stage.Stage.h in
+  let rs = Stage.rs stage in
+  let cp = Stage.cp stage in
+  let cl = Stage.cl stage in
+  (rs *. (cp +. cl)) +. (rs *. c *. h) +. (r *. h *. cl)
+  +. (r *. c *. h *. h /. 2.0)
+
+let total_delay stage ~line_length =
+  if line_length <= 0.0 then invalid_arg "Elmore.total_delay: length <= 0";
+  line_length /. stage.Stage.h *. stage_delay stage
+
+let per_unit_length stage = stage_delay stage /. stage.Stage.h
+
+let equals_b1 stage =
+  let b1 = (Pade.coeffs stage).Pade.b1 in
+  let t = stage_delay stage in
+  Float.abs (t -. b1) <= 1e-12 *. Float.max (Float.abs t) (Float.abs b1)

@@ -1,0 +1,21 @@
+(** Elmore (first-moment) delay of a repeater stage — the inductance-
+    blind baseline the paper optimizes against in Section 3.1:
+
+    t = R_S (C_P + C_L) + R_S c h + r h C_L + r c h^2 / 2
+
+    Note t equals the Padé coefficient b1, which is independent of the
+    line inductance — precisely why Elmore-based optimization cannot
+    see inductance effects. *)
+
+val stage_delay : Stage.t -> float
+(** Elmore delay of one buffered segment, seconds. *)
+
+val total_delay : Stage.t -> line_length:float -> float
+(** (L / h) * stage delay for a line of total length [line_length]. *)
+
+val per_unit_length : Stage.t -> float
+(** Stage delay / h. *)
+
+val equals_b1 : Stage.t -> bool
+(** Structural identity check (used by tests): the Elmore delay of the
+    stage coincides with b1 of {!Pade.coeffs}. *)

@@ -1,0 +1,85 @@
+open Rlc_numerics
+
+type point = { freq : float; mag_db : float; phase_deg : float }
+
+let eval_jw stage f = Transfer.eval stage (Cx.make 0.0 (2.0 *. Float.pi *. f))
+
+let response stage f =
+  if f <= 0.0 then invalid_arg "Frequency.response: f <= 0";
+  let h = eval_jw stage f in
+  {
+    freq = f;
+    mag_db = 20.0 *. Float.log10 (Float.max (Cx.norm h) 1e-300);
+    phase_deg = Cx.arg h *. 180.0 /. Float.pi;
+  }
+
+let bode ?(points = 200) stage ~f_min ~f_max =
+  if points < 2 then invalid_arg "Frequency.bode: points < 2";
+  if f_min <= 0.0 || f_max <= f_min then
+    invalid_arg "Frequency.bode: need 0 < f_min < f_max";
+  let ratio = Float.log (f_max /. f_min) in
+  List.init points (fun i ->
+      let t = float_of_int i /. float_of_int (points - 1) in
+      response stage (f_min *. Float.exp (t *. ratio)))
+
+let magnitude stage f = Cx.norm (eval_jw stage f)
+
+let bandwidth_3db ?(f_max = 1e12) stage =
+  let target = 1.0 /. Float.sqrt 2.0 in
+  (* H(0) = 1 *)
+  let below f = magnitude stage f -. target in
+  (* expanding scan for a bracket, then bisection in log space *)
+  let rec scan f =
+    if f > f_max then raise Not_found
+    else if below f < 0.0 then f
+    else scan (f *. 2.0)
+  in
+  let hi = scan 1e6 in
+  let lo = hi /. 2.0 in
+  if below lo < 0.0 then lo
+  else begin
+    let g x = below (Float.exp x) in
+    Float.exp (Roots.bisect g (Float.log lo) (Float.log hi))
+  end
+
+let resonance ?(f_max = 1e12) stage =
+  (* coarse log scan for the max, then golden-section refinement *)
+  let n = 400 in
+  let f_min = 1e6 in
+  let ratio = Float.log (f_max /. f_min) in
+  let at i = f_min *. Float.exp (float_of_int i /. float_of_int n *. ratio) in
+  let best = ref (0, magnitude stage (at 0)) in
+  for i = 1 to n do
+    let m = magnitude stage (at i) in
+    if m > snd !best then best := (i, m)
+  done;
+  let i0, _ = !best in
+  let lo = at (Int.max 0 (i0 - 1)) and hi = at (Int.min n (i0 + 1)) in
+  let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
+  let rec golden a b iters =
+    if iters = 0 then 0.5 *. (a +. b)
+    else begin
+      let x1 = b -. (phi *. (b -. a)) in
+      let x2 = a +. (phi *. (b -. a)) in
+      if magnitude stage x1 > magnitude stage x2 then golden a x2 (iters - 1)
+      else golden x1 b (iters - 1)
+    end
+  in
+  let f_peak = golden lo hi 40 in
+  let peak = magnitude stage f_peak in
+  let peak_db = 20.0 *. Float.log10 peak in
+  if peak_db > 0.01 then Some (f_peak, peak_db) else None
+
+let group_delay stage f =
+  if f <= 0.0 then invalid_arg "Frequency.group_delay: f <= 0";
+  let df = 1e-4 *. f in
+  let phase x = Cx.arg (eval_jw stage x) in
+  let p1 = phase (f -. df) and p2 = phase (f +. df) in
+  (* unwrap a possible 2 pi jump across the interval *)
+  let dp =
+    let raw = p2 -. p1 in
+    if raw > Float.pi then raw -. (2.0 *. Float.pi)
+    else if raw < -.Float.pi then raw +. (2.0 *. Float.pi)
+    else raw
+  in
+  -.dp /. (2.0 *. Float.pi *. (2.0 *. df))

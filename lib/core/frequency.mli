@@ -1,0 +1,32 @@
+(** Frequency-domain view of the driver-line-load stage, computed from
+    the exact transfer function of equation (1) (not the Padé
+    reduction).
+
+    Inductance turns the stage from a monotone low-pass into a resonant
+    one; the resonant peak is the frequency-domain twin of the
+    time-domain overshoot the paper studies, and the test suite checks
+    the two stay consistent (peaking appears exactly when the stage is
+    underdamped). *)
+
+type point = { freq : float; mag_db : float; phase_deg : float }
+
+val response : Stage.t -> float -> point
+(** Exact H(j 2 pi f) at one frequency (Hz). *)
+
+val bode : ?points:int -> Stage.t -> f_min:float -> f_max:float -> point list
+(** Log-spaced sweep, default 200 points.  Requires
+    0 < f_min < f_max. *)
+
+val bandwidth_3db : ?f_max:float -> Stage.t -> float
+(** First frequency where |H| drops 3 dB below DC.  Searches up to
+    [f_max] (default 1 THz); raises [Not_found] if the stage is still
+    within 3 dB there. *)
+
+val resonance : ?f_max:float -> Stage.t -> (float * float) option
+(** [(f_peak, peak_db)] of the largest magnitude above DC, or [None]
+    when the response is monotone (no peaking).  Peaks below 0.01 dB
+    are reported as [None]. *)
+
+val group_delay : Stage.t -> float -> float
+(** -d(phase)/d(omega) at frequency [f] (Hz), seconds, by central
+    difference on the exact phase. *)

@@ -1,0 +1,30 @@
+(** Repeater insertion for a net of fixed total length.
+
+    The paper's optimizer yields a continuous optimal segment length
+    h_opt; a real net of length L holds an integer number of segments
+    n = L / h.  This module quantizes the insertion: it evaluates the
+    integer neighbourhoods of L / h_opt, re-optimizing the repeater
+    size for each candidate segment length, and returns the best
+    integer solution together with the (unreachable) continuous bound. *)
+
+type plan = {
+  segments : int;  (** number of buffered segments (= repeaters) *)
+  h : float;  (** realized segment length L / segments, m *)
+  k : float;  (** repeater size, re-optimized for the realized h *)
+  total_delay : float;  (** s *)
+  continuous_bound : float;
+      (** total delay of the un-quantized optimum, s — a lower bound *)
+  quantization_penalty : float;
+      (** total_delay / continuous_bound - 1 (>= 0, small unless the
+          net is shorter than about two optimal segments) *)
+}
+
+val optimal_k_for_h : ?f:float -> Rlc_tech.Node.t -> l:float -> h:float -> float
+(** Best repeater size for a fixed segment length (1-D minimization of
+    the stage delay). *)
+
+val plan : ?f:float -> Rlc_tech.Node.t -> l:float -> length:float -> plan
+(** Raises [Invalid_argument] for non-positive length. *)
+
+val sweep_lengths :
+  ?f:float -> Rlc_tech.Node.t -> l:float -> lengths:float list -> plan list

@@ -1,0 +1,32 @@
+let delay_50 stage =
+  let cs = Pade.coeffs stage in
+  let zeta = Pade.zeta cs in
+  let omega_n = Pade.omega_n cs in
+  (Float.exp (-2.9 *. (zeta ** 1.35)) +. (1.48 *. zeta)) /. omega_n
+
+let t_lr node ~l =
+  if l < 0.0 then invalid_arg "Ismail_friedman.t_lr: l < 0";
+  if l = 0.0 then 0.0
+  else begin
+    let rc = Rc_opt.optimize node in
+    let z_lc = Float.sqrt (l /. node.Rlc_tech.Node.c) in
+    z_lc /. (node.Rlc_tech.Node.r *. rc.Rc_opt.h_opt)
+  end
+
+let h_opt node ~l =
+  let rc = Rc_opt.optimize node in
+  let t = t_lr node ~l in
+  rc.Rc_opt.h_opt *. ((1.0 +. (0.18 *. (t ** 3.0))) ** 0.3)
+
+let k_opt node ~l =
+  let rc = Rc_opt.optimize node in
+  let t = t_lr node ~l in
+  rc.Rc_opt.k_opt /. ((1.0 +. (0.16 *. (t ** 3.0))) ** 0.24)
+
+let in_fitted_range stage =
+  let { Line.r; c; _ } = stage.Stage.line in
+  let { Rlc_tech.Driver.rs; c0; _ } = stage.Stage.driver in
+  let h = stage.Stage.h and k = stage.Stage.k in
+  let cap_ratio = c *. h /. (c0 *. k) in
+  let res_ratio = rs /. (k *. r *. h) in
+  cap_ratio >= 0.0 && cap_ratio <= 1.0 && res_ratio >= 0.0 && res_ratio <= 1.0

@@ -1,0 +1,41 @@
+(** Ismail-Friedman curve-fitted RLC delay and repeater-insertion
+    formulas (references [21, 22] of the paper) — the empirical
+    baseline the paper's analytical optimizer is positioned against.
+
+    The 50% propagation delay formula is their published fit
+
+    t_pd = ( e^(-2.9 zeta^1.35) + 1.48 zeta ) / omega_n
+
+    with zeta and omega_n taken from the stage's second-order model.
+    The repeater-insertion corrections follow their published
+    functional form
+
+    h_opt / h_optRC = (1 + 0.18 T^3)^0.3
+    k_opt / k_optRC = (1 + 0.16 T^3)^(-0.24)
+
+    where T is a dimensionless inductance-to-resistance time-constant
+    ratio.  Their exact definition involves the sized driver; we use
+    the h- and k-independent reconstruction
+    T = sqrt(l / c) / (r * h_optRC) (the line's LC impedance over the
+    resistance of one RC-optimal segment), which preserves the fitted
+    behaviour T = 0 at l = 0 and the published monotonicity.  The fits
+    were made for 0 <= ch/(c0 k) <= 1 and 0 <= rs/(k r h) <= 1; outside
+    that window ([in_fitted_range] is false) the formulas extrapolate,
+    which is exactly the limitation Section 2.2 of the paper points
+    out. *)
+
+val delay_50 : Stage.t -> float
+(** Their fitted 50% delay for the stage, seconds. *)
+
+val t_lr : Rlc_tech.Node.t -> l:float -> float
+(** The dimensionless T ratio at inductance [l] (H/m). *)
+
+val h_opt : Rlc_tech.Node.t -> l:float -> float
+(** Curve-fitted optimal segment length, m. *)
+
+val k_opt : Rlc_tech.Node.t -> l:float -> float
+(** Curve-fitted optimal repeater size. *)
+
+val in_fitted_range : Stage.t -> bool
+(** Whether the stage satisfies the validity window of their fit:
+    ch/(c0 k) and rs/(k r h) both within [0, 1]. *)

@@ -1,0 +1,67 @@
+type regime = Dominant_pole | Oscillatory | Critical_fallback
+
+let default_threshold = 10.0
+
+(* The two "strong" regimes are asymmetric: disc = b1^2 - 4 b2 is
+   unbounded above (dominant pole) but bounded below by -4 b2, so the
+   oscillatory side uses a damping-factor cut (zeta <= ~0.22, i.e.
+   disc <= -3.8 b2, within 5% of the -4 b2 bound) instead of the
+   overdamped ratio threshold. *)
+let regime ?(threshold = default_threshold) cs =
+  let disc = Pade.discriminant cs in
+  if disc >= threshold *. cs.Pade.b2 then Dominant_pole
+  else if disc <= -3.8 *. cs.Pade.b2 then Oscillatory
+  else Critical_fallback
+
+let is_applicable ?threshold cs =
+  match regime ?threshold cs with
+  | Dominant_pole | Oscillatory -> true
+  | Critical_fallback -> false
+
+let delay ?(f = 0.5) ?threshold cs =
+  if f <= 0.0 || f >= 1.0 then invalid_arg "Kahng_muddu.delay: f outside (0,1)";
+  match regime ?threshold cs with
+  | Dominant_pole ->
+      (* real poles s1 > s2 (s1 dominant, closest to zero):
+         v(t) ~ 1 - A e^{s1 t}, A = s2/(s2 - s1) *)
+      let { Poles.s1; s2 } = Poles.of_coeffs cs in
+      let s1 = Rlc_numerics.Cx.re s1 and s2 = Rlc_numerics.Cx.re s2 in
+      let a = s2 /. (s2 -. s1) in
+      Float.log (a /. (1.0 -. f)) /. -.s1
+  | Oscillatory ->
+      (* s = sigma +/- j wd; v(t) = 1 - e^{sigma t}(cos wd t
+         - sigma/wd sin wd t).  Approximate the first f-crossing by the
+         carrier crossing with the envelope frozen at its value there:
+         start from the undamped crossing and apply one fixed-point
+         refinement. *)
+      let { Poles.s1; _ } = Poles.of_coeffs cs in
+      let sigma = Rlc_numerics.Cx.re s1
+      and wd = Float.abs (Rlc_numerics.Cx.im s1) in
+      let phase = Float.atan2 wd (-.sigma) in
+      let crossing envelope =
+        (* cos(wd t - phase-ish) reaches 1 - (1-f)/envelope *)
+        let target = (1.0 -. f) /. envelope in
+        let target = Float.min 1.0 (Float.max (-1.0) target) in
+        (Float.acos target +. phase -. (Float.pi /. 2.0)) /. wd
+      in
+      let t0 = crossing 1.0 in
+      let t0 = Float.max t0 (0.1 /. wd) in
+      crossing (Float.exp (-.sigma *. t0) /. Float.sqrt (1.0 +. ((sigma /. wd) ** 2.0)))
+      |> Float.max (0.05 /. wd)
+  | Critical_fallback ->
+      (* Kahng-Muddu critically damped closed form; for f = 0.5 their
+         normalization gives tau = 1.9 b2 / b1 (the value the paper
+         quotes as "1.9/b1" in its b2-normalized form).  For general f
+         solve (1 + a t) e^{-a t} = 1 - f with a = b1 / (2 b2) using
+         the exact repeated-root expression. *)
+      let a = cs.Pade.b1 /. (2.0 *. cs.Pade.b2) in
+      if f = 0.5 then 1.9 *. cs.Pade.b2 /. cs.Pade.b1
+      else begin
+        let residual t = 1.0 -. ((1.0 +. (a *. t)) *. Float.exp (-.a *. t)) -. f in
+        let lo, hi =
+          Rlc_numerics.Roots.bracket_first residual ~t0:0.0 ~dt:(0.1 /. a)
+        in
+        Rlc_numerics.Roots.brent residual lo hi
+      end
+
+let delay_stage ?f ?threshold stage = delay ?f ?threshold (Pade.coeffs stage)

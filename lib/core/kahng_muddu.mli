@@ -1,0 +1,38 @@
+(** Kahng-Muddu analytic RLC delay approximation (reference [23] of the
+    paper) — reconstructed baseline.
+
+    Their model keeps the same second-order transfer function but
+    replaces the numerical solution of the delay equation with regime
+    approximations:
+
+    - strongly overdamped (|b1^2 - 4 b2| >> b2, real poles): keep only
+      the dominant pole, tau = ln(A / (1-f)) / (-s1) with
+      A = s2 / (s2 - s1);
+    - strongly underdamped: first crossing of the undamped carrier,
+      tau = (pi - atan2(wd, -sigma)) / wd corrected to level f by the
+      envelope;
+    - otherwise: fall back to the critically damped closed form, whose
+      50% delay is 1.9 b2 / b1 in their normalization.
+
+    The paper's Section 2.1 observation is exactly that the fallback is
+    independent of the line inductance l (b1 does not contain l and the
+    critical form freezes b2 at b1^2/4), so the approximation cannot
+    drive an optimization over l — which our benches demonstrate. *)
+
+type regime = Dominant_pole | Oscillatory | Critical_fallback
+
+val regime : ?threshold:float -> Pade.coeffs -> regime
+(** [threshold] is the ratio (b1^2 - 4 b2) / b2 above which the system
+    counts as strongly overdamped (default 10.0).  The oscillatory side
+    is bounded — b1^2 - 4 b2 >= -4 b2 always — so it uses a fixed
+    damping cut: zeta <= ~0.22 (disc <= -3.8 b2). *)
+
+val delay : ?f:float -> ?threshold:float -> Pade.coeffs -> float
+(** Approximate f*100% delay (default f = 0.5). *)
+
+val delay_stage : ?f:float -> ?threshold:float -> Stage.t -> float
+
+val is_applicable : ?threshold:float -> Pade.coeffs -> bool
+(** Whether the configuration is in one of the two "strong" regimes
+    where the approximation is accurate; [false] means the critical
+    fallback (inductance-blind) is in use. *)

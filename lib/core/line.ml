@@ -1,0 +1,34 @@
+type t = { r : float; l : float; c : float }
+
+let make ~r ~l ~c =
+  if r <= 0.0 then invalid_arg "Line.make: r must be positive";
+  if c <= 0.0 then invalid_arg "Line.make: c must be positive";
+  if l < 0.0 then invalid_arg "Line.make: l must be non-negative";
+  { r; l; c }
+
+let of_node node ~l = make ~r:node.Rlc_tech.Node.r ~l ~c:node.Rlc_tech.Node.c
+
+let z0_lossless t =
+  if t.l = 0.0 then invalid_arg "Line.z0_lossless: l = 0";
+  Float.sqrt (t.l /. t.c)
+
+let z0 t s =
+  let open Rlc_numerics.Cx in
+  if norm s = 0.0 then invalid_arg "Line.z0: s = 0";
+  let series = of_float t.r +: (s *: of_float t.l) in
+  let shunt = s *: of_float t.c in
+  sqrt (series /: shunt)
+
+let propagation t s =
+  let open Rlc_numerics.Cx in
+  let series = of_float t.r +: (s *: of_float t.l) in
+  let shunt = s *: of_float t.c in
+  sqrt (series *: shunt)
+
+let time_of_flight t ~length =
+  if length <= 0.0 then invalid_arg "Line.time_of_flight: length <= 0";
+  length *. Float.sqrt (t.l *. t.c)
+
+let pp ppf t =
+  Format.fprintf ppf "line<r=%.1f ohm/mm, l=%.3f nH/mm, c=%.1f pF/m>"
+    (t.r /. 1e3) (t.l *. 1e6) (t.c *. 1e12)

@@ -1,0 +1,33 @@
+(** Uniform transmission-line parameters: resistance, inductance and
+    capacitance per unit length (the r, l, c of the paper). *)
+
+type t = {
+  r : float;  (** ohm/m *)
+  l : float;  (** H/m; 0 gives the RC limit *)
+  c : float;  (** F/m *)
+}
+
+val make : r:float -> l:float -> c:float -> t
+(** Requires [r > 0], [c > 0], [l >= 0]. *)
+
+val of_node : Rlc_tech.Node.t -> l:float -> t
+(** Line of a technology node with the inductance set to [l] (H/m) —
+    the paper treats l as the swept, uncertain parameter. *)
+
+val z0_lossless : t -> float
+(** Lossless characteristic impedance sqrt(l/c), ohm.  The asymptote
+    that the optimal driver impedance matches at large l (Figure 6).
+    Raises [Invalid_argument] when [l = 0]. *)
+
+val z0 : t -> Rlc_numerics.Cx.t -> Rlc_numerics.Cx.t
+(** Frequency-dependent characteristic impedance
+    Z0(s) = sqrt((r + s l) / (s c)).  Undefined at s = 0 (raises). *)
+
+val propagation : t -> Rlc_numerics.Cx.t -> Rlc_numerics.Cx.t
+(** theta(s) = sqrt((r + s l) s c), the propagation constant per unit
+    length. *)
+
+val time_of_flight : t -> length:float -> float
+(** length * sqrt(l c): the LC wave delay of a segment.  0 when l=0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+open Rlc_numerics
+
+type t = { s1 : Cx.t; s2 : Cx.t }
+
+let of_coeffs ({ Pade.b1; b2 } as cs) =
+  if b2 <= 0.0 then invalid_arg "Poles.of_coeffs: b2 <= 0";
+  let disc = Pade.discriminant cs in
+  let sq = Cx.sqrt (Cx.of_float disc) in
+  let denom = 2.0 *. b2 in
+  let open Cx in
+  {
+    s1 = scale (1.0 /. denom) (of_float (-.b1) +: sq);
+    s2 = scale (1.0 /. denom) (of_float (-.b1) -: sq);
+  }
+
+let of_stage stage = of_coeffs (Pade.coeffs stage)
+
+let is_stable { s1; s2 } = Cx.re s1 < 0.0 && Cx.re s2 < 0.0
+
+let separation { s1; s2 } =
+  let open Cx in
+  let m = Float.max (norm s1) (norm s2) in
+  if m = 0.0 then 0.0 else norm (s1 -: s2) /. m
+
+type sensitivities = {
+  ds1_dh : Cx.t;
+  ds2_dh : Cx.t;
+  ds1_dk : Cx.t;
+  ds2_dk : Cx.t;
+}
+
+let sensitivities stage =
+  let ({ Pade.b1; b2 } as cs) = Pade.coeffs stage in
+  let { Pade.db1_dh; db1_dk; db2_dh; db2_dk } = Pade.partials stage in
+  let disc = Pade.discriminant cs in
+  let scale_ref = Float.max (b1 *. b1) 1e-300 in
+  if Float.abs disc <= 1e-14 *. scale_ref then
+    invalid_arg "Poles.sensitivities: singular at critical damping";
+  let { s1; s2 } = of_coeffs cs in
+  let sq = Cx.sqrt (Cx.of_float disc) in
+  let open Cx in
+  let d_pole sign s db1 db2 =
+    let bracket =
+      of_float (-.db1)
+      +: scale sign (of_float ((b1 *. db1) -. (2.0 *. db2)) /: sq)
+    in
+    scale (1.0 /. (2.0 *. b2)) bracket -: scale (db2 /. b2) s
+  in
+  {
+    ds1_dh = d_pole 1.0 s1 db1_dh db2_dh;
+    ds2_dh = d_pole (-1.0) s2 db1_dh db2_dh;
+    ds1_dk = d_pole 1.0 s1 db1_dk db2_dk;
+    ds2_dk = d_pole (-1.0) s2 db1_dk db2_dk;
+  }

@@ -1,0 +1,41 @@
+(** Poles of the second-order Padé transfer function and their partial
+    derivatives with respect to (h, k).
+
+    s_{1,2} = (-b1 +/- sqrt(b1^2 - 4 b2)) / (2 b2)
+
+    The poles are real (overdamped) or a complex-conjugate pair
+    (underdamped); every consumer works over {!Rlc_numerics.Cx} so one
+    code path covers both regimes. *)
+
+type t = {
+  s1 : Rlc_numerics.Cx.t;  (** the "+" root *)
+  s2 : Rlc_numerics.Cx.t;  (** the "-" root *)
+}
+
+val of_coeffs : Pade.coeffs -> t
+(** Raises [Invalid_argument] when b2 <= 0 (the Padé model of a
+    physical stage always has b2 > 0). *)
+
+val of_stage : Stage.t -> t
+
+val is_stable : t -> bool
+(** Both poles strictly in the left half plane. *)
+
+val separation : t -> float
+(** |s1 - s2| / max(|s1|, |s2|): a relative measure of how close the
+    stage is to critical damping (0 at critical). *)
+
+type sensitivities = {
+  ds1_dh : Rlc_numerics.Cx.t;
+  ds2_dh : Rlc_numerics.Cx.t;
+  ds1_dk : Rlc_numerics.Cx.t;
+  ds2_dk : Rlc_numerics.Cx.t;
+}
+
+val sensitivities : Stage.t -> sensitivities
+(** The paper's pole-derivative expression:
+    ds/dx = 1/(2 b2) [ -db1/dx +/- (b1 db1/dx - 2 db2/dx)/sqrt(b1^2-4b2) ]
+            - (s / b2) db2/dx
+    Raises [Invalid_argument] within a tiny band around critical
+    damping where the expression is singular (callers perturb l, h or
+    k slightly, as the paper's optimizer implicitly does). *)

@@ -1,0 +1,71 @@
+(** Power model for repeater-inserted interconnect, and power-aware
+    sizing — the paper's natural extension (the authors' follow-up work
+    is power-optimal repeater insertion).
+
+    Per unit length of wire, at switching activity [alpha] and clock
+    [f_clk]:
+
+    - dynamic:  alpha f V^2 (c + (c_p + c_0) k / h)
+      (wire capacitance plus the repeater parasitics every h metres);
+    - leakage:  i_leak k / h * V
+      ([i_leak] = leakage current of a minimum-sized repeater);
+    - short-circuit power is neglected (sharp input edges at optimal
+      sizing), as is standard for repeater-insertion studies.
+
+    Delay-optimal sizing (the paper's objective) is power-hungry: the
+    optimum of tau/h is shallow, so backing off the repeater size k and
+    stretching h trades a few percent of delay for tens of percent of
+    power.  [optimize_weighted] exposes that trade-off curve. *)
+
+type params = {
+  f_clk : float;  (** clock frequency, Hz *)
+  activity : float;  (** switching activity factor, [0, 1] *)
+  i_leak : float;  (** leakage current of a minimum repeater, A *)
+}
+
+val default_params : params
+(** 1 GHz, activity 0.15, 10 nA minimum-repeater leakage. *)
+
+val dynamic_per_length :
+  ?params:params -> Rlc_tech.Node.t -> h:float -> k:float -> float
+(** W/m. *)
+
+val leakage_per_length :
+  ?params:params -> Rlc_tech.Node.t -> h:float -> k:float -> float
+
+val per_length :
+  ?params:params -> Rlc_tech.Node.t -> h:float -> k:float -> float
+(** Total (dynamic + leakage), W/m. *)
+
+val energy_per_transition_per_length :
+  Rlc_tech.Node.t -> h:float -> k:float -> float
+(** J/m for one full output transition: V^2 (c + (c_p + c_0) k / h). *)
+
+type result = {
+  h : float;
+  k : float;
+  delay_per_length : float;  (** s/m *)
+  power_per_length : float;  (** W/m *)
+  delay_penalty : float;  (** delay relative to the delay-only optimum *)
+  power_saving : float;  (** 1 - power / power(delay-only optimum) *)
+}
+
+val evaluate :
+  ?params:params -> ?f:float -> Rlc_tech.Node.t -> l:float -> h:float ->
+  k:float -> result
+(** Metrics of an explicit design point (penalty/saving are relative to
+    the delay-optimal point at the same l). *)
+
+val optimize_weighted :
+  ?params:params -> ?f:float -> Rlc_tech.Node.t -> l:float ->
+  lambda:float -> result
+(** Minimize (tau/h) * (P/len)^lambda — [lambda] = 0 reproduces the
+    paper's delay-only optimum, larger values weight power more
+    heavily.  Solved with Nelder-Mead in log-space (the objective is
+    unimodal on the physical domain). *)
+
+val pareto :
+  ?params:params -> ?f:float -> ?lambdas:float list -> Rlc_tech.Node.t ->
+  l:float -> result list
+(** The delay/power trade-off curve (default lambdas
+    0, 0.1, ..., 1.0). *)

@@ -1,0 +1,37 @@
+type result = { h_opt : float; k_opt : float; tau_opt : float }
+
+let optimize_params ~r ~c ~driver =
+  let { Rlc_tech.Driver.rs; c0; cp } = driver in
+  let h_opt = Float.sqrt (2.0 *. rs *. (c0 +. cp) /. (r *. c)) in
+  let k_opt = Float.sqrt (rs *. c /. (r *. c0)) in
+  let tau_opt =
+    2.0 *. rs *. (c0 +. cp)
+    *. (1.0 +. Float.sqrt (2.0 *. c0 /. (c0 +. cp)))
+  in
+  { h_opt; k_opt; tau_opt }
+
+let optimize node =
+  optimize_params ~r:node.Rlc_tech.Node.r ~c:node.Rlc_tech.Node.c
+    ~driver:node.Rlc_tech.Node.driver
+
+(* Inverse: with A = r c h^2 / 2 = r_s (c_0 + c_p) and
+   q = tau / (2 A) - 1 = sqrt(2 c_0 / (c_0 + c_p)):
+     c_0 + c_p = sqrt(2 A c / r) / (k q)
+     c_0       = (q^2 / 2) (c_0 + c_p)
+     r_s       = A / (c_0 + c_p)                                   *)
+let derive_driver ~r ~c ~h_opt ~k_opt ~tau_opt =
+  if r <= 0.0 || c <= 0.0 || h_opt <= 0.0 || k_opt <= 0.0 || tau_opt <= 0.0
+  then invalid_arg "Rc_opt.derive_driver: non-positive input";
+  let a = r *. c *. h_opt *. h_opt /. 2.0 in
+  let q = (tau_opt /. (2.0 *. a)) -. 1.0 in
+  if q <= 0.0 || q >= Float.sqrt 2.0 then
+    invalid_arg "Rc_opt.derive_driver: inconsistent tau_opt";
+  let c_total = Float.sqrt (2.0 *. a *. c /. r) /. (k_opt *. q) in
+  let c0 = q *. q /. 2.0 *. c_total in
+  let cp = c_total -. c0 in
+  let rs = a /. c_total in
+  Rlc_tech.Driver.make ~rs ~c0 ~cp
+
+let stage node ~l =
+  let { h_opt; k_opt; _ } = optimize node in
+  Stage.of_node node ~l ~h:h_opt ~k:k_opt

@@ -1,0 +1,33 @@
+(** Closed-form Elmore-optimal repeater insertion (Section 3.1):
+
+    h_optRC  = sqrt(2 r_s (c_0 + c_p) / (r c))
+    k_optRC  = sqrt(r_s c / (r c_0))
+    tau_optRC = 2 r_s (c_0 + c_p) (1 + sqrt(2 c_0 / (c_0 + c_p)))
+
+    tau_optRC is independent of the wiring level (r, c) — a technology
+    constant.  The module also inverts the three formulas: the paper
+    measures (h_opt, k_opt, tau_opt) in SPICE and back-solves for the
+    driver parameters (r_s, c_0, c_p); [derive_driver] is that flow. *)
+
+type result = {
+  h_opt : float;  (** optimal segment length, m *)
+  k_opt : float;  (** optimal repeater size *)
+  tau_opt : float;  (** Elmore delay of the optimal segment, s *)
+}
+
+val optimize : Rlc_tech.Node.t -> result
+
+val optimize_params :
+  r:float -> c:float -> driver:Rlc_tech.Driver.t -> result
+(** Same computation from raw per-unit-length parameters. *)
+
+val derive_driver :
+  r:float -> c:float -> h_opt:float -> k_opt:float -> tau_opt:float ->
+  Rlc_tech.Driver.t
+(** Inverse derivation.  Raises [Invalid_argument] when the inputs are
+    inconsistent with any positive (r_s, c_0, c_p), e.g. when
+    tau_opt <= r c h_opt^2 (q would be non-positive). *)
+
+val stage : Rlc_tech.Node.t -> l:float -> Stage.t
+(** The RC-optimally-sized stage of a node with inductance [l] painted
+    on — the configuration whose delay penalty Figure 8 studies. *)

@@ -1,0 +1,159 @@
+open Rlc_numerics
+
+type method_ = Newton_g | Nelder_mead
+
+type result = {
+  h : float;
+  k : float;
+  tau : float;
+  delay_per_length : float;
+  method_ : method_;
+  newton_converged : bool;
+  newton_iterations : int;
+}
+
+(* Raw residuals of equations (7)-(8), computed in complex arithmetic
+   (the conjugate pole pair makes the imaginary parts cancel). *)
+let residuals_raw ?(f = 0.5) stage =
+  let cs = Pade.coeffs stage in
+  let { Poles.s1; s2 } = Poles.of_coeffs cs in
+  let sens = Poles.sensitivities stage in
+  let tau = Delay.of_coeffs ~f cs in
+  let h = stage.Stage.h in
+  let open Cx in
+  let e1 = exp (scale tau s1) and e2 = exp (scale tau s2) in
+  let one_minus_f = of_float (1.0 -. f) in
+  let g1 =
+    (one_minus_f *: (sens.Poles.ds2_dh -: sens.Poles.ds1_dh))
+    -: (sens.Poles.ds2_dh *: e1)
+    +: (sens.Poles.ds1_dh *: e2)
+    -: (scale tau s2 *: (sens.Poles.ds1_dh +: scale (1.0 /. h) s1) *: e1)
+    +: (scale tau s1 *: (sens.Poles.ds2_dh +: scale (1.0 /. h) s2) *: e2)
+  in
+  let g2 =
+    (one_minus_f *: (sens.Poles.ds2_dk -: sens.Poles.ds1_dk))
+    -: (sens.Poles.ds2_dk *: e1)
+    -: (scale tau s2 *: sens.Poles.ds1_dk *: e1)
+    +: (sens.Poles.ds1_dk *: e2)
+    +: (scale tau s1 *: sens.Poles.ds2_dk *: e2)
+  in
+  (* Equations (7)-(8) inherit the structure of (3) multiplied by
+     (s2 - s1): real when the poles are real, PURELY IMAGINARY when
+     they are a conjugate pair (every term is then z - conj z).  The
+     scalar content is the non-vanishing component. *)
+  let project g =
+    if Pade.discriminant cs < 0.0 then Cx.im g else Cx.re g
+  in
+  (project g1, project g2)
+
+let residuals ?f stage =
+  let g1, g2 = residuals_raw ?f stage in
+  (* Normalize: poles scale as 1/b1, so ds/dh ~ 1/(b1 h) and
+     ds/dk ~ 1/(b1 k).  Multiplying by (b1 h) and (b1 k) makes both
+     residuals dimensionless and O(1) away from the optimum. *)
+  let b1 = (Pade.coeffs stage).Pade.b1 in
+  (g1 *. b1 *. stage.Stage.h, g2 *. b1 *. stage.Stage.k)
+
+let objective ?(f = 0.5) node ~l ~h ~k =
+  if h <= 0.0 || k <= 0.0 then nan
+  else begin
+    try
+      let stage = Stage.of_node node ~l ~h ~k in
+      Delay.of_stage ~f stage /. h
+    with Invalid_argument _ | Delay.No_delay -> nan
+  end
+
+let make_result ?(f = 0.5) node ~l ~h ~k ~method_ ~newton_converged
+    ~newton_iterations =
+  let stage = Stage.of_node node ~l ~h ~k in
+  let tau = Delay.of_stage ~f stage in
+  {
+    h;
+    k;
+    tau;
+    delay_per_length = tau /. h;
+    method_;
+    newton_converged;
+    newton_iterations;
+  }
+
+let optimize_newton_only ?(f = 0.5) node ~l =
+  let rc = Rc_opt.optimize node in
+  let h0 = rc.Rc_opt.h_opt and k0 = rc.Rc_opt.k_opt in
+  let residual_fn x =
+    let h = x.(0) *. h0 and k = x.(1) *. k0 in
+    if h <= 0.0 || k <= 0.0 then [| nan; nan |]
+    else begin
+      try
+        let stage = Stage.of_node node ~l ~h ~k in
+        let g1, g2 = residuals ~f stage in
+        [| g1; g2 |]
+      with Invalid_argument _ | Delay.No_delay -> [| nan; nan |]
+    end
+  in
+  try
+    let sol =
+      Newton.solve ~max_iter:60 ~tol:1e-10 ~lower:[| 1e-3; 1e-3 |]
+        ~upper:[| 1e3; 1e3 |] ~f:residual_fn ~x0:[| 1.0; 1.0 |] ()
+    in
+    if not sol.Newton.converged then None
+    else begin
+      let h = sol.Newton.x.(0) *. h0 and k = sol.Newton.x.(1) *. k0 in
+      Some
+        (make_result ~f node ~l ~h ~k ~method_:Newton_g ~newton_converged:true
+           ~newton_iterations:sol.Newton.iterations)
+    end
+  with Invalid_argument _ | Delay.No_delay | Lu.Singular -> None
+
+(* Coarse multiplicative grid scan around the RC optimum to seed
+   Nelder-Mead: at large l the optimum drifts several-fold away. *)
+let grid_seed ?f node ~l ~h0 ~k0 =
+  let h_mults = [ 0.5; 0.75; 1.0; 1.5; 2.0; 3.0; 4.5 ] in
+  let k_mults = [ 0.2; 0.35; 0.5; 0.7; 1.0; 1.4 ] in
+  let best = ref (h0, k0, objective ?f node ~l ~h:h0 ~k:k0) in
+  List.iter
+    (fun hm ->
+      List.iter
+        (fun km ->
+          let h = hm *. h0 and k = km *. k0 in
+          let v = objective ?f node ~l ~h ~k in
+          let _, _, vb = !best in
+          if (not (Float.is_nan v)) && (Float.is_nan vb || v < vb) then
+            best := (h, k, v))
+        k_mults)
+    h_mults;
+  let h, k, _ = !best in
+  (h, k)
+
+let optimize_nm_only ?(f = 0.5) node ~l =
+  let rc = Rc_opt.optimize node in
+  let h0, k0 = grid_seed ~f node ~l ~h0:rc.Rc_opt.h_opt ~k0:rc.Rc_opt.k_opt in
+  let obj x = objective ~f node ~l ~h:(Float.exp x.(0)) ~k:(Float.exp x.(1)) in
+  let sol =
+    Nelder_mead.minimize ~max_iter:4000 ~ftol:1e-14 ~xtol:1e-9 ~f:obj
+      ~x0:[| Float.log h0; Float.log k0 |] ()
+  in
+  let h = Float.exp sol.Nelder_mead.x.(0)
+  and k = Float.exp sol.Nelder_mead.x.(1) in
+  make_result ~f node ~l ~h ~k ~method_:Nelder_mead ~newton_converged:false
+    ~newton_iterations:0
+
+let optimize ?(f = 0.5) node ~l =
+  match optimize_newton_only ~f node ~l with
+  | Some newton_result ->
+      (* Guard against converging to a stationary point that is not the
+         minimum: accept Newton only if Nelder-Mead cannot beat it. *)
+      let nm = optimize_nm_only ~f node ~l in
+      if
+        nm.delay_per_length
+        < newton_result.delay_per_length *. (1.0 -. 1e-6)
+      then { nm with newton_converged = false }
+      else newton_result
+  | None -> optimize_nm_only ~f node ~l
+
+let sweep ?f ?(n = 26) node ~l_max =
+  if n < 2 then invalid_arg "Rlc_opt.sweep: n < 2";
+  if l_max <= 0.0 then invalid_arg "Rlc_opt.sweep: l_max <= 0";
+  List.init n (fun i ->
+      let l = float_of_int i /. float_of_int (n - 1) *. l_max in
+      (l, optimize ?f node ~l))

@@ -1,0 +1,57 @@
+(** The paper's performance-optimization methodology (Section 2.2):
+    minimize the delay per unit length tau / h of a repeated stage over
+    the segment length h and the repeater size k.
+
+    Stationarity gives equations (5)-(6), which after differentiating
+    the delay equation become the residual system (7)-(8):
+
+    g1(h,k) = (1-f)(s2_h - s1_h) - s2_h e^{s1 tau} + s1_h e^{s2 tau}
+              - s2 tau (s1_h + s1/h) e^{s1 tau}
+              + s1 tau (s2_h + s2/h) e^{s2 tau}
+    g2(h,k) = (1-f)(s2_k - s1_k) - s2_k e^{s1 tau}
+              - s2 tau s1_k e^{s1 tau} + s1_k e^{s2 tau}
+              + s1 tau s2_k e^{s2 tau}
+
+    (x_y denotes dx/dy).  [optimize] drives (g1, g2) to zero with a
+    damped Newton iteration (the paper's method) and cross-checks /
+    falls back to a derivative-free Nelder-Mead minimization of the
+    same objective; both agree to optimizer tolerance on every
+    configuration the test suite sweeps. *)
+
+type method_ = Newton_g | Nelder_mead
+
+type result = {
+  h : float;  (** optimal segment length, m *)
+  k : float;  (** optimal repeater size *)
+  tau : float;  (** stage delay at the optimum, s *)
+  delay_per_length : float;  (** tau / h, s/m — the minimized objective *)
+  method_ : method_;  (** which solver produced the reported optimum *)
+  newton_converged : bool;
+  newton_iterations : int;
+}
+
+val residuals : ?f:float -> Stage.t -> float * float
+(** (g1, g2) of equations (7)-(8) at the stage's (h, k), normalized to
+    O(1) by the natural time/length scales so they are comparable
+    across technologies.  [f] defaults to 0.5. *)
+
+val objective : ?f:float -> Rlc_tech.Node.t -> l:float -> h:float -> k:float -> float
+(** tau/h for explicit (h, k) — the raw objective surface (used by
+    benches and tests; [nan] outside the physical domain). *)
+
+val optimize : ?f:float -> Rlc_tech.Node.t -> l:float -> result
+(** Full optimization for a node at line inductance [l] (H/m).
+    Starts from the closed-form RC optimum. *)
+
+val optimize_newton_only : ?f:float -> Rlc_tech.Node.t -> l:float -> result option
+(** The paper's Newton iteration alone; [None] when it fails to
+    converge (near-critical-damping singularities).  Exposed so tests
+    and benches can quantify how often the fallback is needed. *)
+
+val optimize_nm_only : ?f:float -> Rlc_tech.Node.t -> l:float -> result
+(** Nelder-Mead alone (always converges on this problem). *)
+
+val sweep :
+  ?f:float -> ?n:int -> Rlc_tech.Node.t -> l_max:float -> (float * result) list
+(** [(l, optimize node ~l)] for [n] (default 26) uniformly spaced
+    inductance values in [0, l_max]. *)

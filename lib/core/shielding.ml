@@ -1,0 +1,92 @@
+type layout = Dense | Spaced | Shielded
+
+type result = {
+  layout : layout;
+  c_eff : float;
+  l_eff : float;
+  nominal_delay : float;
+  delay_spread : float;
+  victim_noise : float;
+  tracks_per_signal : float;
+}
+
+let pp_layout ppf = function
+  | Dense -> Format.pp_print_string ppf "dense"
+  | Spaced -> Format.pp_print_string ppf "spaced"
+  | Shielded -> Format.pp_print_string ppf "shielded"
+
+let geometry_at_pitch g pitch =
+  Rlc_extraction.Geometry.make ~width:g.Rlc_extraction.Geometry.width ~pitch
+    ~thickness:g.Rlc_extraction.Geometry.thickness
+    ~t_ins:g.Rlc_extraction.Geometry.t_ins
+    ~eps_r:g.Rlc_extraction.Geometry.eps_r
+
+let bus_of_geometry ~n g ~h =
+  let cg = Rlc_extraction.Capacitance.meijs_fokkema_ground g in
+  let cc = Rlc_extraction.Capacitance.sakurai_coupling g in
+  (* mid-range return-path assumption for the unshielded layouts, as in
+     Wire_sizing: twice the microstrip loop *)
+  let l = 2.0 *. Rlc_extraction.Inductance.microstrip_loop g in
+  let lm =
+    Float.min (0.45 *. l)
+      (Rlc_extraction.Inductance.mutual_parallel
+         ~d:g.Rlc_extraction.Geometry.pitch ~length:h)
+  in
+  Bus.make ~n ~r:(Rlc_extraction.Resistance.per_length g) ~l ~lm ~cg ~cc
+
+let analyze ?(bus_width = 8) ?f node ~h ~k =
+  if bus_width < 2 then invalid_arg "Shielding.analyze: bus_width < 2";
+  if h <= 0.0 || k <= 0.0 then invalid_arg "Shielding.analyze: bad stage";
+  let g = node.Rlc_tech.Node.geometry in
+  let driver = node.Rlc_tech.Node.driver in
+  let bus_result layout tracks g' =
+    let bus = bus_of_geometry ~n:bus_width g' ~h in
+    let lo, hi = Bus.delay_envelope ?f bus ~driver ~h ~k in
+    let nominal =
+      Delay.of_stage ?f
+        (Stage.make
+           ~line:
+             (Line.make ~r:bus.Bus.r ~l:bus.Bus.l
+                ~c:(bus.Bus.cg +. bus.Bus.cc))
+           ~driver ~h ~k)
+    in
+    {
+      layout;
+      c_eff = bus.Bus.cg +. bus.Bus.cc;
+      l_eff = bus.Bus.l;
+      nominal_delay = nominal;
+      delay_spread = (hi -. lo) /. nominal;
+      victim_noise = Bus.victim_noise_peak bus ~driver ~h ~k;
+      tracks_per_signal = tracks;
+    }
+  in
+  let dense = bus_result Dense 1.0 g in
+  let spaced =
+    bus_result Spaced 2.0
+      (geometry_at_pitch g (2.0 *. g.Rlc_extraction.Geometry.pitch))
+  in
+  let shielded =
+    (* adjacent grounded tracks: both neighbour couplings become ground
+       capacitance, the return is pinned one pitch away, and there is
+       no signal neighbour to vary anything *)
+    let cg =
+      Rlc_extraction.Capacitance.meijs_fokkema_ground g
+      +. (2.0 *. Rlc_extraction.Capacitance.sakurai_coupling g)
+    in
+    let l =
+      Rlc_extraction.Inductance.loop_with_return g
+        ~return_distance:g.Rlc_extraction.Geometry.pitch ~length:h
+    in
+    let line = Line.make ~r:(Rlc_extraction.Resistance.per_length g) ~l ~c:cg in
+    let nominal = Delay.of_stage ?f (Stage.make ~line ~driver ~h ~k) in
+    {
+      layout = Shielded;
+      c_eff = cg;
+      l_eff = l;
+      nominal_delay = nominal;
+      delay_spread = 0.0;
+      victim_noise = 0.0;
+      tracks_per_signal = 2.0;
+    }
+  in
+  [ dense; spaced; shielded ]

@@ -1,0 +1,35 @@
+(** Shield-insertion trade-off for bus wiring.
+
+    Given one extra routing track per signal, a designer can either
+    ground it (a shield) or leave it as spacing.  Shields cost the same
+    area but do two things spacing cannot: they pin the current return
+    path next to the signal (collapsing both the inductance and its
+    uncertainty — the paper's central worry) and they convert
+    neighbour coupling into ground capacitance (killing crosstalk).
+    This module quantifies the three layouts with the extraction
+    models and the {!Bus} modal analysis. *)
+
+type layout = Dense | Spaced | Shielded
+
+type result = {
+  layout : layout;
+  c_eff : float;  (** nominal effective capacitance, F/m *)
+  l_eff : float;  (** nominal loop inductance, H/m *)
+  nominal_delay : float;  (** 50% stage delay, s *)
+  delay_spread : float;
+      (** (slowest - fastest) / nominal over switching patterns; 0 for
+          the shielded layout (no signal neighbours) *)
+  victim_noise : float;  (** peak crosstalk, fraction of swing *)
+  tracks_per_signal : float;  (** area cost: 1 dense, 2 for the others *)
+}
+
+val analyze :
+  ?bus_width:int -> ?f:float -> Rlc_tech.Node.t -> h:float -> k:float ->
+  result list
+(** The three layouts for the node's top-metal geometry at the given
+    repeater sizing ([bus_width] signals in the dense/spaced bus,
+    default 8).  Dense uses the node's own pitch; Spaced doubles the
+    pitch; Shielded alternates signal and grounded tracks at the
+    original pitch. *)
+
+val pp_layout : Format.formatter -> layout -> unit

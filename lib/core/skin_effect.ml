@@ -1,0 +1,47 @@
+type correction = {
+  stage : Stage.t;
+  r_effective : float;
+  frequency : float;
+  iterations : int;
+}
+
+let characteristic_frequency stage =
+  let cs = Pade.coeffs stage in
+  let { Poles.s1; _ } = Poles.of_coeffs cs in
+  let im = Float.abs (Rlc_numerics.Cx.im s1) in
+  if im > 0.0 then im /. (2.0 *. Float.pi)
+  else 1.0 /. (2.0 *. Float.pi *. cs.Pade.b1)
+
+let with_r stage r =
+  let line =
+    Line.make ~r ~l:stage.Stage.line.Line.l ~c:stage.Stage.line.Line.c
+  in
+  Stage.make ~line ~driver:stage.Stage.driver ~h:stage.Stage.h
+    ~k:stage.Stage.k
+
+let correct ?rho ?(max_iterations = 8) geometry stage =
+  let r_dc = stage.Stage.line.Line.r in
+  let rec go current iter =
+    let f = characteristic_frequency current in
+    let r_skin = Rlc_extraction.Skin.resistance_at ?rho geometry f in
+    (* scale the stage's own DC resistance by the crowding ratio, so a
+       stage whose r was set from Table 1 (not our extractor) is
+       corrected consistently *)
+    let ratio = r_skin /. Rlc_extraction.Skin.resistance_at ?rho geometry 0.0 in
+    let r_new = r_dc *. ratio in
+    let rel =
+      Float.abs (r_new -. current.Stage.line.Line.r)
+      /. current.Stage.line.Line.r
+    in
+    let next = with_r stage r_new in
+    if rel < 1e-6 || iter >= max_iterations then
+      { stage = next; r_effective = r_new; frequency = f; iterations = iter }
+    else go next (iter + 1)
+  in
+  go stage 1
+
+let overshoot_comparison geometry stage =
+  let dc = Step_response.overshoot (Pade.coeffs stage) in
+  let corrected = correct geometry stage in
+  let skin = Step_response.overshoot (Pade.coeffs corrected.stage) in
+  (dc, skin)

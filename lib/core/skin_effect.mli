@@ -1,0 +1,33 @@
+(** Skin-effect correction of a repeater stage.
+
+    The paper treats the wire resistance as a constant; at the GHz
+    ringing frequencies of underdamped stages the skin effect raises it
+    (see {!Rlc_extraction.Skin}), adding damping the DC model misses.
+    The correction here is the standard single-frequency approximation:
+    evaluate r at the stage's own ringing frequency, iterated to a
+    fixed point (the ringing frequency moves as r changes).
+
+    The corrected stage always rings LESS: overshoot and the critical
+    inductance margin both shrink, so the paper's constant-r analysis
+    is conservative for signal integrity — a useful bound to know. *)
+
+type correction = {
+  stage : Stage.t;  (** stage with the corrected resistance *)
+  r_effective : float;  (** ohm/m used, >= the DC value *)
+  frequency : float;
+      (** ringing (or bandwidth-equivalent) frequency the resistance
+          was evaluated at, Hz *)
+  iterations : int;
+}
+
+val correct :
+  ?rho:float -> ?max_iterations:int ->
+  Rlc_extraction.Geometry.t -> Stage.t -> correction
+(** Fixed-point iteration (default cap 8; converges in 2-3).  The
+    frequency is Im(pole)/2pi when underdamped, else 1/(2 pi b1). *)
+
+val overshoot_comparison :
+  Rlc_extraction.Geometry.t -> Stage.t -> float * float
+(** (overshoot with DC resistance, overshoot with the skin-corrected
+    resistance) — quantifies how conservative the constant-r model
+    is. *)

@@ -1,0 +1,30 @@
+type t = {
+  line : Line.t;
+  driver : Rlc_tech.Driver.t;
+  h : float;
+  k : float;
+}
+
+let make ~line ~driver ~h ~k =
+  if h <= 0.0 then invalid_arg "Stage.make: h must be positive";
+  if k <= 0.0 then invalid_arg "Stage.make: k must be positive";
+  { line; driver; h; k }
+
+let of_node node ~l ~h ~k =
+  make ~line:(Line.of_node node ~l) ~driver:node.Rlc_tech.Node.driver ~h ~k
+
+let rs t = Rlc_tech.Driver.scaled_rs t.driver ~k:t.k
+let cp t = Rlc_tech.Driver.scaled_cp t.driver ~k:t.k
+let cl t = Rlc_tech.Driver.scaled_c0 t.driver ~k:t.k
+let total_resistance t = t.line.Line.r *. t.h
+let total_capacitance t = t.line.Line.c *. t.h
+let total_inductance t = t.line.Line.l *. t.h
+let with_h t h = make ~line:t.line ~driver:t.driver ~h ~k:t.k
+let with_k t k = make ~line:t.line ~driver:t.driver ~h:t.h ~k
+let with_l t l =
+  let line = Line.make ~r:t.line.Line.r ~l ~c:t.line.Line.c in
+  make ~line ~driver:t.driver ~h:t.h ~k:t.k
+
+let pp ppf t =
+  Format.fprintf ppf "stage<h=%.3fmm k=%.1f %a>" (t.h *. 1e3) t.k Line.pp
+    t.line

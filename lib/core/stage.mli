@@ -1,0 +1,40 @@
+(** One repeater stage: a driver of size [k] driving a line segment of
+    length [h] terminated by the input capacitance of an identical
+    repeater (Figure 1 of the paper). *)
+
+type t = {
+  line : Line.t;
+  driver : Rlc_tech.Driver.t;
+  h : float;  (** segment length, m *)
+  k : float;  (** repeater size multiple of minimum *)
+}
+
+val make : line:Line.t -> driver:Rlc_tech.Driver.t -> h:float -> k:float -> t
+(** Requires [h > 0] and [k > 0]. *)
+
+val of_node : Rlc_tech.Node.t -> l:float -> h:float -> k:float -> t
+
+val rs : t -> float
+(** Driver series resistance R_S = rs / k, ohm. *)
+
+val cp : t -> float
+(** Driver output parasitic C_P = cp * k, F. *)
+
+val cl : t -> float
+(** Load capacitance C_L = c0 * k (next repeater's input), F. *)
+
+val total_resistance : t -> float
+(** Wire resistance of the segment r * h, ohm. *)
+
+val total_capacitance : t -> float
+(** Wire capacitance of the segment c * h, F. *)
+
+val total_inductance : t -> float
+(** Wire inductance of the segment l * h, H. *)
+
+val with_h : t -> float -> t
+val with_k : t -> float -> t
+val with_l : t -> float -> t
+(** Replace the line inductance (H/m), keeping everything else. *)
+
+val pp : Format.formatter -> t -> unit

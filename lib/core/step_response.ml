@@ -1,0 +1,70 @@
+open Rlc_numerics
+
+(* Relative pole separation below which the repeated-root formula is
+   used instead of the two-pole formula. *)
+let critical_band = 1e-7
+
+let repeated_root_rate { Pade.b1; b2 } = b1 /. (2.0 *. b2)
+
+let near_critical cs =
+  let disc = Pade.discriminant cs in
+  Float.abs disc <= critical_band *. cs.Pade.b1 *. cs.Pade.b1
+
+let eval cs t =
+  if t < 0.0 then invalid_arg "Step_response.eval: t < 0";
+  if t = 0.0 then 0.0
+  else if near_critical cs then begin
+    let a = repeated_root_rate cs in
+    1.0 -. ((1.0 +. (a *. t)) *. Float.exp (-.a *. t))
+  end
+  else begin
+    let { Poles.s1; s2 } = Poles.of_coeffs cs in
+    let open Cx in
+    let denom = s2 -: s1 in
+    let v =
+      of_float 1.0
+      -: (s2 /: denom *: exp (scale t s1))
+      +: (s1 /: denom *: exp (scale t s2))
+    in
+    Cx.real_part_checked ~tol:1e-6 v
+  end
+
+let eval_stage stage t = eval (Pade.coeffs stage) t
+
+let derivative cs t =
+  if t < 0.0 then invalid_arg "Step_response.derivative: t < 0";
+  if near_critical cs then begin
+    let a = repeated_root_rate cs in
+    a *. a *. t *. Float.exp (-.a *. t)
+  end
+  else begin
+    let { Poles.s1; s2 } = Poles.of_coeffs cs in
+    let open Cx in
+    let denom = s2 -: s1 in
+    (* dv/dt = -s1 s2/(s2-s1) e^{s1 t} + s1 s2/(s2-s1) e^{s2 t} *)
+    let v =
+      s1 *: s2 /: denom *: (exp (scale t s2) -: exp (scale t s1))
+    in
+    Cx.real_part_checked ~tol:1e-6 v
+  end
+
+let waveform ?(v0 = 1.0) ?(n = 2000) cs ~t_end =
+  if t_end <= 0.0 then invalid_arg "Step_response.waveform: t_end <= 0";
+  Rlc_waveform.Waveform.of_fn ~n (fun t -> v0 *. eval cs t) ~t0:0.0 ~t1:t_end
+
+let overshoot cs =
+  let z = Pade.zeta cs in
+  if z >= 1.0 then 0.0
+  else Float.exp (-.Float.pi *. z /. Float.sqrt (1.0 -. (z *. z)))
+
+let peak_time cs =
+  let z = Pade.zeta cs in
+  if z >= 1.0 then None
+  else begin
+    let wn = Pade.omega_n cs in
+    Some (Float.pi /. (wn *. Float.sqrt (1.0 -. (z *. z))))
+  end
+
+let undershoot_depth cs =
+  let ov = overshoot cs in
+  ov *. ov

@@ -1,0 +1,48 @@
+(** Buffer chains (tapered drivers) for large capacitive loads.
+
+    Repeater insertion assumes the load is another repeater; driving a
+    big fixed load (a bus, a clock grid, an output pad) from a
+    minimum-size gate instead wants a geometrically growing chain.
+    With the paper's driver model, stage i of ratio rho has delay
+    ln 2 * (rs cp + rs c0 rho) (each stage drives rho copies of its own
+    input capacitance), giving the textbook optimum
+    rho* solving rho (ln rho - 1) = cp/c0, which degenerates to
+    rho* = e when cp = 0.
+
+    [chain_through_wire] splices a distributed line between the chain
+    and the load — the combined problem the paper's Section 2 stage
+    solves for one segment, here solved jointly for (chain, repeater
+    size) by reusing the delay machinery. *)
+
+type chain = {
+  stages : int;  (** number of inverters including the first *)
+  ratio : float;  (** size ratio between consecutive stages *)
+  sizes : float list;  (** stage sizes, starting at [k_first] *)
+  delay : float;  (** total 50%-style chain delay, s *)
+}
+
+val optimal_ratio : Rlc_tech.Driver.t -> float
+(** rho* from the driver's cp/c0 (Newton on rho(ln rho - 1) = cp/c0);
+    e for cp = 0, larger when parasitics matter. *)
+
+val design :
+  ?k_first:float -> Rlc_tech.Driver.t -> load:float -> chain
+(** Chain from a [k_first]-sized gate (default 1.0 = minimum) to the
+    capacitive [load] (farads): integer stage count nearest to the
+    continuous optimum, ratio re-balanced to land exactly on the load.
+    Raises [Invalid_argument] when the load is not larger than the
+    first stage's input capacitance. *)
+
+val delay_of_ratio :
+  Rlc_tech.Driver.t -> load:float -> ?k_first:float -> float -> float
+(** Chain delay at an explicit ratio (exposed so tests can verify the
+    optimum). *)
+
+val chain_through_wire :
+  ?f:float -> Rlc_tech.Node.t -> l:float -> wire_length:float ->
+  load:float -> chain * float
+(** Size a chain that drives [load] THROUGH a wire of [wire_length]:
+    the last stage is the wire's driver (its size jointly optimized
+    with the chain via the paper's stage-delay solver), the earlier
+    stages ramp up to it.  Returns the chain and the total delay
+    including the wire. *)

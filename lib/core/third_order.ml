@@ -1,0 +1,79 @@
+open Rlc_numerics
+
+type coeffs = { b1 : float; b2 : float; b3 : float }
+
+let coeffs stage =
+  let { Line.r; l; c } = stage.Stage.line in
+  let h = stage.Stage.h in
+  let rs = Stage.rs stage in
+  let cp = Stage.cp stage in
+  let cl = Stage.cl stage in
+  let { Pade.b1; b2 } = Pade.coeffs stage in
+  let a1 = r *. c *. h *. h in
+  let a2 = l *. c *. h *. h in
+  let a_drv = rs *. (cp +. cl) in
+  let b3 =
+    (a_drv *. ((a2 /. 2.0) +. (a1 *. a1 /. 24.0)))
+    +. (a1 *. a2 /. 12.0)
+    +. (a1 *. a1 *. a1 /. 720.0)
+    +. (rs *. c *. h *. ((a2 /. 6.0) +. (a1 *. a1 /. 120.0)))
+    +. (cl *. h
+       *. ((r *. a2 /. 6.0) +. (r *. a1 *. a1 /. 120.0) +. (l *. a1 /. 6.0)))
+    +. (rs *. cp *. cl *. h *. (l +. (r *. a1 /. 6.0)))
+  in
+  { b1; b2; b3 }
+
+let poles { b1; b2; b3 } =
+  if b3 <= 0.0 then invalid_arg "Third_order.poles: b3 <= 0";
+  Polynomial.roots (Polynomial.of_coeffs [| 1.0; b1; b2; b3 |])
+
+(* v(t) = 1 + sum_i e^{p_i t} / (p_i b3 prod_{j<>i}(p_i - p_j)):
+   partial fractions of H(s)/s with H = 1/(b3 prod (s - p_i)). *)
+let residues cs =
+  let ps = poles cs in
+  List.map
+    (fun p ->
+      let others = List.filter (fun q -> not (q == p)) ps in
+      let denom =
+        List.fold_left (fun acc q -> Cx.( *: ) acc (Cx.( -: ) p q)) Cx.one
+          others
+      in
+      let scale = Cx.( *: ) (Cx.scale cs.b3 p) denom in
+      if Cx.norm scale < 1e-300 then
+        invalid_arg "Third_order: (nearly) repeated poles";
+      (p, Cx.inv scale))
+    ps
+
+let step_eval cs t =
+  if t < 0.0 then invalid_arg "Third_order.step_eval: t < 0";
+  if t = 0.0 then 0.0
+  else begin
+    let terms = residues cs in
+    let open Cx in
+    let v =
+      List.fold_left
+        (fun acc (p, res) -> acc +: (res *: exp (scale t p)))
+        (of_float 1.0) terms
+    in
+    (* conjugate pole pairs cancel the imaginary parts *)
+    Cx.re v
+  end
+
+let step_deriv cs t =
+  let terms = residues cs in
+  let open Cx in
+  Cx.re
+    (List.fold_left
+       (fun acc (p, res) -> acc +: (res *: p *: exp (scale t p)))
+       Cx.zero terms)
+
+let delay ?(f = 0.5) cs =
+  if f <= 0.0 || f >= 1.0 then invalid_arg "Third_order.delay: f outside (0,1)";
+  let residual t = step_eval cs t -. f in
+  let dt0 = cs.b1 /. 32.0 in
+  let lo, hi = Roots.bracket_first residual ~t0:0.0 ~dt:dt0 in
+  if lo = hi then lo
+  else
+    Roots.newton_bracketed ~tol:1e-13 ~f:residual ~df:(step_deriv cs) lo hi
+
+let delay_stage ?f stage = delay ?f (coeffs stage)

@@ -1,0 +1,58 @@
+open Rlc_numerics
+
+let eval stage s =
+  if Cx.norm s = 0.0 then Cx.one
+  else begin
+    (* Deep in the right half plane the line attenuation e^{-theta h}
+       underflows and cosh/sinh overflow; H is then 0 to double
+       precision, so short-circuit before the overflow poisons the
+       arithmetic (needed by the Talbot inverse-Laplace contour). *)
+    let theta_h =
+      Cx.re (Line.propagation stage.Stage.line s) *. stage.Stage.h
+    in
+    if theta_h > 250.0 then Cx.zero
+    else begin
+      let open Cx in
+      let rs = of_float (Stage.rs stage) in
+      let scp = s *: of_float (Stage.cp stage) in
+      let scl = s *: of_float (Stage.cl stage) in
+      let chain =
+        Two_port.cascade_list
+          [
+            Two_port.series_impedance rs;
+            Two_port.shunt_admittance scp;
+            Two_port.rlc_line stage.Stage.line ~length:stage.Stage.h ~s;
+            Two_port.shunt_admittance scl;
+          ]
+      in
+      let h = Two_port.voltage_transfer_into_open chain in
+      if Cx.is_finite h then h else Cx.zero
+    end
+  end
+
+let eval_direct stage s =
+  let open Cx in
+  if norm s = 0.0 then invalid_arg "Transfer.eval_direct: s = 0";
+  let line = stage.Stage.line in
+  let h = stage.Stage.h in
+  let rs = of_float (Stage.rs stage) in
+  let cp = of_float (Stage.cp stage) in
+  let cl = of_float (Stage.cl stage) in
+  let z = of_float line.Line.r +: (s *: of_float line.Line.l) in
+  let y = s *: of_float line.Line.c in
+  let theta = sqrt (z *: y) in
+  let z0 = z /: theta in
+  let th = scale h theta in
+  let ch = scale 0.5 (exp th +: exp (neg th)) in
+  let sh = scale 0.5 (exp th -: exp (neg th)) in
+  let term_cosh = (one +: (s *: rs *: (cp +: cl))) *: ch in
+  let term_sinh =
+    ((rs /: z0) +: (s *: cl *: z0) +: (s *: s *: rs *: cp *: cl *: z0)) *: sh
+  in
+  inv (term_cosh +: term_sinh)
+
+let magnitude_db stage f =
+  let s = Cx.make 0.0 (2.0 *. Float.pi *. f) in
+  20.0 *. Float.log10 (Cx.norm (eval stage s))
+
+let dc_gain _stage = 1.0

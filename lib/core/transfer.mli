@@ -1,0 +1,23 @@
+(** The exact input-output transfer function of the
+    driver / distributed-RLC-line / load stage — equation (1) of the
+    paper:
+
+    H(s) = 1 / ( [1 + s R_S (C_P + C_L)] cosh(theta h)
+               + [R_S / Z0 + s C_L Z0 + s^2 R_S C_P C_L Z0] sinh(theta h) )
+
+    Evaluated through the ABCD cascade of {!Two_port}, which is
+    algebraically identical and numerically robust at small |s|. *)
+
+val eval : Stage.t -> Rlc_numerics.Cx.t -> Rlc_numerics.Cx.t
+(** [eval stage s] is H(s).  H(0) = 1 (DC gain of the unloaded
+    divider). *)
+
+val eval_direct : Stage.t -> Rlc_numerics.Cx.t -> Rlc_numerics.Cx.t
+(** Literal transcription of equation (1); used to cross-validate
+    [eval] in the test suite.  Undefined at s = 0. *)
+
+val magnitude_db : Stage.t -> float -> float
+(** |H(j 2 pi f)| in dB at the real frequency [f] (Hz). *)
+
+val dc_gain : Stage.t -> float
+(** Always 1.0 — exposed for clarity in examples. *)

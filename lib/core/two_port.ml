@@ -1,0 +1,60 @@
+open Rlc_numerics
+
+type t = { a : Cx.t; b : Cx.t; c : Cx.t; d : Cx.t }
+
+let identity = { a = Cx.one; b = Cx.zero; c = Cx.zero; d = Cx.one }
+let series_impedance z = { a = Cx.one; b = z; c = Cx.zero; d = Cx.one }
+let shunt_admittance y = { a = Cx.one; b = Cx.zero; c = y; d = Cx.one }
+
+(* cosh and sinh of a complex number *)
+let cosh_cx z =
+  let open Cx in
+  scale 0.5 (exp z +: exp (neg z))
+
+let sinh_cx z =
+  let open Cx in
+  scale 0.5 (exp z -: exp (neg z))
+
+let rlc_line line ~length ~s =
+  let open Cx in
+  if length <= 0.0 then invalid_arg "Two_port.rlc_line: length <= 0";
+  if norm s = 0.0 then identity
+  else begin
+    (* theta = sqrt(z y), Z0 = z / theta with z = r + s l, y = s c;
+       forming Z0 from theta keeps the square-root branches
+       consistent, so cosh/sinh products are branch-independent. *)
+    let z = of_float line.Line.r +: (s *: of_float line.Line.l) in
+    let y = s *: of_float line.Line.c in
+    let theta = sqrt (z *: y) in
+    let th = scale length theta in
+    if norm th < 1e-12 then
+      (* series-impedance + shunt-admittance limit of a short line *)
+      {
+        a = one +: scale (length *. length /. 2.0) (z *: y);
+        b = scale length z;
+        c = scale length y;
+        d = one +: scale (length *. length /. 2.0) (z *: y);
+      }
+    else begin
+      let z0 = z /: theta in
+      let ch = cosh_cx th and sh = sinh_cx th in
+      { a = ch; b = z0 *: sh; c = sh /: z0; d = ch }
+    end
+  end
+
+let cascade m1 m2 =
+  let open Cx in
+  {
+    a = (m1.a *: m2.a) +: (m1.b *: m2.c);
+    b = (m1.a *: m2.b) +: (m1.b *: m2.d);
+    c = (m1.c *: m2.a) +: (m1.d *: m2.c);
+    d = (m1.c *: m2.b) +: (m1.d *: m2.d);
+  }
+
+let cascade_list ms = List.fold_left cascade identity ms
+
+let determinant m =
+  let open Cx in
+  (m.a *: m.d) -: (m.b *: m.c)
+
+let voltage_transfer_into_open m = Cx.inv m.a

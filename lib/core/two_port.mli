@@ -1,0 +1,40 @@
+(** Complex ABCD (chain) two-port matrices.
+
+    Section 2.1 of the paper composes the driver, the distributed line
+    and the load as a cascade of ABCD matrices; this module provides
+    exactly that algebra over complex frequency-domain values. *)
+
+type t = {
+  a : Rlc_numerics.Cx.t;
+  b : Rlc_numerics.Cx.t;
+  c : Rlc_numerics.Cx.t;
+  d : Rlc_numerics.Cx.t;
+}
+
+val identity : t
+
+val series_impedance : Rlc_numerics.Cx.t -> t
+(** [[1 Z]; [0 1]] — e.g. the driver resistance R_S. *)
+
+val shunt_admittance : Rlc_numerics.Cx.t -> t
+(** [[1 0]; [Y 1]] — e.g. a capacitance s*C to ground. *)
+
+val rlc_line : Line.t -> length:float -> s:Rlc_numerics.Cx.t -> t
+(** The distributed-line matrix
+    [[cosh(theta h), Z0 sinh(theta h)]; [sinh(theta h)/Z0, cosh(theta h)]].
+    Well-defined for any s (including s -> 0 limits) because only the
+    branch-independent products are formed. *)
+
+val cascade : t -> t -> t
+(** Matrix product: [cascade m1 m2] is signal flowing through m1 then
+    m2. *)
+
+val cascade_list : t list -> t
+
+val determinant : t -> Rlc_numerics.Cx.t
+(** AD - BC; 1 for reciprocal networks — used as a numerical check. *)
+
+val voltage_transfer_into_open : t -> Rlc_numerics.Cx.t
+(** Vout/Vin with an open-circuited output port: 1 / A.  (Capacitive
+    loads are folded into the cascade as shunt admittances, so the
+    final port is open.) *)

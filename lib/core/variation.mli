@@ -1,0 +1,54 @@
+(** Statistical treatment of parameter uncertainty — the quantitative
+    version of Section 3.2's observation that the effective line
+    inductance (and, through Miller coupling, the capacitance) cannot
+    be predicted a priori.
+
+    A design (h, k) is frozen; the environment (l, the neighbour
+    switching Miller factor, the driver strength) is sampled; the delay
+    distribution tells the designer what margin the uncertainty costs.
+    Sampling is deterministic given the seed. *)
+
+type distribution = {
+  l_min : float;  (** inductance range, H/m *)
+  l_max : float;
+  miller_min : float;  (** neighbour-activity Miller factor range [0,2] *)
+  miller_max : float;
+  rs_sigma : float;  (** relative driver-strength sigma (trunc. at 3x) *)
+}
+
+val default_distribution : Rlc_tech.Node.t -> distribution
+(** l uniform over [0.25, 0.75] * l_max of the node (the
+    geometry-plausible band), miller uniform over [0.5, 1.5],
+    rs_sigma 5%. *)
+
+type sample = {
+  l : float;
+  c : float;  (** effective wire capacitance after Miller scaling *)
+  rs_scale : float;  (** multiplicative driver-resistance factor *)
+}
+
+val draw : ?seed:int -> n:int -> Rlc_tech.Node.t -> distribution -> sample list
+
+val stage_delay_of_sample :
+  ?f:float -> Rlc_tech.Node.t -> h:float -> k:float -> sample -> float
+(** 50% stage delay with the sampled environment applied. *)
+
+type stats = {
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p95 : float;  (** 95th percentile *)
+}
+
+val delay_statistics :
+  ?seed:int -> ?n:int -> ?f:float -> Rlc_tech.Node.t -> h:float -> k:float ->
+  distribution -> stats
+(** Delay-per-unit-length statistics over [n] (default 500) samples. *)
+
+val compare_sizings :
+  ?seed:int -> ?n:int -> ?f:float -> Rlc_tech.Node.t -> distribution ->
+  (string * float * float) list -> (string * stats) list
+(** Evaluate several named (h, k) candidates on the SAME sample set —
+    e.g. RC-sized vs mid-range-RLC-sized — so their distributions are
+    directly comparable. *)

@@ -1,0 +1,79 @@
+type wire_point = {
+  width : float;
+  geometry : Rlc_extraction.Geometry.t;
+  r : float;
+  c : float;
+  l : float;
+}
+
+let default_l_policy g = 2.0 *. Rlc_extraction.Inductance.microstrip_loop g
+
+let wire_at ?(l_policy = default_l_policy) node ~width =
+  if width <= 0.0 then invalid_arg "Wire_sizing.wire_at: width <= 0";
+  let g0 = node.Rlc_tech.Node.geometry in
+  let pitch = g0.Rlc_extraction.Geometry.pitch in
+  if width >= pitch then
+    invalid_arg "Wire_sizing.wire_at: width does not fit the pitch";
+  let geometry =
+    Rlc_extraction.Geometry.make ~width ~pitch
+      ~thickness:g0.Rlc_extraction.Geometry.thickness
+      ~t_ins:g0.Rlc_extraction.Geometry.t_ins
+      ~eps_r:g0.Rlc_extraction.Geometry.eps_r
+  in
+  {
+    width;
+    geometry;
+    r = Rlc_extraction.Resistance.per_length geometry;
+    c = Rlc_extraction.Capacitance.total ~miller:1.0 geometry;
+    l = l_policy geometry;
+  }
+
+type result = {
+  wire : wire_point;
+  h : float;
+  k : float;
+  delay_per_length : float;
+}
+
+let evaluate ?l_policy ?f node ~width =
+  let wire = wire_at ?l_policy node ~width in
+  let tweaked =
+    Rlc_tech.Node.make ~name:node.Rlc_tech.Node.name
+      ~feature_nm:node.Rlc_tech.Node.feature_nm ~vdd:node.Rlc_tech.Node.vdd
+      ~r:wire.r ~c:wire.c ~geometry:wire.geometry
+      ~driver:node.Rlc_tech.Node.driver ~l_max:node.Rlc_tech.Node.l_max ()
+  in
+  let opt = Rlc_opt.optimize ?f tweaked ~l:wire.l in
+  {
+    wire;
+    h = opt.Rlc_opt.h;
+    k = opt.Rlc_opt.k;
+    delay_per_length = opt.Rlc_opt.delay_per_length;
+  }
+
+let optimize ?l_policy ?f ?(w_min = 0.25e-6) ?w_max node =
+  let w_max =
+    match w_max with
+    | Some w -> w
+    | None ->
+        0.9 *. node.Rlc_tech.Node.geometry.Rlc_extraction.Geometry.pitch
+  in
+  if w_min <= 0.0 || w_max <= w_min then
+    invalid_arg "Wire_sizing.optimize: bad width interval";
+  let objective w = (evaluate ?l_policy ?f node ~width:w).delay_per_length in
+  (* golden-section search on the (unimodal) delay-vs-width curve *)
+  let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
+  let rec go a b iters =
+    if iters = 0 || b -. a < 1e-3 *. b then 0.5 *. (a +. b)
+    else begin
+      let x1 = b -. (phi *. (b -. a)) in
+      let x2 = a +. (phi *. (b -. a)) in
+      if objective x1 < objective x2 then go a x2 (iters - 1)
+      else go x1 b (iters - 1)
+    end
+  in
+  let w_star = go w_min w_max 30 in
+  evaluate ?l_policy ?f node ~width:w_star
+
+let sweep ?l_policy ?f node ~widths =
+  List.map (fun width -> evaluate ?l_policy ?f node ~width) widths

@@ -1,0 +1,55 @@
+(** Joint wire-width / repeater co-optimization.
+
+    The paper optimizes (h, k) for a fixed wire geometry; the natural
+    next knob is the wire width itself.  The routing pitch is a fixed
+    resource (a track), so widening the wire lowers its resistance
+    (r ~ 1/w) but squeezes the neighbour spacing and blows up the
+    coupling capacitance — the delay-optimal width is an interior
+    point of the track.  This module closes the loop with the
+    extraction models: width -> (r, c, l) -> the paper's (h, k)
+    optimizer. *)
+
+type wire_point = {
+  width : float;  (** m *)
+  geometry : Rlc_extraction.Geometry.t;
+  r : float;  (** ohm/m from the resistance model *)
+  c : float;  (** F/m from the capacitance model (quiet neighbours) *)
+  l : float;  (** H/m from the inductance policy *)
+}
+
+val wire_at :
+  ?l_policy:(Rlc_extraction.Geometry.t -> float) ->
+  Rlc_tech.Node.t ->
+  width:float ->
+  wire_point
+(** Re-derive the wire parameters at a new width, keeping the PITCH,
+    thickness, dielectric and stack height of the node's geometry
+    (so the spacing shrinks as the wire widens).  Raises
+    [Invalid_argument] when the width does not fit the pitch.
+    [l_policy] defaults to twice the microstrip loop inductance (a
+    mid-range return-path assumption); pass e.g. [fun _ -> 2e-6] to
+    pin the inductance. *)
+
+type result = {
+  wire : wire_point;
+  h : float;
+  k : float;
+  delay_per_length : float;  (** s/m *)
+}
+
+val evaluate :
+  ?l_policy:(Rlc_extraction.Geometry.t -> float) -> ?f:float ->
+  Rlc_tech.Node.t -> width:float -> result
+(** (h, k)-optimal delay at a given width. *)
+
+val optimize :
+  ?l_policy:(Rlc_extraction.Geometry.t -> float) -> ?f:float ->
+  ?w_min:float -> ?w_max:float -> Rlc_tech.Node.t -> result
+(** Golden-section search for the delay-optimal width in
+    [w_min, w_max] (defaults: 0.25 um up to 90% of the pitch).  The
+    inner (h, k) optimization runs at every probe, so this costs a few
+    hundred milliseconds. *)
+
+val sweep :
+  ?l_policy:(Rlc_extraction.Geometry.t -> float) -> ?f:float ->
+  Rlc_tech.Node.t -> widths:float list -> result list

@@ -1,0 +1,652 @@
+let default_node = Rlc_tech.Presets.node_100nm
+
+let exact_delay_50 stage =
+  let residual t =
+    Rlc_numerics.Laplace.step_response
+      (fun s -> Rlc_core.Transfer.eval stage s)
+      t
+    -. 0.5
+  in
+  let tau2 = Rlc_core.Delay.of_stage stage in
+  let lo, hi =
+    Rlc_numerics.Roots.bracket_first residual ~t0:1e-13 ~dt:(tau2 /. 24.0)
+  in
+  Rlc_numerics.Roots.brent residual lo hi
+
+let print_model_accuracy ?(node = default_node) () =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: 50%% delay model ladder at %s, RC-sized stage (ps)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [
+          "l (nH/mm)"; "Elmore"; "Kahng-Muddu"; "Ismail-Friedman";
+          "Pade-2 (paper)"; "Pade-3"; "AWE-4"; "exact"; "Pade-2 err%";
+          "Pade-3 err%"; "AWE-4 err%";
+        ]
+  in
+  List.iter
+    (fun l_nh ->
+      let l = l_nh *. 1e-6 in
+      let stage = Rlc_core.Rc_opt.stage node ~l in
+      let ps x = Printf.sprintf "%.1f" (x *. 1e12) in
+      let exact = exact_delay_50 stage in
+      let pade2 = Rlc_core.Delay.of_stage stage in
+      let pade3 = Rlc_core.Third_order.delay_stage stage in
+      let awe4 =
+        (* AWE is order-fragile; step down until stable *)
+        let rec attempt q =
+          if q < 2 then None
+          else begin
+            let m = Rlc_tree.Awe.of_stage ~order:q stage in
+            if m.Rlc_tree.Awe.stable then Some (Rlc_tree.Awe.delay m)
+            else attempt (q - 1)
+          end
+        in
+        attempt 4
+      in
+      let err x = Printf.sprintf "%+.1f" ((x /. exact -. 1.0) *. 100.0) in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" l_nh;
+          ps (Rlc_core.Elmore.stage_delay stage);
+          ps (Rlc_core.Kahng_muddu.delay_stage stage);
+          ps (Rlc_core.Ismail_friedman.delay_50 stage);
+          ps pade2;
+          ps pade3;
+          (match awe4 with Some d -> ps d | None -> "-");
+          ps exact;
+          err pade2;
+          err pade3;
+          (match awe4 with Some d -> err d | None -> "-");
+        ])
+    [ 0.0; 0.5; 1.0; 2.0; 3.0; 5.0 ];
+  Rlc_report.Table.print t
+
+let print_power_pareto ?(node = default_node) ?(l = 1.5e-6) () =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: power/delay Pareto of repeater sizing (%s, l = %.1f nH/mm)"
+           node.Rlc_tech.Node.name (l *. 1e6))
+      ~columns:
+        [
+          "lambda"; "h (mm)"; "k"; "delay (ps/mm)"; "power (mW/mm)";
+          "delay penalty %"; "power saving %";
+        ]
+  in
+  List.iteri
+    (fun i r ->
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" (float_of_int i /. 10.0);
+          Printf.sprintf "%.2f" (r.Rlc_core.Power.h *. 1e3);
+          Printf.sprintf "%.0f" r.Rlc_core.Power.k;
+          Printf.sprintf "%.2f" (r.Rlc_core.Power.delay_per_length *. 1e9);
+          Printf.sprintf "%.4f" (r.Rlc_core.Power.power_per_length *. 1.0);
+          Printf.sprintf "%+.1f" ((r.Rlc_core.Power.delay_penalty -. 1.0) *. 100.0);
+          Printf.sprintf "%.1f" (r.Rlc_core.Power.power_saving *. 100.0);
+        ])
+    (Rlc_core.Power.pareto node ~l);
+  Rlc_report.Table.print t
+
+let print_crosstalk ?(node = default_node) () =
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let h = rc.Rlc_core.Rc_opt.h_opt and k = rc.Rlc_core.Rc_opt.k_opt in
+  let driver = node.Rlc_tech.Node.driver in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: coupled-pair switching delays and victim noise (%s)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [
+          "l self (nH/mm)"; "l mutual"; "even (ps)"; "odd (ps)";
+          "nominal (ps)"; "spread %"; "victim noise %";
+        ]
+  in
+  List.iter
+    (fun l_nh ->
+      let l = l_nh *. 1e-6 in
+      let pair =
+        Rlc_core.Coupled.of_geometry node.Rlc_tech.Node.geometry ~l_self:l
+          ~length:h
+      in
+      let d = Rlc_core.Coupled.switching_delays pair ~driver ~h ~k in
+      let noise = Rlc_core.Coupled.victim_noise_peak pair ~driver ~h ~k in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" l_nh;
+          Printf.sprintf "%.2f" (pair.Rlc_core.Coupled.l_mutual *. 1e6);
+          Printf.sprintf "%.1f" (d.Rlc_core.Coupled.even_delay *. 1e12);
+          Printf.sprintf "%.1f" (d.Rlc_core.Coupled.odd_delay *. 1e12);
+          Printf.sprintf "%.1f" (d.Rlc_core.Coupled.nominal_delay *. 1e12);
+          Printf.sprintf "%+.1f" (d.Rlc_core.Coupled.spread *. 100.0);
+          Printf.sprintf "%.1f" (noise *. 100.0);
+        ])
+    [ 0.5; 1.0; 2.0; 3.0; 5.0 ];
+  Rlc_report.Table.print t
+
+let print_variation ?(node = default_node) () =
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let mid_l = 0.5 *. node.Rlc_tech.Node.l_max in
+  let mid = Rlc_core.Rlc_opt.optimize node ~l:mid_l in
+  let dist = Rlc_core.Variation.default_distribution node in
+  let results =
+    Rlc_core.Variation.compare_sizings node dist
+      [
+        ("rc-sized", rc.Rlc_core.Rc_opt.h_opt, rc.Rlc_core.Rc_opt.k_opt);
+        ("rlc-mid-l", mid.Rlc_core.Rlc_opt.h, mid.Rlc_core.Rlc_opt.k);
+      ]
+  in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: delay/length under (l, Miller, driver) variation (%s, ps/mm)"
+           node.Rlc_tech.Node.name)
+      ~columns:[ "sizing"; "mean"; "stddev"; "p95"; "max" ]
+  in
+  List.iter
+    (fun (name, s) ->
+      Rlc_report.Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.2f" (s.Rlc_core.Variation.mean *. 1e9);
+          Printf.sprintf "%.2f" (s.Rlc_core.Variation.stddev *. 1e9);
+          Printf.sprintf "%.2f" (s.Rlc_core.Variation.p95 *. 1e9);
+          Printf.sprintf "%.2f" (s.Rlc_core.Variation.max *. 1e9);
+        ])
+    results;
+  Rlc_report.Table.print t
+
+let print_wire_sizing ?(node = default_node) () =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: wire width co-optimization in a fixed %.1f um track (%s)"
+           (node.Rlc_tech.Node.geometry.Rlc_extraction.Geometry.pitch *. 1e6)
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [ "width (um)"; "r (ohm/mm)"; "c (pF/m)"; "l (nH/mm)"; "delay (ps/mm)" ]
+  in
+  let widths = [ 0.5e-6; 1.0e-6; 1.5e-6; 2.0e-6; 3.0e-6; 3.5e-6 ] in
+  List.iter
+    (fun r ->
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.2f" (r.Rlc_core.Wire_sizing.wire.Rlc_core.Wire_sizing.width *. 1e6);
+          Printf.sprintf "%.2f" (r.Rlc_core.Wire_sizing.wire.Rlc_core.Wire_sizing.r /. 1e3);
+          Printf.sprintf "%.1f" (r.Rlc_core.Wire_sizing.wire.Rlc_core.Wire_sizing.c *. 1e12);
+          Printf.sprintf "%.2f" (r.Rlc_core.Wire_sizing.wire.Rlc_core.Wire_sizing.l *. 1e6);
+          Printf.sprintf "%.2f" (r.Rlc_core.Wire_sizing.delay_per_length *. 1e9);
+        ])
+    (Rlc_core.Wire_sizing.sweep node ~widths);
+  let best = Rlc_core.Wire_sizing.optimize node in
+  Rlc_report.Table.print t;
+  Printf.printf "Optimal width: %.2f um -> %.2f ps/mm\n"
+    (best.Rlc_core.Wire_sizing.wire.Rlc_core.Wire_sizing.width *. 1e6)
+    (best.Rlc_core.Wire_sizing.delay_per_length *. 1e9)
+
+let print_insertion ?(node = default_node) ?(l = 1.5e-6) () =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: integer repeater insertion (%s, l = %.1f nH/mm)"
+           node.Rlc_tech.Node.name (l *. 1e6))
+      ~columns:
+        [
+          "net (mm)"; "repeaters"; "h (mm)"; "k"; "delay (ps)";
+          "continuous bound (ps)"; "quantization %";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f"
+            (float_of_int p.Rlc_core.Insertion.segments
+            *. p.Rlc_core.Insertion.h *. 1e3);
+          string_of_int p.Rlc_core.Insertion.segments;
+          Printf.sprintf "%.2f" (p.Rlc_core.Insertion.h *. 1e3);
+          Printf.sprintf "%.0f" p.Rlc_core.Insertion.k;
+          Printf.sprintf "%.1f" (p.Rlc_core.Insertion.total_delay *. 1e12);
+          Printf.sprintf "%.1f" (p.Rlc_core.Insertion.continuous_bound *. 1e12);
+          Printf.sprintf "%.2f"
+            (p.Rlc_core.Insertion.quantization_penalty *. 100.0);
+        ])
+    (Rlc_core.Insertion.sweep_lengths node ~l
+       ~lengths:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]);
+  Rlc_report.Table.print t
+
+let demo_tree node ~l =
+  let line = Rlc_core.Line.of_node node ~l in
+  let w len = Rlc_tree.Tree.wire_of_line line ~length:len in
+  let c0 = node.Rlc_tech.Node.driver.Rlc_tech.Driver.c0 in
+  Rlc_tree.Tree.node ~name:"root"
+    [
+      ( w 0.010,
+        Rlc_tree.Tree.node ~name:"j1"
+          [
+            (w 0.008, Rlc_tree.Tree.sink ~name:"s1" ~cap:(c0 *. 400.0));
+            ( w 0.012,
+              Rlc_tree.Tree.node ~name:"j2"
+                [
+                  (w 0.004, Rlc_tree.Tree.sink ~name:"s2" ~cap:(c0 *. 200.0));
+                  (w 0.006, Rlc_tree.Tree.sink ~name:"s3" ~cap:(c0 *. 300.0));
+                ] );
+          ] );
+    ]
+  |> Rlc_tree.Tree.segment_edges
+       ~max_segment:(Rlc_tree.Tree.wire_of_line line ~length:0.003)
+
+let print_tree_buffering ?(node = default_node) () =
+  let driver = node.Rlc_tech.Node.driver in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: RLC-aware van Ginneken buffering of a 3-sink net (%s)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [
+          "l (nH/mm)"; "unbuffered (ps)"; "RC-planned (ps)";
+          "RLC-planned (ps)"; "buffers"; "RC plan penalty %";
+        ]
+  in
+  List.iter
+    (fun l_nh ->
+      let l = l_nh *. 1e-6 in
+      let tree = demo_tree node ~l in
+      (* plan ignoring inductance, then pay for it on the real net *)
+      let rc_plan =
+        Rlc_tree.Buffering.insert ~driver ~root_k:500.0 (demo_tree node ~l:0.0)
+      in
+      let rc_planned_delay =
+        Rlc_tree.Buffering.evaluate ~driver ~root_k:500.0
+          ~buffers:rc_plan.Rlc_tree.Buffering.buffers tree
+      in
+      let rlc_plan = Rlc_tree.Buffering.insert ~driver ~root_k:500.0 tree in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" l_nh;
+          Printf.sprintf "%.1f"
+            (rlc_plan.Rlc_tree.Buffering.unbuffered_delay *. 1e12);
+          Printf.sprintf "%.1f" (rc_planned_delay *. 1e12);
+          Printf.sprintf "%.1f" (rlc_plan.Rlc_tree.Buffering.worst_delay *. 1e12);
+          string_of_int (List.length rlc_plan.Rlc_tree.Buffering.buffers);
+          Printf.sprintf "%.1f"
+            ((rc_planned_delay /. rlc_plan.Rlc_tree.Buffering.worst_delay -. 1.0)
+            *. 100.0);
+        ])
+    [ 0.0; 1.0; 2.0; 4.0 ];
+  Rlc_report.Table.print t
+
+let print_sensitivity ?(node = default_node) () =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: delay sensitivity at the RC-sized stage (%s)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [
+          "l (nH/mm)"; "dtau/dl (ps per nH/mm)"; "elasticity l";
+          "elasticity c"; "elasticity r"; "spread +/-0.5nH/mm (ps)";
+        ]
+  in
+  List.iter
+    (fun l_nh ->
+      let stage = Rlc_core.Rc_opt.stage node ~l:(l_nh *. 1e-6) in
+      let s = Rlc_core.Sensitivity.of_stage stage in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" l_nh;
+          Printf.sprintf "%.2f" (s.Rlc_core.Sensitivity.wrt_l *. 1e12 *. 1e-6);
+          Printf.sprintf "%.3f" s.Rlc_core.Sensitivity.elasticity_l;
+          Printf.sprintf "%.3f" s.Rlc_core.Sensitivity.elasticity_c;
+          Printf.sprintf "%.3f" s.Rlc_core.Sensitivity.elasticity_r;
+          Printf.sprintf "%.1f"
+            (Rlc_core.Sensitivity.delay_spread_estimate stage
+               ~l_uncertainty:0.5e-6
+            *. 1e12);
+        ])
+    [ 0.5; 1.0; 2.0; 3.0; 5.0 ];
+  Rlc_report.Table.print t
+
+let print_clock_skew ?(node = default_node) () =
+  let line = Rlc_core.Line.of_node node ~l:1.5e-6 in
+  let tree =
+    Rlc_tree.Htree.build ~levels:4 ~total_span:0.02 ~line
+      ~sink_cap:(node.Rlc_tech.Node.driver.Rlc_tech.Driver.c0 *. 500.0)
+  in
+  let rs = node.Rlc_tech.Node.driver.Rlc_tech.Driver.rs /. 500.0 in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: clock skew from return-path (inductance) asymmetry \
+            (%s, 16-sink 20 mm tree)"
+           node.Rlc_tech.Node.name)
+      ~columns:[ "dl on one half (nH/mm)"; "skew (ps)"; "vs sink delay (%)" ]
+  in
+  let nominal =
+    match Rlc_tree.Htree.sink_delays ~driver_rs:rs tree with
+    | (_, d) :: _ -> d
+    | [] -> nan
+  in
+  List.iter
+    (fun dl_nh ->
+      let dl = dl_nh *. 1e-6 in
+      let bump w =
+        {
+          w with
+          Rlc_tree.Tree.l =
+            w.Rlc_tree.Tree.l
+            +. (dl *. w.Rlc_tree.Tree.r /. node.Rlc_tech.Node.r);
+        }
+      in
+      let skew =
+        Rlc_tree.Htree.skew ~driver_rs:rs
+          (Rlc_tree.Htree.imbalance_first_branch bump tree)
+      in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" dl_nh;
+          Printf.sprintf "%.1f" (skew *. 1e12);
+          Printf.sprintf "%.1f" (skew /. nominal *. 100.0);
+        ])
+    [ 0.0; 0.5; 1.0; 2.0; 3.0 ];
+  Rlc_report.Table.print t
+
+let print_corners ?(node = default_node) () =
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let h = rc.Rlc_core.Rc_opt.h_opt and k = rc.Rlc_core.Rc_opt.k_opt in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf "Extension: sign-off corners for the RC-sized design (%s)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [ "corner"; "delay (ps/mm)"; "overshoot %"; "underdamped" ]
+  in
+  List.iter
+    (fun e ->
+      Rlc_report.Table.add_row t
+        [
+          e.Rlc_core.Corners.corner.Rlc_core.Corners.name;
+          Printf.sprintf "%.2f" (e.Rlc_core.Corners.delay_per_length *. 1e9);
+          Printf.sprintf "%.1f" (e.Rlc_core.Corners.overshoot *. 100.0);
+          (if e.Rlc_core.Corners.underdamped then "yes" else "no");
+        ])
+    (Rlc_core.Corners.evaluate node ~h ~k);
+  let lo, hi = Rlc_core.Corners.delay_window node ~h ~k in
+  Rlc_report.Table.print t;
+  Printf.printf "corner delay window: %.2f .. %.2f ps/mm (%.0f%%)\n"
+    (lo *. 1e9) (hi *. 1e9)
+    ((hi /. lo -. 1.0) *. 100.0)
+
+let print_bus ?(node = default_node) () =
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let h = rc.Rlc_core.Rc_opt.h_opt and k = rc.Rlc_core.Rc_opt.k_opt in
+  let driver = node.Rlc_tech.Node.driver in
+  let pair =
+    Rlc_core.Coupled.of_geometry node.Rlc_tech.Node.geometry ~l_self:1.5e-6
+      ~length:h
+  in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: N-conductor bus modal analysis (%s, l = 1.5 nH/mm)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [
+          "bus width"; "fastest mode (ps)"; "slowest mode (ps)"; "spread %";
+          "victim noise %"; "modal c range";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let bus = Rlc_core.Bus.of_coupled ~n pair in
+      let lo, hi = Rlc_core.Bus.delay_envelope bus ~driver ~h ~k in
+      let noise = Rlc_core.Bus.victim_noise_peak bus ~driver ~h ~k in
+      let cmin, cmax = Rlc_core.Bus.miller_capacitance_range bus in
+      Rlc_report.Table.add_row t
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" (lo *. 1e12);
+          Printf.sprintf "%.1f" (hi *. 1e12);
+          Printf.sprintf "%.0f" ((hi -. lo) /. lo *. 100.0);
+          Printf.sprintf "%.1f" (noise *. 100.0);
+          Printf.sprintf "%.2fx" (cmax /. cmin);
+        ])
+    [ 2; 3; 5; 8; 16 ];
+  Rlc_report.Table.print t
+
+let print_shielding ?(node = default_node) () =
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let results =
+    Rlc_core.Shielding.analyze node ~h:rc.Rlc_core.Rc_opt.h_opt
+      ~k:rc.Rlc_core.Rc_opt.k_opt
+  in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf "Extension: shield vs spacing trade-off (%s)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [
+          "layout"; "c (pF/m)"; "l (nH/mm)"; "delay (ps)"; "spread %";
+          "noise %"; "tracks/signal";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Rlc_report.Table.add_row t
+        [
+          Format.asprintf "%a" Rlc_core.Shielding.pp_layout
+            r.Rlc_core.Shielding.layout;
+          Printf.sprintf "%.0f" (r.Rlc_core.Shielding.c_eff *. 1e12);
+          Printf.sprintf "%.2f" (r.Rlc_core.Shielding.l_eff *. 1e6);
+          Printf.sprintf "%.1f" (r.Rlc_core.Shielding.nominal_delay *. 1e12);
+          Printf.sprintf "%.0f" (r.Rlc_core.Shielding.delay_spread *. 100.0);
+          Printf.sprintf "%.1f" (r.Rlc_core.Shielding.victim_noise *. 100.0);
+          Printf.sprintf "%.0f" r.Rlc_core.Shielding.tracks_per_signal;
+        ])
+    results;
+  Rlc_report.Table.print t
+
+let print_thermal ?(node = default_node) () =
+  let g = node.Rlc_tech.Node.geometry in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: wire self-heating (%s; runaway at %.0f mA rms)"
+           node.Rlc_tech.Node.name
+           (Rlc_extraction.Thermal.runaway_current g *. 1e3))
+      ~columns:
+        [ "I rms (mA)"; "J rms (A/cm^2)"; "dT no-feedback (K)"; "dT (K)" ]
+  in
+  let area = Rlc_extraction.Geometry.cross_section_area g in
+  List.iter
+    (fun i_ma ->
+      let i = i_ma *. 1e-3 in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" i_ma;
+          Printf.sprintf "%.2e" (i /. area /. 1e4);
+          Printf.sprintf "%.3f"
+            (Rlc_extraction.Thermal.temperature_rise_no_feedback g ~i_rms:i);
+          Printf.sprintf "%.3f"
+            (Rlc_extraction.Thermal.temperature_rise g ~i_rms:i);
+        ])
+    [ 1.0; 5.0; 20.0; 50.0; 100.0 ];
+  Rlc_report.Table.print t;
+  Printf.printf
+    "The Figure 12 RMS currents (~5 mA) heat the wire < 0.1 K: the paper's\n\
+     reliability conclusion, quantified.\n"
+
+let print_frequency ?(node = default_node) () =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: frequency-domain view of the RC-sized stage (%s)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [
+          "l (nH/mm)"; "bandwidth (GHz)"; "resonance (GHz)"; "peaking (dB)";
+          "group delay @ 100MHz (ps)";
+        ]
+  in
+  List.iter
+    (fun l_nh ->
+      let stage = Rlc_core.Rc_opt.stage node ~l:(l_nh *. 1e-6) in
+      let bw = Rlc_core.Frequency.bandwidth_3db stage in
+      let res = Rlc_core.Frequency.resonance stage in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" l_nh;
+          Printf.sprintf "%.2f" (bw /. 1e9);
+          (match res with
+          | Some (f, _) -> Printf.sprintf "%.2f" (f /. 1e9)
+          | None -> "-");
+          (match res with
+          | Some (_, db) -> Printf.sprintf "%.1f" db
+          | None -> "0");
+          Printf.sprintf "%.1f" (Rlc_core.Frequency.group_delay stage 1e8 *. 1e12);
+        ])
+    [ 0.0; 0.5; 1.0; 2.0; 4.0 ];
+  Rlc_report.Table.print t
+
+let print_skin ?(node = default_node) () =
+  let g = node.Rlc_tech.Node.geometry in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: skin-effect damping correction (%s, corner %.1f GHz)"
+           node.Rlc_tech.Node.name
+           (Rlc_extraction.Skin.corner_frequency g /. 1e9))
+      ~columns:
+        [
+          "l (nH/mm)"; "f_ring (GHz)"; "r_eff / r_dc";
+          "overshoot dc-r (%)"; "overshoot skin (%)";
+        ]
+  in
+  List.iter
+    (fun l_nh ->
+      let stage = Rlc_core.Rc_opt.stage node ~l:(l_nh *. 1e-6) in
+      let c = Rlc_core.Skin_effect.correct g stage in
+      let dc_ov, skin_ov = Rlc_core.Skin_effect.overshoot_comparison g stage in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" l_nh;
+          Printf.sprintf "%.2f" (c.Rlc_core.Skin_effect.frequency /. 1e9);
+          Printf.sprintf "%.3f"
+            (c.Rlc_core.Skin_effect.r_effective
+            /. stage.Rlc_core.Stage.line.Rlc_core.Line.r);
+          Printf.sprintf "%.1f" (dc_ov *. 100.0);
+          Printf.sprintf "%.1f" (skin_ov *. 100.0);
+        ])
+    [ 0.5; 1.0; 2.0; 4.0 ];
+  Rlc_report.Table.print t
+
+let print_eye ?(node = default_node) () =
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Extension: PRBS eye opening and jitter of the RC-sized stage (%s)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [ "l (nH/mm)"; "eye opening (%)"; "eye low/high (V)"; "jitter (ps)" ]
+  in
+  List.iter
+    (fun l_nh ->
+      let cfg =
+        Rlc_ringosc.Eye.config ~segments:10 ~bits:32 node ~l:(l_nh *. 1e-6)
+          ~h:rc.Rlc_core.Rc_opt.h_opt ~k:rc.Rlc_core.Rc_opt.k_opt
+      in
+      match Rlc_ringosc.Eye.run cfg with
+      | m ->
+          Rlc_report.Table.add_row t
+            [
+              Printf.sprintf "%.1f" l_nh;
+              Printf.sprintf "%.1f" (m.Rlc_ringosc.Eye.eye_opening *. 100.0);
+              Printf.sprintf "%.2f / %.2f" m.Rlc_ringosc.Eye.eye_low
+                m.Rlc_ringosc.Eye.eye_high;
+              Printf.sprintf "%.1f" (m.Rlc_ringosc.Eye.jitter *. 1e12);
+            ]
+      | exception Failure _ ->
+          Rlc_report.Table.add_row t
+            [ Printf.sprintf "%.1f" l_nh; "collapsed"; "-"; "-" ])
+    [ 0.0; 1.0; 2.0; 3.0; 5.0 ];
+  Rlc_report.Table.print t
+
+let print_chain ?(node = default_node)
+    ?(l_values = [ 0.0; 2.0e-6; 4.0e-6 ]) () =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Control: square-wave-driven 5-stage buffered line (%s)"
+           node.Rlc_tech.Node.name)
+      ~columns:
+        [ "l (nH/mm)"; "input edges"; "output edges"; "false switching" ]
+  in
+  List.iter
+    (fun l ->
+      let cfg = Rlc_ringosc.Chain.rc_sized_config ~segments:10 node ~l in
+      let v = Rlc_ringosc.Chain.check (Rlc_ringosc.Chain.simulate cfg) in
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.1f" (l *. 1e6);
+          string_of_int v.Rlc_ringosc.Chain.input_edges;
+          string_of_int v.Rlc_ringosc.Chain.output_edges;
+          (if v.Rlc_ringosc.Chain.false_switching then "YES" else "no");
+        ])
+    l_values;
+  Rlc_report.Table.print t
+
+let print_all_fast () =
+  print_model_accuracy ();
+  print_newline ();
+  print_power_pareto ();
+  print_newline ();
+  print_crosstalk ();
+  print_newline ();
+  print_variation ();
+  print_newline ();
+  print_wire_sizing ();
+  print_newline ();
+  print_insertion ();
+  print_newline ();
+  print_tree_buffering ();
+  print_newline ();
+  print_clock_skew ();
+  print_newline ();
+  print_sensitivity ();
+  print_newline ();
+  print_corners ();
+  print_newline ();
+  print_bus ();
+  print_newline ();
+  print_shielding ();
+  print_newline ();
+  print_thermal ();
+  print_newline ();
+  print_frequency ();
+  print_newline ();
+  print_skin ();
+  print_newline ();
+  print_eye ()

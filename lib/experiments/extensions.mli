@@ -1,0 +1,36 @@
+(** Beyond-the-paper experiments: ablations of the paper's modelling
+    choices and the extension studies DESIGN.md calls out.
+
+    - model accuracy ladder: Elmore / Kahng-Muddu / Ismail-Friedman /
+      2nd-order Padé (the paper's choice) / 3rd-order / exact (Talbot),
+      quantifying what the second-order truncation costs;
+    - power-delay Pareto front of repeater sizing;
+    - coupled-line switching-delay spread and victim crosstalk noise;
+    - delay distributions under inductance/Miller/driver variation;
+    - wire-width co-optimization inside a fixed routing track;
+    - integer repeater insertion for fixed-length nets;
+    - the square-wave-driven buffered chain (the paper's control for
+      the ring-oscillator false-switching result). *)
+
+val print_model_accuracy : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_power_pareto : ?node:Rlc_tech.Node.t -> ?l:float -> unit -> unit
+val print_crosstalk : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_variation : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_wire_sizing : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_insertion : ?node:Rlc_tech.Node.t -> ?l:float -> unit -> unit
+val print_tree_buffering : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_clock_skew : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_sensitivity : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_corners : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_bus : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_shielding : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_thermal : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_frequency : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_skin : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_eye : ?node:Rlc_tech.Node.t -> unit -> unit
+
+val print_chain : ?node:Rlc_tech.Node.t -> ?l_values:float list -> unit -> unit
+(** Transient simulations — a couple of seconds per inductance value. *)
+
+val print_all_fast : unit -> unit
+(** Everything except [print_chain]. *)

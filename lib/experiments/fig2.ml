@@ -1,0 +1,57 @@
+type case = {
+  regime : Rlc_core.Pade.damping;
+  l : float;
+  waveform : Rlc_waveform.Waveform.t;
+  overshoot : float;
+}
+
+let compute ?(node = Rlc_tech.Presets.node_100nm) () =
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let h = rc.Rlc_core.Rc_opt.h_opt and k = rc.Rlc_core.Rc_opt.k_opt in
+  let l_crit = Rlc_core.Critical_inductance.of_node node ~h ~k in
+  let horizon cs = 8.0 *. cs.Rlc_core.Pade.b1 in
+  let mk l =
+    let stage = Rlc_core.Stage.of_node node ~l ~h ~k in
+    let cs = Rlc_core.Pade.coeffs stage in
+    {
+      regime = Rlc_core.Pade.classify cs;
+      l;
+      waveform = Rlc_core.Step_response.waveform cs ~t_end:(horizon cs);
+      overshoot = Rlc_core.Step_response.overshoot cs;
+    }
+  in
+  [ mk (0.2 *. l_crit); mk l_crit; mk (5.0 *. l_crit) ]
+
+let regime_name = function
+  | Rlc_core.Pade.Underdamped -> "underdamped"
+  | Rlc_core.Pade.Critically_damped -> "critical"
+  | Rlc_core.Pade.Overdamped -> "overdamped"
+
+let print cases =
+  let series =
+    List.mapi
+      (fun i case ->
+        let label = (regime_name case.regime).[0] in
+        ignore i;
+        Rlc_report.Ascii_plot.series ~label
+          ~xs:(Rlc_waveform.Waveform.times case.waveform)
+          ~ys:(Rlc_waveform.Waveform.values case.waveform))
+      cases
+  in
+  Rlc_report.Ascii_plot.print
+    ~title:"Figure 2: step responses (o=overdamped, c=critical, u=underdamped)"
+    series;
+  let t =
+    Rlc_report.Table.create ~title:"Figure 2 summary"
+      ~columns:[ "regime"; "l (nH/mm)"; "overshoot (%)" ]
+  in
+  List.iter
+    (fun case ->
+      Rlc_report.Table.add_row t
+        [
+          regime_name case.regime;
+          Printf.sprintf "%.3f" (case.l *. 1e6);
+          Printf.sprintf "%.1f" (case.overshoot *. 100.0);
+        ])
+    cases;
+  Rlc_report.Table.print t

@@ -1,0 +1,17 @@
+(** Experiment F2 — Figure 2: step response of the second-order model
+    in its three damping regimes.
+
+    The stage is the RC-optimally-sized 100 nm configuration; the line
+    inductance is set below, at and above the critical value of
+    equation (4) to produce the overdamped, critically damped and
+    underdamped responses. *)
+
+type case = {
+  regime : Rlc_core.Pade.damping;
+  l : float;  (** H/m *)
+  waveform : Rlc_waveform.Waveform.t;  (** normalized to V0 = 1 *)
+  overshoot : float;  (** fraction of final value *)
+}
+
+val compute : ?node:Rlc_tech.Node.t -> unit -> case list
+val print : case list -> unit

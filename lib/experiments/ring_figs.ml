@@ -1,0 +1,122 @@
+type waveform_case = {
+  l : float;
+  sim : Rlc_ringosc.Ring.sim;
+  measurement : Rlc_ringosc.Analysis.measurement;
+}
+
+let waveforms ?(node = Rlc_tech.Presets.node_100nm) ?(segments = 12) ~l_values
+    () =
+  List.map
+    (fun l ->
+      let cfg = Rlc_ringosc.Ring.rc_sized_config ~segments node ~l in
+      let sim = Rlc_ringosc.Ring.simulate cfg in
+      { l; sim; measurement = Rlc_ringosc.Analysis.measure sim })
+    l_values
+
+let last_portion w fraction =
+  let t0 = Rlc_waveform.Waveform.t_start w in
+  let t1 = Rlc_waveform.Waveform.t_end w in
+  Rlc_waveform.Waveform.slice w ~t0:(t1 -. (fraction *. (t1 -. t0))) ~t1
+
+let print_waveform_case case =
+  let m = case.measurement in
+  Printf.printf
+    "Ring waveforms at l = %.2f nH/mm: period=%s overshoot=%.3f V undershoot=%.3f V\n"
+    (case.l *. 1e6)
+    (match m.Rlc_ringosc.Analysis.period with
+    | Some p -> Printf.sprintf "%.3f ns" (p *. 1e9)
+    | None -> "none")
+    m.Rlc_ringosc.Analysis.input_overshoot
+    m.Rlc_ringosc.Analysis.input_undershoot;
+  (* plot the last ~3 periods of input and output *)
+  let vin = last_portion case.sim.Rlc_ringosc.Ring.in0 0.25 in
+  let vout = last_portion case.sim.Rlc_ringosc.Ring.out0 0.25 in
+  Rlc_report.Ascii_plot.print
+    ~title:
+      (Printf.sprintf
+         "Figures 9/10 style: inverter input (i) and output (o), l = %.2f nH/mm"
+         (case.l *. 1e6))
+    [
+      Rlc_report.Ascii_plot.series ~label:'i'
+        ~xs:(Rlc_waveform.Waveform.times vin)
+        ~ys:(Rlc_waveform.Waveform.values vin);
+      Rlc_report.Ascii_plot.series ~label:'o'
+        ~xs:(Rlc_waveform.Waveform.times vout)
+        ~ys:(Rlc_waveform.Waveform.values vout);
+    ]
+
+type sweep_point = { l : float; m : Rlc_ringosc.Analysis.measurement }
+
+let period_sweep ?(segments = 12) node ~l_values =
+  List.map
+    (fun (l, m) -> { l; m })
+    (Rlc_ringosc.Analysis.period_sweep ~segments node ~l_values)
+
+let print_fig11 ~node_name points =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf "Figure 11: ring-oscillator period vs l (%s)" node_name)
+      ~columns:[ "l (nH/mm)"; "period (ns)"; "false switching" ]
+  in
+  (* the period grows with l before collapsing, so the collapse is
+     detected against the running maximum, not the l=0 value *)
+  let running_max = ref nan in
+  List.iter
+    (fun { l; m } ->
+      let flagged =
+        (not (Float.is_nan !running_max))
+        && Rlc_ringosc.Analysis.false_switching ~baseline_period:!running_max m
+      in
+      (match m.Rlc_ringosc.Analysis.period with
+      | Some p when not flagged ->
+          running_max :=
+            (if Float.is_nan !running_max then p else Float.max !running_max p)
+      | Some _ | None -> ());
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.2f" (l *. 1e6);
+          (match m.Rlc_ringosc.Analysis.period with
+          | Some p -> Printf.sprintf "%.3f" (p *. 1e9)
+          | None -> "-");
+          (if flagged then "YES" else "no");
+        ])
+    points;
+  Rlc_report.Table.print t;
+  let usable =
+    List.filter_map
+      (fun { l; m } ->
+        Option.map (fun p -> (l *. 1e6, p *. 1e9)) m.Rlc_ringosc.Analysis.period)
+      points
+  in
+  if List.length usable >= 2 then
+    Rlc_report.Ascii_plot.print
+      ~title:
+        (Printf.sprintf "Figure 11 (%s; x: l nH/mm, y: period ns)" node_name)
+      [
+        Rlc_report.Ascii_plot.series ~label:'p'
+          ~xs:(Array.of_list (List.map fst usable))
+          ~ys:(Array.of_list (List.map snd usable));
+      ]
+
+let print_fig12 ~node_name points =
+  let t =
+    Rlc_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure 12: wire current density vs l (%s, top metal)" node_name)
+      ~columns:[ "l (nH/mm)"; "J peak (A/cm^2)"; "J rms (A/cm^2)" ]
+  in
+  List.iter
+    (fun { l; m } ->
+      Rlc_report.Table.add_row t
+        [
+          Printf.sprintf "%.2f" (l *. 1e6);
+          Printf.sprintf "%.3e" (m.Rlc_ringosc.Analysis.peak_current_density /. 1e4);
+          Printf.sprintf "%.3e" (m.Rlc_ringosc.Analysis.rms_current_density /. 1e4);
+        ])
+    points;
+  Rlc_report.Table.print t
+
+let default_l_values () =
+  List.init 14 (fun i -> float_of_int i *. 0.4e-6)

@@ -1,0 +1,37 @@
+(** Experiments F9-F12 — the ring-oscillator studies of Section 3.3.
+
+    F9/F10: inverter input/output waveforms at l = 1.8 and 2.2 nH/mm
+    (100 nm node, RC-sized stages).  F11: oscillation period vs l, with
+    the false-switching collapse.  F12: peak and RMS wire current
+    densities vs l. *)
+
+type waveform_case = {
+  l : float;
+  sim : Rlc_ringosc.Ring.sim;
+  measurement : Rlc_ringosc.Analysis.measurement;
+}
+
+val waveforms :
+  ?node:Rlc_tech.Node.t ->
+  ?segments:int ->
+  l_values:float list ->
+  unit ->
+  waveform_case list
+(** Simulate the RC-sized ring at each inductance (defaults: 100 nm
+    node, 12 ladder segments). *)
+
+val print_waveform_case : waveform_case -> unit
+
+type sweep_point = { l : float; m : Rlc_ringosc.Analysis.measurement }
+
+val period_sweep :
+  ?segments:int ->
+  Rlc_tech.Node.t ->
+  l_values:float list ->
+  sweep_point list
+
+val print_fig11 : node_name:string -> sweep_point list -> unit
+val print_fig12 : node_name:string -> sweep_point list -> unit
+
+val default_l_values : unit -> float list
+(** 0 .. 5 nH/mm in 0.4 nH/mm steps (H/m). *)

@@ -1,0 +1,168 @@
+type point = {
+  l : float;
+  opt : Rlc_core.Rlc_opt.result;
+  l_crit : float;
+  h_ratio : float;
+  k_ratio : float;
+  delay_ratio : float;
+  rc_sized_penalty : float;
+  if_h_ratio : float;
+  if_k_ratio : float;
+  km_applicable : bool;
+  km_delay_error : float;
+}
+
+type sweep = { node : Rlc_tech.Node.t; points : point list }
+
+let run ?(n = 21) node =
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let h_rc = rc.Rlc_core.Rc_opt.h_opt and k_rc = rc.Rlc_core.Rc_opt.k_opt in
+  let base = Rlc_core.Rlc_opt.optimize node ~l:0.0 in
+  let base_dpl = base.Rlc_core.Rlc_opt.delay_per_length in
+  let points =
+    List.init n (fun i ->
+        let l =
+          float_of_int i /. float_of_int (n - 1) *. node.Rlc_tech.Node.l_max
+        in
+        let opt = Rlc_core.Rlc_opt.optimize node ~l in
+        let opt_stage =
+          Rlc_core.Stage.of_node node ~l ~h:opt.Rlc_core.Rlc_opt.h
+            ~k:opt.Rlc_core.Rlc_opt.k
+        in
+        let l_crit = Rlc_core.Critical_inductance.of_stage opt_stage in
+        let rc_stage = Rlc_core.Stage.of_node node ~l ~h:h_rc ~k:k_rc in
+        let rc_sized_dpl = Rlc_core.Delay.per_unit_length rc_stage in
+        let cs = Rlc_core.Pade.coeffs opt_stage in
+        let exact = Rlc_core.Delay.of_coeffs cs in
+        let km = Rlc_core.Kahng_muddu.delay cs in
+        {
+          l;
+          opt;
+          l_crit;
+          h_ratio = opt.Rlc_core.Rlc_opt.h /. h_rc;
+          k_ratio = opt.Rlc_core.Rlc_opt.k /. k_rc;
+          delay_ratio = opt.Rlc_core.Rlc_opt.delay_per_length /. base_dpl;
+          rc_sized_penalty =
+            rc_sized_dpl /. opt.Rlc_core.Rlc_opt.delay_per_length;
+          if_h_ratio = Rlc_core.Ismail_friedman.h_opt node ~l /. h_rc;
+          if_k_ratio = Rlc_core.Ismail_friedman.k_opt node ~l /. k_rc;
+          km_applicable = Rlc_core.Kahng_muddu.is_applicable cs;
+          km_delay_error = km /. exact;
+        })
+  in
+  { node; points }
+
+let nh l = l *. 1e6
+
+let figure_table ~title ~column ~value sweeps =
+  let t =
+    Rlc_report.Table.create ~title
+      ~columns:
+        ("l (nH/mm)"
+        :: List.map
+             (fun s -> s.node.Rlc_tech.Node.name ^ " " ^ column)
+             sweeps)
+  in
+  (match sweeps with
+  | [] -> ()
+  | first :: _ ->
+      List.iteri
+        (fun i p0 ->
+          Rlc_report.Table.add_row t
+            (Printf.sprintf "%.2f" (nh p0.l)
+            :: List.map
+                 (fun s -> Printf.sprintf "%.4f" (value (List.nth s.points i)))
+                 sweeps))
+        first.points);
+  Rlc_report.Table.print t
+
+let figure_plot ~title ~value sweeps =
+  let series =
+    List.map
+      (fun s ->
+        Rlc_report.Ascii_plot.series
+          ~label:s.node.Rlc_tech.Node.name.[0]
+          ~xs:(Array.of_list (List.map (fun p -> nh p.l) s.points))
+          ~ys:(Array.of_list (List.map value s.points)))
+      sweeps
+  in
+  Rlc_report.Ascii_plot.print ~title series
+
+let print_fig4 sweeps =
+  figure_table
+    ~title:"Figure 4: critical inductance l_crit at the optimized (h,k)"
+    ~column:"l_crit (nH/mm)"
+    ~value:(fun p -> nh p.l_crit)
+    sweeps;
+  figure_plot ~title:"Figure 4 (x: l nH/mm, y: l_crit nH/mm; 2=250nm 1=100nm)"
+    ~value:(fun p -> nh p.l_crit)
+    sweeps
+
+let print_fig5 sweeps =
+  figure_table ~title:"Figure 5: h_optRLC / h_optRC" ~column:"h ratio"
+    ~value:(fun p -> p.h_ratio)
+    sweeps;
+  figure_plot ~title:"Figure 5 (x: l nH/mm, y: h ratio)"
+    ~value:(fun p -> p.h_ratio)
+    sweeps
+
+let print_fig6 sweeps =
+  figure_table ~title:"Figure 6: k_optRLC / k_optRC" ~column:"k ratio"
+    ~value:(fun p -> p.k_ratio)
+    sweeps;
+  figure_plot ~title:"Figure 6 (x: l nH/mm, y: k ratio)"
+    ~value:(fun p -> p.k_ratio)
+    sweeps
+
+let print_fig7 sweeps =
+  figure_table
+    ~title:
+      "Figure 7: optimized delay-per-length ratio (tau/h)(l) / (tau/h)(0)"
+    ~column:"delay ratio"
+    ~value:(fun p -> p.delay_ratio)
+    sweeps;
+  figure_plot ~title:"Figure 7 (x: l nH/mm, y: delay ratio)"
+    ~value:(fun p -> p.delay_ratio)
+    sweeps
+
+let print_fig8 sweeps =
+  figure_table
+    ~title:
+      "Figure 8: delay penalty of RC-sized repeaters vs RLC-optimal sizing"
+    ~column:"penalty"
+    ~value:(fun p -> p.rc_sized_penalty)
+    sweeps;
+  figure_plot ~title:"Figure 8 (x: l nH/mm, y: penalty ratio)"
+    ~value:(fun p -> p.rc_sized_penalty)
+    sweeps
+
+let print_baselines sweeps =
+  List.iter
+    (fun s ->
+      let t =
+        Rlc_report.Table.create
+          ~title:
+            (Printf.sprintf
+               "Baselines at %s: Ismail-Friedman fit and Kahng-Muddu delay"
+               s.node.Rlc_tech.Node.name)
+          ~columns:
+            [
+              "l (nH/mm)"; "h ratio (ours)"; "h ratio (IF)"; "k ratio (ours)";
+              "k ratio (IF)"; "KM applicable"; "KM delay / exact";
+            ]
+      in
+      List.iter
+        (fun p ->
+          Rlc_report.Table.add_row t
+            [
+              Printf.sprintf "%.2f" (nh p.l);
+              Printf.sprintf "%.3f" p.h_ratio;
+              Printf.sprintf "%.3f" p.if_h_ratio;
+              Printf.sprintf "%.3f" p.k_ratio;
+              Printf.sprintf "%.3f" p.if_k_ratio;
+              (if p.km_applicable then "yes" else "no");
+              Printf.sprintf "%.3f" p.km_delay_error;
+            ])
+        s.points;
+      Rlc_report.Table.print t)
+    sweeps

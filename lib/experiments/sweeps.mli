@@ -1,0 +1,43 @@
+(** Experiments F4-F8 — the inductance sweeps of Section 3.1 / 3.2.
+
+    One sweep per technology node computes everything Figures 4-8 plot:
+    the optimized (h, k) and delay per unit length, the critical
+    inductance at the optimum, the ratios against the Elmore/RC-optimal
+    sizing, the fixed-RC-sizing delay penalty, and the Ismail-Friedman
+    and Kahng-Muddu baselines for comparison. *)
+
+type point = {
+  l : float;  (** line inductance, H/m *)
+  opt : Rlc_core.Rlc_opt.result;  (** RLC-optimal (h, k, tau) *)
+  l_crit : float;  (** critical inductance at the optimized (h, k), H/m *)
+  h_ratio : float;  (** h_optRLC / h_optRC — Figure 5 *)
+  k_ratio : float;  (** k_optRLC / k_optRC — Figure 6 *)
+  delay_ratio : float;
+      (** (tau/h)_optRLC(l) / (tau/h)_optRLC(0) — Figure 7 *)
+  rc_sized_penalty : float;
+      (** [tau(h_RC, k_RC; l) / h_RC] / (tau/h)_optRLC(l) — Figure 8 *)
+  if_h_ratio : float;  (** Ismail-Friedman h correction (baseline) *)
+  if_k_ratio : float;  (** Ismail-Friedman k correction (baseline) *)
+  km_applicable : bool;
+      (** whether the Kahng-Muddu approximation is outside its
+          critical-damping fallback at the optimized stage *)
+  km_delay_error : float;
+      (** Kahng-Muddu delay / exact delay at the optimized stage *)
+}
+
+type sweep = { node : Rlc_tech.Node.t; points : point list }
+
+val run : ?n:int -> Rlc_tech.Node.t -> sweep
+(** Sweep l over [0, node.l_max] with [n] points (default 21). *)
+
+val print_fig4 : sweep list -> unit
+val print_fig5 : sweep list -> unit
+val print_fig6 : sweep list -> unit
+val print_fig7 : sweep list -> unit
+(** Figure 7 additionally expects the 100nm-with-250nm-dielectric
+    ablation sweep in the list. *)
+
+val print_fig8 : sweep list -> unit
+val print_baselines : sweep list -> unit
+(** Extra table: our optimizer against the Ismail-Friedman and
+    Kahng-Muddu baselines. *)

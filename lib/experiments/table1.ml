@@ -1,0 +1,86 @@
+type row = {
+  node : Rlc_tech.Node.t;
+  rc : Rlc_core.Rc_opt.result;
+  rederived_driver : Rlc_tech.Driver.t;
+  c_extracted_quiet : float;
+  c_extracted_worst : float;
+  l_loop_min : float;
+  l_worst : float;
+}
+
+let compute () =
+  List.map
+    (fun node ->
+      let rc = Rlc_core.Rc_opt.optimize node in
+      let rederived_driver =
+        Rlc_core.Rc_opt.derive_driver ~r:node.Rlc_tech.Node.r
+          ~c:node.Rlc_tech.Node.c ~h_opt:rc.Rlc_core.Rc_opt.h_opt
+          ~k_opt:rc.Rlc_core.Rc_opt.k_opt ~tau_opt:rc.Rlc_core.Rc_opt.tau_opt
+      in
+      let geometry = node.Rlc_tech.Node.geometry in
+      let c_quiet = Rlc_extraction.Capacitance.total ~miller:1.0 geometry in
+      let _, c_worst = Rlc_extraction.Capacitance.miller_range geometry in
+      let l_min = Rlc_extraction.Inductance.microstrip_loop geometry in
+      let l_worst =
+        Rlc_extraction.Inductance.worst_case geometry
+          ~length:rc.Rlc_core.Rc_opt.h_opt
+      in
+      {
+        node;
+        rc;
+        rederived_driver;
+        c_extracted_quiet = c_quiet;
+        c_extracted_worst = c_worst;
+        l_loop_min = l_min;
+        l_worst;
+      })
+    Rlc_tech.Presets.all
+
+let print rows =
+  let t =
+    Rlc_report.Table.create ~title:"Table 1: technology parameters (paper-given + derived)"
+      ~columns:
+        [
+          "node"; "r(ohm/mm)"; "c(pF/m)"; "h_optRC(mm)"; "k_optRC";
+          "tau_optRC(ps)"; "rs(kohm)"; "c0(fF)"; "cp(fF)";
+        ]
+  in
+  List.iter
+    (fun row ->
+      let d = row.rederived_driver in
+      Rlc_report.Table.add_row t
+        [
+          row.node.Rlc_tech.Node.name;
+          Printf.sprintf "%.1f" (row.node.Rlc_tech.Node.r /. 1e3);
+          Printf.sprintf "%.2f" (row.node.Rlc_tech.Node.c *. 1e12);
+          Printf.sprintf "%.1f" (row.rc.Rlc_core.Rc_opt.h_opt *. 1e3);
+          Printf.sprintf "%.0f" row.rc.Rlc_core.Rc_opt.k_opt;
+          Printf.sprintf "%.2f" (row.rc.Rlc_core.Rc_opt.tau_opt *. 1e12);
+          Printf.sprintf "%.3f" (d.Rlc_tech.Driver.rs /. 1e3);
+          Printf.sprintf "%.4f" (d.Rlc_tech.Driver.c0 *. 1e15);
+          Printf.sprintf "%.4f" (d.Rlc_tech.Driver.cp *. 1e15);
+        ])
+    rows;
+  Rlc_report.Table.print t;
+  let e =
+    Rlc_report.Table.create
+      ~title:"Table 1 cross-check: analytic extraction vs paper values"
+      ~columns:
+        [
+          "node"; "c paper(pF/m)"; "c quiet(pF/m)"; "c worst(pF/m)";
+          "l min(nH/mm)"; "l worst(nH/mm)";
+        ]
+  in
+  List.iter
+    (fun row ->
+      Rlc_report.Table.add_row e
+        [
+          row.node.Rlc_tech.Node.name;
+          Printf.sprintf "%.1f" (row.node.Rlc_tech.Node.c *. 1e12);
+          Printf.sprintf "%.1f" (row.c_extracted_quiet *. 1e12);
+          Printf.sprintf "%.1f" (row.c_extracted_worst *. 1e12);
+          Printf.sprintf "%.3f" (row.l_loop_min *. 1e6);
+          Printf.sprintf "%.3f" (row.l_worst *. 1e6);
+        ])
+    rows;
+  Rlc_report.Table.print e

@@ -1,0 +1,23 @@
+(** Experiment T1 — regenerate Table 1 of the paper.
+
+    For each technology node: the given per-unit-length parameters, the
+    derived RC-optimal repeater insertion (h_optRC, k_optRC, tau_optRC)
+    from the closed forms, the inverse derivation of the driver
+    parameters from those optima (the paper's SPICE flow run backwards,
+    closing the loop), and the analytic extractor's estimate of the
+    wire capacitance and inductance range from the Table 1 geometry
+    (the FASTCAP / field-solver substitution check). *)
+
+type row = {
+  node : Rlc_tech.Node.t;
+  rc : Rlc_core.Rc_opt.result;
+  rederived_driver : Rlc_tech.Driver.t;
+      (** from (r, c, h_opt, k_opt, tau_opt); must round-trip *)
+  c_extracted_quiet : float;  (** analytic extraction, quiet neighbours, F/m *)
+  c_extracted_worst : float;  (** worst-case Miller switching, F/m *)
+  l_loop_min : float;  (** return plane under the line, H/m *)
+  l_worst : float;  (** far-return worst case at h_optRC length, H/m *)
+}
+
+val compute : unit -> row list
+val print : row list -> unit

@@ -1,0 +1,28 @@
+let eps0 = 8.8541878128e-12
+
+let eps g = eps0 *. g.Geometry.eps_r
+
+let parallel_plate g =
+  eps g *. g.Geometry.width /. g.Geometry.t_ins
+
+let meijs_fokkema_ground g =
+  let w_h = g.Geometry.width /. g.Geometry.t_ins in
+  let t_h = g.Geometry.thickness /. g.Geometry.t_ins in
+  eps g *. (w_h +. 0.77 +. (1.06 *. (w_h ** 0.25)) +. (1.06 *. Float.sqrt t_h))
+
+let sakurai_coupling g =
+  let h = g.Geometry.t_ins in
+  let w_h = g.Geometry.width /. h in
+  let t_h = g.Geometry.thickness /. h in
+  let s_h = Geometry.spacing g /. h in
+  let shape =
+    (0.03 *. w_h) +. (0.83 *. t_h) -. (0.07 *. (t_h ** 0.222))
+  in
+  eps g *. shape *. (s_h ** -1.34)
+
+let total ?(miller = 1.0) g =
+  if miller < 0.0 || miller > 2.0 then
+    invalid_arg "Capacitance.total: miller must be in [0,2]";
+  meijs_fokkema_ground g +. (2.0 *. miller *. sakurai_coupling g)
+
+let miller_range g = (total ~miller:0.0 g, total ~miller:2.0 g)

@@ -1,0 +1,30 @@
+(** Analytic per-unit-length capacitance models.
+
+    Substitute for the FASTCAP runs of the paper (Section 3): the
+    van der Meijs-Fokkema empirical model gives the line-to-plane
+    component and the Sakurai-Tamaru model the line-to-line coupling.
+    Both are accurate to a few percent against field solvers inside
+    their fitted ranges, which covers the Table 1 geometries. *)
+
+val eps0 : float
+(** Vacuum permittivity, F/m. *)
+
+val parallel_plate : Geometry.t -> float
+(** Ideal plate capacitance eps * w / t_ins, F/m — the lower bound. *)
+
+val meijs_fokkema_ground : Geometry.t -> float
+(** Line-over-plane capacitance including fringe:
+    c/eps = w/h + 0.77 + 1.06 (w/h)^0.25 + 1.06 (t/h)^0.5. *)
+
+val sakurai_coupling : Geometry.t -> float
+(** Line-to-line coupling capacitance per neighbour (Sakurai-Tamaru):
+    c/eps = (0.03 w/h + 0.83 t/h - 0.07 (t/h)^0.222) (s/h)^-1.34. *)
+
+val total : ?miller:float -> Geometry.t -> float
+(** Effective per-unit-length capacitance with two neighbours:
+    ground component + 2 * miller * coupling.  [miller] in [0, 2]
+    models neighbour switching activity (Section 3: effective line
+    capacitance varies by up to 4x); default 1.0 (quiet neighbours). *)
+
+val miller_range : Geometry.t -> float * float
+(** (best case, worst case) effective capacitance: miller 0 and 2. *)

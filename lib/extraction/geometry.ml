@@ -1,0 +1,31 @@
+type t = {
+  width : float;
+  pitch : float;
+  thickness : float;
+  t_ins : float;
+  eps_r : float;
+}
+
+let make ~width ~pitch ~thickness ~t_ins ~eps_r =
+  let positive name v =
+    if v <= 0.0 then
+      invalid_arg (Printf.sprintf "Geometry.make: %s must be positive" name)
+  in
+  positive "width" width;
+  positive "pitch" pitch;
+  positive "thickness" thickness;
+  positive "t_ins" t_ins;
+  positive "eps_r" eps_r;
+  if pitch <= width then invalid_arg "Geometry.make: pitch must exceed width";
+  { width; pitch; thickness; t_ins; eps_r }
+
+let spacing g = g.pitch -. g.width
+let aspect_ratio g = g.thickness /. g.width
+let cross_section_area g = g.width *. g.thickness
+let um x = x *. 1e-6
+
+let pp ppf g =
+  Format.fprintf ppf
+    "geometry<w=%.2fum p=%.2fum t=%.2fum tins=%.2fum eps_r=%.2f>"
+    (g.width *. 1e6) (g.pitch *. 1e6) (g.thickness *. 1e6) (g.t_ins *. 1e6)
+    g.eps_r

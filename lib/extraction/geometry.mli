@@ -1,0 +1,36 @@
+(** Interconnect cross-section geometry.
+
+    Mirrors the columns of Table 1 of the paper: line width, pitch,
+    metal thickness ("height" in the table), distance to the return
+    plane / substrate ([t_ins]) and the dielectric constant. *)
+
+type t = {
+  width : float;  (** line width, m *)
+  pitch : float;  (** centre-to-centre pitch to neighbours, m *)
+  thickness : float;  (** metal thickness, m *)
+  t_ins : float;  (** dielectric stack height to the return plane, m *)
+  eps_r : float;  (** relative permittivity of the dielectric *)
+}
+
+val make :
+  width:float ->
+  pitch:float ->
+  thickness:float ->
+  t_ins:float ->
+  eps_r:float ->
+  t
+(** Validates positivity of every field and [pitch > width]. *)
+
+val spacing : t -> float
+(** Edge-to-edge spacing to a neighbour: [pitch - width]. *)
+
+val aspect_ratio : t -> float
+(** [thickness / width]; > 1 in DSM technologies (Section 3). *)
+
+val cross_section_area : t -> float
+(** [width * thickness], m^2 — used for current densities (Fig. 12). *)
+
+val um : float -> float
+(** Micrometres to metres. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+let mu0 = 4.0e-7 *. Float.pi
+
+let two_pi_factor = mu0 /. (2.0 *. Float.pi)
+
+let microstrip_loop g =
+  let h = g.Geometry.t_ins in
+  let w_eff = g.Geometry.width +. g.Geometry.thickness in
+  two_pi_factor *. Float.log ((8.0 *. h /. w_eff) +. (w_eff /. (4.0 *. h)))
+
+let check_length length =
+  if length <= 0.0 then invalid_arg "Inductance: non-positive length"
+
+let partial_self g ~length =
+  check_length length;
+  let wt = g.Geometry.width +. g.Geometry.thickness in
+  two_pi_factor
+  *. (Float.log (2.0 *. length /. wt) +. 0.5 +. (wt /. (3.0 *. length)))
+
+let mutual_parallel ~d ~length =
+  check_length length;
+  if d <= 0.0 then invalid_arg "Inductance.mutual_parallel: d <= 0";
+  if d >= length then 0.0
+  else two_pi_factor *. (Float.log (2.0 *. length /. d) -. 1.0 +. (d /. length))
+
+let loop_with_return g ~return_distance ~length =
+  check_length length;
+  let self = partial_self g ~length in
+  let mutual = mutual_parallel ~d:return_distance ~length in
+  2.0 *. (self -. mutual)
+
+let worst_case g ~length =
+  (* return forced all the way down to the substrate, plus the isolated
+     partial-self term as the far-return bound; take the larger *)
+  let far_return = loop_with_return g ~return_distance:g.Geometry.t_ins ~length in
+  Float.max far_return (partial_self g ~length)

@@ -1,0 +1,43 @@
+(** Per-unit-length inductance estimates.
+
+    The paper stresses that on-chip inductance is not a fixed
+    parameter: it depends on where the return current flows.  We bound
+    it from below by the loop inductance with the return plane directly
+    under the line (microstrip), and from above by the partial
+    self-inductance of an isolated wire (return at infinity), following
+    Grover/Ruehli.  The Table 1 technologies land in the
+    sub-nH/mm .. few-nH/mm window the paper sweeps (l < 5 nH/mm). *)
+
+val mu0 : float
+(** Vacuum permeability, H/m. *)
+
+val microstrip_loop : Geometry.t -> float
+(** Loop inductance per unit length with the return plane at [t_ins]:
+    (mu0 / 2 pi) * ln(8 h / w_eff + w_eff / (4 h)) with
+    w_eff = w + t folded in as an effective strip width.  This is the
+    best-case (minimum) inductance. *)
+
+val partial_self : Geometry.t -> length:float -> float
+(** Partial self-inductance of an isolated rectangular conductor of the
+    given length, divided by the length (H/m):
+    (mu0 / 2 pi) * (ln(2 l / (w + t)) + 0.5 + (w + t) / (3 l)).
+    Grows logarithmically with length; the worst-case (return path far
+    away) estimate. *)
+
+val mutual_parallel : d:float -> length:float -> float
+(** Partial mutual inductance per unit length between two parallel
+    filaments at distance [d]:
+    (mu0 / 2 pi) * (ln(2 l / d) - 1 + d / l).  Used to estimate the
+    loop inductance of signal/return pairs. *)
+
+val loop_with_return : Geometry.t -> return_distance:float -> length:float -> float
+(** Loop inductance per unit length of a signal wire with a same-size
+    return conductor at [return_distance]:
+    2 * (partial_self - mutual).  Monotone in [return_distance]; this
+    is how "current return path farther away => larger l" is
+    quantified. *)
+
+val worst_case : Geometry.t -> length:float -> float
+(** Worst-case estimate: loop with the return at the substrate
+    distance plus the partial-self growth — bounded sanity check for
+    the paper's "< 5 nH/mm" statement. *)

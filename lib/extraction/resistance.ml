@@ -1,0 +1,13 @@
+let rho_copper = 1.72e-8
+let rho_aluminum = 2.82e-8
+
+let per_length ?(rho = rho_copper) g =
+  rho /. Geometry.cross_section_area g
+
+let with_temperature ?(rho = rho_copper) ?(alpha = 3.9e-3) ~t_celsius g =
+  let rho_t = rho *. (1.0 +. (alpha *. (t_celsius -. 25.0))) in
+  per_length ~rho:rho_t g
+
+let total ?rho g ~length =
+  if length <= 0.0 then invalid_arg "Resistance.total: non-positive length";
+  per_length ?rho g *. length

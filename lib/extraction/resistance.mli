@@ -1,0 +1,20 @@
+(** Per-unit-length wire resistance. *)
+
+val rho_copper : float
+(** Bulk copper resistivity at 25 C, ohm*m (1.72e-8). *)
+
+val rho_aluminum : float
+(** Bulk aluminium resistivity at 25 C, ohm*m (2.82e-8). *)
+
+val per_length : ?rho:float -> Geometry.t -> float
+(** [per_length g] is rho / (width * thickness), ohm/m.  Default
+    resistivity is copper (the paper's interconnect material). *)
+
+val with_temperature : ?rho:float -> ?alpha:float -> t_celsius:float -> Geometry.t -> float
+(** Linear temperature correction rho(T) = rho_25 * (1 + alpha (T - 25)),
+    [alpha] defaults to copper's 3.9e-3 / K.  Supports the reliability
+    discussion of Section 3.3.2 where Joule heating raises wire
+    temperature. *)
+
+val total : ?rho:float -> Geometry.t -> length:float -> float
+(** Total resistance of a wire of the given length, ohm. *)

@@ -1,0 +1,18 @@
+let mu0 = 4.0e-7 *. Float.pi
+
+let skin_depth ?(rho = Resistance.rho_copper) f =
+  if f <= 0.0 then invalid_arg "Skin.skin_depth: f <= 0";
+  Float.sqrt (rho /. (Float.pi *. mu0 *. f))
+
+let corner_frequency ?(rho = Resistance.rho_copper) g =
+  let half_minor =
+    0.5 *. Float.min g.Geometry.width g.Geometry.thickness
+  in
+  (* delta(f_c) = half_minor *)
+  rho /. (Float.pi *. mu0 *. half_minor *. half_minor)
+
+let resistance_at ?rho g f =
+  if f < 0.0 then invalid_arg "Skin.resistance_at: f < 0";
+  let r_dc = Resistance.per_length ?rho g in
+  if f = 0.0 then r_dc
+  else r_dc *. Float.sqrt (1.0 +. (f /. corner_frequency ?rho g))

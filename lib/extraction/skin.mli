@@ -1,0 +1,23 @@
+(** Skin effect: frequency-dependent wire resistance.
+
+    At the multi-GHz ringing frequencies of inductive interconnect the
+    current crowds into a skin depth delta(f) = sqrt(rho / (pi mu0 f));
+    once delta is smaller than half the conductor's minor dimension the
+    effective resistance grows as sqrt(f).  This partially damps the
+    overshoot/undershoot the paper studies — the correction is applied
+    by {!Rlc_core.Skin_effect}. *)
+
+val skin_depth : ?rho:float -> float -> float
+(** [skin_depth f] in metres ([rho] defaults to copper).  Raises
+    [Invalid_argument] for non-positive frequency. *)
+
+val corner_frequency : ?rho:float -> Geometry.t -> float
+(** Frequency at which the skin depth equals half the smaller of the
+    conductor's width and thickness — below it the DC resistance holds,
+    above it current crowding dominates. *)
+
+val resistance_at : ?rho:float -> Geometry.t -> float -> float
+(** Per-unit-length resistance at frequency [f], using the smooth
+    interpolation r(f) = r_dc * sqrt(1 + f / f_corner), which matches
+    the DC value at low f and the sqrt(f) crowding law well above the
+    corner.  [f = 0] returns the DC value. *)

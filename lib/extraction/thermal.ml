@@ -1,0 +1,36 @@
+let k_sio2 = 1.4
+let tcr_copper = 3.9e-3
+
+let thermal_resistance ?(k_ins = k_sio2) g =
+  if k_ins <= 0.0 then invalid_arg "Thermal: k_ins <= 0";
+  let w_eff =
+    g.Geometry.width +. (0.88 *. g.Geometry.t_ins)
+  in
+  g.Geometry.t_ins /. (k_ins *. w_eff)
+
+let loading ?k_ins ?rho g ~i_rms =
+  if i_rms < 0.0 then invalid_arg "Thermal: negative current";
+  let r0 = Resistance.per_length ?rho g in
+  i_rms *. i_rms *. r0 *. thermal_resistance ?k_ins g
+
+let temperature_rise_no_feedback ?k_ins ?rho g ~i_rms =
+  loading ?k_ins ?rho g ~i_rms
+
+let temperature_rise ?k_ins ?rho g ~i_rms =
+  let x = loading ?k_ins ?rho g ~i_rms in
+  let denom = 1.0 -. (x *. tcr_copper) in
+  if denom <= 0.0 then
+    invalid_arg "Thermal.temperature_rise: beyond thermal runaway";
+  x /. denom
+
+let runaway_current ?k_ins ?rho g =
+  (* x * alpha = 1 at runaway, x = I^2 r0 R_th *)
+  let r0 = Resistance.per_length ?rho g in
+  Float.sqrt (1.0 /. (tcr_copper *. r0 *. thermal_resistance ?k_ins g))
+
+let max_current_for_rise ?k_ins ?rho g ~dt_max =
+  if dt_max <= 0.0 then invalid_arg "Thermal: dt_max <= 0";
+  (* dT = x/(1 - alpha x) = dt_max  =>  x = dt_max / (1 + alpha dt_max) *)
+  let x = dt_max /. (1.0 +. (tcr_copper *. dt_max)) in
+  let r0 = Resistance.per_length ?rho g in
+  Float.sqrt (x /. (r0 *. thermal_resistance ?k_ins g))

@@ -1,0 +1,40 @@
+(** Joule self-heating of interconnect — the reliability substrate
+    behind Section 3.3.2 of the paper (its reference [28] is the
+    authors' own thermal-effects work).
+
+    A wire carrying RMS current I dissipates P' = I^2 r per unit
+    length and conducts the heat through the dielectric to the
+    substrate.  With the standard one-dimensional spreading model the
+    thermal resistance per unit length is
+
+      R_th' = t_ins / (k_ins * (w + 0.88 t_ins))
+
+    and the copper resistance feeds back through its temperature
+    coefficient, giving the closed form
+
+      dT = I^2 r0 R_th' / (1 - I^2 r0 alpha R_th')
+
+    whose pole is the thermal-runaway current. *)
+
+val k_sio2 : float
+(** Thermal conductivity of SiO2, 1.4 W/(m K). *)
+
+val thermal_resistance : ?k_ins:float -> Geometry.t -> float
+(** R_th' in K m / W ([k_ins] defaults to {!k_sio2}). *)
+
+val temperature_rise :
+  ?k_ins:float -> ?rho:float -> Geometry.t -> i_rms:float -> float
+(** Self-consistent temperature rise (K) including the copper TCR
+    feedback.  Raises [Invalid_argument] beyond the runaway current. *)
+
+val temperature_rise_no_feedback :
+  ?k_ins:float -> ?rho:float -> Geometry.t -> i_rms:float -> float
+(** First-order estimate with the resistance frozen at 25 C. *)
+
+val runaway_current : ?k_ins:float -> ?rho:float -> Geometry.t -> float
+(** RMS current (A) at which the TCR feedback diverges. *)
+
+val max_current_for_rise :
+  ?k_ins:float -> ?rho:float -> Geometry.t -> dt_max:float -> float
+(** Largest RMS current keeping the rise below [dt_max] kelvin — an
+    electromigration-style design limit. *)

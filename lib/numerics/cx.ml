@@ -1,0 +1,43 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let of_float x = { re = x; im = 0.0 }
+let make re im = { re; im }
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let neg = Complex.neg
+let scale k z = { re = k *. z.re; im = k *. z.im }
+let sqrt = Complex.sqrt
+let exp = Complex.exp
+let log = Complex.log
+let pow = Complex.pow
+let norm = Complex.norm
+let norm2 = Complex.norm2
+let arg = Complex.arg
+let conj = Complex.conj
+let inv = Complex.inv
+let re z = z.re
+let im z = z.im
+
+let is_finite z =
+  Float.is_finite z.re && Float.is_finite z.im
+
+let is_real ?(tol = 1e-9) z =
+  Float.abs z.im <= tol *. (1.0 +. Float.abs z.re)
+
+let real_part_checked ?(tol = 1e-9) z =
+  if is_real ~tol z then z.re
+  else
+    invalid_arg
+      (Printf.sprintf "Cx.real_part_checked: %g + %gi is not real" z.re z.im)
+
+let close ?(tol = 1e-9) a b =
+  norm (a -: b) <= tol *. (1.0 +. Float.max (norm a) (norm b))
+
+let pp ppf z =
+  if z.im >= 0.0 then Format.fprintf ppf "%g + %gi" z.re z.im
+  else Format.fprintf ppf "%g - %gi" z.re (Float.abs z.im)

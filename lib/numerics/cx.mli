@@ -1,0 +1,56 @@
+(** Complex-number helpers layered over [Stdlib.Complex].
+
+    The delay model of the core library evaluates pole expressions that
+    are real for overdamped stages and complex-conjugate for
+    underdamped ones; carrying every intermediate value as a complex
+    number keeps one code path for both regimes.  This module adds the
+    operators and conversions [Stdlib.Complex] lacks. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+
+val of_float : float -> t
+(** [of_float x] is the complex number [x + 0i]. *)
+
+val make : float -> float -> t
+(** [make re im] builds a complex number from parts. *)
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+
+val sqrt : t -> t
+val exp : t -> t
+val log : t -> t
+val pow : t -> t -> t
+val norm : t -> float
+val norm2 : t -> float
+val arg : t -> float
+val conj : t -> t
+val inv : t -> t
+
+val re : t -> float
+val im : t -> float
+
+val is_finite : t -> bool
+(** [is_finite z] is true when both parts are finite floats. *)
+
+val is_real : ?tol:float -> t -> bool
+(** [is_real ~tol z] holds when |Im z| <= tol * (1 + |Re z|).
+    Default [tol] is [1e-9]. *)
+
+val real_part_checked : ?tol:float -> t -> float
+(** [real_part_checked z] returns [Re z], raising [Invalid_argument]
+    when [is_real ~tol z] fails.  Used where a computation is known to
+    produce a mathematically real value through complex intermediates. *)
+
+val close : ?tol:float -> t -> t -> bool
+(** Relative/absolute closeness of two complex values. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+let default_rel = 1e-6
+
+let step_for rel_step x = rel_step *. (1.0 +. Float.abs x)
+
+let central ?(rel_step = default_rel) f x =
+  let h = step_for rel_step x in
+  (f (x +. h) -. f (x -. h)) /. (2.0 *. h)
+
+let forward ?(rel_step = default_rel) f x =
+  let h = step_for rel_step x in
+  (f (x +. h) -. f x) /. h
+
+let partial ?(rel_step = default_rel) f x i =
+  let h = step_for rel_step x.(i) in
+  let at v =
+    let x' = Array.copy x in
+    x'.(i) <- v;
+    f x'
+  in
+  (at (x.(i) +. h) -. at (x.(i) -. h)) /. (2.0 *. h)
+
+let gradient ?rel_step f x =
+  Array.init (Array.length x) (fun i -> partial ?rel_step f x i)
+
+let jacobian ?(rel_step = default_rel) f x =
+  let n = Array.length x in
+  let fx = f x in
+  let m = Array.length fx in
+  let jac = Matrix.create m n in
+  for j = 0 to n - 1 do
+    let h = step_for rel_step x.(j) in
+    let at v =
+      let x' = Array.copy x in
+      x'.(j) <- v;
+      f x'
+    in
+    let fp = at (x.(j) +. h) and fm = at (x.(j) -. h) in
+    for i = 0 to m - 1 do
+      Matrix.set jac i j ((fp.(i) -. fm.(i)) /. (2.0 *. h))
+    done
+  done;
+  jac

@@ -1,0 +1,26 @@
+(** Finite-difference derivatives.
+
+    Used to form the Jacobian of the optimizer residuals (g1, g2) of
+    the paper's equations (7)-(8), and in tests to validate analytic
+    derivatives. *)
+
+val central : ?rel_step:float -> (float -> float) -> float -> float
+(** [central f x] approximates [f'(x)] by a central difference with a
+    step of [rel_step * (1 + |x|)] (default [rel_step] = 1e-6). *)
+
+val forward : ?rel_step:float -> (float -> float) -> float -> float
+
+val partial :
+  ?rel_step:float -> (float array -> float) -> float array -> int -> float
+(** [partial f x i] is the central-difference estimate of df/dx_i. *)
+
+val gradient :
+  ?rel_step:float -> (float array -> float) -> float array -> float array
+
+val jacobian :
+  ?rel_step:float ->
+  (float array -> float array) ->
+  float array ->
+  Matrix.t
+(** [jacobian f x] is the central-difference Jacobian; row [i] holds
+    the partials of output [i]. *)

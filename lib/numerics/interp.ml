@@ -1,0 +1,40 @@
+let check_grid xs ys =
+  let n = Array.length xs in
+  if n = 0 || Array.length ys <> n then
+    invalid_arg "Interp: arrays empty or of different lengths";
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Interp: xs not strictly increasing"
+  done
+
+let bracket_index xs x =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Interp.bracket_index: need >= 2 points";
+  if x <= xs.(0) then 0
+  else if x >= xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let linear ~xs ~ys x =
+  check_grid xs ys;
+  let n = Array.length xs in
+  if n = 1 then ys.(0)
+  else if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    let i = bracket_index xs x in
+    let t = (x -. xs.(i)) /. (xs.(i + 1) -. xs.(i)) in
+    ((1.0 -. t) *. ys.(i)) +. (t *. ys.(i + 1))
+  end
+
+let crossing ~x0 ~y0 ~x1 ~y1 ~level =
+  if (y0 -. level) *. (y1 -. level) > 0.0 then
+    invalid_arg "Interp.crossing: segment does not straddle level";
+  if y1 = y0 then x0
+  else x0 +. ((level -. y0) /. (y1 -. y0) *. (x1 -. x0))

@@ -1,0 +1,18 @@
+(** Piecewise-linear interpolation over sampled data.
+
+    Waveform post-processing (threshold crossings, period detection)
+    interpolates between transient-simulation samples. *)
+
+val linear : xs:float array -> ys:float array -> float -> float
+(** [linear ~xs ~ys x] interpolates at [x]; [xs] must be strictly
+    increasing and the arrays the same nonzero length.  Outside the
+    domain the nearest endpoint value is returned (clamped).  Raises
+    [Invalid_argument] on malformed input. *)
+
+val crossing : x0:float -> y0:float -> x1:float -> y1:float -> level:float -> float
+(** Abscissa where the segment (x0,y0)-(x1,y1) crosses [level]; the
+    segment must actually straddle the level. *)
+
+val bracket_index : float array -> float -> int
+(** [bracket_index xs x] is the largest [i] with [xs.(i) <= x], clamped
+    to [0 .. length-2].  Binary search; [xs] strictly increasing. *)

@@ -1,0 +1,28 @@
+(* Fixed-Talbot inversion (Abate & Valko 2004):
+     f(t) = (r/m) [ (1/2) F(r) e^{rt}
+                  + sum_{k=1}^{m-1} Re( e^{t s(th_k)} F(s(th_k))
+                                        (1 + i sigma(th_k)) ) ]
+   with th_k = k pi / m, r = 2m / (5t),
+   s(th) = r th (cot th + i), sigma(th) = th + (th cot th - 1) cot th. *)
+
+let invert ?(m = 32) fhat t =
+  if t <= 0.0 then invalid_arg "Laplace.invert: t <= 0";
+  if m < 4 then invalid_arg "Laplace.invert: m < 4";
+  let r = 2.0 *. float_of_int m /. (5.0 *. t) in
+  let open Cx in
+  let term0 = scale 0.5 (fhat (of_float r) *: exp (of_float (r *. t))) in
+  let acc = ref (re term0) in
+  for k = 1 to m - 1 do
+    let th = float_of_int k *. Float.pi /. float_of_int m in
+    let cot = cos th /. sin th in
+    let s = make (r *. th *. cot) (r *. th) in
+    let sigma = th +. (((th *. cot) -. 1.0) *. cot) in
+    let v = exp (scale t s) *: fhat s *: make 1.0 sigma in
+    acc := !acc +. re v
+  done;
+  r /. float_of_int m *. !acc
+
+let step_response ?m h t =
+  if t < 0.0 then invalid_arg "Laplace.step_response: t < 0";
+  if t = 0.0 then 0.0
+  else invert ?m (fun s -> Cx.( /: ) (h s) s) t

@@ -1,0 +1,22 @@
+(** Numerical inverse Laplace transform (fixed Talbot contour).
+
+    Used to compute the exact time-domain step response of the
+    distributed driver-line-load structure directly from the
+    frequency-domain transfer function of equation (1), without the
+    second-order Padé truncation — the reference the Padé model is
+    validated against.
+
+    Talbot's method deforms the Bromwich contour onto a cotangent
+    spiral; for functions with singularities on the negative real axis
+    or complex-conjugate poles (our case) it converges geometrically in
+    the number of contour points. *)
+
+val invert : ?m:int -> (Cx.t -> Cx.t) -> float -> float
+(** [invert fhat t] evaluates f(t) for [t > 0] from the Laplace image
+    [fhat] using [m] (default 32) contour points.  Raises
+    [Invalid_argument] for [t <= 0]. *)
+
+val step_response : ?m:int -> (Cx.t -> Cx.t) -> float -> float
+(** [step_response h t] is the unit-step response of the transfer
+    function [h]: the inverse transform of [h(s)/s] at time [t];
+    [t = 0] returns 0. *)

@@ -1,0 +1,26 @@
+(** LU decomposition with partial pivoting, and the linear-system /
+    determinant / inverse operations built on it.
+
+    This is the workhorse behind both the 2x2 optimizer Newton steps
+    and the MNA matrices of the transient circuit simulator. *)
+
+type t
+(** A factorisation [P*A = L*U] of a square matrix [A]. *)
+
+exception Singular
+(** Raised when a pivot falls below the singularity threshold. *)
+
+val decompose : ?pivot_tol:float -> Matrix.t -> t
+(** [decompose a] factorises square [a].  Raises [Singular] when the
+    matrix is numerically singular ([pivot_tol] defaults to 1e-300,
+    i.e. only exact breakdown), [Invalid_argument] when not square. *)
+
+val solve : t -> float array -> float array
+(** [solve lu b] solves [A x = b]. *)
+
+val solve_matrix : ?pivot_tol:float -> Matrix.t -> float array -> float array
+(** One-shot [decompose] + [solve]. *)
+
+val det : t -> float
+val inverse : t -> Matrix.t
+val size : t -> int

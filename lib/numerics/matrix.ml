@@ -1,0 +1,122 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Matrix.create: non-positive dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows m = m.rows
+let cols m = m.cols
+let idx m i j = (i * m.cols) + j
+
+let check_bounds m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Matrix: index (%d,%d) out of %dx%d" i j m.rows m.cols)
+
+let get m i j =
+  check_bounds m i j;
+  m.data.(idx m i j)
+
+let set m i j v =
+  check_bounds m i j;
+  m.data.(idx m i j) <- v
+
+let add_to m i j v =
+  check_bounds m i j;
+  m.data.(idx m i j) <- m.data.(idx m i j) +. v
+
+let identity n =
+  let m = create n n in
+  for k = 0 to n - 1 do
+    set m k k 1.0
+  done;
+  m
+
+let of_arrays a =
+  let r = Array.length a in
+  if r = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let c = Array.length a.(0) in
+  if c = 0 then invalid_arg "Matrix.of_arrays: empty row";
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Matrix.of_arrays: ragged")
+    a;
+  let m = create r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      set m i j a.(i).(j)
+    done
+  done;
+  m
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+
+let copy m = { m with data = Array.copy m.data }
+let map f m = { m with data = Array.map f m.data }
+
+let transpose m =
+  let t = create m.cols m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      set t j i (get m i j)
+    done
+  done;
+  t
+
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+
+let zip_with f a b =
+  if not (same_shape a b) then invalid_arg "Matrix: shape mismatch";
+  { a with data = Array.map2 f a.data b.data }
+
+let add = zip_with ( +. )
+let sub = zip_with ( -. )
+let scale k = map (fun x -> k *. x)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: shape mismatch";
+  let m = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to b.cols - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (get a i k *. get b k j)
+      done;
+      set m i j !acc
+    done
+  done;
+  m
+
+let mul_vec a v =
+  if a.cols <> Array.length v then invalid_arg "Matrix.mul_vec: shape mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (get a i k *. v.(k))
+      done;
+      !acc)
+
+let equal ?(tol = 0.0) a b =
+  same_shape a b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let frobenius_norm m =
+  Float.sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)
+
+let max_abs m =
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 m.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf "  ";
+      Format.fprintf ppf "%12.5g" (get m i j)
+    done;
+    Format.fprintf ppf "@]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

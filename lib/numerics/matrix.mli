@@ -1,0 +1,44 @@
+(** Dense row-major float matrices.
+
+    Sized for the small systems this project solves: 2x2 Newton
+    Jacobians on the optimizer side and a few-hundred-node MNA systems
+    on the circuit-simulator side. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix of the given shape.
+    Raises [Invalid_argument] when a dimension is non-positive. *)
+
+val identity : int -> t
+val of_arrays : float array array -> t
+(** Raises [Invalid_argument] on ragged or empty input. *)
+
+val to_arrays : t -> float array array
+val copy : t -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] accumulates [v] into [m.(i).(j)]; the primitive
+    MNA stamping operation. *)
+
+val map : (float -> float) -> t -> t
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Matrix product.  Raises [Invalid_argument] on shape mismatch. *)
+
+val mul_vec : t -> float array -> float array
+(** Matrix-vector product. *)
+
+val equal : ?tol:float -> t -> t -> bool
+val frobenius_norm : t -> float
+val max_abs : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,146 @@
+type t = float array (* increasing powers, trimmed *)
+
+let trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0.0 do
+    decr n
+  done;
+  Array.sub a 0 !n
+
+let of_coeffs a = trim (Array.copy a)
+let coeffs p = Array.copy p
+let degree p = Array.length p - 1
+
+let eval p x =
+  let acc = ref 0.0 in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let eval_cx p z =
+  let open Cx in
+  let acc = ref zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *: z) +: of_float p.(i)
+  done;
+  !acc
+
+let derivative p =
+  if Array.length p <= 1 then [||]
+  else trim (Array.init (Array.length p - 1) (fun i -> float_of_int (i + 1) *. p.(i + 1)))
+
+let add p q =
+  let n = Int.max (Array.length p) (Array.length q) in
+  trim
+    (Array.init n (fun i ->
+         (if i < Array.length p then p.(i) else 0.0)
+         +. if i < Array.length q then q.(i) else 0.0))
+
+let mul p q =
+  if Array.length p = 0 || Array.length q = 0 then [||]
+  else begin
+    let r = Array.make (Array.length p + Array.length q - 1) 0.0 in
+    Array.iteri
+      (fun i a -> Array.iteri (fun j b -> r.(i + j) <- r.(i + j) +. (a *. b)) q)
+      p;
+    trim r
+  end
+
+let scale k p = trim (Array.map (fun c -> k *. c) p)
+
+let equal ?(tol = 0.0) p q =
+  Array.length p = Array.length q
+  && Array.for_all2 (fun a b -> Float.abs (a -. b) <= tol) p q
+
+let quadratic_roots ~a ~b ~c =
+  if a = 0.0 then invalid_arg "Polynomial.quadratic_roots: a = 0";
+  let disc = (b *. b) -. (4.0 *. a *. c) in
+  if disc >= 0.0 then begin
+    (* q-formula avoids catastrophic cancellation for b^2 >> 4ac *)
+    let sq = Float.sqrt disc in
+    let q = -0.5 *. (b +. Float.copy_sign sq b) in
+    if q = 0.0 then (Cx.zero, Cx.zero)
+    else begin
+      let r1 = q /. a and r2 = c /. q in
+      (Cx.of_float (Float.min r1 r2), Cx.of_float (Float.max r1 r2))
+    end
+  end
+  else begin
+    let re = -.b /. (2.0 *. a) in
+    let im = Float.sqrt (-.disc) /. (2.0 *. a) in
+    (Cx.make re (-.(Float.abs im)), Cx.make re (Float.abs im))
+  end
+
+let compare_roots (a : Cx.t) (b : Cx.t) =
+  match Float.compare a.Cx.re b.Cx.re with
+  | 0 -> Float.compare a.Cx.im b.Cx.im
+  | c -> c
+
+(* Durand-Kerner (Weierstrass) simultaneous iteration. *)
+let durand_kerner ?(tol = 1e-12) ?(max_iter = 500) p =
+  let n = degree p in
+  let lead = p.(n) in
+  let monic = Array.map (fun c -> c /. lead) p in
+  (* initial guesses on a circle of radius based on coefficient bounds *)
+  let radius =
+    1.0
+    +. Array.fold_left
+         (fun acc c -> Float.max acc (Float.abs c))
+         0.0 (Array.sub monic 0 n)
+  in
+  let roots =
+    Array.init n (fun k ->
+        let angle =
+          (2.0 *. Float.pi *. float_of_int k /. float_of_int n) +. 0.4
+        in
+        Cx.make (radius *. cos angle) (radius *. sin angle))
+  in
+  let eval_monic z = eval_cx monic z in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let max_move = ref 0.0 in
+    for k = 0 to n - 1 do
+      let zk = roots.(k) in
+      let denom = ref Cx.one in
+      for j = 0 to n - 1 do
+        if j <> k then denom := Cx.( *: ) !denom (Cx.( -: ) zk roots.(j))
+      done;
+      let delta = Cx.( /: ) (eval_monic zk) !denom in
+      roots.(k) <- Cx.( -: ) zk delta;
+      max_move := Float.max !max_move (Cx.norm delta)
+    done;
+    if !max_move <= tol then converged := true
+  done;
+  Array.to_list roots
+
+let roots ?(tol = 1e-12) ?max_iter p =
+  match degree p with
+  | d when d <= 0 -> invalid_arg "Polynomial.roots: degree < 1"
+  | 1 -> [ Cx.of_float (-.p.(0) /. p.(1)) ]
+  | 2 ->
+      let r1, r2 = quadratic_roots ~a:p.(2) ~b:p.(1) ~c:p.(0) in
+      List.sort compare_roots [ r1; r2 ]
+  | _ ->
+      let rs = durand_kerner ~tol ?max_iter p in
+      (* snap almost-real roots to the real axis *)
+      let snapped =
+        List.map
+          (fun (z : Cx.t) ->
+            if Float.abs z.Cx.im <= 1e-8 *. (1.0 +. Float.abs z.Cx.re) then
+              Cx.of_float z.Cx.re
+            else z)
+          rs
+      in
+      List.sort compare_roots snapped
+
+let pp ppf p =
+  if Array.length p = 0 then Format.fprintf ppf "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if i = 0 then Format.fprintf ppf "%g" c
+        else Format.fprintf ppf " + %g x^%d" c i)
+      p

@@ -1,0 +1,37 @@
+(** Real-coefficient polynomials with complex root extraction.
+
+    The transfer-function denominators this project manipulates are
+    low-order (the Padé model is quadratic), but the module is general:
+    Durand-Kerner iteration finds all complex roots, with closed forms
+    for degrees one and two. *)
+
+type t
+(** Coefficients in increasing-power order; index [i] multiplies x^i. *)
+
+val of_coeffs : float array -> t
+(** [of_coeffs [|a0; a1; ...|]] builds a0 + a1 x + ...  Trailing zero
+    coefficients are trimmed; the zero polynomial is allowed. *)
+
+val coeffs : t -> float array
+val degree : t -> int
+(** Degree of the polynomial; the zero polynomial has degree -1. *)
+
+val eval : t -> float -> float
+val eval_cx : t -> Cx.t -> Cx.t
+val derivative : t -> t
+val add : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val equal : ?tol:float -> t -> t -> bool
+
+val roots : ?tol:float -> ?max_iter:int -> t -> Cx.t list
+(** All complex roots (with multiplicity), sorted by real part then
+    imaginary part.  Degrees 1 and 2 use closed forms; higher degrees
+    use Durand-Kerner.  Raises [Invalid_argument] on the zero or
+    constant polynomial. *)
+
+val quadratic_roots : a:float -> b:float -> c:float -> Cx.t * Cx.t
+(** Roots of a x^2 + b x + c, numerically stable (uses the q-formula to
+    avoid cancellation).  Raises [Invalid_argument] when [a = 0]. *)
+
+val pp : Format.formatter -> t -> unit

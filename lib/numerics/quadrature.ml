@@ -1,0 +1,52 @@
+let trapezoid_sampled ~xs ~ys =
+  let n = Array.length xs in
+  if n < 2 || Array.length ys <> n then
+    invalid_arg "Quadrature.trapezoid_sampled: need >= 2 matched samples";
+  let acc = ref 0.0 in
+  for i = 0 to n - 2 do
+    let dx = xs.(i + 1) -. xs.(i) in
+    if dx <= 0.0 then
+      invalid_arg "Quadrature.trapezoid_sampled: xs not increasing";
+    acc := !acc +. (0.5 *. dx *. (ys.(i) +. ys.(i + 1)))
+  done;
+  !acc
+
+let trapezoid ?(n = 256) f a b =
+  if n < 1 then invalid_arg "Quadrature.trapezoid: n < 1";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (a +. (float_of_int i *. h))
+  done;
+  !acc *. h
+
+let simpson ?(n = 256) f a b =
+  let n = if n mod 2 = 0 then n else n + 1 in
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let w = if i mod 2 = 1 then 4.0 else 2.0 in
+    acc := !acc +. (w *. f (a +. (float_of_int i *. h)))
+  done;
+  !acc *. h /. 3.0
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 40) f a b =
+  let simpson3 a fa b fb =
+    let m = 0.5 *. (a +. b) in
+    let fm = f m in
+    (m, fm, (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb))
+  in
+  let rec go a fa b fb whole tol depth =
+    let m, fm, _ = simpson3 a fa b fb in
+    let _, _, left = simpson3 a fa m fm in
+    let _, _, right = simpson3 m fm b fb in
+    let delta = left +. right -. whole in
+    if depth >= max_depth || Float.abs delta <= 15.0 *. tol then
+      left +. right +. (delta /. 15.0)
+    else
+      go a fa m fm left (tol /. 2.0) (depth + 1)
+      +. go m fm b fb right (tol /. 2.0) (depth + 1)
+  in
+  let fa = f a and fb = f b in
+  let _, _, whole = simpson3 a fa b fb in
+  go a fa b fb whole tol 0

@@ -1,0 +1,18 @@
+(** Numerical integration of sampled and functional data.
+
+    RMS current extraction (Figure 12 of the paper) integrates the
+    square of a sampled wire current over one oscillation period. *)
+
+val trapezoid_sampled : xs:float array -> ys:float array -> float
+(** Trapezoid rule over samples; [xs] strictly increasing, same length
+    as [ys], at least two points. *)
+
+val trapezoid : ?n:int -> (float -> float) -> float -> float -> float
+(** [trapezoid f a b] with [n] (default 256) uniform panels. *)
+
+val simpson : ?n:int -> (float -> float) -> float -> float -> float
+(** Composite Simpson; [n] (default 256) is rounded up to even. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> (float -> float) -> float -> float -> float
+(** Adaptive Simpson with absolute tolerance [tol] (default 1e-10). *)

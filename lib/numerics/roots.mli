@@ -1,0 +1,56 @@
+(** One-dimensional root finding.
+
+    The delay equation (3) of the paper is solved for its first
+    threshold crossing: [bracket_first] scans for a sign change, then
+    [brent] or [newton] polishes it. *)
+
+exception No_bracket
+(** Raised when a bracketing scan finds no sign change. *)
+
+exception No_convergence of string
+(** Raised when an iteration exceeds its budget. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f a b] finds a root of [f] in [\[a,b\]].  Requires
+    [f a * f b <= 0]; raises [No_bracket] otherwise. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's method: inverse quadratic interpolation with bisection
+    safeguards.  Same bracketing contract as {!bisect}. *)
+
+val newton :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float
+(** Damped Newton iteration from an initial guess.  Raises
+    [No_convergence] when [max_iter] (default 50) is exhausted. *)
+
+val newton_bracketed :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float ->
+  float
+(** [newton_bracketed ~f ~df lo hi]: Newton safeguarded by a bracket;
+    steps leaving [\[lo,hi\]] are replaced by bisection, so convergence
+    is guaranteed for continuous [f] with a sign change on the
+    bracket. *)
+
+val bracket_first :
+  ?grow:float ->
+  ?max_steps:int ->
+  (float -> float) ->
+  t0:float ->
+  dt:float ->
+  float * float
+(** [bracket_first f ~t0 ~dt] walks forward from [t0] in steps starting
+    at [dt] (multiplied by [grow], default 1.3, each step) until [f]
+    changes sign, returning the bracketing interval.  Raises
+    [No_bracket] after [max_steps] (default 500). *)

@@ -1,0 +1,55 @@
+let nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty array")
+
+let mean a =
+  nonempty "mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  nonempty "variance" a;
+  let m = mean a in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a
+  /. float_of_int (Array.length a)
+
+let stddev a = Float.sqrt (variance a)
+
+let rms a =
+  nonempty "rms" a;
+  Float.sqrt
+    (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 a
+    /. float_of_int (Array.length a))
+
+let min a =
+  nonempty "min" a;
+  Array.fold_left Float.min a.(0) a
+
+let max a =
+  nonempty "max" a;
+  Array.fold_left Float.max a.(0) a
+
+let min_max a =
+  nonempty "min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let rms_sampled ~xs ~ys =
+  let span = xs.(Array.length xs - 1) -. xs.(0) in
+  if span <= 0.0 then invalid_arg "Stats.rms_sampled: zero time span";
+  let y2 = Array.map (fun y -> y *. y) ys in
+  Float.sqrt (Quadrature.trapezoid_sampled ~xs ~ys:y2 /. span)
+
+let percentile a p =
+  nonempty "percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end

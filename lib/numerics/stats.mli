@@ -1,0 +1,21 @@
+(** Descriptive statistics over float arrays and sampled signals. *)
+
+val mean : float array -> float
+(** Raises [Invalid_argument] on an empty array (likewise below). *)
+
+val variance : float array -> float
+(** Population variance. *)
+
+val stddev : float array -> float
+val rms : float array -> float
+val min : float array -> float
+val max : float array -> float
+val min_max : float array -> float * float
+
+val rms_sampled : xs:float array -> ys:float array -> float
+(** Time-weighted RMS of a sampled signal over its span:
+    sqrt( (1/T) * integral y^2 dt ) with trapezoidal integration. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for p in [0,100], linear interpolation between
+    order statistics. *)

@@ -1,0 +1,64 @@
+type series = { label : char; xs : float array; ys : float array }
+
+let series ~label ~xs ~ys =
+  if Array.length xs = 0 || Array.length xs <> Array.length ys then
+    invalid_arg "Ascii_plot.series: empty or mismatched arrays";
+  { label; xs; ys }
+
+let fold_range init f arrays =
+  List.fold_left (fun acc arr -> Array.fold_left f acc arr) init arrays
+
+let render ?(width = 72) ?(height = 18) ?title ?y_min ?y_max all =
+  if all = [] then invalid_arg "Ascii_plot.render: no series";
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.render: too small";
+  let xss = List.map (fun s -> s.xs) all in
+  let yss = List.map (fun s -> s.ys) all in
+  let x_lo = fold_range infinity Float.min xss in
+  let x_hi = fold_range neg_infinity Float.max xss in
+  let data_lo = fold_range infinity Float.min yss in
+  let data_hi = fold_range neg_infinity Float.max yss in
+  let pad = 0.05 *. Float.max (data_hi -. data_lo) 1e-300 in
+  let y_lo = match y_min with Some v -> v | None -> data_lo -. pad in
+  let y_hi = match y_max with Some v -> v | None -> data_hi +. pad in
+  let y_hi = if y_hi > y_lo then y_hi else y_lo +. 1.0 in
+  let x_hi = if x_hi > x_lo then x_hi else x_lo +. 1.0 in
+  let grid = Array.make_matrix height width ' ' in
+  let place x y label =
+    let col =
+      int_of_float
+        (Float.round ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+    in
+    let row =
+      int_of_float
+        (Float.round ((y_hi -. y) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+    in
+    if col >= 0 && col < width && row >= 0 && row < height then
+      grid.(row).(col) <- label
+  in
+  List.iter
+    (fun s -> Array.iteri (fun i x -> place x s.ys.(i) s.label) s.xs)
+    all;
+  let buf = Buffer.create (width * height) in
+  (match title with
+  | Some t -> Buffer.add_string buf (t ^ "\n")
+  | None -> ());
+  for r = 0 to height - 1 do
+    let axis_val =
+      y_hi -. (float_of_int r /. float_of_int (height - 1) *. (y_hi -. y_lo))
+    in
+    Buffer.add_string buf (Printf.sprintf "%10.3g |" axis_val);
+    for c = 0 to width - 1 do
+      Buffer.add_char buf grid.(r).(c)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%11s %-10.3g%*s%10.3g\n" "" x_lo (width - 20) "" x_hi);
+  Buffer.contents buf
+
+let print ?width ?height ?title ?y_min ?y_max all =
+  print_string (render ?width ?height ?title ?y_min ?y_max all)

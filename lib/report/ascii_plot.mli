@@ -1,0 +1,30 @@
+(** Minimal ASCII line plots, one character per sample column.  The
+    benchmark harness renders every figure both as a data table and as
+    a quick visual check. *)
+
+type series = { label : char; xs : float array; ys : float array }
+
+val series : label:char -> xs:float array -> ys:float array -> series
+(** Raises [Invalid_argument] on empty or mismatched arrays. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?y_min:float ->
+  ?y_max:float ->
+  series list ->
+  string
+(** Plot all series on shared axes ([width] x [height] characters,
+    defaults 72 x 18).  The y-range defaults to the data range padded
+    by 5%; x is the union of series ranges.  Overlapping points keep
+    the label of the later series. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?y_min:float ->
+  ?y_max:float ->
+  series list ->
+  unit

@@ -1,0 +1,20 @@
+let to_string ~header ~rows =
+  let width = List.length header in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      if List.length row <> width then
+        invalid_arg "Csv.to_string: row width mismatch";
+      Buffer.add_string buf
+        (String.concat "," (List.map (Printf.sprintf "%.9g") row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let write ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header ~rows))

@@ -1,0 +1,8 @@
+(** Comma-separated output of experiment data (for re-plotting outside
+    the repository). *)
+
+val write : path:string -> header:string list -> rows:float list list -> unit
+(** Writes a CSV file; every row must match the header width (raises
+    [Invalid_argument] otherwise). *)
+
+val to_string : header:string list -> rows:float list list -> string

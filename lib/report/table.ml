@@ -1,0 +1,56 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable body : string list list; (* reversed *)
+}
+
+let create ~title ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { title; columns; body = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.body <- cells :: t.body
+
+let default_fmt v = Printf.sprintf "%.4g" v
+
+let add_float_row t ?(fmt = default_fmt) values =
+  add_row t (List.map fmt values)
+
+let rows t = List.rev t.body
+
+let render t =
+  let all = t.columns :: rows t in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> Int.max w (String.length c)) acc row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let rstrip s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let line row = rstrip (String.concat "  " (List.map2 pad widths row)) in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,20 @@
+(** Fixed-width text tables for the benchmark harness (the medium in
+    which every paper table/figure is regenerated). *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] when the cell count does not match the
+    column count. *)
+
+val add_float_row : t -> ?fmt:(float -> string) -> float list -> unit
+(** Formats every cell with [fmt] (default [%.4g]). *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] + output to stdout with a trailing newline. *)
+
+val rows : t -> string list list
+(** Raw cells, for tests. *)

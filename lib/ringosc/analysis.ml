@@ -1,0 +1,61 @@
+type measurement = {
+  period : float option;
+  input_overshoot : float;
+  input_undershoot : float;
+  peak_current : float;
+  rms_current : float;
+  peak_current_density : float;
+  rms_current_density : float;
+}
+
+let steady_part w =
+  let t0 = Rlc_waveform.Waveform.t_start w in
+  let t1 = Rlc_waveform.Waveform.t_end w in
+  Rlc_waveform.Waveform.slice w ~t0:(t0 +. (0.3 *. (t1 -. t0))) ~t1
+
+let measure (sim : Ring.sim) =
+  let cfg = sim.Ring.built.Ring.config in
+  let node = cfg.Ring.node in
+  let vdd = node.Rlc_tech.Node.vdd in
+  let vth = Rlc_tech.Node.switching_threshold node in
+  let in0 = steady_part sim.Ring.in0 in
+  let out0 = steady_part sim.Ring.out0 in
+  let current = steady_part sim.Ring.wire_current in
+  let area =
+    Rlc_extraction.Geometry.cross_section_area node.Rlc_tech.Node.geometry
+  in
+  ignore vth;
+  (* Schmitt detection on the (clean) inverter output: ringing around
+     the threshold must not register as switching. *)
+  let period =
+    Rlc_waveform.Measure.schmitt_period out0 ~lo:(0.25 *. vdd)
+      ~hi:(0.75 *. vdd)
+  in
+  let peak_current = Rlc_waveform.Measure.peak_abs current in
+  let rms_current =
+    match Rlc_waveform.Measure.rms_over_period current with
+    | Some r -> r
+    | None -> Rlc_waveform.Measure.rms current
+  in
+  {
+    period;
+    input_overshoot = Rlc_waveform.Measure.overshoot in0 ~v_final:vdd;
+    input_undershoot = Rlc_waveform.Measure.undershoot_below in0 ~floor:0.0;
+    peak_current;
+    rms_current;
+    peak_current_density = peak_current /. area;
+    rms_current_density = rms_current /. area;
+  }
+
+let false_switching ~baseline_period m =
+  match m.period with
+  | None -> false
+  | Some p -> p < 0.6 *. baseline_period
+
+let period_sweep ?stages ?segments ?dt ?t_end node ~l_values =
+  List.map
+    (fun l ->
+      let cfg = Ring.rc_sized_config ?stages ?segments node ~l in
+      let sim = Ring.simulate ?dt ?t_end cfg in
+      (l, measure sim))
+    l_values

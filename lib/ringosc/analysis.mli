@@ -1,0 +1,33 @@
+(** Measurements over ring-oscillator simulations: the quantities
+    behind Figures 9-12 of the paper. *)
+
+type measurement = {
+  period : float option;  (** oscillation period, s *)
+  input_overshoot : float;  (** inverter-input excursion above VDD, V *)
+  input_undershoot : float;  (** inverter-input excursion below 0, V *)
+  peak_current : float;  (** |I| peak in the probed wire, A *)
+  rms_current : float;  (** RMS wire current over the record, A *)
+  peak_current_density : float;  (** A/m^2 over the wire cross-section *)
+  rms_current_density : float;  (** A/m^2 *)
+}
+
+val measure : Ring.sim -> measurement
+(** Discards the first 30% of the record (start-up transient), then
+    measures the remainder. *)
+
+val false_switching : baseline_period:float -> measurement -> bool
+(** The Figure 11 criterion: the period collapsing well below the
+    fundamental (here: below 60% of [baseline_period]) signals that
+    undershoot-induced extra transitions are propagating around the
+    ring. *)
+
+val period_sweep :
+  ?stages:int ->
+  ?segments:int ->
+  ?dt:float ->
+  ?t_end:float ->
+  Rlc_tech.Node.t ->
+  l_values:float list ->
+  (float * measurement) list
+(** RC-sized ring oscillator measured across line inductances —
+    regenerates Figures 11 and 12. *)

@@ -1,0 +1,46 @@
+(** The paper's control experiment for Section 3.3.1: a buffered RLC
+    line of several stages driven by a square wave at one end, with the
+    far end loaded by an identical repeater.  The false-switching
+    behaviour appears here too, showing it is not a ring-oscillator
+    artifact. *)
+
+type config = {
+  node : Rlc_tech.Node.t;
+  l : float;  (** line inductance, H/m *)
+  h : float;
+  k : float;
+  stages : int;  (** inverters in the chain, default 5 *)
+  segments : int;  (** ladder sections per line, default 12 *)
+  period : float;  (** drive square-wave period, s *)
+}
+
+val config :
+  ?stages:int -> ?segments:int -> ?period:float -> Rlc_tech.Node.t ->
+  l:float -> h:float -> k:float -> config
+(** [period] defaults to 24x the stage's Padé delay — slow enough for
+    every stage to settle between edges in the clean regime. *)
+
+val rc_sized_config :
+  ?stages:int -> ?segments:int -> ?period:float -> Rlc_tech.Node.t ->
+  l:float -> config
+
+type sim = {
+  config : config;
+  input : Rlc_waveform.Waveform.t;  (** drive waveform *)
+  last_in : Rlc_waveform.Waveform.t;  (** last inverter's gate voltage *)
+  output : Rlc_waveform.Waveform.t;  (** chain output *)
+}
+
+val simulate : ?dt:float -> ?cycles:int -> config -> sim
+(** Drive for [cycles] (default 6) periods. *)
+
+type verdict = {
+  input_edges : int;  (** full transitions of the drive *)
+  output_edges : int;  (** full transitions of the chain output *)
+  spurious_edges : int;  (** output - input (0 when logically clean) *)
+  false_switching : bool;
+}
+
+val check : sim -> verdict
+(** Compares Schmitt-trigger transition counts of drive and output over
+    the simulated window (discarding the first period as warm-up). *)

@@ -1,0 +1,45 @@
+(** Bit-pattern (eye-diagram) analysis of a repeater stage.
+
+    The undershoot/overshoot the paper studies (Section 3.3) is a
+    single-transition view; under a random bit stream the residual
+    ringing of one bit interferes with the next (inter-symbol
+    interference).  This module drives the Figure 1 stage with a
+    deterministic PRBS through the transient simulator and measures the
+    eye: worst-case high and low levels at the sampling instant and the
+    transition-delay jitter. *)
+
+type config = {
+  node : Rlc_tech.Node.t;
+  l : float;  (** H/m *)
+  h : float;
+  k : float;
+  segments : int;
+  bit_period : float;  (** s *)
+  bits : int;  (** pattern length *)
+  seed : int;  (** LFSR seed (non-zero 7-bit) *)
+}
+
+val config :
+  ?segments:int -> ?bits:int -> ?seed:int -> ?bit_period:float ->
+  Rlc_tech.Node.t -> l:float -> h:float -> k:float -> config
+(** [bit_period] defaults to 4x the stage's 50% Padé delay (an
+    aggressive but workable rate); [bits] to 63, [segments] to 12. *)
+
+val prbs : seed:int -> int -> bool list
+(** The x^7 + x^6 + 1 LFSR sequence used as the pattern (exposed for
+    tests; period 127). *)
+
+type measurement = {
+  eye_high : float;  (** lowest sampled value across all 1-bits, V *)
+  eye_low : float;  (** highest sampled value across all 0-bits, V *)
+  eye_opening : float;  (** (eye_high - eye_low) / vdd; <= 0 = closed *)
+  delay_min : float;  (** fastest input-edge -> output-crossing delay, s *)
+  delay_max : float;  (** slowest, s *)
+  jitter : float;  (** delay_max - delay_min, s *)
+}
+
+val run : ?dt:float -> config -> measurement
+(** Simulates the pattern and samples each bit at its three-quarter
+    point (after the nominal transition has completed).  Raises
+    [Failure] when the output misses transitions entirely (the eye is
+    collapsed beyond measurement). *)

@@ -1,0 +1,55 @@
+(** The five-stage ring oscillator of Section 3.3: each stage is an
+    inverter of size [k] driving a distributed RLC line of length [h],
+    whose far end feeds the next inverter's gate.
+
+    The symmetric all-zero initial condition would excite the common
+    (in-phase) mode, so [build] staggers the initial stage-output
+    voltages; the fundamental travelling mode takes over within a few
+    round trips and measurements discard the initial transient. *)
+
+type config = {
+  node : Rlc_tech.Node.t;
+  l : float;  (** line inductance, H/m *)
+  h : float;  (** line length per stage, m *)
+  k : float;  (** inverter size *)
+  stages : int;  (** number of inverters (odd), default 5 *)
+  segments : int;  (** ladder sections per line, default 20 *)
+}
+
+val config :
+  ?stages:int -> ?segments:int -> Rlc_tech.Node.t -> l:float -> h:float ->
+  k:float -> config
+(** Raises [Invalid_argument] for even or < 3 [stages]. *)
+
+val rc_sized_config :
+  ?stages:int -> ?segments:int -> Rlc_tech.Node.t -> l:float -> config
+(** The paper's configuration: h = h_optRC, k = k_optRC of the node. *)
+
+type built = {
+  netlist : Rlc_circuit.Netlist.t;
+  stage_out : Rlc_circuit.Netlist.node array;
+      (** inverter output / line near end, per stage *)
+  stage_in : Rlc_circuit.Netlist.node array;
+      (** line far end / next inverter's gate, per stage *)
+  initial_voltages : (Rlc_circuit.Netlist.node * float) list;
+  config : config;
+}
+
+val build : config -> built
+
+type sim = {
+  built : built;
+  out0 : Rlc_waveform.Waveform.t;  (** inverter-0 output voltage *)
+  in0 : Rlc_waveform.Waveform.t;  (** inverter-0 input voltage (far end
+      of the last line) — the waveform Figures 9-10 plot *)
+  wire_current : Rlc_waveform.Waveform.t;
+      (** current entering stage-0's line, A *)
+}
+
+val simulate : ?dt:float -> ?t_end:float -> ?record_every:int -> config -> sim
+(** Defaults: [t_end] spans roughly 16 fundamental periods (estimated
+    from the stage's Padé delay) and [dt] resolves the fastest LC or RC
+    timescale with a safety factor; both can be overridden. *)
+
+val estimated_stage_delay : config -> float
+(** 50% Padé delay of one stage (used for default time stepping). *)

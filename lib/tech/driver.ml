@@ -1,0 +1,27 @@
+type t = { rs : float; c0 : float; cp : float }
+
+let make ~rs ~c0 ~cp =
+  if rs <= 0.0 || c0 <= 0.0 || cp <= 0.0 then
+    invalid_arg "Driver.make: parameters must be positive";
+  { rs; c0; cp }
+
+let check_k k =
+  if k <= 0.0 then invalid_arg "Driver: repeater size k must be positive"
+
+let scaled_rs d ~k =
+  check_k k;
+  d.rs /. k
+
+let scaled_cp d ~k =
+  check_k k;
+  d.cp *. k
+
+let scaled_c0 d ~k =
+  check_k k;
+  d.c0 *. k
+
+let intrinsic_delay d = d.rs *. (d.c0 +. d.cp)
+
+let pp ppf d =
+  Format.fprintf ppf "driver<rs=%.3fkohm c0=%.4ffF cp=%.4ffF>" (d.rs /. 1e3)
+    (d.c0 *. 1e15) (d.cp *. 1e15)

@@ -1,0 +1,33 @@
+(** Minimum-sized repeater (driver) parameters of a technology node.
+
+    Following Section 2.1 of the paper: a repeater of size [k] has
+    output resistance [rs / k], output parasitic capacitance [cp * k]
+    and input capacitance [c0 * k], with the minimum-size values taken
+    as linear (voltage-independent) constants. *)
+
+type t = {
+  rs : float;  (** output resistance of the minimum repeater, ohm *)
+  c0 : float;  (** input capacitance of the minimum repeater, F *)
+  cp : float;  (** output parasitic capacitance of the minimum repeater, F *)
+}
+
+val make : rs:float -> c0:float -> cp:float -> t
+(** Validates positivity. *)
+
+val scaled_rs : t -> k:float -> float
+(** [rs / k]; raises [Invalid_argument] when [k <= 0]. *)
+
+val scaled_cp : t -> k:float -> float
+(** [cp * k]. *)
+
+val scaled_c0 : t -> k:float -> float
+(** [c0 * k] — the input capacitance of the next stage, i.e. the load
+    [C_L] in Figure 1 of the paper. *)
+
+val intrinsic_delay : t -> float
+(** [rs * (c0 + cp)]: the size-independent RC constant of one repeater
+    driving a copy of itself.  Shrinks with technology scaling, which
+    Section 3.1 identifies as the root cause of growing inductance
+    susceptibility. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  feature_nm : float;
+  vdd : float;
+  r : float;
+  c : float;
+  geometry : Rlc_extraction.Geometry.t;
+  driver : Driver.t;
+  l_max : float;
+}
+
+let make ~name ~feature_nm ~vdd ~r ~c ~geometry ~driver
+    ?(l_max = Units.nh_per_mm 5.0) () =
+  if feature_nm <= 0.0 then invalid_arg "Node.make: feature_nm <= 0";
+  if vdd <= 0.0 then invalid_arg "Node.make: vdd <= 0";
+  if r <= 0.0 then invalid_arg "Node.make: r <= 0";
+  if c <= 0.0 then invalid_arg "Node.make: c <= 0";
+  if l_max <= 0.0 then invalid_arg "Node.make: l_max <= 0";
+  { name; feature_nm; vdd; r; c; geometry; driver; l_max }
+
+let with_capacitance t ~c ~name =
+  if c <= 0.0 then invalid_arg "Node.with_capacitance: c <= 0";
+  { t with c; name }
+
+let switching_threshold t = t.vdd /. 2.0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "node<%s: %gnm vdd=%.2fV r=%.1fohm/mm c=%.1fpF/m %a %a>" t.name
+    t.feature_nm t.vdd (t.r /. 1e3) (t.c *. 1e12) Rlc_extraction.Geometry.pp
+    t.geometry Driver.pp t.driver

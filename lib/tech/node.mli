@@ -1,0 +1,36 @@
+(** A technology node: top-level-metal interconnect parameters plus the
+    minimum-repeater driver model (one row of Table 1). *)
+
+type t = {
+  name : string;
+  feature_nm : float;  (** nominal feature size, nm *)
+  vdd : float;  (** supply voltage, V *)
+  r : float;  (** wire resistance per unit length, ohm/m *)
+  c : float;  (** wire capacitance per unit length, F/m *)
+  geometry : Rlc_extraction.Geometry.t;  (** top-metal cross-section *)
+  driver : Driver.t;  (** minimum repeater parameters *)
+  l_max : float;  (** upper end of the practical inductance range, H/m *)
+}
+
+val make :
+  name:string ->
+  feature_nm:float ->
+  vdd:float ->
+  r:float ->
+  c:float ->
+  geometry:Rlc_extraction.Geometry.t ->
+  driver:Driver.t ->
+  ?l_max:float ->
+  unit ->
+  t
+(** [l_max] defaults to 5 nH/mm (5e-6 H/m), the paper's sweep bound. *)
+
+val with_capacitance : t -> c:float -> name:string -> t
+(** Copy of the node with a replaced wire capacitance — used by the
+    Figure 7 ablation that gives the 100 nm node the 250 nm dielectric. *)
+
+val switching_threshold : t -> float
+(** Inverter threshold used for the ring-oscillator experiments:
+    vdd / 2 (symmetric inverter assumption). *)
+
+val pp : Format.formatter -> t -> unit

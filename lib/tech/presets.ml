@@ -1,0 +1,43 @@
+let geometry_250nm =
+  Rlc_extraction.Geometry.make ~width:(Units.um 2.0) ~pitch:(Units.um 4.0)
+    ~thickness:(Units.um 2.5) ~t_ins:(Units.um 13.9) ~eps_r:3.3
+
+let geometry_100nm =
+  Rlc_extraction.Geometry.make ~width:(Units.um 2.0) ~pitch:(Units.um 4.0)
+    ~thickness:(Units.um 2.5) ~t_ins:(Units.um 15.4) ~eps_r:2.0
+
+let node_250nm =
+  Node.make ~name:"250nm" ~feature_nm:250.0 ~vdd:2.5
+    ~r:(Units.ohm_per_mm 4.4) ~c:(Units.pf_per_m 203.50)
+    ~geometry:geometry_250nm
+    ~driver:(Driver.make ~rs:(Units.kohm 11.784) ~c0:(Units.ff 1.6314)
+               ~cp:(Units.ff 6.2474))
+    ()
+
+let node_100nm =
+  Node.make ~name:"100nm" ~feature_nm:100.0 ~vdd:1.2
+    ~r:(Units.ohm_per_mm 4.4) ~c:(Units.pf_per_m 123.33)
+    ~geometry:geometry_100nm
+    ~driver:(Driver.make ~rs:(Units.kohm 7.534) ~c0:(Units.ff 0.758)
+               ~cp:(Units.ff 3.68))
+    ()
+
+let node_100nm_250nm_dielectric =
+  Node.with_capacitance node_100nm ~c:(Units.pf_per_m 203.50)
+    ~name:"100nm-c250"
+
+let all = [ node_250nm; node_100nm ]
+
+let find name =
+  List.find_opt
+    (fun n -> String.equal n.Node.name name)
+    [ node_250nm; node_100nm; node_100nm_250nm_dielectric ]
+
+module Expected = struct
+  let h_opt_rc_250nm = Units.mm 14.4
+  let k_opt_rc_250nm = 578.0
+  let tau_opt_rc_250nm = Units.ps 305.17
+  let h_opt_rc_100nm = Units.mm 11.1
+  let k_opt_rc_100nm = 528.0
+  let tau_opt_rc_100nm = Units.ps 105.94
+end

@@ -1,0 +1,35 @@
+(** The two technology nodes of Table 1 of the paper (NTRS'97 roadmap,
+    copper top-level metal) plus the ablation variant of Section 3.1. *)
+
+val node_250nm : Node.t
+(** 250 nm node, metal 6: r = 4.4 ohm/mm, c = 203.50 pF/m, eps_r = 3.3,
+    w = 2 um, pitch = 4 um, thickness = 2.5 um, t_ins = 13.9 um,
+    rs = 11.784 kohm, c0 = 1.6314 fF, cp = 6.2474 fF, vdd = 2.5 V. *)
+
+val node_100nm : Node.t
+(** 100 nm node, metal 8: r = 4.4 ohm/mm, c = 123.33 pF/m, eps_r = 2.0,
+    w = 2 um, pitch = 4 um, thickness = 2.5 um, t_ins = 15.4 um,
+    rs = 7.534 kohm, c0 = 0.758 fF, cp = 3.68 fF, vdd = 1.2 V. *)
+
+val node_100nm_250nm_dielectric : Node.t
+(** The Figure 7 ablation: the 100 nm node with its wire capacitance
+    replaced by the 250 nm value, isolating the effect of driver
+    scaling from dielectric scaling. *)
+
+val all : Node.t list
+(** The two real nodes (not the ablation). *)
+
+val find : string -> Node.t option
+(** Look up any preset (including the ablation) by [Node.name]. *)
+
+(** Expected Table 1 derived values, for validation and reporting:
+    h_opt in metres (14.4 mm / 11.1 mm), k_opt dimensionless
+    (578 / 528), tau_opt in seconds (305.17 ps / 105.94 ps). *)
+module Expected : sig
+  val h_opt_rc_250nm : float
+  val k_opt_rc_250nm : float
+  val tau_opt_rc_250nm : float
+  val h_opt_rc_100nm : float
+  val k_opt_rc_100nm : float
+  val tau_opt_rc_100nm : float
+end

@@ -1,0 +1,38 @@
+(** Conversions between the paper's engineering units and the SI units
+    used throughout the API. *)
+
+val ohm_per_mm : float -> float
+(** ohm/mm -> ohm/m *)
+
+val pf_per_m : float -> float
+(** pF/m -> F/m *)
+
+val nh_per_mm : float -> float
+(** nH/mm -> H/m *)
+
+val ff : float -> float
+(** fF -> F *)
+
+val pf : float -> float
+(** pF -> F *)
+
+val kohm : float -> float
+(** kohm -> ohm *)
+
+val mm : float -> float
+(** mm -> m *)
+
+val um : float -> float
+(** um -> m *)
+
+val ps : float -> float
+(** ps -> s *)
+
+val to_nh_per_mm : float -> float
+(** H/m -> nH/mm (for reporting) *)
+
+val to_mm : float -> float
+(** m -> mm *)
+
+val to_ps : float -> float
+(** s -> ps *)

@@ -1,0 +1,111 @@
+open Rlc_numerics
+
+type model = {
+  order : int;
+  poles : Cx.t list;
+  residues : Cx.t list;
+  stable : bool;
+}
+
+let reduce ~moments ~order =
+  if order < 1 then invalid_arg "Awe.reduce: order < 1";
+  if Array.length moments < 2 * order then
+    invalid_arg "Awe.reduce: need moments up to 2*order - 1";
+  if Float.abs (moments.(0) -. 1.0) > 1e-12 then
+    invalid_arg "Awe.reduce: m_0 must be 1";
+  let q = order in
+  (* Hankel system for a_1..a_q:
+     sum_{j=1..q} a_j m_{k-j} = -m_k  for k = q..2q-1 *)
+  let mat = Matrix.create q q in
+  let rhs = Array.make q 0.0 in
+  for row = 0 to q - 1 do
+    let k = q + row in
+    rhs.(row) <- -.moments.(k);
+    for col = 0 to q - 1 do
+      let j = col + 1 in
+      Matrix.set mat row col (if k - j >= 0 then moments.(k - j) else 0.0)
+    done
+  done;
+  let a =
+    try Lu.solve_matrix mat rhs
+    with Lu.Singular -> invalid_arg "Awe.reduce: singular Hankel system"
+  in
+  (* D(s) = 1 + a_1 s + ... + a_q s^q *)
+  let denom = Polynomial.of_coeffs (Array.append [| 1.0 |] a) in
+  if Polynomial.degree denom < q then
+    invalid_arg "Awe.reduce: degenerate denominator (leading a_q = 0)";
+  (* N(s) coefficients: n_k = sum_{j=0..k} a_j m_{k-j}, k = 0..q-1 *)
+  let a_full = Array.append [| 1.0 |] a in
+  let numer =
+    Polynomial.of_coeffs
+      (Array.init q (fun k ->
+           let acc = ref 0.0 in
+           for j = 0 to k do
+             acc := !acc +. (a_full.(j) *. moments.(k - j))
+           done;
+           !acc))
+  in
+  let poles = Polynomial.roots denom in
+  let d' = Polynomial.derivative denom in
+  (* step-response residues: H(s)/s = 1/s + sum res_i/(s - p_i),
+     res_i = N(p_i) / (p_i D'(p_i)) *)
+  let residues =
+    List.map
+      (fun p ->
+        let open Cx in
+        Polynomial.eval_cx numer p
+        /: (p *: Polynomial.eval_cx d' p))
+      poles
+  in
+  let stable = List.for_all (fun p -> Cx.re p < 0.0) poles in
+  { order = q; poles; residues; stable }
+
+let step_eval model t =
+  if t < 0.0 then invalid_arg "Awe.step_eval: t < 0";
+  if t = 0.0 then 0.0
+  else begin
+    let open Cx in
+    let v =
+      List.fold_left2
+        (fun acc p res -> acc +: (res *: exp (scale t p)))
+        (of_float 1.0) model.poles model.residues
+    in
+    Cx.re v
+  end
+
+let delay ?(f = 0.5) model =
+  if f <= 0.0 || f >= 1.0 then invalid_arg "Awe.delay: f outside (0,1)";
+  if not model.stable then invalid_arg "Awe.delay: unstable model";
+  (* timescale from the dominant (slowest) pole *)
+  let tau0 =
+    List.fold_left
+      (fun acc p ->
+        let re = Float.abs (Cx.re p) in
+        if re > 1e-300 then Float.max acc (1.0 /. re) else acc)
+      0.0 model.poles
+  in
+  let residual t = step_eval model t -. f in
+  let lo, hi = Roots.bracket_first residual ~t0:0.0 ~dt:(tau0 /. 32.0) in
+  if lo = hi then lo else Roots.brent ~tol:1e-16 residual lo hi
+
+let of_tree ?driver_cp ~driver_rs ~order tree =
+  let per_sink =
+    Moments.voltage_moments ?driver_cp ~driver_rs ~order:(2 * order) tree
+  in
+  List.map (fun (name, ms) -> (name, reduce ~moments:ms ~order)) per_sink
+
+let of_stage ?(segments = 64) ~order stage =
+  let seg_len = stage.Rlc_core.Stage.h /. float_of_int segments in
+  let wires =
+    List.init segments (fun _ ->
+        Tree.wire_of_line stage.Rlc_core.Stage.line ~length:seg_len)
+  in
+  let tree = Tree.chain ~sink_cap:(Rlc_core.Stage.cl stage) wires in
+  match
+    of_tree
+      ~driver_cp:(Rlc_core.Stage.cp stage)
+      ~driver_rs:(Rlc_core.Stage.rs stage)
+      ~order tree
+  with
+  | [ (_, model) ] -> model
+  | _ -> assert false

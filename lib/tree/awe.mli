@@ -1,0 +1,47 @@
+(** Asymptotic Waveform Evaluation: order-q Padé reduction from voltage
+    moments — the generalization of the paper's two-pole model (which
+    is exactly AWE with q = 2) to arbitrary order and arbitrary RLC
+    trees.
+
+    From moments m_0..m_{2q-1} of H(s) = sum m_i s^i the reducer finds
+    the [q-1/q] Padé approximant N(s)/D(s): the denominator
+    coefficients solve the q x q Hankel system
+    sum_{j=0..q} a_j m_{k-j} = 0 for k = q..2q-1 (a_0 = 1), the poles
+    are the roots of D, and the step response follows from the
+    partial-fraction residues of H(s)/s.
+
+    AWE's classic failure mode is faithfully present: above q ~ 4-5 the
+    Hankel system is ill-conditioned and can produce unstable
+    (right-half-plane) poles; [reduce] flags this instead of hiding
+    it, and callers fall back to a lower order. *)
+
+type model = {
+  order : int;
+  poles : Rlc_numerics.Cx.t list;  (** q poles *)
+  residues : Rlc_numerics.Cx.t list;
+      (** step-response residues: v(t) = 1 + sum res_i e^(p_i t) *)
+  stable : bool;  (** all poles strictly in the left half plane *)
+}
+
+val reduce : moments:float array -> order:int -> model
+(** [moments] holds m_0 (must be 1.0) through at least m_{2 order - 1}.
+    Raises [Invalid_argument] on a short array, order < 1, m_0 <> 1, or
+    a numerically singular Hankel system. *)
+
+val step_eval : model -> float -> float
+(** Unit step response; [Invalid_argument] for t < 0.  Meaningful only
+    when [stable]. *)
+
+val delay : ?f:float -> model -> float
+(** First f-crossing (default 0.5).  Raises [Invalid_argument] on an
+    unstable model. *)
+
+val of_tree :
+  ?driver_cp:float -> driver_rs:float -> order:int -> Tree.t ->
+  (string * model) list
+(** Order-q AWE model of every sink. *)
+
+val of_stage : ?segments:int -> order:int -> Rlc_core.Stage.t -> model
+(** AWE model of the paper's Figure 1 stage, via a finely discretised
+    chain ([segments] defaults to 64).  With order = 2 this reproduces
+    the paper's Padé model. *)

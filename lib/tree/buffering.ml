@@ -1,0 +1,187 @@
+let default_sizes = [ 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 ]
+
+let ln2 = Float.log 2.0
+
+let wire_delay (w : Tree.wire) ~load =
+  if load < 0.0 then invalid_arg "Buffering.wire_delay: load < 0";
+  let ceff = (w.Tree.c /. 2.0) +. load in
+  let b1 = w.Tree.r *. ceff in
+  let b2 = w.Tree.l *. ceff in
+  if b2 <= 1e-6 *. b1 *. b1 then ln2 *. b1
+  else Rlc_core.Delay.of_coeffs { Rlc_core.Pade.b1; b2 }
+
+let buffer_delay driver ~k ~load =
+  if k <= 0.0 then invalid_arg "Buffering.buffer_delay: k <= 0";
+  if load < 0.0 then invalid_arg "Buffering.buffer_delay: load < 0";
+  let { Rlc_tech.Driver.rs; cp; _ } = driver in
+  ln2 *. ((rs *. cp) +. (rs *. load /. k))
+
+type opt = { c : float; q : float; buffers : (string * float) list }
+
+(* keep the Pareto frontier: an option is dominated when another has
+   both smaller-or-equal load and larger-or-equal slack *)
+let prune opts =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Float.compare a.c b.c with
+        | 0 -> Float.compare b.q a.q
+        | n -> n)
+      opts
+  in
+  let rec go best_q acc = function
+    | [] -> List.rev acc
+    | o :: rest ->
+        if o.q > best_q then go o.q (o :: acc) rest else go best_q acc rest
+  in
+  go neg_infinity [] sorted
+
+type plan = {
+  worst_delay : float;
+  unbuffered_delay : float;
+  buffers : (string * float) list;
+  options_explored : int;
+}
+
+let insert ?(sizes = default_sizes) ~driver ~root_k tree =
+  if sizes = [] then invalid_arg "Buffering.insert: empty size list";
+  if root_k <= 0.0 then invalid_arg "Buffering.insert: root_k <= 0";
+  List.iter
+    (fun k -> if k <= 0.0 then invalid_arg "Buffering.insert: size <= 0")
+    sizes;
+  let explored = ref 0 in
+  let count opts =
+    explored := !explored + List.length opts;
+    opts
+  in
+  let { Rlc_tech.Driver.c0; _ } = driver in
+  let rec solve = function
+    | Tree.Sink { cap; _ } -> [ { c = cap; q = 0.0; buffers = [] } ]
+    | Tree.Node { name; cap; branches } ->
+        (* push every child's options through its connecting wire *)
+        let branch_opts =
+          List.map
+            (fun (w, sub) ->
+              solve sub
+              |> List.map (fun o ->
+                     {
+                       o with
+                       c = o.c +. w.Tree.c;
+                       q = o.q -. wire_delay w ~load:o.c;
+                     })
+              |> prune |> count)
+            branches
+        in
+        (* cross-merge the branches: loads add, slacks take the min *)
+        let merged =
+          match branch_opts with
+          | [] -> assert false
+          | first :: rest ->
+              List.fold_left
+                (fun acc opts ->
+                  prune
+                    (List.concat_map
+                       (fun a ->
+                         List.map
+                           (fun b ->
+                             {
+                               c = a.c +. b.c;
+                               q = Float.min a.q b.q;
+                               buffers = a.buffers @ b.buffers;
+                             })
+                           opts)
+                       acc))
+                first rest
+        in
+        (* optionally buffer here (the buffer drives the merged load;
+           the node's own cap taps in upstream of the buffer) *)
+        let buffered =
+          List.concat_map
+            (fun k ->
+              List.map
+                (fun o ->
+                  {
+                    c = c0 *. k;
+                    q = o.q -. buffer_delay driver ~k ~load:o.c;
+                    buffers = (name, k) :: o.buffers;
+                  })
+                merged)
+            sizes
+        in
+        prune (merged @ buffered)
+        |> List.map (fun o -> { o with c = o.c +. cap })
+        |> count
+  in
+  let root_options = solve tree in
+  let total o = buffer_delay driver ~k:root_k ~load:o.c -. o.q in
+  let best =
+    List.fold_left
+      (fun acc o -> match acc with
+        | Some b when total b <= total o -> acc
+        | _ -> Some o)
+      None root_options
+  in
+  let unbuffered =
+    let rec eval = function
+      | Tree.Sink { cap; _ } -> (cap, 0.0)
+      | Tree.Node { cap; branches; _ } ->
+          let per =
+            List.map
+              (fun (w, sub) ->
+                let c, d = eval sub in
+                (c +. w.Tree.c, d +. wire_delay w ~load:c))
+              branches
+          in
+          ( cap +. List.fold_left (fun a (c, _) -> a +. c) 0.0 per,
+            List.fold_left (fun a (_, d) -> Float.max a d) 0.0 per )
+    in
+    let c, d = eval tree in
+    buffer_delay driver ~k:root_k ~load:c +. d
+  in
+  match best with
+  | None -> invalid_arg "Buffering.insert: tree produced no options"
+  | Some o ->
+      {
+        worst_delay = total o;
+        unbuffered_delay = unbuffered;
+        buffers = o.buffers;
+        options_explored = !explored;
+      }
+
+let evaluate ~driver ~root_k ~buffers tree =
+  let { Rlc_tech.Driver.c0; _ } = driver in
+  (* validate names against the tree's internal nodes *)
+  let rec node_names acc = function
+    | Tree.Sink _ -> acc
+    | Tree.Node { name; branches; _ } ->
+        List.fold_left (fun a (_, sub) -> node_names a sub) (name :: acc)
+          branches
+  in
+  let known = node_names [] tree in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem name known) then
+        invalid_arg ("Buffering.evaluate: unknown node " ^ name))
+    buffers;
+  let rec eval = function
+    | Tree.Sink { cap; _ } -> (cap, 0.0)
+    | Tree.Node { name; cap; branches } ->
+        let per =
+          List.map
+            (fun (w, sub) ->
+              let c, d = eval sub in
+              (c +. w.Tree.c, d +. wire_delay w ~load:c))
+            branches
+        in
+        let merged_c = List.fold_left (fun a (c, _) -> a +. c) 0.0 per in
+        let worst = List.fold_left (fun a (_, d) -> Float.max a d) 0.0 per in
+        let c, worst =
+          match List.assoc_opt name buffers with
+          | Some k ->
+              (c0 *. k, worst +. buffer_delay driver ~k ~load:merged_c)
+          | None -> (merged_c, worst)
+        in
+        (c +. cap, worst)
+  in
+  let c, d = eval tree in
+  buffer_delay driver ~k:root_k ~load:c +. d

@@ -1,0 +1,56 @@
+(** Buffer (repeater) insertion on routing trees — the van Ginneken
+    dynamic program with the paper's RLC-aware two-pole delay as the
+    wire-delay model.
+
+    The DP propagates Pareto option lists (downstream capacitance c,
+    required-time slack q) from the sinks to the root, considering a
+    buffer of every candidate size at every internal node.  Delays:
+
+    - wire edge (R, L, C) into downstream load c:
+      the 50% delay of the two-pole model with b1 = R (C/2 + c) and
+      b2 = L (C/2 + c); b2 = 0 (RC) degenerates to ln 2 * b1 — this is
+      the inductance-aware ingredient missing from classical
+      (Elmore-based) van Ginneken;
+    - a buffer of size k driving load c: ln 2 * (rs cp + rs c / k),
+      presenting input capacitance c0 k.
+
+    For trees whose edges are long, call {!Tree.segment_edges} first so
+    the DP has interior candidate sites. *)
+
+type plan = {
+  worst_delay : float;
+      (** max root-to-sink 50% delay of the buffered tree, s *)
+  unbuffered_delay : float;  (** same metric with no buffers inserted *)
+  buffers : (string * float) list;
+      (** (node name, buffer size k) chosen, root-to-leaf order *)
+  options_explored : int;  (** total Pareto options generated *)
+}
+
+val default_sizes : float list
+(** Candidate buffer sizes: 25, 50, 100, 200, 400, 800. *)
+
+val wire_delay : Tree.wire -> load:float -> float
+(** The edge-delay model described above. *)
+
+val buffer_delay : Rlc_tech.Driver.t -> k:float -> load:float -> float
+
+val insert :
+  ?sizes:float list ->
+  driver:Rlc_tech.Driver.t ->
+  root_k:float ->
+  Tree.t ->
+  plan
+(** [insert ~driver ~root_k tree] buffers the tree driven by a
+    [root_k]-sized repeater.  Raises [Invalid_argument] on an empty
+    size list or non-positive [root_k]. *)
+
+val evaluate :
+  driver:Rlc_tech.Driver.t ->
+  root_k:float ->
+  buffers:(string * float) list ->
+  Tree.t ->
+  float
+(** Worst sink delay of the tree with an explicit buffer assignment
+    (names must be internal-node names) — used to cross-check the DP
+    against exhaustive search in the tests.  Unknown names raise
+    [Invalid_argument]. *)

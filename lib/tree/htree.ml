@@ -1,0 +1,51 @@
+let build ~levels ~total_span ~line ~sink_cap =
+  if levels < 1 || levels > 12 then
+    invalid_arg "Htree.build: levels must be in 1..12";
+  if total_span <= 0.0 then invalid_arg "Htree.build: total_span <= 0";
+  let counter = ref (-1) in
+  let rec go depth =
+    let len = total_span /. Float.pow 2.0 (float_of_int (depth + 1)) in
+    let w = Tree.wire_of_line line ~length:len in
+    let child () =
+      if depth = levels - 1 then begin
+        incr counter;
+        Tree.sink ~name:(Printf.sprintf "s%d" !counter) ~cap:sink_cap
+      end
+      else go (depth + 1)
+    in
+    Tree.node ~name:(Printf.sprintf "lvl%d_%d" depth (!counter + 1))
+      [ (w, child ()); (w, child ()) ]
+  in
+  go 0
+
+let imbalance_first_branch transform tree =
+  match tree with
+  | Tree.Sink _ -> tree
+  | Tree.Node { name; cap; branches } -> begin
+      match branches with
+      | [] -> tree
+      | (w, first) :: rest ->
+          Tree.Node
+            {
+              name;
+              cap;
+              branches =
+                (transform w, Tree.map_wires transform first) :: rest;
+            }
+    end
+
+let sink_delays ?f ?driver_cp ~driver_rs tree =
+  Moments.compute ?driver_cp ~driver_rs tree
+  |> List.map (fun sm -> (sm.Moments.name, Moments.sink_delay ?f sm))
+
+let skew ?f ?driver_cp ~driver_rs tree =
+  let delays = List.map snd (sink_delays ?f ?driver_cp ~driver_rs tree) in
+  match delays with
+  | [] -> invalid_arg "Htree.skew: no sinks"
+  | d :: rest ->
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+          (d, d) rest
+      in
+      hi -. lo

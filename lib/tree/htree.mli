@@ -1,0 +1,33 @@
+(** Symmetric clock-distribution trees and skew analysis.
+
+    A balanced binary tree spanning [total_span] halves its branch
+    length at every level (the planar H-tree's electrical skeleton).
+    Perfectly matched, its skew is zero by construction; the paper's
+    point that the return path — and hence the inductance — of
+    nominally identical wires can differ makes inductance a CLOCK SKEW
+    mechanism, which {!skew} quantifies through the tree moment
+    engine. *)
+
+val build :
+  levels:int ->
+  total_span:float ->
+  line:Rlc_core.Line.t ->
+  sink_cap:float ->
+  Tree.t
+(** Balanced binary tree with [2^levels] sinks named "s0", "s1", ...;
+    the edge at depth d (0-based) has length total_span / 2^(d+1).
+    Raises [Invalid_argument] for levels < 1 or levels > 12. *)
+
+val imbalance_first_branch : (Tree.wire -> Tree.wire) -> Tree.t -> Tree.t
+(** Apply a wire transform to the FIRST branch's whole subtree (e.g.
+    paint a different inductance on one half of the clock tree, the
+    return-path asymmetry scenario).  Identity on sinks. *)
+
+val sink_delays :
+  ?f:float -> ?driver_cp:float -> driver_rs:float -> Tree.t ->
+  (string * float) list
+(** Two-pole 50% delay (via {!Moments}) of every sink. *)
+
+val skew :
+  ?f:float -> ?driver_cp:float -> driver_rs:float -> Tree.t -> float
+(** max - min over {!sink_delays}. *)

@@ -1,0 +1,138 @@
+type sink_moments = {
+  name : string;
+  m1 : float;
+  m2 : float;
+  b1 : float;
+  b2 : float;
+}
+
+(* Flattened tree: node 0 is the root; each other node knows its parent
+   and the wire reaching it.  Edge capacitance is split half to each
+   end, so node loads absorb all wire capacitance. *)
+type flat = {
+  parent : int array;
+  wire_r : float array; (* of the edge from parent *)
+  wire_l : float array;
+  load : float array;
+  names : (int * string) list; (* sink ids *)
+  order : int array; (* topological order, parents first *)
+}
+
+let flatten ?(driver_cp = 0.0) tree =
+  let rec count_nodes = function
+    | Tree.Sink _ -> 1
+    | Tree.Node { branches; _ } ->
+        1 + List.fold_left (fun a (_, s) -> a + count_nodes s) 0 branches
+  in
+  let below_root =
+    match tree with
+    | Tree.Sink _ -> 1
+    | Tree.Node { branches; _ } ->
+        List.fold_left (fun a (_, s) -> a + count_nodes s) 0 branches
+  in
+  let n = 1 + below_root in
+  let parent = Array.make n (-1) in
+  let wire_r = Array.make n 0.0 in
+  let wire_l = Array.make n 0.0 in
+  let load = Array.make n 0.0 in
+  let names = ref [] in
+  load.(0) <- driver_cp;
+  let cursor = ref 1 in
+  (* allocate in parents-first order so index order is topological *)
+  let rec walk parent_id (w : Tree.wire) node =
+    let id = !cursor in
+    incr cursor;
+    parent.(id) <- parent_id;
+    wire_r.(id) <- w.Tree.r;
+    wire_l.(id) <- w.Tree.l;
+    load.(id) <- load.(id) +. (w.Tree.c /. 2.0);
+    load.(parent_id) <- load.(parent_id) +. (w.Tree.c /. 2.0);
+    match node with
+    | Tree.Sink { name; cap } ->
+        load.(id) <- load.(id) +. cap;
+        names := (id, name) :: !names
+    | Tree.Node { cap; branches; _ } ->
+        load.(id) <- load.(id) +. cap;
+        List.iter (fun (w', sub) -> walk id w' sub) branches
+  in
+  (match tree with
+  | Tree.Sink { name; cap } ->
+      (* a bare sink hangs directly off the driver *)
+      parent.(1) <- 0;
+      wire_r.(1) <- 1e-9;
+      load.(1) <- cap;
+      names := [ (1, name) ]
+  | Tree.Node { cap; branches; _ } ->
+      (* merge the tree's root Node into flat node 0 *)
+      load.(0) <- load.(0) +. cap;
+      List.iter (fun (w, sub) -> walk 0 w sub) branches);
+  { parent; wire_r; wire_l; load; names = List.rev !names;
+    order = Array.init n (fun i -> i) }
+
+let moment_arrays ?(driver_cp = 0.0) ~driver_rs ~order tree =
+  if driver_rs <= 0.0 then invalid_arg "Moments: driver_rs <= 0";
+  if order < 1 then invalid_arg "Moments: order < 1";
+  let f = flatten ~driver_cp tree in
+  let n = Array.length f.parent in
+  (* subtree sums of load * m for a given moment array *)
+  let subtree_sums m =
+    let s = Array.init n (fun i -> f.load.(i) *. m.(i)) in
+    (* children come after parents in index order: accumulate backwards *)
+    for i = n - 1 downto 1 do
+      s.(f.parent.(i)) <- s.(f.parent.(i)) +. s.(i)
+    done;
+    s
+  in
+  let next_order m_prev m_prev2 =
+    let s_prev = subtree_sums m_prev in
+    let s_prev2 = subtree_sums m_prev2 in
+    let m = Array.make n 0.0 in
+    Array.iter
+      (fun i ->
+        if i = 0 then m.(0) <- -.driver_rs *. s_prev.(0)
+        else
+          m.(i) <-
+            m.(f.parent.(i))
+            -. (f.wire_r.(i) *. s_prev.(i))
+            -. (f.wire_l.(i) *. s_prev2.(i)))
+      f.order;
+    m
+  in
+  let all = Array.make (order + 1) [||] in
+  all.(0) <- Array.make n 1.0;
+  let m_minus1 = Array.make n 0.0 in
+  for k = 1 to order do
+    all.(k) <- next_order all.(k - 1) (if k = 1 then m_minus1 else all.(k - 2))
+  done;
+  (f, all)
+
+let voltage_moments ?driver_cp ~driver_rs ~order tree =
+  let f, all = moment_arrays ?driver_cp ~driver_rs ~order tree in
+  List.map
+    (fun (id, name) -> (name, Array.init (order + 1) (fun k -> all.(k).(id))))
+    f.names
+
+let compute ?driver_cp ~driver_rs tree =
+  let f, all = moment_arrays ?driver_cp ~driver_rs ~order:2 tree in
+  List.map
+    (fun (id, name) ->
+      let m1v = all.(1).(id) and m2v = all.(2).(id) in
+      { name; m1 = m1v; m2 = m2v; b1 = -.m1v; b2 = (m1v *. m1v) -. m2v })
+    f.names
+
+let elmore ~driver_rs tree =
+  List.map (fun sm -> (sm.name, sm.b1)) (compute ~driver_rs tree)
+
+let sink_delay ?(f = 0.5) sm =
+  if sm.b2 <= 1e-12 *. sm.b1 *. sm.b1 then
+    (* zero-dominated near-sink response: single-pole estimate *)
+    sm.b1 *. Float.log (1.0 /. (1.0 -. f))
+  else Rlc_core.Delay.of_coeffs ~f { Rlc_core.Pade.b1 = sm.b1; b2 = sm.b2 }
+
+let critical_sink ?f = function
+  | [] -> invalid_arg "Moments.critical_sink: empty list"
+  | first :: rest ->
+      List.fold_left
+        (fun best sm ->
+          if sink_delay ?f sm > sink_delay ?f best then sm else best)
+        first rest

@@ -1,0 +1,51 @@
+(** Voltage moments of RLC trees, and the per-sink two-pole model built
+    from them.
+
+    With the tree driven by an ideal step through the driver resistance
+    R_S, each node voltage expands as V(s) = 1 + m1 s + m2 s^2 + ...
+    (m1 < 0; -m1 is the Elmore delay).  Moments satisfy the classic
+    path-tracing recursion extended with the inductive drop: the order
+    n drop across an edge (R, L) is R i_n + L i_{n-1} where
+    i_n = sum of C_k m_{n-1,k} over the subtree — so inductance first
+    appears in m2, exactly as in the paper's b2.
+
+    The per-sink two-pole reduction b1 = -m1, b2 = m1^2 - m2 matches
+    the paper's Padé model when the tree is a discretised single line
+    (the test suite verifies convergence as segmentation refines), so
+    all the single-line machinery — damping classification, delay
+    solver — lifts to arbitrary trees. *)
+
+type sink_moments = {
+  name : string;
+  m1 : float;  (** first voltage moment, s (negative) *)
+  m2 : float;  (** second voltage moment, s^2 *)
+  b1 : float;  (** -m1: Elmore delay including the driver, s *)
+  b2 : float;  (** m1^2 - m2: the paper's second Padé coefficient *)
+}
+
+val compute :
+  ?driver_cp:float -> driver_rs:float -> Tree.t -> sink_moments list
+(** Moments of every sink, with the driver modelled as a series
+    resistance [driver_rs] (and optional parasitic output capacitance
+    [driver_cp] at the root).  Order matches {!Tree.sinks}. *)
+
+val voltage_moments :
+  ?driver_cp:float -> driver_rs:float -> order:int -> Tree.t ->
+  (string * float array) list
+(** Arbitrary-order voltage moments per sink: element [i] of the array
+    is m_i (m_0 = 1), up to [order] inclusive.  The same recursion as
+    {!compute}, iterated — this feeds the {!Awe} reducer, which needs
+    moments up to 2q-1 for an order-q model. *)
+
+val elmore : driver_rs:float -> Tree.t -> (string * float) list
+(** Just the Elmore delays (b1). *)
+
+val sink_delay : ?f:float -> sink_moments -> float
+(** 50% (or f*100%) delay of the sink's two-pole model via the paper's
+    delay-equation solver.  Near sinks can have b2 <= 0 (their response
+    carries strong zeros, making a pole-only second-order fit invalid);
+    those fall back to the single-pole estimate b1 ln(1/(1-f)). *)
+
+val critical_sink : ?f:float -> sink_moments list -> sink_moments
+(** The sink with the largest two-pole delay.  Raises
+    [Invalid_argument] on an empty list. *)

@@ -1,0 +1,176 @@
+type wire = { r : float; l : float; c : float }
+
+let wire ~r ~l ~c =
+  if r <= 0.0 then invalid_arg "Tree.wire: r <= 0";
+  if l < 0.0 then invalid_arg "Tree.wire: l < 0";
+  if c < 0.0 then invalid_arg "Tree.wire: c < 0";
+  { r; l; c }
+
+let wire_of_line line ~length =
+  if length <= 0.0 then invalid_arg "Tree.wire_of_line: length <= 0";
+  wire
+    ~r:(line.Rlc_core.Line.r *. length)
+    ~l:(line.Rlc_core.Line.l *. length)
+    ~c:(line.Rlc_core.Line.c *. length)
+
+type t =
+  | Sink of { name : string; cap : float }
+  | Node of { name : string; cap : float; branches : (wire * t) list }
+
+let sink ~name ~cap =
+  if cap < 0.0 then invalid_arg "Tree.sink: cap < 0";
+  Sink { name; cap }
+
+let node_counter = ref 0
+
+let node ?name ?(cap = 0.0) branches =
+  if branches = [] then invalid_arg "Tree.node: empty branch list";
+  if cap < 0.0 then invalid_arg "Tree.node: cap < 0";
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        incr node_counter;
+        Printf.sprintf "_n%d" !node_counter
+  in
+  Node { name; cap; branches }
+
+let chain ?(name_prefix = "chain") ~sink_cap segments =
+  if segments = [] then invalid_arg "Tree.chain: no segments";
+  let rec build i = function
+    | [] -> sink ~name:(name_prefix ^ "_sink") ~cap:sink_cap
+    | w :: rest ->
+        node ~name:(Printf.sprintf "%s_%d" name_prefix i) [ (w, build (i + 1) rest) ]
+  in
+  match build 0 segments with
+  | Node { branches = [ (w, sub) ]; _ } ->
+      (* keep the first wire attached to an unnamed root node so the
+         chain is a single-branch tree *)
+      node ~name:(name_prefix ^ "_root") [ (w, sub) ]
+  | other -> other
+
+let rec total_cap = function
+  | Sink { cap; _ } -> cap
+  | Node { cap; branches; _ } ->
+      List.fold_left
+        (fun acc (w, sub) -> acc +. w.c +. total_cap sub)
+        cap branches
+
+let total_wire tree =
+  let rec go = function
+    | Sink _ -> { r = 0.0; l = 0.0; c = 0.0 }
+    | Node { branches; _ } ->
+        List.fold_left
+          (fun acc (w, sub) ->
+            let s = go sub in
+            { r = acc.r +. w.r +. s.r;
+              l = acc.l +. w.l +. s.l;
+              c = acc.c +. w.c +. s.c })
+          { r = 0.0; l = 0.0; c = 0.0 }
+          branches
+  in
+  match tree with Sink _ -> None | Node _ -> Some (go tree)
+
+let sinks tree =
+  let rec go acc = function
+    | Sink { name; cap } -> (name, cap) :: acc
+    | Node { branches; _ } ->
+        List.fold_left (fun acc (_, sub) -> go acc sub) acc branches
+  in
+  let all = List.rev (go [] tree) in
+  let names = List.map fst all in
+  let sorted = List.sort String.compare names in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg ("Tree.sinks: duplicate sink name " ^ a)
+        else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  all
+
+let find_sink tree name =
+  let rec go = function
+    | Sink { name = n; _ } -> String.equal n name
+    | Node { branches; _ } -> List.exists (fun (_, sub) -> go sub) branches
+  in
+  go tree
+
+let rec depth = function
+  | Sink _ -> 0
+  | Node { branches; _ } ->
+      1 + List.fold_left (fun acc (_, sub) -> Int.max acc (depth sub)) 0 branches
+
+let rec size = function
+  | Sink _ -> 0
+  | Node { branches; _ } ->
+      List.fold_left (fun acc (_, sub) -> acc + 1 + size sub) 0 branches
+
+let rec map_wires f = function
+  | Sink _ as s -> s
+  | Node { name; cap; branches } ->
+      Node
+        {
+          name;
+          cap;
+          branches = List.map (fun (w, sub) -> (f w, map_wires f sub)) branches;
+        }
+
+let segment_edges ~max_segment tree =
+  if max_segment.r <= 0.0 then
+    invalid_arg "Tree.segment_edges: max_segment.r <= 0";
+  let pieces w =
+    let by limit total = if limit <= 0.0 then 1 else
+      int_of_float (Float.ceil (total /. limit))
+    in
+    Int.max 1
+      (Int.max (by max_segment.r w.r)
+         (Int.max (by max_segment.l w.l) (by max_segment.c w.c)))
+  in
+  (* synthetic joints get deterministic names derived from the parent
+     node, branch index and piece index, so two structurally identical
+     trees segment to identical names (Buffering plans transfer) *)
+  let rec go = function
+    | Sink _ as s -> s
+    | Node { name; cap; branches } ->
+        let branches =
+          List.mapi
+            (fun bi (w, sub) ->
+              let n = pieces w in
+              if n = 1 then (w, go sub)
+              else begin
+                let piece =
+                  {
+                    r = w.r /. float_of_int n;
+                    l = w.l /. float_of_int n;
+                    c = w.c /. float_of_int n;
+                  }
+                in
+                let rec nest k =
+                  if k = 0 then go sub
+                  else
+                    Node
+                      {
+                        name = Printf.sprintf "%s.%d.%d" name bi (n - k);
+                        cap = 0.0;
+                        branches = [ (piece, nest (k - 1)) ];
+                      }
+                in
+                (piece, nest (n - 1))
+              end)
+            branches
+        in
+        Node { name; cap; branches }
+  in
+  go tree
+
+let rec pp ppf = function
+  | Sink { name; cap } -> Format.fprintf ppf "%s(%.2ffF)" name (cap *. 1e15)
+  | Node { name; branches; _ } ->
+      Format.fprintf ppf "@[<v 2>%s" name;
+      List.iter
+        (fun (w, sub) ->
+          Format.fprintf ppf "@,-[%.0fohm,%.2fpF]- %a" w.r (w.c *. 1e12) pp sub)
+        branches;
+      Format.fprintf ppf "@]"

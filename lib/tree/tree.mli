@@ -1,0 +1,64 @@
+(** Interconnect routing trees.
+
+    The paper studies point-to-point lines; real global nets branch.
+    A tree is a root (the driver side) with wired edges down to
+    capacitive sinks; every edge carries lumped totals (r, l, c) for
+    its wire span.  The moment engine ({!Moments}) and the buffer
+    inserter ({!Buffering}) operate on this structure. *)
+
+type wire = {
+  r : float;  (** total edge resistance, ohm *)
+  l : float;  (** total edge inductance, H *)
+  c : float;  (** total edge capacitance, F *)
+}
+
+val wire : r:float -> l:float -> c:float -> wire
+(** Validates r > 0, l >= 0, c >= 0. *)
+
+val wire_of_line : Rlc_core.Line.t -> length:float -> wire
+
+type t =
+  | Sink of { name : string; cap : float }
+      (** A leaf load (receiver gate). *)
+  | Node of { name : string; cap : float; branches : (wire * t) list }
+      (** Internal branching point with optional extra load [cap];
+          [branches] must be non-empty. *)
+
+val sink : name:string -> cap:float -> t
+val node : ?name:string -> ?cap:float -> (wire * t) list -> t
+(** Raises [Invalid_argument] on an empty branch list. *)
+
+val chain : ?name_prefix:string -> sink_cap:float -> wire list -> t
+(** [chain ~sink_cap wires] is a non-branching chain of wires ending
+    in one sink — the degenerate
+    tree equivalent to a discretised point-to-point line (used to
+    cross-validate the tree moments against the paper's b1/b2). *)
+
+val total_cap : t -> float
+(** Sum of all edge and load capacitances. *)
+
+val total_wire : t -> wire option
+(** Total r/l/c of all edges ([None] for a bare sink). *)
+
+val sinks : t -> (string * float) list
+(** All sink names with their loads, in traversal order.  Raises
+    [Invalid_argument] on duplicate sink names. *)
+
+val find_sink : t -> string -> bool
+val depth : t -> int
+(** Number of edges on the longest root-to-sink path; 0 for a sink. *)
+
+val size : t -> int
+(** Number of edges. *)
+
+val map_wires : (wire -> wire) -> t -> t
+(** Rescale or otherwise transform every edge (e.g. paint a different
+    inductance assumption onto the whole net). *)
+
+val segment_edges : max_segment:wire -> t -> t
+(** Split every edge into equal pieces so that no piece exceeds
+    [max_segment] in any of r, l, c — refining the lumped approximation
+    and creating internal nodes that {!Buffering} can use as candidate
+    buffer sites.  Inserted nodes carry no load. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type t = { times : float array; values : float array }
+
+let create ~times ~values =
+  let n = Array.length times in
+  if n = 0 || Array.length values <> n then
+    invalid_arg "Waveform.create: empty or mismatched arrays";
+  for i = 1 to n - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Waveform.create: times not strictly increasing"
+  done;
+  { times = Array.copy times; values = Array.copy values }
+
+let of_fn ?(n = 1000) f ~t0 ~t1 =
+  if n < 2 then invalid_arg "Waveform.of_fn: n < 2";
+  if t1 <= t0 then invalid_arg "Waveform.of_fn: t1 <= t0";
+  let dt = (t1 -. t0) /. float_of_int (n - 1) in
+  let times = Array.init n (fun i -> t0 +. (float_of_int i *. dt)) in
+  { times; values = Array.map f times }
+
+let times w = Array.copy w.times
+let values w = Array.copy w.values
+let length w = Array.length w.times
+let t_start w = w.times.(0)
+let t_end w = w.times.(Array.length w.times - 1)
+let duration w = t_end w -. t_start w
+
+let value_at w t =
+  if Array.length w.times = 1 then w.values.(0)
+  else Rlc_numerics.Interp.linear ~xs:w.times ~ys:w.values t
+
+let map f w = { w with values = Array.map f w.values }
+
+let map2 f a b =
+  if
+    Array.length a.times <> Array.length b.times
+    || not (Array.for_all2 Float.equal a.times b.times)
+  then invalid_arg "Waveform.map2: time axes differ";
+  { a with values = Array.map2 f a.values b.values }
+
+let slice w ~t0 ~t1 =
+  let keep = ref [] in
+  for i = Array.length w.times - 1 downto 0 do
+    if w.times.(i) >= t0 && w.times.(i) <= t1 then keep := i :: !keep
+  done;
+  match !keep with
+  | [] -> invalid_arg "Waveform.slice: empty result"
+  | idx ->
+      let idx = Array.of_list idx in
+      {
+        times = Array.map (fun i -> w.times.(i)) idx;
+        values = Array.map (fun i -> w.values.(i)) idx;
+      }
+
+let shift w dt = { w with times = Array.map (fun t -> t +. dt) w.times }
+
+let iter f w = Array.iteri (fun i t -> f t w.values.(i)) w.times
+
+let fold f init w =
+  let acc = ref init in
+  Array.iteri (fun i t -> acc := f !acc t w.values.(i)) w.times;
+  !acc
+
+let pp ppf w =
+  let lo, hi = Rlc_numerics.Stats.min_max w.values in
+  Format.fprintf ppf "waveform<%d samples, t=[%g,%g], y=[%g,%g]>" (length w)
+    (t_start w) (t_end w) lo hi

@@ -1,0 +1,45 @@
+(** Uniformly or non-uniformly sampled real-valued waveforms.
+
+    Transient simulation results and analytic step responses both
+    materialise as waveforms; the [Measure] module extracts the
+    quantities the paper reports from them. *)
+
+type t
+(** Immutable sampled signal: strictly increasing times, one value per
+    sample. *)
+
+val create : times:float array -> values:float array -> t
+(** Raises [Invalid_argument] when the arrays differ in length, are
+    empty, or times are not strictly increasing. *)
+
+val of_fn : ?n:int -> (float -> float) -> t0:float -> t1:float -> t
+(** [of_fn f ~t0 ~t1] samples [f] at [n] (default 1000) uniform points
+    including both endpoints. *)
+
+val times : t -> float array
+val values : t -> float array
+val length : t -> int
+val t_start : t -> float
+val t_end : t -> float
+val duration : t -> float
+
+val value_at : t -> float -> float
+(** Linear interpolation, clamped outside the domain. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Pointwise combination; both waveforms must share their time axis
+    exactly, else [Invalid_argument]. *)
+
+val slice : t -> t0:float -> t1:float -> t
+(** Samples with [t0 <= t <= t1]; raises [Invalid_argument] when fewer
+    than one sample survives. *)
+
+val shift : t -> float -> t
+(** [shift w dt] translates the time axis by [dt]. *)
+
+val iter : (float -> float -> unit) -> t -> unit
+val fold : ('a -> float -> float -> 'a) -> 'a -> t -> 'a
+
+val pp : Format.formatter -> t -> unit
+(** Short summary (sample count, span, min/max). *)

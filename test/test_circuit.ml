@@ -1,0 +1,805 @@
+(* Tests for rlc_circuit: stimulus evaluation, netlist construction,
+   DC operating point, the MNA transient engine against closed-form
+   circuit responses, and the ladder discretisation. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > tol *. (1.0 +. Float.max (Float.abs expected) (Float.abs actual))
+  then
+    Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+open Rlc_circuit
+
+(* ---------------- Stimulus ---------------- *)
+
+let test_stimulus_dc () =
+  check_close "dc" 3.3 (Stimulus.eval (Stimulus.Dc 3.3) 42.0)
+
+let test_stimulus_step () =
+  let s = Stimulus.Step { v0 = 0.0; v1 = 1.0; t_delay = 1.0; t_rise = 2.0 } in
+  check_close "before" 0.0 (Stimulus.eval s 0.5);
+  check_close "mid-ramp" 0.5 (Stimulus.eval s 2.0);
+  check_close "after" 1.0 (Stimulus.eval s 10.0)
+
+let test_stimulus_pulse () =
+  let s =
+    Stimulus.Pulse
+      { v0 = 0.0; v1 = 1.0; t_delay = 0.0; t_rise = 0.1; t_high = 0.3;
+        t_fall = 0.1; period = 1.0 }
+  in
+  check_close "rising" 0.5 (Stimulus.eval s 0.05);
+  check_close "high" 1.0 (Stimulus.eval s 0.2);
+  check_close "falling" 0.5 (Stimulus.eval s 0.45);
+  check_close "low" 0.0 (Stimulus.eval s 0.7);
+  (* periodic repetition *)
+  check_close "next period high" 1.0 (Stimulus.eval s 1.2)
+
+let test_stimulus_pwl () =
+  let s = Stimulus.Pwl [ (0.0, 0.0); (1.0, 2.0); (3.0, -1.0) ] in
+  check_close "interior 1" 1.0 (Stimulus.eval s 0.5);
+  check_close "interior 2" 0.5 (Stimulus.eval s 2.0);
+  check_close "clamped right" (-1.0) (Stimulus.eval s 99.0);
+  check_close "clamped left" 0.0 (Stimulus.eval s (-1.0))
+
+let test_stimulus_square_wave () =
+  let s = Stimulus.square_wave ~vdd:1.2 ~period:1e-9 () in
+  Stimulus.validate s;
+  check_close "high plateau" 1.2 (Stimulus.eval s 0.25e-9);
+  check_close "low plateau" 0.0 (Stimulus.eval s 0.75e-9)
+
+let test_stimulus_validation () =
+  Alcotest.check_raises "pulse too wide"
+    (Invalid_argument "Stimulus: pulse does not fit its period") (fun () ->
+      Stimulus.validate
+        (Stimulus.Pulse
+           { v0 = 0.0; v1 = 1.0; t_delay = 0.0; t_rise = 0.5; t_high = 0.5;
+             t_fall = 0.5; period = 1.0 }));
+  Alcotest.check_raises "pwl not increasing"
+    (Invalid_argument "Stimulus: PWL times not increasing") (fun () ->
+      Stimulus.validate (Stimulus.Pwl [ (1.0, 0.0); (1.0, 1.0) ]))
+
+(* ---------------- Devices ---------------- *)
+
+let test_devices_inverter () =
+  let inv =
+    Devices.inverter ~r_on:100.0 ~c_in:1e-15 ~c_out:2e-15 ~vdd:1.2 ()
+  in
+  check_close "default vth" 0.6 inv.Devices.vth;
+  Alcotest.(check bool) "low input drives high" true
+    (Devices.drives_high inv ~v_in:0.2);
+  Alcotest.(check bool) "high input drives low" true
+    (not (Devices.drives_high inv ~v_in:1.0));
+  check_close "drive value" 1.2 (Devices.output_drive inv ~v_in:0.2)
+
+let test_devices_of_driver () =
+  let inv =
+    Devices.inverter_of_driver Rlc_tech.Presets.node_100nm.Rlc_tech.Node.driver
+      ~k:100.0 ~vdd:1.2 ()
+  in
+  check_close "r_on" 75.34 inv.Devices.r_on;
+  check_close "c_in" 75.8e-15 inv.Devices.c_in;
+  check_close "c_out" 368e-15 inv.Devices.c_out;
+  (* default transition time: the size-invariant intrinsic delay *)
+  check_close "t_transition" (7534.0 *. 4.438e-15) inv.Devices.t_transition
+    ~tol:1e-6
+
+let test_devices_validation () =
+  Alcotest.check_raises "vth out of range"
+    (Invalid_argument "Devices.inverter: vth outside (0, vdd)") (fun () ->
+      ignore
+        (Devices.inverter ~r_on:1.0 ~c_in:1e-15 ~c_out:1e-15 ~vdd:1.0
+           ~vth:1.5 ()))
+
+(* ---------------- Netlist ---------------- *)
+
+let test_netlist_nodes () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node ~name:"a" nl in
+  let b = Netlist.fresh_node nl in
+  Alcotest.(check int) "ground is 0" 0 Netlist.ground;
+  Alcotest.(check int) "first node" 1 a;
+  Alcotest.(check int) "second node" 2 b;
+  Alcotest.(check int) "count" 3 (Netlist.node_count nl);
+  Alcotest.(check bool) "named lookup" true (Netlist.find_node nl "a" = Some 1);
+  Alcotest.(check bool) "missing" true (Netlist.find_node nl "zz" = None)
+
+let test_netlist_elements () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  Netlist.add_resistor ~name:"r1" nl a Netlist.ground 100.0;
+  Netlist.add_capacitor nl a Netlist.ground 1e-12;
+  Alcotest.(check int) "two elements" 2 (Array.length (Netlist.elements nl));
+  Alcotest.(check bool) "find r1" true (Netlist.find_element nl "r1" = Some 0);
+  Alcotest.(check string) "auto name" "_e1" (Netlist.element_name nl 1)
+
+let test_netlist_validation () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  Alcotest.check_raises "bad resistance"
+    (Invalid_argument "Netlist.add_resistor: ohms <= 0") (fun () ->
+      Netlist.add_resistor nl a Netlist.ground 0.0);
+  (* floating node: only a capacitor to ground *)
+  let b = Netlist.fresh_node nl in
+  Netlist.add_resistor nl a Netlist.ground 10.0;
+  Netlist.add_capacitor nl b Netlist.ground 1e-12;
+  Alcotest.check_raises "floating node"
+    (Invalid_argument "Netlist.validate: node 2 has no DC path to ground")
+    (fun () -> Netlist.validate nl)
+
+let test_netlist_duplicate_names () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  Netlist.add_resistor ~name:"r" nl a Netlist.ground 1.0;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Netlist: duplicate element name r") (fun () ->
+      Netlist.add_resistor ~name:"r" nl a Netlist.ground 1.0)
+
+(* ---------------- Dc ---------------- *)
+
+let test_dc_divider () =
+  let nl = Netlist.create () in
+  let top = Netlist.fresh_node nl in
+  let mid = Netlist.fresh_node nl in
+  Netlist.add_vsource nl top Netlist.ground (Stimulus.Dc 10.0);
+  Netlist.add_resistor nl top mid 6.0;
+  Netlist.add_resistor nl mid Netlist.ground 4.0;
+  let v = Dc.operating_point nl in
+  check_close "top" 10.0 v.(top);
+  check_close "divider" 4.0 v.(mid)
+
+let test_dc_inductor_short () =
+  (* inductor shorts in DC: only its series resistance matters *)
+  let nl = Netlist.create () in
+  let top = Netlist.fresh_node nl in
+  let mid = Netlist.fresh_node nl in
+  Netlist.add_vsource nl top Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_rl_branch nl top mid ~ohms:5.0 ~henries:1e-6;
+  Netlist.add_resistor nl mid Netlist.ground 5.0;
+  let v = Dc.operating_point nl in
+  check_close "half" 0.5 v.(mid)
+
+let test_dc_initial_conditions () =
+  (* start a transient from the DC point: nothing should move *)
+  let nl = Netlist.create () in
+  let top = Netlist.fresh_node nl in
+  let mid = Netlist.fresh_node nl in
+  Netlist.add_vsource nl top Netlist.ground (Stimulus.Dc 10.0);
+  Netlist.add_resistor nl top mid 6.0;
+  Netlist.add_resistor nl mid Netlist.ground 4.0;
+  Netlist.add_capacitor nl mid Netlist.ground 1e-9;
+  let ics = Dc.initial_conditions nl in
+  let r =
+    Transient.run ~initial_voltages:ics nl ~t_end:1e-6 ~dt:1e-9
+      ~probes:[ Transient.Node_v mid ]
+  in
+  let w = Transient.get r (Transient.Node_v mid) in
+  let lo, hi = Rlc_numerics.Stats.min_max (Rlc_waveform.Waveform.values w) in
+  check_close "stays at the divider" 4.0 lo ~tol:1e-6;
+  check_close "no transient" 4.0 hi ~tol:1e-6
+
+let test_dc_inverter_chain () =
+  (* inverter with grounded input drives its output to vdd through r_on
+     (no load current -> full rail) *)
+  let nl = Netlist.create () in
+  let input = Netlist.fresh_node nl in
+  let output = Netlist.fresh_node nl in
+  Netlist.add_resistor nl input Netlist.ground 1e6 (* keep input at 0 *);
+  Netlist.add_inverter nl ~input ~output
+    (Devices.inverter ~r_on:100.0 ~c_in:1e-15 ~c_out:1e-15 ~vdd:1.2 ());
+  let v = Dc.operating_point nl in
+  check_close "output at vdd" 1.2 v.(output)
+
+(* ---------------- Transient ---------------- *)
+
+let test_transient_rc_charge () =
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node nl in
+  let out = Netlist.fresh_node nl in
+  Netlist.add_vsource nl src Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_resistor nl src out 1e3;
+  Netlist.add_capacitor nl out Netlist.ground 1e-9;
+  let r =
+    Transient.run nl ~t_end:5e-6 ~dt:1e-9 ~probes:[ Transient.Node_v out ]
+  in
+  let w = Transient.get r (Transient.Node_v out) in
+  List.iter
+    (fun t ->
+      check_close
+        (Printf.sprintf "rc at %g" t)
+        (1.0 -. Float.exp (-.t /. 1e-6))
+        (Rlc_waveform.Waveform.value_at w t)
+        ~tol:1e-4)
+    [ 0.5e-6; 1e-6; 2e-6; 4e-6 ]
+
+let test_transient_rl_current () =
+  (* series RL driven by a DC source: i(t) = V/R (1 - e^{-tR/L}) *)
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node nl in
+  Netlist.add_vsource nl src Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_rl_branch ~name:"rl" nl src Netlist.ground ~ohms:10.0
+    ~henries:1e-6;
+  let r =
+    Transient.run nl ~t_end:1e-6 ~dt:2e-10 ~probes:[ Transient.Branch_i "rl" ]
+  in
+  let w = Transient.get r (Transient.Branch_i "rl") in
+  List.iter
+    (fun t ->
+      check_close
+        (Printf.sprintf "rl current at %g" t)
+        (0.1 *. (1.0 -. Float.exp (-.t *. 10.0 /. 1e-6)))
+        (Rlc_waveform.Waveform.value_at w t)
+        ~tol:1e-3)
+    [ 1e-7; 3e-7; 8e-7 ]
+
+let test_transient_rlc_ringing () =
+  (* series RLC step: overshoot matches the analytic second-order
+     formula, ringing frequency matches the damped natural frequency *)
+  let rr = 10.0 and ll = 1e-6 and cc = 1e-9 in
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node nl in
+  let out = Netlist.fresh_node nl in
+  Netlist.add_vsource nl src Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_rl_branch nl src out ~ohms:rr ~henries:ll;
+  Netlist.add_capacitor nl out Netlist.ground cc;
+  let r =
+    Transient.run nl ~t_end:3e-6 ~dt:5e-11 ~probes:[ Transient.Node_v out ]
+  in
+  let w = Transient.get r (Transient.Node_v out) in
+  let zeta = rr /. 2.0 *. Float.sqrt (cc /. ll) in
+  let overshoot = Float.exp (-.Float.pi *. zeta /. Float.sqrt (1.0 -. (zeta *. zeta))) in
+  check_close "peak" (1.0 +. overshoot)
+    (Rlc_numerics.Stats.max (Rlc_waveform.Waveform.values w))
+    ~tol:1e-3;
+  (* damped period *)
+  let w0 = 1.0 /. Float.sqrt (ll *. cc) in
+  let wd = w0 *. Float.sqrt (1.0 -. (zeta *. zeta)) in
+  (match Rlc_waveform.Measure.period ~level:1.0 w with
+  | Some p -> check_close "ringing period" (2.0 *. Float.pi /. wd) p ~tol:1e-2
+  | None -> Alcotest.fail "no ringing detected")
+
+let test_transient_capacitor_conservation () =
+  (* two caps sharing charge through a resistor: final voltage is the
+     charge-weighted average *)
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  let b = Netlist.fresh_node nl in
+  Netlist.add_capacitor nl a Netlist.ground 1e-9;
+  Netlist.add_capacitor nl b Netlist.ground 3e-9;
+  Netlist.add_resistor nl a b 1e3;
+  let r =
+    Transient.run nl
+      ~initial_voltages:[ (a, 2.0) ]
+      ~t_end:5e-5 ~dt:1e-8
+      ~probes:[ Transient.Node_v a; Transient.Node_v b ]
+  in
+  let v = Transient.final_voltages r in
+  check_close "final a" 0.5 v.(a) ~tol:1e-3;
+  check_close "final b" 0.5 v.(b) ~tol:1e-3
+
+let test_transient_inverter_switches () =
+  (* inverter driven by a slow ramp: output flips near the threshold *)
+  let nl = Netlist.create () in
+  let input = Netlist.fresh_node nl in
+  let output = Netlist.fresh_node nl in
+  Netlist.add_vsource nl input Netlist.ground
+    (Stimulus.Step { v0 = 0.0; v1 = 1.2; t_delay = 1e-9; t_rise = 4e-9 });
+  Netlist.add_inverter nl ~input ~output
+    (Devices.inverter ~r_on:100.0 ~c_in:1e-15 ~c_out:10e-15 ~vdd:1.2
+       ~t_transition:1e-12 ());
+  let r =
+    Transient.run nl ~t_end:10e-9 ~dt:5e-12
+      ~probes:[ Transient.Node_v output ]
+  in
+  let w = Transient.get r (Transient.Node_v output) in
+  Alcotest.(check bool) "starts high" true
+    (Rlc_waveform.Waveform.value_at w 0.9e-9 > 1.1);
+  Alcotest.(check bool) "ends low" true
+    (Rlc_waveform.Waveform.value_at w 9e-9 < 0.1);
+  (* the input crosses vth = 0.6 at t = 3 ns *)
+  (match
+     Rlc_waveform.Measure.first_crossing ~direction:Rlc_waveform.Measure.Falling
+       w ~level:0.6
+   with
+  | Some t -> check_close "switch time" 3e-9 t ~tol:0.1
+  | None -> Alcotest.fail "no switching edge")
+
+let test_transient_record_every () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  Netlist.add_vsource nl a Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_resistor nl a Netlist.ground 1.0;
+  let r =
+    Transient.run ~record_every:10 nl ~t_end:1e-6 ~dt:1e-9
+      ~probes:[ Transient.Node_v a ]
+  in
+  Alcotest.(check int) "decimated samples" 101 (Array.length (Transient.time r))
+
+let test_transient_validation () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  Netlist.add_vsource nl a Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_resistor nl a Netlist.ground 1.0;
+  Alcotest.check_raises "bad dt" (Invalid_argument "Transient.run: bad dt")
+    (fun () ->
+      ignore (Transient.run nl ~t_end:1.0 ~dt:2.0 ~probes:[]));
+  Alcotest.check_raises "unknown probe"
+    (Invalid_argument "Transient.run: unknown element zz") (fun () ->
+      ignore
+        (Transient.run nl ~t_end:1e-6 ~dt:1e-9
+           ~probes:[ Transient.Branch_i "zz" ]))
+
+let test_transient_be_vs_trap () =
+  (* both integrators converge to the same RC answer *)
+  let build () =
+    let nl = Netlist.create () in
+    let src = Netlist.fresh_node nl in
+    let out = Netlist.fresh_node nl in
+    Netlist.add_vsource nl src Netlist.ground (Stimulus.Dc 1.0);
+    Netlist.add_resistor nl src out 1e3;
+    Netlist.add_capacitor nl out Netlist.ground 1e-9;
+    (nl, out)
+  in
+  let value integration =
+    let nl, out = build () in
+    let r =
+      Transient.run ~integration nl ~t_end:2e-6 ~dt:1e-9
+        ~probes:[ Transient.Node_v out ]
+    in
+    Rlc_waveform.Waveform.value_at (Transient.get r (Transient.Node_v out)) 1e-6
+  in
+  check_close "be ~ trap"
+    (value Transient.Backward_euler)
+    (value Transient.Trapezoidal) ~tol:1e-3
+
+(* ---------------- Ladder ---------------- *)
+
+let test_ladder_structure () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  let b = Netlist.fresh_node nl in
+  Ladder.make nl
+    { Ladder.r = 4400.0; l = 1e-6; c = 100e-12; length = 0.01; segments = 4 }
+    ~from_node:a ~to_node:b;
+  (* 4 RL branches + 5 capacitors (cin + 4 shunts) *)
+  Alcotest.(check int) "element count" 9 (Array.length (Netlist.elements nl));
+  Alcotest.(check bool) "segment names" true
+    (Netlist.find_element nl "line_seg0" <> None
+    && Netlist.find_element nl "line_seg3" <> None);
+  (* 3 internal joints *)
+  Alcotest.(check int) "node count" 6 (Netlist.node_count nl)
+
+let test_ladder_total_capacitance () =
+  (* the shunt caps must sum exactly to c * length *)
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  let b = Netlist.fresh_node nl in
+  Ladder.make nl
+    { Ladder.r = 4400.0; l = 1e-6; c = 100e-12; length = 0.01; segments = 7 }
+    ~from_node:a ~to_node:b;
+  let total =
+    Array.fold_left
+      (fun acc e ->
+        match e with
+        | Netlist.Capacitor { farads; _ } -> acc +. farads
+        | _ -> acc)
+      0.0 (Netlist.elements nl)
+  in
+  check_close "total c" (100e-12 *. 0.01) total
+
+let test_ladder_dc_resistance () =
+  (* end-to-end DC resistance equals r * length *)
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  let b = Netlist.fresh_node nl in
+  Netlist.add_vsource nl a Netlist.ground (Stimulus.Dc 1.0);
+  Ladder.make nl
+    { Ladder.r = 4400.0; l = 1e-6; c = 100e-12; length = 0.01; segments = 8 }
+    ~from_node:a ~to_node:b;
+  Netlist.add_resistor nl b Netlist.ground 44.0 (* matched to line R *);
+  let v = Dc.operating_point nl in
+  check_close "divider with wire resistance" 0.5 v.(b) ~tol:1e-9
+
+let test_ladder_delay_convergence () =
+  (* ladder 50% delay converges as segments grow: successive
+     refinements approach a limit *)
+  let delay segments =
+    let nl = Netlist.create () in
+    let src = Netlist.fresh_node nl in
+    let far = Netlist.fresh_node nl in
+    Netlist.add_vsource nl src Netlist.ground (Stimulus.Dc 1.0);
+    let drv = Netlist.fresh_node nl in
+    Netlist.add_resistor nl src drv 25.0;
+    Ladder.make nl
+      { Ladder.r = 4400.0; l = 1e-6; c = 123e-12; length = 0.011; segments }
+      ~from_node:drv ~to_node:far;
+    Netlist.add_capacitor nl far Netlist.ground 4e-13;
+    let r =
+      Transient.run nl ~t_end:1.2e-9 ~dt:2e-13
+        ~probes:[ Transient.Node_v far ]
+    in
+    match
+      Rlc_waveform.Measure.threshold_delay
+        (Transient.get r (Transient.Node_v far))
+        ~fraction:0.5 ~v_final:1.0
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "no crossing"
+  in
+  let d5 = delay 5 and d10 = delay 10 and d20 = delay 20 in
+  Alcotest.(check bool) "refinement shrinks change" true
+    (Float.abs (d20 -. d10) < Float.abs (d10 -. d5));
+  Alcotest.(check bool) "within 5% at 10 vs 20 segments" true
+    (Float.abs (d20 -. d10) < 0.05 *. d20)
+
+let test_ladder_validation () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  let b = Netlist.fresh_node nl in
+  Alcotest.check_raises "segments" (Invalid_argument "Ladder.make: segments < 1")
+    (fun () ->
+      Ladder.make nl
+        { Ladder.r = 1.0; l = 0.0; c = 1e-12; length = 1.0; segments = 0 }
+        ~from_node:a ~to_node:b)
+
+(* ---------------- Adaptive transient ---------------- *)
+
+let build_ringer () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  let b = Netlist.fresh_node nl in
+  Netlist.add_vsource nl a Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_rl_branch nl a b ~ohms:10.0 ~henries:1e-6;
+  Netlist.add_capacitor nl b Netlist.ground 1e-9;
+  (nl, b)
+
+let test_adaptive_matches_fixed () =
+  let nl, b = build_ringer () in
+  let fixed =
+    Transient.run nl ~t_end:3e-6 ~dt:5e-11 ~probes:[ Transient.Node_v b ]
+  in
+  let nl2, b2 = build_ringer () in
+  let adaptive =
+    Transient.run_adaptive ~rtol:1e-4 nl2 ~t_end:3e-6 ~dt_max:2e-7
+      ~probes:[ Transient.Node_v b2 ]
+  in
+  let wf = Transient.get fixed (Transient.Node_v b) in
+  let wa = Transient.get adaptive (Transient.Node_v b2) in
+  List.iter
+    (fun t ->
+      check_close
+        (Printf.sprintf "agree at %g" t)
+        (Rlc_waveform.Waveform.value_at wf t)
+        (Rlc_waveform.Waveform.value_at wa t)
+        ~tol:2e-3)
+    [ 2e-7; 5e-7; 1e-6; 2.5e-6 ];
+  Alcotest.(check bool) "far fewer steps" true
+    (Transient.steps_taken adaptive < Transient.steps_taken fixed / 20)
+
+let test_adaptive_peak_accuracy () =
+  let nl, b = build_ringer () in
+  let r =
+    Transient.run_adaptive ~rtol:1e-4 nl ~t_end:3e-6 ~dt_max:2e-7
+      ~probes:[ Transient.Node_v b ]
+  in
+  let w = Transient.get r (Transient.Node_v b) in
+  let zeta = 10.0 /. 2.0 *. Float.sqrt (1e-9 /. 1e-6) in
+  let exact_peak =
+    1.0 +. Float.exp (-.Float.pi *. zeta /. Float.sqrt (1.0 -. (zeta *. zeta)))
+  in
+  check_close "peak" exact_peak
+    (Rlc_numerics.Stats.max (Rlc_waveform.Waveform.values w))
+    ~tol:2e-3
+
+let test_adaptive_refines_on_edges () =
+  (* an inverter switching mid-simulation forces error-control
+     rollbacks (the step must shrink at the edge) *)
+  let nl = Netlist.create () in
+  let input = Netlist.fresh_node nl in
+  let output = Netlist.fresh_node nl in
+  Netlist.add_vsource nl input Netlist.ground
+    (Stimulus.Step { v0 = 0.0; v1 = 1.2; t_delay = 4e-9; t_rise = 0.5e-9 });
+  Netlist.add_inverter nl ~input ~output
+    (Devices.inverter ~r_on:100.0 ~c_in:1e-15 ~c_out:50e-15 ~vdd:1.2
+       ~t_transition:50e-12 ());
+  let r =
+    Transient.run_adaptive nl ~t_end:10e-9 ~dt_max:1e-9
+      ~probes:[ Transient.Node_v output ]
+  in
+  Alcotest.(check bool) "edges cause rejections" true
+    (Transient.rejected_steps r > 0);
+  let w = Transient.get r (Transient.Node_v output) in
+  Alcotest.(check bool) "output switched" true
+    (Rlc_waveform.Waveform.value_at w 9.5e-9 < 0.1
+    && Rlc_waveform.Waveform.value_at w 3e-9 > 1.1)
+
+let test_adaptive_validation () =
+  let nl, b = build_ringer () in
+  ignore b;
+  Alcotest.check_raises "bad tolerances"
+    (Invalid_argument "Transient.run_adaptive: tolerances must be positive")
+    (fun () ->
+      ignore
+        (Transient.run_adaptive ~rtol:0.0 nl ~t_end:1e-6 ~dt_max:1e-8
+           ~probes:[]))
+
+(* ---------------- Parser ---------------- *)
+
+let test_parser_values () =
+  List.iter
+    (fun (s, expect) ->
+      check_close ("value " ^ s) expect (Parser.parse_value s))
+    [
+      ("4.4k", 4.4e3); ("100p", 1e-10); ("2.5pF", 2.5e-12); ("1meg", 1e6);
+      ("1e-9", 1e-9); ("3mV", 3e-3); ("42", 42.0); ("1.5u", 1.5e-6);
+      ("-0.6", -0.6); ("2n", 2e-9);
+    ];
+  List.iter
+    (fun s ->
+      match Parser.parse_value s with
+      | exception Failure _ -> ()
+      | v -> Alcotest.failf "expected failure for %S, got %g" s v)
+    [ ""; "abc"; "1x" ]
+
+let sample_deck = {|simple divider
+* comment line
+V1 in 0 DC 10
+R1 in mid 6
+R2 mid 0 4
+C1 mid 0 1u
+.tran 1u 10m
+.probe v(mid) i(R1)
+.end|}
+
+let test_parser_deck_structure () =
+  let deck = Parser.parse_string sample_deck in
+  Alcotest.(check (option string)) "title" (Some "simple divider")
+    deck.Parser.title;
+  Alcotest.(check bool) "tran parsed" true
+    (deck.Parser.tran = Some (1e-6, 1e-2));
+  Alcotest.(check int) "probes" 2 (List.length deck.Parser.probes);
+  Alcotest.(check int) "elements" 4
+    (Array.length (Netlist.elements deck.Parser.netlist));
+  Alcotest.(check bool) "node lookup" true
+    (Parser.node_of_name deck "mid" <> None);
+  Alcotest.(check bool) "ground lookup" true
+    (Parser.node_of_name deck "0" = Some Netlist.ground);
+  (match Parser.node_of_name deck "mid" with
+  | Some n ->
+      Alcotest.(check (option string)) "reverse lookup" (Some "mid")
+        (Parser.name_of_node deck n)
+  | None -> Alcotest.fail "mid must exist")
+
+let test_parser_run_divider () =
+  let deck = Parser.parse_string sample_deck in
+  let r = Parser.run deck in
+  match Parser.node_of_name deck "mid" with
+  | Some n ->
+      let w = Transient.get r (Transient.Node_v n) in
+      (* RC settles to the 4/10 divider *)
+      check_close "divider value" 4.0
+        (Rlc_waveform.Waveform.value_at w 9e-3)
+        ~tol:1e-3
+  | None -> Alcotest.fail "mid node"
+
+let test_parser_line_and_inverter_cards () =
+  let text = {|W1 a b r=4.4k l=1.5u c=123p len=10m seg=4
+V1 a 0 PULSE(0 1.2 0 10p 10p 1n 2n)
+X1 b out INV r_on=15 c_in=400f c_out=2p vdd=1.2 ttr=30p
+C1 out 0 10f
+.tran 1p 4n
+.probe v(out)|}
+  in
+  let deck = Parser.parse_string text in
+  Alcotest.(check (option string)) "no title" None deck.Parser.title;
+  (* W expands to 4 RL branches + 5 caps; plus V, X, C *)
+  Alcotest.(check int) "elements" 12
+    (Array.length (Netlist.elements deck.Parser.netlist));
+  let r = Parser.run deck in
+  let w =
+    Transient.get r
+      (Transient.Node_v (Option.get (Parser.node_of_name deck "out")))
+  in
+  (* the inverter must produce full-swing activity *)
+  let lo, hi = Rlc_numerics.Stats.min_max (Rlc_waveform.Waveform.values w) in
+  Alcotest.(check bool) "output toggles" true (lo < 0.2 && hi > 1.0)
+
+let test_parser_coupled_card () =
+  let text = {|P1 a1 b1 a2 b2 r=10 l=2n m=1n
+V1 a1 0 DC 1
+Rt a2 0 50
+Ru b1 0 50
+Rv b2 0 50
+.tran 10p 10n
+.probe i(P1#1) i(P1#2)|}
+  in
+  let deck = Parser.parse_string text in
+  let r = Parser.run deck in
+  let i1 = Transient.get r (Transient.Branch_i "P1#1") in
+  let i2 = Transient.get r (Transient.Branch_i "P1#2") in
+  (* steady state: branch 1 carries 1V/(10+50) ohms; branch 2 idles *)
+  check_close "driven branch current" (1.0 /. 60.0)
+    (Rlc_waveform.Waveform.value_at i1 9e-9)
+    ~tol:1e-3;
+  Alcotest.(check bool) "victim branch settles to ~0" true
+    (Float.abs (Rlc_waveform.Waveform.value_at i2 9e-9) < 1e-6)
+
+let test_parser_errors () =
+  let check_error text expected_line =
+    match Parser.parse_string text with
+    | exception Parser.Parse_error (line, _) ->
+        Alcotest.(check int) "error line" expected_line line
+    | _ -> Alcotest.fail "expected a parse error"
+  in
+  check_error "R1 a 0\n" 1;
+  check_error "* ok\nQ1 a b c 1k\n" 2;
+  check_error "V1 a 0 DC 1\n.tran 1\n" 2;
+  check_error "W1 a b r=1 c=1 len=1\n" 1 (* missing l= *)
+
+let test_parser_run_requires_tran () =
+  let deck = Parser.parse_string "R1 a 0 1k\nV1 a 0 DC 1\n.probe v(a)\n" in
+  Alcotest.check_raises "no tran"
+    (Invalid_argument "Parser.run: deck has no .tran card") (fun () ->
+      ignore (Parser.run deck))
+
+(* ---------------- Writer ---------------- *)
+
+let build_mixed_netlist () =
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl and b = Netlist.fresh_node nl in
+  let c = Netlist.fresh_node nl and d = Netlist.fresh_node nl in
+  Netlist.add_vsource ~name:"Vin" nl a Netlist.ground
+    (Stimulus.Pulse
+       { v0 = 0.0; v1 = 1.2; t_delay = 1e-10; t_rise = 1e-11; t_high = 1e-9;
+         t_fall = 2e-11; period = 3e-9 });
+  Netlist.add_resistor ~name:"Rdrv" nl a b 25.0;
+  Netlist.add_rl_branch ~name:"line_seg0" nl b c ~ohms:48.0 ~henries:1.6e-8;
+  Netlist.add_capacitor nl c Netlist.ground 1e-12;
+  Netlist.add_coupled_rl ~name:"Pxy" nl ~a1:b ~b1:c ~a2:a ~b2:d ~ohms:10.0
+    ~henries:2e-9 ~mutual:0.5e-9;
+  Netlist.add_isource ~name:"Ibias" nl d Netlist.ground (Stimulus.Dc 1e-6);
+  Netlist.add_inverter ~name:"Xrx" nl ~input:c ~output:d
+    (Devices.inverter ~r_on:15.0 ~c_in:4e-13 ~c_out:2e-12 ~vdd:1.2
+       ~t_transition:3e-11 ());
+  nl
+
+let test_writer_roundtrip_structure () =
+  let nl = build_mixed_netlist () in
+  let text = Writer.netlist_to_string ~title:"roundtrip" nl in
+  let deck = Parser.parse_string text in
+  Alcotest.(check bool) "elements preserved" true
+    (Netlist.elements nl = Netlist.elements deck.Parser.netlist)
+
+let test_writer_fixed_point () =
+  let nl = build_mixed_netlist () in
+  let text1 = Writer.netlist_to_string nl in
+  let deck1 = Parser.parse_string text1 in
+  let text2 = Writer.netlist_to_string deck1.Parser.netlist in
+  let deck2 = Parser.parse_string text2 in
+  Alcotest.(check string) "emission is a fixed point" text2
+    (Writer.netlist_to_string deck2.Parser.netlist)
+
+let test_writer_stimulus_strings () =
+  Alcotest.(check string) "dc" "DC 3.3"
+    (Writer.stimulus_to_string (Stimulus.Dc 3.3));
+  Alcotest.(check string) "pwl" "PWL(0 0 1e-09 1.2)"
+    (Writer.stimulus_to_string (Stimulus.Pwl [ (0.0, 0.0); (1e-9, 1.2) ]));
+  (* a Step becomes an equivalent PWL *)
+  let step =
+    Stimulus.Step { v0 = 0.0; v1 = 1.0; t_delay = 1e-9; t_rise = 1e-9 }
+  in
+  let emitted = Writer.stimulus_to_string step in
+  let reparsed =
+    Parser.parse_string
+      (Printf.sprintf "V1 a 0 %s\nR1 a 0 1k\n" emitted)
+  in
+  (match (Netlist.elements reparsed.Parser.netlist).(0) with
+  | Netlist.Vsource { stim; _ } ->
+      List.iter
+        (fun t ->
+          check_close
+            (Printf.sprintf "step ~ pwl at %g" t)
+            (Stimulus.eval step t) (Stimulus.eval stim t))
+        [ 0.0; 1.5e-9; 3e-9 ]
+  | _ -> Alcotest.fail "expected a source")
+
+let test_parser_b_card () =
+  let deck = Parser.parse_string "B1 a 0 r=10 l=2n\nV1 a 0 DC 1\n" in
+  match (Netlist.elements deck.Parser.netlist).(0) with
+  | Netlist.Rl_branch { ohms; henries; _ } ->
+      check_close "r" 10.0 ohms;
+      check_close "l" 2e-9 henries
+  | _ -> Alcotest.fail "expected an RL branch"
+
+let () =
+  Alcotest.run "rlc_circuit"
+    [
+      ( "stimulus",
+        [
+          Alcotest.test_case "dc" `Quick test_stimulus_dc;
+          Alcotest.test_case "step" `Quick test_stimulus_step;
+          Alcotest.test_case "pulse" `Quick test_stimulus_pulse;
+          Alcotest.test_case "pwl" `Quick test_stimulus_pwl;
+          Alcotest.test_case "square wave" `Quick test_stimulus_square_wave;
+          Alcotest.test_case "validation" `Quick test_stimulus_validation;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "inverter logic" `Quick test_devices_inverter;
+          Alcotest.test_case "of_driver" `Quick test_devices_of_driver;
+          Alcotest.test_case "validation" `Quick test_devices_validation;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "nodes" `Quick test_netlist_nodes;
+          Alcotest.test_case "elements" `Quick test_netlist_elements;
+          Alcotest.test_case "validation" `Quick test_netlist_validation;
+          Alcotest.test_case "duplicate names" `Quick
+            test_netlist_duplicate_names;
+        ] );
+      ( "dc",
+        [
+          Alcotest.test_case "divider" `Quick test_dc_divider;
+          Alcotest.test_case "inductor short" `Quick test_dc_inductor_short;
+          Alcotest.test_case "initial conditions" `Quick
+            test_dc_initial_conditions;
+          Alcotest.test_case "inverter" `Quick test_dc_inverter_chain;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "rc charge" `Quick test_transient_rc_charge;
+          Alcotest.test_case "rl current" `Quick test_transient_rl_current;
+          Alcotest.test_case "rlc ringing" `Quick test_transient_rlc_ringing;
+          Alcotest.test_case "charge sharing" `Quick
+            test_transient_capacitor_conservation;
+          Alcotest.test_case "inverter switching" `Quick
+            test_transient_inverter_switches;
+          Alcotest.test_case "record decimation" `Quick
+            test_transient_record_every;
+          Alcotest.test_case "validation" `Quick test_transient_validation;
+          Alcotest.test_case "be vs trapezoidal" `Quick
+            test_transient_be_vs_trap;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "structure" `Quick test_ladder_structure;
+          Alcotest.test_case "total capacitance" `Quick
+            test_ladder_total_capacitance;
+          Alcotest.test_case "dc resistance" `Quick test_ladder_dc_resistance;
+          Alcotest.test_case "delay convergence" `Slow
+            test_ladder_delay_convergence;
+          Alcotest.test_case "validation" `Quick test_ladder_validation;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "matches fixed step" `Quick
+            test_adaptive_matches_fixed;
+          Alcotest.test_case "peak accuracy" `Quick
+            test_adaptive_peak_accuracy;
+          Alcotest.test_case "refines on switching edges" `Quick
+            test_adaptive_refines_on_edges;
+          Alcotest.test_case "validation" `Quick test_adaptive_validation;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "value suffixes" `Quick test_parser_values;
+          Alcotest.test_case "deck structure" `Quick
+            test_parser_deck_structure;
+          Alcotest.test_case "runs a divider" `Quick test_parser_run_divider;
+          Alcotest.test_case "line & inverter cards" `Quick
+            test_parser_line_and_inverter_cards;
+          Alcotest.test_case "coupled card" `Quick test_parser_coupled_card;
+          Alcotest.test_case "error reporting" `Quick test_parser_errors;
+          Alcotest.test_case "run requires .tran" `Quick
+            test_parser_run_requires_tran;
+          Alcotest.test_case "B card" `Quick test_parser_b_card;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "round-trip structure" `Quick
+            test_writer_roundtrip_structure;
+          Alcotest.test_case "fixed point" `Quick test_writer_fixed_point;
+          Alcotest.test_case "stimulus emission" `Quick
+            test_writer_stimulus_strings;
+        ] );
+    ]

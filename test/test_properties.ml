@@ -1,0 +1,376 @@
+(* Cross-cutting property-based tests with independent oracles:
+   random trees checked against a from-scratch Elmore computation,
+   random stimuli against their envelopes, random stages against
+   physical invariants. *)
+
+open Rlc_core
+
+let node100 = Rlc_tech.Presets.node_100nm
+let node250 = Rlc_tech.Presets.node_250nm
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+(* ---------------- random tree generator ---------------- *)
+
+let wire_gen =
+  QCheck2.Gen.(
+    let* r = float_range 10.0 500.0 in
+    let* l = float_range 0.0 20e-9 in
+    let* c = float_range 1e-14 5e-12 in
+    return (Rlc_tree.Tree.wire ~r ~l ~c))
+
+let tree_gen =
+  QCheck2.Gen.(
+    let sink_counter = ref 0 in
+    let rec gen depth =
+      if depth = 0 then
+        let* cap = float_range 1e-15 1e-12 in
+        incr sink_counter;
+        return (Rlc_tree.Tree.sink ~name:(Printf.sprintf "s%d" !sink_counter) ~cap)
+      else
+        let* n_branches = int_range 1 3 in
+        let* branches =
+          flatten_l
+            (List.init n_branches (fun _ ->
+                 let* w = wire_gen in
+                 let* sub = gen (depth - 1) in
+                 return (w, sub)))
+        in
+        return (Rlc_tree.Tree.node branches)
+    in
+    let* depth = int_range 1 4 in
+    sink_counter := 0;
+    gen depth)
+
+(* independent Elmore oracle: delay(sink) = sum over all caps k of
+   R(path shared with sink) * C_k, with wire caps split half/half *)
+let elmore_oracle ~driver_rs tree sink_name =
+  (* enumerate "cap sites": (root-to-site path as (edge id, wire) list,
+     cap value); edge ids are assigned during the walk *)
+  let sites = ref [] in
+  let sink_path = ref None in
+  let next_edge = ref 0 in
+  let rec walk path = function
+    | Rlc_tree.Tree.Sink { name; cap } ->
+        sites := (path, cap) :: !sites;
+        if String.equal name sink_name then sink_path := Some path
+    | Rlc_tree.Tree.Node { cap; branches; _ } ->
+        sites := (path, cap) :: !sites;
+        List.iter
+          (fun (w, sub) ->
+            let id = !next_edge in
+            incr next_edge;
+            let deeper = path @ [ (id, w) ] in
+            (* half the wire cap at each end *)
+            sites := (path, w.Rlc_tree.Tree.c /. 2.0) :: !sites;
+            sites := (deeper, w.Rlc_tree.Tree.c /. 2.0) :: !sites;
+            walk deeper sub)
+          branches
+  in
+  walk [] tree;
+  let sink_path =
+    match !sink_path with Some p -> p | None -> failwith "sink not found"
+  in
+  let shared_resistance site_path =
+    (* driver resistance always shared, plus resistances of the common
+       path prefix *)
+    let rec common a b acc =
+      match (a, b) with
+      | (ia, wa) :: ra, (ib, _) :: rb when ia = ib ->
+          common ra rb (acc +. wa.Rlc_tree.Tree.r)
+      | _ -> acc
+    in
+    driver_rs +. common site_path sink_path 0.0
+  in
+  List.fold_left
+    (fun acc (path, cap) -> acc +. (shared_resistance path *. cap))
+    0.0 !sites
+
+let prop_tree_elmore_matches_oracle =
+  QCheck2.Test.make ~name:"tree b1 equals independent Elmore oracle"
+    ~count:100 tree_gen (fun tree ->
+      let driver_rs = 42.0 in
+      let computed = Rlc_tree.Moments.elmore ~driver_rs tree in
+      List.for_all
+        (fun (name, b1) ->
+          let oracle = elmore_oracle ~driver_rs tree name in
+          Float.abs (b1 -. oracle) <= 1e-9 *. (1.0 +. Float.abs oracle))
+        computed)
+
+let prop_tree_segmentation_preserves_totals =
+  QCheck2.Test.make ~name:"segment_edges preserves cap and wire totals"
+    ~count:100 tree_gen (fun tree ->
+      let seg =
+        Rlc_tree.Tree.segment_edges
+          ~max_segment:(Rlc_tree.Tree.wire ~r:50.0 ~l:5e-9 ~c:1e-12)
+          tree
+      in
+      let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a) in
+      close (Rlc_tree.Tree.total_cap tree) (Rlc_tree.Tree.total_cap seg)
+      &&
+      match (Rlc_tree.Tree.total_wire tree, Rlc_tree.Tree.total_wire seg) with
+      | Some a, Some b ->
+          close a.Rlc_tree.Tree.r b.Rlc_tree.Tree.r
+          && close a.Rlc_tree.Tree.l b.Rlc_tree.Tree.l
+          && close a.Rlc_tree.Tree.c b.Rlc_tree.Tree.c
+      | None, None -> true
+      | _ -> false)
+
+let prop_tree_segmentation_preserves_elmore =
+  QCheck2.Test.make
+    ~name:"segment_edges preserves Elmore delays (half-half split)"
+    ~count:60 tree_gen (fun tree ->
+      let seg =
+        Rlc_tree.Tree.segment_edges
+          ~max_segment:(Rlc_tree.Tree.wire ~r:100.0 ~l:1e-8 ~c:2e-12)
+          tree
+      in
+      let d t = Rlc_tree.Moments.elmore ~driver_rs:30.0 t in
+      List.for_all2
+        (fun (n1, b1) (n2, b2) ->
+          String.equal n1 n2
+          (* segmentation refines the distributed approximation, so
+             Elmore changes slightly; it must stay within a few % *)
+          && Float.abs (b1 -. b2) <= 0.05 *. (Float.abs b1 +. 1e-15))
+        (d tree) (d seg))
+
+(* ---------------- stimulus envelopes ---------------- *)
+
+let prop_pulse_within_envelope =
+  QCheck2.Test.make ~name:"pulse stays within [v0, v1]" ~count:200
+    QCheck2.Gen.(
+      let* v0 = float_range (-2.0) 2.0 in
+      let* v1 = float_range (-2.0) 2.0 in
+      let* period = float_range 1e-9 1e-6 in
+      let* frac_r = float_range 0.05 0.2 in
+      let* frac_h = float_range 0.1 0.5 in
+      let* t = float_range 0.0 5e-6 in
+      return (v0, v1, period, frac_r, frac_h, t))
+    (fun (v0, v1, period, frac_r, frac_h, t) ->
+      let stim =
+        Rlc_circuit.Stimulus.Pulse
+          {
+            v0;
+            v1;
+            t_delay = period /. 10.0;
+            t_rise = frac_r *. period;
+            t_high = frac_h *. period;
+            t_fall = frac_r *. period;
+            period;
+          }
+      in
+      Rlc_circuit.Stimulus.validate stim;
+      let v = Rlc_circuit.Stimulus.eval stim t in
+      let lo = Float.min v0 v1 and hi = Float.max v0 v1 in
+      v >= lo -. 1e-12 && v <= hi +. 1e-12)
+
+let prop_pwl_within_envelope =
+  QCheck2.Test.make ~name:"pwl stays within its corner values" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 2 8 in
+      let* vs = list_size (return n) (float_range (-3.0) 3.0) in
+      let* t = float_range (-1.0) 10.0 in
+      return (vs, t))
+    (fun (vs, t) ->
+      let corners = List.mapi (fun i v -> (float_of_int i, v)) vs in
+      let stim = Rlc_circuit.Stimulus.Pwl corners in
+      let v = Rlc_circuit.Stimulus.eval stim t in
+      let lo = List.fold_left Float.min infinity vs in
+      let hi = List.fold_left Float.max neg_infinity vs in
+      v >= lo -. 1e-12 && v <= hi +. 1e-12)
+
+(* ---------------- stage physics invariants ---------------- *)
+
+let stage_gen =
+  QCheck2.Gen.(
+    let* l = float_range 0.0 5e-6 in
+    let* h = float_range 2e-3 3e-2 in
+    let* k = float_range 30.0 1500.0 in
+    let* pick = bool in
+    return (Stage.of_node (if pick then node100 else node250) ~l ~h ~k))
+
+let prop_lcrit_separates_damping =
+  QCheck2.Test.make ~name:"l_crit separates over/underdamped" ~count:150
+    stage_gen (fun stage ->
+      let l_crit = Critical_inductance.of_stage stage in
+      if l_crit <= 0.0 then true (* stage underdamped for every l >= 0 *)
+      else begin
+        let under =
+          Pade.classify (Pade.coeffs (Stage.with_l stage (1.5 *. l_crit)))
+        in
+        let over =
+          Pade.classify (Pade.coeffs (Stage.with_l stage (0.5 *. l_crit)))
+        in
+        under = Pade.Underdamped && over = Pade.Overdamped
+      end)
+
+let prop_power_monotone =
+  QCheck2.Test.make ~name:"power decreasing in h, increasing in k" ~count:150
+    QCheck2.Gen.(
+      let* h = float_range 2e-3 3e-2 in
+      let* k = float_range 30.0 1500.0 in
+      return (h, k))
+    (fun (h, k) ->
+      Power.per_length node100 ~h:(h *. 1.2) ~k < Power.per_length node100 ~h ~k
+      && Power.per_length node100 ~h ~k:(k *. 1.2)
+         > Power.per_length node100 ~h ~k)
+
+let prop_coupled_mode_capacitance =
+  QCheck2.Test.make ~name:"mode capacitances: even + odd = 2(cg + cc)"
+    ~count:150
+    QCheck2.Gen.(
+      let* cg = float_range 1e-12 3e-10 in
+      let* cc = float_range 0.0 2e-10 in
+      let* ls = float_range 1e-8 5e-6 in
+      let* lm_frac = float_range 0.0 0.9 in
+      return (cg, cc, ls, lm_frac))
+    (fun (cg, cc, ls, lm_frac) ->
+      let p =
+        Coupled.make ~r:4400.0 ~l_self:ls ~l_mutual:(lm_frac *. ls)
+          ~c_ground:cg ~c_coupling:cc
+      in
+      let even = Coupled.mode_line p Coupled.Even in
+      let odd = Coupled.mode_line p Coupled.Odd in
+      let total = even.Line.c +. odd.Line.c in
+      Float.abs (total -. (2.0 *. (cg +. cc))) <= 1e-12 *. total
+      (* and mode inductances average to the self inductance *)
+      && Float.abs (((even.Line.l +. odd.Line.l) /. 2.0) -. ls)
+         <= 1e-12 *. ls +. 1e-30)
+
+let prop_frequency_gd_positive_at_low_f =
+  QCheck2.Test.make ~name:"group delay at low frequency is ~ b1" ~count:60
+    stage_gen (fun stage ->
+      let b1 = (Pade.coeffs stage).Pade.b1 in
+      let gd = Frequency.group_delay stage 1e5 in
+      Float.abs (gd -. b1) <= 0.01 *. b1)
+
+let prop_eye_prbs_balanced =
+  QCheck2.Test.make ~name:"prbs one period is balanced for any seed"
+    ~count:127
+    QCheck2.Gen.(int_range 1 127)
+    (fun seed ->
+      let bits = Rlc_ringosc.Eye.prbs ~seed 127 in
+      List.length (List.filter Fun.id bits) = 64)
+
+let prop_insertion_bound =
+  QCheck2.Test.make ~name:"integer insertion never beats the continuous bound"
+    ~count:40
+    QCheck2.Gen.(
+      let* len = float_range 3e-3 8e-2 in
+      let* l = float_range 0.0 4e-6 in
+      return (len, l))
+    (fun (len, l) ->
+      let p = Insertion.plan node100 ~l ~length:len in
+      p.Insertion.total_delay >= p.Insertion.continuous_bound *. (1.0 -. 1e-9))
+
+(* ---------------- simulator physics ---------------- *)
+
+let prop_rc_ladder_passivity =
+  QCheck2.Test.make
+    ~name:"rc ladder: node voltages stay within the source bounds" ~count:40
+    QCheck2.Gen.(
+      let* n = int_range 2 6 in
+      let* rs = list_size (return n) (float_range 10.0 1000.0) in
+      let* cs = list_size (return n) (float_range 1e-13 1e-11) in
+      return (rs, cs))
+    (fun (rs, cs) ->
+      let open Rlc_circuit in
+      let nl = Netlist.create () in
+      let src = Netlist.fresh_node nl in
+      Netlist.add_vsource nl src Netlist.ground (Stimulus.Dc 1.0);
+      let probes = ref [] in
+      let last =
+        List.fold_left2
+          (fun prev r c ->
+            let next = Netlist.fresh_node nl in
+            Netlist.add_resistor nl prev next r;
+            Netlist.add_capacitor nl next Netlist.ground c;
+            probes := Transient.Node_v next :: !probes;
+            next)
+          src rs cs
+      in
+      ignore last;
+      let tau = List.fold_left2 (fun a r c -> a +. (r *. c)) 0.0 rs cs in
+      let result =
+        Transient.run nl ~t_end:(5.0 *. tau) ~dt:(tau /. 500.0)
+          ~probes:!probes
+      in
+      List.for_all
+        (fun p ->
+          let w = Transient.get result p in
+          let lo, hi = Rlc_numerics.Stats.min_max (Rlc_waveform.Waveform.values w) in
+          lo >= -1e-9 && hi <= 1.0 +. 1e-9)
+        !probes)
+
+let test_trapezoidal_second_order_convergence () =
+  (* error at a fixed time scales ~ dt^2 for the trapezoidal rule *)
+  let value dt =
+    let open Rlc_circuit in
+    let nl = Netlist.create () in
+    let a = Netlist.fresh_node nl in
+    let b = Netlist.fresh_node nl in
+    Netlist.add_vsource nl a Netlist.ground (Stimulus.Dc 1.0);
+    Netlist.add_resistor nl a b 1e3;
+    Netlist.add_capacitor nl b Netlist.ground 1e-9;
+    let r =
+      Transient.run nl ~t_end:1.0001e-6 ~dt ~probes:[ Transient.Node_v b ]
+    in
+    Rlc_waveform.Waveform.value_at (Transient.get r (Transient.Node_v b)) 1e-6
+  in
+  let exact = 1.0 -. Float.exp (-1.0) in
+  let err dt = Float.abs (value dt -. exact) in
+  let e1 = err 2e-8 and e2 = err 1e-8 in
+  let order = Float.log (e1 /. e2) /. Float.log 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed order %.2f in [1.7, 2.3]" order)
+    true
+    (order > 1.7 && order < 2.3)
+
+let test_backward_euler_first_order_convergence () =
+  let value dt =
+    let open Rlc_circuit in
+    let nl = Netlist.create () in
+    let a = Netlist.fresh_node nl in
+    let b = Netlist.fresh_node nl in
+    Netlist.add_vsource nl a Netlist.ground (Stimulus.Dc 1.0);
+    Netlist.add_resistor nl a b 1e3;
+    Netlist.add_capacitor nl b Netlist.ground 1e-9;
+    let r =
+      Transient.run ~integration:Transient.Backward_euler nl ~t_end:1.0001e-6
+        ~dt ~probes:[ Transient.Node_v b ]
+    in
+    Rlc_waveform.Waveform.value_at (Transient.get r (Transient.Node_v b)) 1e-6
+  in
+  let exact = 1.0 -. Float.exp (-1.0) in
+  let err dt = Float.abs (value dt -. exact) in
+  let order = Float.log (err 2e-8 /. err 1e-8) /. Float.log 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed order %.2f in [0.8, 1.2]" order)
+    true
+    (order > 0.8 && order < 1.2)
+
+let () =
+  Alcotest.run "properties"
+    [
+      qsuite "tree"
+        [
+          prop_tree_elmore_matches_oracle;
+          prop_tree_segmentation_preserves_totals;
+          prop_tree_segmentation_preserves_elmore;
+        ];
+      qsuite "stimulus" [ prop_pulse_within_envelope; prop_pwl_within_envelope ];
+      qsuite "stage-physics"
+        [ prop_lcrit_separates_damping; prop_frequency_gd_positive_at_low_f ];
+      qsuite "power" [ prop_power_monotone ];
+      qsuite "coupled" [ prop_coupled_mode_capacitance ];
+      qsuite "eye" [ prop_eye_prbs_balanced ];
+      qsuite "insertion" [ prop_insertion_bound ];
+      qsuite "simulator-passivity" [ prop_rc_ladder_passivity ];
+      ( "simulator-convergence",
+        [
+          Alcotest.test_case "trapezoidal is second order" `Quick
+            test_trapezoidal_second_order_convergence;
+          Alcotest.test_case "backward euler is first order" `Quick
+            test_backward_euler_first_order_convergence;
+        ] );
+    ]
