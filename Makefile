@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-all bench bench-fast examples clean
+.PHONY: all build test test-all bench bench-fast bench-smoke examples clean
 
 all: build
 
@@ -18,6 +18,10 @@ bench:
 
 bench-fast:
 	dune exec bench/main.exe -- --fast
+
+# tiny dense-vs-banded cross-check (also part of `dune runtest`)
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -4,10 +4,13 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- --fast  -- skip the transient ring sims
-     dune exec bench/main.exe -- --no-bechamel  -- skip kernel timings *)
+     dune exec bench/main.exe -- --no-bechamel  -- skip kernel timings
+     dune exec bench/main.exe -- --smoke -- tiny ladder-scaling run only
+                                            (wired into dune runtest) *)
 
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
 let no_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -65,6 +68,144 @@ let run_ring_sweeps () =
         Rlc_experiments.Ring_figs.print_fig12
           ~node_name:node.Rlc_tech.Node.name points)
     [ Rlc_tech.Presets.node_100nm; Rlc_tech.Presets.node_250nm ]
+
+(* ------------------------------------------------------------------ *)
+(* Ladder scaling: dense vs banded transient backend                   *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type fixed_row = {
+  segments : int;
+  unknowns : int;
+  steps : int;
+  dense_s : float;
+  banded_s : float;
+  speedup : float;
+  max_diff : float;
+}
+
+type adaptive_row = {
+  a_segments : int;
+  a_unknowns : int;
+  accepted : int;
+  rejected : int;
+  factorizations : int;
+  auto_s : float;
+}
+
+let ladder_spec segments =
+  { Rlc_circuit.Ladder.r = 4400.0; l = 1.5e-6; c = 123.33e-12;
+    length = 0.011; segments }
+
+(* One step-driven RLC ladder, simulated to 1 ns with both fixed-step
+   backends (identical trajectories, wall-clock compared) and once
+   adaptively with the automatic backend. *)
+let ladder_case ~segments ~steps =
+  let open Rlc_circuit in
+  let nl, _src, far = Ladder.driven_line (ladder_spec segments) in
+  let unknowns = Netlist.node_count nl (* nodes-1 + 1 vsource *) in
+  let t_end = 1e-9 in
+  let dt = t_end /. float_of_int steps in
+  let probes = [ Transient.Node_v far ] in
+  let run backend () =
+    Transient.run ~backend ~record_every:(Int.max 1 (steps / 20)) nl ~t_end
+      ~dt ~probes
+  in
+  let rd, dense_s = wall (run Transient.Dense) in
+  let rb, banded_s = wall (run Transient.Banded) in
+  let vd = Transient.final_voltages rd and vb = Transient.final_voltages rb in
+  let max_diff = ref 0.0 in
+  Array.iteri
+    (fun i v -> max_diff := Float.max !max_diff (Float.abs (v -. vb.(i))))
+    vd;
+  let ra, auto_s =
+    wall (fun () ->
+        Transient.run_adaptive ~rtol:1e-4 nl ~t_end ~dt_max:(t_end /. 64.0)
+          ~probes)
+  in
+  ( {
+      segments;
+      unknowns;
+      steps;
+      dense_s;
+      banded_s;
+      speedup = dense_s /. banded_s;
+      max_diff = !max_diff;
+    },
+    {
+      a_segments = segments;
+      a_unknowns = unknowns;
+      accepted = Transient.steps_taken ra;
+      rejected = Transient.rejected_steps ra;
+      factorizations = Transient.lu_factorizations ra;
+      auto_s;
+    } )
+
+let write_bench_json path (fixed, adaptive) =
+  let oc = open_out path in
+  let field fmt = Printf.fprintf oc fmt in
+  field "{\n";
+  field
+    "  \"description\": \"Dense vs banded MNA backend on step-driven RLC \
+     ladders (Transient.run, trapezoidal; adaptive rtol=1e-4, auto \
+     backend). Times in seconds.\",\n";
+  field "  \"fixed_step\": [\n";
+  List.iteri
+    (fun i (r : fixed_row) ->
+      field
+        "    {\"segments\": %d, \"unknowns\": %d, \"steps\": %d, \
+         \"dense_s\": %.6f, \"banded_s\": %.6f, \"speedup\": %.2f, \
+         \"max_abs_diff_v\": %.3e}%s\n"
+        r.segments r.unknowns r.steps r.dense_s r.banded_s r.speedup
+        r.max_diff
+        (if i = List.length fixed - 1 then "" else ","))
+    fixed;
+  field "  ],\n";
+  field "  \"adaptive\": [\n";
+  List.iteri
+    (fun i (r : adaptive_row) ->
+      field
+        "    {\"segments\": %d, \"unknowns\": %d, \"accepted_steps\": %d, \
+         \"rejected_steps\": %d, \"lu_factorizations\": %d, \"auto_s\": \
+         %.6f}%s\n"
+        r.a_segments r.a_unknowns r.accepted r.rejected r.factorizations
+        r.auto_s
+        (if i = List.length adaptive - 1 then "" else ","))
+    adaptive;
+  field "  ]\n}\n";
+  close_out oc
+
+let run_ladder_scaling ~sizes ~steps ~json =
+  section "Ladder scaling: dense vs banded transient backend";
+  Printf.printf "%8s %9s %7s %12s %12s %9s %12s\n" "segments" "unknowns"
+    "steps" "dense [s]" "banded [s]" "speedup" "max |dV|";
+  let rows = List.map (fun segments -> ladder_case ~segments ~steps) sizes in
+  let fixed = List.map fst rows and adaptive = List.map snd rows in
+  List.iter
+    (fun (r : fixed_row) ->
+      Printf.printf "%8d %9d %7d %12.5f %12.5f %8.1fx %12.3e\n" r.segments
+        r.unknowns r.steps r.dense_s r.banded_s r.speedup r.max_diff;
+      if r.max_diff > 1e-9 then
+        failwith "ladder scaling: dense and banded backends disagree")
+    fixed;
+  print_newline ();
+  Printf.printf "%8s %9s %10s %10s %8s %12s\n" "segments" "unknowns"
+    "accepted" "rejected" "LU" "auto [s]";
+  List.iter
+    (fun (r : adaptive_row) ->
+      Printf.printf "%8d %9d %10d %10d %8d %12.5f\n" r.a_segments r.a_unknowns
+        r.accepted r.rejected r.factorizations r.auto_s)
+    adaptive;
+  (match json with
+  | Some path ->
+      write_bench_json path (fixed, adaptive);
+      Printf.printf "\nrecorded baseline in %s\n" path
+  | None -> ());
+  fixed
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel kernel timings: one Test.make per table/figure kernel      *)
@@ -169,16 +310,28 @@ let run_extensions () =
   end
 
 let () =
-  Printf.printf
-    "RLC interconnect performance-optimization reproduction -- benchmark \
-     harness\n";
-  run_table1 ();
-  run_fig2 ();
-  run_sweep_figs ();
-  if not fast then begin
-    run_ring_waveforms ();
-    run_ring_sweeps ()
+  if smoke then begin
+    (* tiny, fast (<~2 s) cross-check of the backend-selection machinery;
+       wired into `dune runtest` / `make bench-smoke` *)
+    let rows = run_ladder_scaling ~sizes:[ 10; 24 ] ~steps:200 ~json:None in
+    if List.exists (fun r -> r.max_diff > 1e-9) rows then exit 1;
+    print_endline "\nbench smoke OK"
   end
-  else print_endline "\n[--fast: skipping transient ring experiments]";
-  run_extensions ();
-  if not no_bechamel then run_bechamel ()
+  else begin
+    Printf.printf
+      "RLC interconnect performance-optimization reproduction -- benchmark \
+       harness\n";
+    run_table1 ();
+    run_fig2 ();
+    run_sweep_figs ();
+    if not fast then begin
+      run_ring_waveforms ();
+      run_ring_sweeps ()
+    end
+    else print_endline "\n[--fast: skipping transient ring experiments]";
+    ignore
+      (run_ladder_scaling ~sizes:[ 50; 200; 800 ] ~steps:1000
+         ~json:(Some "BENCH_transient.json"));
+    run_extensions ();
+    if not no_bechamel then run_bechamel ()
+  end

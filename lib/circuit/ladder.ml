@@ -46,6 +46,19 @@ let make ?(name_prefix = "line") netlist spec ~from_node ~to_node =
 let input_current_probe ?(name_prefix = "line") () =
   Transient.Branch_i (name_prefix ^ "_seg0")
 
+let driven_line ?(name_prefix = "line") ?(vdd = 1.0) ?(t_rise = 0.0) spec =
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node ~name:(name_prefix ^ "_src") nl in
+  Netlist.add_vsource ~name:(name_prefix ^ "_drv") nl src Netlist.ground
+    (if t_rise <= 0.0 then Stimulus.Dc vdd
+     else Stimulus.Step { v0 = 0.0; v1 = vdd; t_delay = 0.0; t_rise });
+  (* the far node is allocated before the internal joints on purpose:
+     a bandwidth-friendly node numbering must NOT be assumed by the
+     transient engine (it reorders the unknowns itself) *)
+  let far = Netlist.fresh_node ~name:(name_prefix ^ "_far") nl in
+  make ~name_prefix nl spec ~from_node:src ~to_node:far;
+  (nl, src, far)
+
 type coupled_spec = {
   r : float;
   l_self : float;

@@ -34,6 +34,18 @@ val make :
 val input_current_probe : ?name_prefix:string -> unit -> Transient.probe
 (** The probe for the current entering the line (segment 0). *)
 
+val driven_line :
+  ?name_prefix:string ->
+  ?vdd:float ->
+  ?t_rise:float ->
+  spec ->
+  Netlist.t * Netlist.node * Netlist.node
+(** A fresh netlist holding one step-driven line: an ideal source
+    (DC [vdd], or a [t_rise] ramp when positive) into a [make] ladder.
+    Returns [(netlist, source_node, far_node)] — the standard fixture
+    for the ladder-scaling benchmarks and backend cross-checks.  The
+    source is named ["<prefix>_drv"] so its current can be probed. *)
+
 type coupled_spec = {
   r : float;  (** ohm/m, each line *)
   l_self : float;  (** H/m *)

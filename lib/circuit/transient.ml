@@ -2,6 +2,8 @@ open Rlc_numerics
 
 type integration = Trapezoidal | Backward_euler
 
+type backend = Auto | Dense | Banded
+
 type probe = Node_v of Netlist.node | Branch_i of string
 
 (* Desugared element with per-element state indices. *)
@@ -35,6 +37,8 @@ type result = {
   steps : int;
   histogram : int array;
   rejected_steps : int;
+  nonconverged_steps : int;
+  lu_factorizations : int;
 }
 
 let time r = Array.copy r.time
@@ -42,6 +46,8 @@ let final_voltages r = Array.copy r.final_v
 let steps_taken r = r.steps
 let state_iteration_histogram r = Array.copy r.histogram
 let rejected_steps r = r.rejected_steps
+let nonconverged_steps r = r.nonconverged_steps
+let lu_factorizations r = r.lu_factorizations
 
 let get r probe =
   match List.assoc_opt probe r.probe_data with
@@ -103,7 +109,7 @@ let compile netlist =
           incr invs;
           push (Cinv { input; output; dev; state }))
     elems;
-  ( List.rev !compiled,
+  ( Array.of_list (List.rev !compiled),
     id_to_compiled,
     (!caps, !rls, !vsrcs, !invs) )
 
@@ -134,20 +140,136 @@ let blit_state ~src ~dst =
   Array.blit src.inv_high 0 dst.inv_high 0 (Array.length src.inv_high);
   Array.blit src.inv_drive 0 dst.inv_drive 0 (Array.length src.inv_drive)
 
+type factor = F_dense of Lu.t | F_banded of Banded.t
+
 type engine = {
-  compiled : compiled list;
+  compiled : compiled array;
   compiled_of_id : (int, compiled) Hashtbl.t;
   netlist : Netlist.t;
   n_nodes : int;
   m : int; (* unknown count: nodes-1 + vsources *)
+  perm : int array; (* unknown index -> bandwidth-minimising position *)
+  kl : int; (* sub/superdiagonal bandwidth of the permuted MNA matrix *)
+  ku : int;
+  use_banded : bool;
   state : state;
-  lu_cache : (int, Lu.t) Hashtbl.t;
-      (* keyed by (method tag, dt bits) hash *)
+  lu_cache : (integration * int64, factor) Hashtbl.t;
+      (* keyed by the integration method and the exact dt bits *)
+  rhs : float array; (* preallocated per-step buffers: *)
+  x : float array; (* last MNA solution, in permuted order *)
+  v_new : float array;
+  trial : bool array;
+  trial_next : bool array;
   histogram : int array;
   max_state_iterations : int;
+  mutable nonconverged : int;
+  mutable factorizations : int;
 }
 
-let make_engine ?(max_state_iterations = 8) ?(initial_voltages = []) netlist =
+let vi node = node - 1
+
+(* Stamp the (method, dt) MNA matrix through [add row col value]; the
+   caller decides the storage (dense, banded, or a structure probe). *)
+let stamp ~compiled ~n_nodes meth dt ~add =
+  let alpha = alpha_of meth in
+  let stamp_g na nb g =
+    if na <> 0 then add (vi na) (vi na) g;
+    if nb <> 0 then add (vi nb) (vi nb) g;
+    if na <> 0 && nb <> 0 then begin
+      add (vi na) (vi nb) (-.g);
+      add (vi nb) (vi na) (-.g)
+    end
+  in
+  Array.iter
+    (fun c ->
+      match c with
+      | Cr { a = na; b = nb; g } -> stamp_g na nb g
+      | Cc { a = na; b = nb; c; _ } -> stamp_g na nb (alpha *. c /. dt)
+      | Crl { a = na; b = nb; r; l; _ } ->
+          stamp_g na nb (1.0 /. (r +. (alpha *. l /. dt)))
+      | Ccrl { a1; b1; a2; b2; r; l; m; _ } ->
+          (* i = G v with G = inv(R I + alpha L_mat / dt),
+             L_mat = [l m; m l]; closed-form 2x2 inverse *)
+          let d = r +. (alpha *. l /. dt) in
+          let o = alpha *. m /. dt in
+          let det = (d *. d) -. (o *. o) in
+          let g_self = d /. det and g_cross = -.o /. det in
+          let stamp_cross na nb ma mb g =
+            if na <> 0 then begin
+              if ma <> 0 then add (vi na) (vi ma) g;
+              if mb <> 0 then add (vi na) (vi mb) (-.g)
+            end;
+            if nb <> 0 then begin
+              if ma <> 0 then add (vi nb) (vi ma) (-.g);
+              if mb <> 0 then add (vi nb) (vi mb) g
+            end
+          in
+          stamp_g a1 b1 g_self;
+          stamp_g a2 b2 g_self;
+          stamp_cross a1 b1 a2 b2 g_cross;
+          stamp_cross a2 b2 a1 b1 g_cross
+      | Cinv { output; dev; _ } ->
+          stamp_g output Netlist.ground (1.0 /. dev.Devices.r_on)
+      | Cv { a = na; b = nb; row; _ } ->
+          let r = n_nodes - 1 + row in
+          if na <> 0 then begin
+            add (vi na) r 1.0;
+            add r (vi na) 1.0
+          end;
+          if nb <> 0 then begin
+            add (vi nb) r (-1.0);
+            add r (vi nb) (-1.0)
+          end
+      | Ci _ -> ())
+    compiled
+
+(* Reverse Cuthill-McKee over the structural adjacency of the MNA
+   unknowns.  Netlists built in arbitrary node order (e.g. a far-end
+   node allocated before the ladder joints) still end up with the
+   narrow band the chain topology permits, so the banded backend keeps
+   engaging no matter how the netlist was assembled. *)
+let rcm_permutation m adj =
+  let degree = Array.map List.length adj in
+  let by_degree l =
+    List.sort (fun a b -> Int.compare degree.(a) degree.(b)) l
+  in
+  let visited = Array.make m false in
+  let order = Array.make m 0 in
+  let pos = ref 0 in
+  let queue = Queue.create () in
+  while !pos < m do
+    (* lowest-degree unvisited vertex starts the next component *)
+    let start = ref (-1) in
+    for u = m - 1 downto 0 do
+      if (not visited.(u)) && (!start < 0 || degree.(u) < degree.(!start))
+      then start := u
+    done;
+    visited.(!start) <- true;
+    Queue.add !start queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      order.(!pos) <- u;
+      incr pos;
+      List.iter
+        (fun v ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            Queue.add v queue
+          end)
+        (by_degree adj.(u))
+    done
+  done;
+  let perm = Array.make m 0 in
+  Array.iteri (fun i u -> perm.(u) <- m - 1 - i) order;
+  perm
+
+(* Use the banded kernel when the band occupies at most a third of the
+   matrix and the system is big enough for the bookkeeping to pay off;
+   RC/RLC ladders have kl = ku of 2-3 independent of length. *)
+let banded_pays m kl ku = m >= 12 && 3 * (kl + ku + 1) <= m
+
+let make_engine ?(max_state_iterations = 8) ?(initial_voltages = [])
+    ?(backend = Auto) netlist =
   if max_state_iterations < 1 then
     invalid_arg "Transient: max_state_iterations < 1";
   let n_nodes = Netlist.node_count netlist in
@@ -171,7 +293,7 @@ let make_engine ?(max_state_iterations = 8) ?(initial_voltages = []) netlist =
         invalid_arg "Transient: initial voltage on bad node";
       state.v.(node) <- volt)
     initial_voltages;
-  List.iter
+  Array.iter
     (function
       | Cinv { input; dev; state = si; _ } ->
           let high = Devices.drives_high dev ~v_in:state.v.(input) in
@@ -179,85 +301,88 @@ let make_engine ?(max_state_iterations = 8) ?(initial_voltages = []) netlist =
           state.inv_drive.(si) <- (if high then dev.Devices.vdd else 0.0)
       | Cr _ | Cc _ | Crl _ | Ccrl _ | Cv _ | Ci _ -> ())
     compiled;
+  (* structural probe (any positive dt): adjacency for the ordering,
+     then the bandwidth that ordering achieves *)
+  let adj = Array.make m [] in
+  stamp ~compiled ~n_nodes Trapezoidal 1.0 ~add:(fun i j _ ->
+      if i <> j then begin
+        adj.(i) <- j :: adj.(i);
+        adj.(j) <- i :: adj.(j)
+      end);
+  let adj = Array.map (List.sort_uniq Int.compare) adj in
+  let perm = rcm_permutation m adj in
+  let kl = ref 0 and ku = ref 0 in
+  stamp ~compiled ~n_nodes Trapezoidal 1.0 ~add:(fun i j _ ->
+      let d = perm.(i) - perm.(j) in
+      if d > !kl then kl := d;
+      if -d > !ku then ku := -d);
+  let use_banded =
+    match backend with
+    | Dense -> false
+    | Banded -> true
+    | Auto -> banded_pays m !kl !ku
+  in
   {
     compiled;
     compiled_of_id;
     netlist;
     n_nodes;
     m;
+    perm;
+    kl = !kl;
+    ku = !ku;
+    use_banded;
     state;
     lu_cache = Hashtbl.create 8;
+    rhs = Array.make m 0.0;
+    x = Array.make m 0.0;
+    v_new = Array.make n_nodes 0.0;
+    trial = Array.make (Int.max n_invs 1) false;
+    trial_next = Array.make (Int.max n_invs 1) false;
     histogram = Array.make max_state_iterations 0;
     max_state_iterations;
+    nonconverged = 0;
+    factorizations = 0;
   }
 
-let vi node = node - 1
+(* The factorisation cache is keyed by the (method, dt-bits) pair
+   itself — never by its hash, where a collision between two distinct
+   dt values would silently reuse the wrong factorisation.  The
+   adaptive driver keeps dt on the dt_max/2^k grid, so the cache stays
+   tiny; the eviction below is a backstop for pathological callers. *)
+let lu_cache_limit = 64
 
 let factorization eng meth dt =
-  let key =
-    Hashtbl.hash (meth, Int64.bits_of_float dt)
-  in
+  let key = (meth, Int64.bits_of_float dt) in
   match Hashtbl.find_opt eng.lu_cache key with
-  | Some lu -> lu
+  | Some f -> f
   | None ->
-      let a = Matrix.create eng.m eng.m in
-      let alpha = alpha_of meth in
-      let stamp_g na nb g =
-        if na <> 0 then Matrix.add_to a (vi na) (vi na) g;
-        if nb <> 0 then Matrix.add_to a (vi nb) (vi nb) g;
-        if na <> 0 && nb <> 0 then begin
-          Matrix.add_to a (vi na) (vi nb) (-.g);
-          Matrix.add_to a (vi nb) (vi na) (-.g)
+      let f =
+        if eng.use_banded then begin
+          let s = Banded.create_storage ~n:eng.m ~kl:eng.kl ~ku:eng.ku in
+          stamp ~compiled:eng.compiled ~n_nodes:eng.n_nodes meth dt
+            ~add:(fun i j v -> Banded.add_to s eng.perm.(i) eng.perm.(j) v);
+          try F_banded (Banded.decompose s)
+          with Banded.Singular -> failwith "Transient: singular MNA matrix"
+        end
+        else begin
+          let a = Matrix.create eng.m eng.m in
+          stamp ~compiled:eng.compiled ~n_nodes:eng.n_nodes meth dt
+            ~add:(fun i j v -> Matrix.add_to a eng.perm.(i) eng.perm.(j) v);
+          try F_dense (Lu.decompose a)
+          with Lu.Singular -> failwith "Transient: singular MNA matrix"
         end
       in
-      List.iter
-        (fun c ->
-          match c with
-          | Cr { a = na; b = nb; g } -> stamp_g na nb g
-          | Cc { a = na; b = nb; c; _ } -> stamp_g na nb (alpha *. c /. dt)
-          | Crl { a = na; b = nb; r; l; _ } ->
-              stamp_g na nb (1.0 /. (r +. (alpha *. l /. dt)))
-          | Ccrl { a1; b1; a2; b2; r; l; m; _ } ->
-              (* i = G v with G = inv(R I + alpha L_mat / dt),
-                 L_mat = [l m; m l]; closed-form 2x2 inverse *)
-              let d = r +. (alpha *. l /. dt) in
-              let o = alpha *. m /. dt in
-              let det = (d *. d) -. (o *. o) in
-              let g_self = d /. det and g_cross = -.o /. det in
-              let stamp_cross na nb ma mb g =
-                if na <> 0 then begin
-                  if ma <> 0 then Matrix.add_to a (vi na) (vi ma) g;
-                  if mb <> 0 then Matrix.add_to a (vi na) (vi mb) (-.g)
-                end;
-                if nb <> 0 then begin
-                  if ma <> 0 then Matrix.add_to a (vi nb) (vi ma) (-.g);
-                  if mb <> 0 then Matrix.add_to a (vi nb) (vi mb) g
-                end
-              in
-              stamp_g a1 b1 g_self;
-              stamp_g a2 b2 g_self;
-              stamp_cross a1 b1 a2 b2 g_cross;
-              stamp_cross a2 b2 a1 b1 g_cross
-          | Cinv { output; dev; _ } ->
-              stamp_g output Netlist.ground (1.0 /. dev.Devices.r_on)
-          | Cv { a = na; b = nb; row; _ } ->
-              let r = eng.n_nodes - 1 + row in
-              if na <> 0 then begin
-                Matrix.add_to a (vi na) r 1.0;
-                Matrix.add_to a r (vi na) 1.0
-              end;
-              if nb <> 0 then begin
-                Matrix.add_to a (vi nb) r (-1.0);
-                Matrix.add_to a r (vi nb) (-1.0)
-              end
-          | Ci _ -> ())
-        eng.compiled;
-      let lu =
-        try Lu.decompose a
-        with Lu.Singular -> failwith "Transient: singular MNA matrix"
-      in
-      Hashtbl.replace eng.lu_cache key lu;
-      lu
+      if Hashtbl.length eng.lu_cache >= lu_cache_limit then
+        Hashtbl.reset eng.lu_cache;
+      Hashtbl.replace eng.lu_cache key f;
+      eng.factorizations <- eng.factorizations + 1;
+      f
+
+let solve_factor f ~b ~x =
+  match f with
+  | F_dense lu -> Lu.solve_into lu ~b ~x
+  | F_banded bd -> Banded.solve_into bd ~b ~x
 
 let slewed_drive dev ~dt current target_high =
   let target = if target_high then dev.Devices.vdd else 0.0 in
@@ -269,12 +394,15 @@ let slewed_drive dev ~dt current target_high =
     else current +. Float.copy_sign max_step delta
   end
 
-let build_rhs eng meth dt t_next trial_high =
+(* Fill eng.rhs in place (permuted positions); allocates nothing. *)
+let build_rhs eng meth dt t_next trial =
   let s = eng.state in
-  let b = Array.make eng.m 0.0 in
+  let b = eng.rhs in
+  let p = eng.perm in
+  Array.fill b 0 eng.m 0.0;
   let alpha = alpha_of meth in
   let vab na nb = s.v.(na) -. s.v.(nb) in
-  List.iter
+  Array.iter
     (fun c ->
       match c with
       | Cr _ -> ()
@@ -286,8 +414,8 @@ let build_rhs eng meth dt t_next trial_high =
                | Trapezoidal -> s.cap_i.(state)
                | Backward_euler -> 0.0)
           in
-          if na <> 0 then b.(vi na) <- b.(vi na) +. i_src;
-          if nb <> 0 then b.(vi nb) <- b.(vi nb) -. i_src
+          if na <> 0 then b.(p.(vi na)) <- b.(p.(vi na)) +. i_src;
+          if nb <> 0 then b.(p.(vi nb)) <- b.(p.(vi nb)) -. i_src
       | Crl { a = na; b = nb; r; l; state } ->
           let g = 1.0 /. (r +. (alpha *. l /. dt)) in
           let i_src =
@@ -296,8 +424,8 @@ let build_rhs eng meth dt t_next trial_high =
                 g *. (vab na nb +. (((2.0 *. l /. dt) -. r) *. s.rl_i.(state)))
             | Backward_euler -> g *. (l /. dt) *. s.rl_i.(state)
           in
-          if na <> 0 then b.(vi na) <- b.(vi na) -. i_src;
-          if nb <> 0 then b.(vi nb) <- b.(vi nb) +. i_src
+          if na <> 0 then b.(p.(vi na)) <- b.(p.(vi na)) -. i_src;
+          if nb <> 0 then b.(p.(vi nb)) <- b.(p.(vi nb)) +. i_src
       | Ccrl { a1; b1; a2; b2; r; l; m; state } ->
           let d = r +. (alpha *. l /. dt) in
           let o = alpha *. m /. dt in
@@ -318,61 +446,70 @@ let build_rhs eng meth dt t_next trial_high =
           in
           let i1_src = ((d *. w1) -. (o *. w2)) /. det in
           let i2_src = ((d *. w2) -. (o *. w1)) /. det in
-          if a1 <> 0 then b.(vi a1) <- b.(vi a1) -. i1_src;
-          if b1 <> 0 then b.(vi b1) <- b.(vi b1) +. i1_src;
-          if a2 <> 0 then b.(vi a2) <- b.(vi a2) -. i2_src;
-          if b2 <> 0 then b.(vi b2) <- b.(vi b2) +. i2_src
+          if a1 <> 0 then b.(p.(vi a1)) <- b.(p.(vi a1)) -. i1_src;
+          if b1 <> 0 then b.(p.(vi b1)) <- b.(p.(vi b1)) +. i1_src;
+          if a2 <> 0 then b.(p.(vi a2)) <- b.(p.(vi a2)) -. i2_src;
+          if b2 <> 0 then b.(p.(vi b2)) <- b.(p.(vi b2)) +. i2_src
       | Cinv { output; dev; state; _ } ->
           let v_drive =
-            slewed_drive dev ~dt s.inv_drive.(state) trial_high.(state)
+            slewed_drive dev ~dt s.inv_drive.(state) trial.(state)
           in
           let g = 1.0 /. dev.Devices.r_on in
-          if output <> 0 then b.(vi output) <- b.(vi output) +. (g *. v_drive)
+          if output <> 0 then
+            b.(p.(vi output)) <- b.(p.(vi output)) +. (g *. v_drive)
       | Cv { row; stim; _ } ->
-          b.(eng.n_nodes - 1 + row) <- Stimulus.eval stim t_next
+          b.(p.(eng.n_nodes - 1 + row)) <- Stimulus.eval stim t_next
       | Ci { a = na; b = nb; stim } ->
           let j = Stimulus.eval stim t_next in
-          if na <> 0 then b.(vi na) <- b.(vi na) -. j;
-          if nb <> 0 then b.(vi nb) <- b.(vi nb) +. j)
-    eng.compiled;
-  b
+          if na <> 0 then b.(p.(vi na)) <- b.(p.(vi na)) -. j;
+          if nb <> 0 then b.(p.(vi nb)) <- b.(p.(vi nb)) +. j)
+    eng.compiled
 
 (* Advance the engine state by one step of [dt] ending at [t_next],
-   resolving the inverter logic by fixed point.  Mutates eng.state. *)
+   resolving the inverter logic by fixed point.  Mutates eng.state and
+   the engine's scratch buffers; allocates nothing per step. *)
 let advance eng meth dt t_next =
   let s = eng.state in
-  let lu = factorization eng meth dt in
-  let trial = Array.copy s.inv_high in
-  let solution = ref [||] in
+  let f = factorization eng meth dt in
+  let trial = eng.trial in
+  Array.blit s.inv_high 0 trial 0 (Array.length s.inv_high);
+  let x = eng.x in
+  let p = eng.perm in
   let passes = ref 0 in
   let stable = ref false in
   while (not !stable) && !passes < eng.max_state_iterations do
     incr passes;
-    let x = Lu.solve lu (build_rhs eng meth dt t_next trial) in
-    solution := x;
+    build_rhs eng meth dt t_next trial;
+    solve_factor f ~b:eng.rhs ~x;
     let changed = ref false in
-    List.iter
+    Array.iter
       (function
         | Cinv { input; dev; state; _ } ->
-            let v_in = if input = 0 then 0.0 else x.(vi input) in
+            let v_in = if input = 0 then 0.0 else x.(p.(vi input)) in
             let high = Devices.drives_high dev ~v_in in
-            if high <> trial.(state) then begin
-              trial.(state) <- high;
-              changed := true
-            end
+            eng.trial_next.(state) <- high;
+            if high <> trial.(state) then changed := true
         | Cr _ | Cc _ | Crl _ | Ccrl _ | Cv _ | Ci _ -> ())
       eng.compiled;
     if not !changed then stable := true
+    else if !passes < eng.max_state_iterations then
+      (* re-solve with the updated logic states *)
+      Array.blit eng.trial_next 0 trial 0 (Array.length trial)
+    else
+      (* out of iterations: commit the trial that actually produced
+         [x] — mixing the post-update trial into inv_drive/inv_high
+         would pair a stale solution with fresh logic states *)
+      eng.nonconverged <- eng.nonconverged + 1
   done;
   eng.histogram.(!passes - 1) <- eng.histogram.(!passes - 1) + 1;
-  let x = !solution in
   let alpha = alpha_of meth in
-  let v_new = Array.make eng.n_nodes 0.0 in
+  let v_new = eng.v_new in
+  v_new.(0) <- 0.0;
   for node = 1 to eng.n_nodes - 1 do
-    v_new.(node) <- x.(vi node)
+    v_new.(node) <- x.(p.(vi node))
   done;
   (* commit branch states (companion updates need the OLD voltages) *)
-  List.iter
+  Array.iter
     (fun c ->
       match c with
       | Cc { a = na; b = nb; c; state } ->
@@ -419,7 +556,7 @@ let advance eng meth dt t_next =
       | Cr _ | Cv _ | Ci _ -> ()
       | Cinv _ -> ())
     eng.compiled;
-  List.iter
+  Array.iter
     (function
       | Cinv { dev; state; _ } ->
           s.inv_drive.(state) <-
@@ -458,7 +595,12 @@ let branch_current eng name =
       | Some (Ccrl { state; _ }) -> s.rl_i.(state + sub)
       | Some (Cinv { output; dev; state; _ }) ->
           (s.inv_drive.(state) -. s.v.(output)) /. dev.Devices.r_on
-      | Some (Cv _ | Ci _) | None -> 0.0
+      | Some (Cv { row; _ }) ->
+          (* the MNA current unknown of this source in the last
+             solution (zero before the first step); sign convention:
+             positive flowing a -> b inside the source *)
+          eng.x.(eng.perm.(eng.n_nodes - 1 + row))
+      | Some (Ci _) | None -> 0.0
     end
 
 let probe_value eng = function
@@ -480,11 +622,13 @@ let validate_probes eng probes =
 (* ---------------- fixed-step driver ---------------- *)
 
 let run ?(integration = Trapezoidal) ?initial_voltages ?max_state_iterations
-    ?(record_every = 1) netlist ~t_end ~dt ~probes =
+    ?(record_every = 1) ?backend netlist ~t_end ~dt ~probes =
   if t_end <= 0.0 then invalid_arg "Transient.run: t_end <= 0";
   if dt <= 0.0 || dt >= t_end then invalid_arg "Transient.run: bad dt";
   if record_every < 1 then invalid_arg "Transient.run: record_every < 1";
-  let eng = make_engine ?max_state_iterations ?initial_voltages netlist in
+  let eng =
+    make_engine ?max_state_iterations ?initial_voltages ?backend netlist
+  in
   validate_probes eng probes;
   let n_steps = int_of_float (Float.ceil (t_end /. dt)) in
   let n_records = (n_steps / record_every) + 1 in
@@ -517,12 +661,14 @@ let run ?(integration = Trapezoidal) ?initial_voltages ?max_state_iterations
     steps = n_steps;
     histogram = Array.copy eng.histogram;
     rejected_steps = 0;
+    nonconverged_steps = eng.nonconverged;
+    lu_factorizations = eng.factorizations;
   }
 
 (* ---------------- adaptive driver ---------------- *)
 
 let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
-    ?(atol = 1e-6) ?dt_min netlist ~t_end ~dt_max ~probes =
+    ?(atol = 1e-6) ?dt_min ?backend netlist ~t_end ~dt_max ~probes =
   if t_end <= 0.0 then invalid_arg "Transient.run_adaptive: t_end <= 0";
   if dt_max <= 0.0 || dt_max >= t_end then
     invalid_arg "Transient.run_adaptive: bad dt_max";
@@ -533,11 +679,19 @@ let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
   in
   if dt_min <= 0.0 || dt_min > dt_max then
     invalid_arg "Transient.run_adaptive: bad dt_min";
-  let eng = make_engine ?max_state_iterations ?initial_voltages netlist in
+  let eng =
+    make_engine ?max_state_iterations ?initial_voltages ?backend netlist
+  in
   validate_probes eng probes;
-  (* step-doubling error control: one dt step vs two dt/2 steps, both
-     trapezoidal; dt levels quantized to dt_max / 2^k so LU
-     factorizations are reused *)
+  (* Step-doubling error control: one dt step vs two dt/2 steps, both
+     trapezoidal.  dt is tracked as a level k with dt = dt_max / 2^k,
+     so every step (except a final partial one reaching exactly t_end)
+     reuses a cached LU factorisation. *)
+  let k_max =
+    Int.max 0
+      (int_of_float
+         (Float.ceil (Float.log (dt_max /. dt_min) /. Float.log 2.0)))
+  in
   let times = ref [ 0.0 ] in
   let data = List.map (fun p -> (p, ref [ probe_value eng p ])) probes in
   let record t =
@@ -545,17 +699,22 @@ let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
     List.iter (fun (p, acc) -> acc := probe_value eng p :: !acc) data
   in
   let t = ref 0.0 in
-  let dt = ref (dt_max /. 16.0) in
+  let level = ref (Int.min 4 k_max) in
   let steps = ref 0 and rejected = ref 0 in
   let first = ref true in
+  let saved = copy_state eng.state in
+  let v_full = Array.make eng.n_nodes 0.0 in
   while !t < t_end -. (1e-12 *. t_end) do
-    let dt_now = Float.min !dt (t_end -. !t) in
+    let dt_level = Float.ldexp dt_max (- !level) in
+    let remaining = t_end -. !t in
+    (* only the last partial step may leave the dt_max/2^k grid *)
+    let dt_now = if dt_level > remaining then remaining else dt_level in
     let t_next = !t +. dt_now in
     let meth = if !first then Backward_euler else Trapezoidal in
     (* full step *)
-    let saved = copy_state eng.state in
+    blit_state ~src:eng.state ~dst:saved;
     advance eng meth dt_now t_next;
-    let v_full = Array.copy eng.state.v in
+    Array.blit eng.state.v 0 v_full 0 eng.n_nodes;
     (* two half steps from the saved state *)
     blit_state ~src:saved ~dst:eng.state;
     advance eng meth (dt_now /. 2.0) (!t +. (dt_now /. 2.0));
@@ -569,19 +728,19 @@ let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
       err :=
         Float.max !err (Float.abs (v_full.(node) -. eng.state.v.(node)) /. scale)
     done;
-    if !err <= 1.0 || dt_now <= dt_min *. 1.0001 then begin
+    if !err <= 1.0 || !level >= k_max then begin
       (* accept the (more accurate) half-step state *)
       incr steps;
       first := false;
       t := t_next;
       record !t;
-      if !err < 0.25 then dt := Float.min dt_max (dt_now *. 2.0)
-      else if !err > 0.75 then dt := Float.max dt_min (dt_now /. 2.0)
+      if !err < 0.25 then level := Int.max 0 (!level - 1)
+      else if !err > 0.75 then level := Int.min k_max (!level + 1)
     end
     else begin
       incr rejected;
       blit_state ~src:saved ~dst:eng.state;
-      dt := Float.max dt_min (dt_now /. 2.0)
+      level := Int.min k_max (!level + 1)
     end
   done;
   let time = Array.of_list (List.rev !times) in
@@ -593,4 +752,6 @@ let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
     steps = !steps;
     histogram = Array.copy eng.histogram;
     rejected_steps = !rejected;
+    nonconverged_steps = eng.nonconverged;
+    lu_factorizations = eng.factorizations;
   }

@@ -6,15 +6,31 @@
     add branch-current unknowns, and the threshold-switched inverters
     are resolved by a per-step fixed-point iteration on their logic
     states.  Because switching only changes source terms, the MNA
-    matrix is factorised once and reused for every step. *)
+    matrix is factorised once per (method, dt) and reused for every
+    step.
+
+    The engine reorders the MNA unknowns with reverse Cuthill-McKee at
+    construction time and measures the bandwidth the stamped structure
+    achieves under that ordering; ladder-shaped systems (kl = ku of
+    2-3 independent of length) are then factorised and solved with the
+    banded kernel ({!Rlc_numerics.Banded}) instead of dense LU,
+    dropping the per-step cost from O(m^2) to O(m·(kl+ku)).  The hot
+    path (RHS assembly + solve) works in preallocated buffers and
+    allocates nothing per step. *)
 
 type integration = Trapezoidal | Backward_euler
+
+type backend =
+  | Auto  (** banded when the measured band occupies at most a third
+              of the matrix (and m >= 12); dense otherwise *)
+  | Dense  (** force dense LU *)
+  | Banded  (** force the banded kernel *)
 
 type probe =
   | Node_v of Netlist.node  (** node voltage *)
   | Branch_i of string  (** current through the named element;
-      supported for RL branches, resistors, capacitors and the output
-      stage of inverters *)
+      supported for RL branches, resistors, capacitors, voltage
+      sources and the output stage of inverters *)
 
 type result
 
@@ -23,6 +39,7 @@ val run :
   ?initial_voltages:(Netlist.node * float) list ->
   ?max_state_iterations:int ->
   ?record_every:int ->
+  ?backend:backend ->
   Netlist.t ->
   t_end:float ->
   dt:float ->
@@ -31,6 +48,7 @@ val run :
 (** Simulate from t = 0 to [t_end] with step [dt].  Unlisted initial
     node voltages start at 0; branch currents start at 0.
     [record_every] (default 1) decimates the stored samples.
+    [backend] (default [Auto]) selects the factorisation kernel.
     Raises [Invalid_argument] for nonsensical parameters or unknown
     probe names, [Failure] if the MNA matrix is singular. *)
 
@@ -40,6 +58,7 @@ val run_adaptive :
   ?rtol:float ->
   ?atol:float ->
   ?dt_min:float ->
+  ?backend:backend ->
   Netlist.t ->
   t_end:float ->
   dt_max:float ->
@@ -48,8 +67,10 @@ val run_adaptive :
 (** Variable-step transient with step-doubling error control: each
     candidate step is computed once at [dt] and once as two [dt/2]
     trapezoidal steps; their per-node difference against
-    [atol + rtol * |v|] accepts, shrinks or grows the step.  Step sizes
-    stay on the dt_max / 2^k grid so MNA factorizations are reused.
+    [atol + rtol * |v|] accepts, shrinks or grows the step.  Step
+    sizes are tracked as levels on the dt_max / 2^k grid (k bounded by
+    [dt_min]) so MNA factorisations are reused; only the final partial
+    step reaching exactly [t_end] may leave the grid.
     Defaults: rtol 1e-3, atol 1e-6 (volts/amps), dt_min = dt_max/4096.
     The result's time axis is non-uniform; [rejected_steps] counts
     error-control rollbacks. *)
@@ -66,6 +87,18 @@ val final_voltages : result -> float array
 val steps_taken : result -> int
 val rejected_steps : result -> int
 (** Error-control rollbacks ([run_adaptive] only; 0 for [run]). *)
+
+val nonconverged_steps : result -> int
+(** Steps whose inverter fixed point was still changing when
+    [max_state_iterations] ran out; the committed state is the
+    consistent (solution, logic-trial) pair that produced the last
+    solve, and this counter is the diagnostic that it happened. *)
+
+val lu_factorizations : result -> int
+(** Distinct (method, dt) factorisations built during the run — the
+    observable for LU-cache reuse: a fixed-step trapezoidal run costs
+    exactly 2 (backward-Euler first step + trapezoidal rest), and an
+    adaptive run stays within a couple per dt level. *)
 
 val state_iteration_histogram : result -> int array
 (** [h.(i)] counts steps that needed [i+1] fixed-point passes —

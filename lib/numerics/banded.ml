@@ -1,0 +1,195 @@
+(* Band storage follows LAPACK's general-band convention: column j is
+   contiguous, entry (i,j) lives at offset [kl + ku + i - j], and the
+   top [kl] rows of each column are workspace so that the fill-in
+   created by row pivoting (U gains up to kl extra superdiagonals)
+   stays inside the array. *)
+
+type storage = {
+  n : int;
+  skl : int;
+  sku : int;
+  ldab : int; (* 2*skl + sku + 1 *)
+  ab : float array; (* column-major, n columns of height ldab *)
+}
+
+type t = {
+  fn : int;
+  fkl : int;
+  fku : int;
+  fldab : int;
+  fab : float array; (* factorised bands: L multipliers + widened U *)
+  ipiv : int array; (* row interchanged with row k at step k *)
+}
+
+exception Singular
+
+let create_storage ~n ~kl ~ku =
+  if n <= 0 then invalid_arg "Banded.create_storage: n <= 0";
+  if kl < 0 || ku < 0 then invalid_arg "Banded.create_storage: negative bandwidth";
+  if kl >= n || ku >= n then invalid_arg "Banded.create_storage: bandwidth >= n";
+  let ldab = (2 * kl) + ku + 1 in
+  { n; skl = kl; sku = ku; ldab; ab = Array.make (n * ldab) 0.0 }
+
+let storage_n s = s.n
+let storage_kl s = s.skl
+let storage_ku s = s.sku
+
+let idx s i j = (j * s.ldab) + s.skl + s.sku + i - j
+
+let check_bounds s i j =
+  if i < 0 || i >= s.n || j < 0 || j >= s.n then
+    invalid_arg
+      (Printf.sprintf "Banded: index (%d,%d) out of %dx%d" i j s.n s.n)
+
+let in_band s i j = i - j <= s.skl && j - i <= s.sku
+
+let get s i j =
+  check_bounds s i j;
+  if in_band s i j then s.ab.(idx s i j) else 0.0
+
+let check_band s i j =
+  check_bounds s i j;
+  if not (in_band s i j) then
+    invalid_arg
+      (Printf.sprintf "Banded: (%d,%d) outside band (kl=%d, ku=%d)" i j s.skl
+         s.sku)
+
+let set s i j v =
+  check_band s i j;
+  s.ab.(idx s i j) <- v
+
+let add_to s i j v =
+  check_band s i j;
+  let k = idx s i j in
+  s.ab.(k) <- s.ab.(k) +. v
+
+let to_dense s =
+  let m = Matrix.create s.n s.n in
+  for j = 0 to s.n - 1 do
+    for i = Int.max 0 (j - s.sku) to Int.min (s.n - 1) (j + s.skl) do
+      Matrix.set m i j s.ab.(idx s i j)
+    done
+  done;
+  m
+
+let bandwidth m =
+  let n = Matrix.rows m in
+  if Matrix.cols m <> n then invalid_arg "Banded.bandwidth: matrix not square";
+  let kl = ref 0 and ku = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Matrix.get m i j <> 0.0 then begin
+        if i - j > !kl then kl := i - j;
+        if j - i > !ku then ku := j - i
+      end
+    done
+  done;
+  (!kl, !ku)
+
+let of_matrix ?kl ?ku m =
+  let n = Matrix.rows m in
+  if Matrix.cols m <> n then invalid_arg "Banded.of_matrix: matrix not square";
+  let dkl, dku = bandwidth m in
+  let kl = match kl with Some k -> k | None -> dkl in
+  let ku = match ku with Some k -> k | None -> dku in
+  if kl < dkl || ku < dku then
+    invalid_arg "Banded.of_matrix: nonzero outside the requested band";
+  let s = create_storage ~n ~kl ~ku in
+  for j = 0 to n - 1 do
+    for i = Int.max 0 (j - ku) to Int.min (n - 1) (j + kl) do
+      s.ab.(idx s i j) <- Matrix.get m i j
+    done
+  done;
+  s
+
+(* Unblocked dgbtf2: at column j the pivot is searched over the kl
+   rows below the diagonal; a swap moves a row whose entries extend up
+   to column j + kl + ku, which is why U is stored kl wider than the
+   assembled band. *)
+let decompose ?(pivot_tol = 1e-300) s =
+  let { n; skl = kl; sku = ku; ldab; ab } = s in
+  let at i j = (j * ldab) + kl + ku + i - j in
+  let ipiv = Array.make n 0 in
+  let ju = ref 0 in
+  for j = 0 to n - 1 do
+    let km = Int.min kl (n - 1 - j) in
+    let jp = ref 0 in
+    let pv = ref (Float.abs ab.(at j j)) in
+    for i = 1 to km do
+      let v = Float.abs ab.(at (j + i) j) in
+      if v > !pv then begin
+        pv := v;
+        jp := i
+      end
+    done;
+    if !pv <= pivot_tol then raise Singular;
+    ipiv.(j) <- j + !jp;
+    ju := Int.max !ju (Int.min (j + ku + !jp) (n - 1));
+    if !jp <> 0 then begin
+      let r = j + !jp in
+      for c = j to !ju do
+        let a = at j c and b = at r c in
+        let tmp = ab.(a) in
+        ab.(a) <- ab.(b);
+        ab.(b) <- tmp
+      done
+    end;
+    if km > 0 then begin
+      let pivot = ab.(at j j) in
+      for i = 1 to km do
+        ab.(at (j + i) j) <- ab.(at (j + i) j) /. pivot
+      done;
+      for c = j + 1 to !ju do
+        let ujc = ab.(at j c) in
+        if ujc <> 0.0 then
+          for i = 1 to km do
+            ab.(at (j + i) c) <- ab.(at (j + i) c) -. (ab.(at (j + i) j) *. ujc)
+          done
+      done
+    end
+  done;
+  { fn = n; fkl = kl; fku = ku; fldab = ldab; fab = ab; ipiv }
+
+let size f = f.fn
+let kl f = f.fkl
+let ku f = f.fku
+
+let solve_into f ~b ~x =
+  let n = f.fn in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Banded.solve_into: size mismatch";
+  if x != b then Array.blit b 0 x 0 n;
+  let { fkl = kl; fku = ku; fldab = ldab; fab = ab; ipiv; _ } = f in
+  let at i j = (j * ldab) + kl + ku + i - j in
+  (* L y = P b, applying the interchanges in factorisation order *)
+  for j = 0 to n - 1 do
+    let p = ipiv.(j) in
+    if p <> j then begin
+      let tmp = x.(j) in
+      x.(j) <- x.(p);
+      x.(p) <- tmp
+    end;
+    let xj = x.(j) in
+    if xj <> 0.0 then begin
+      let km = Int.min kl (n - 1 - j) in
+      for i = 1 to km do
+        x.(j + i) <- x.(j + i) -. (ab.(at (j + i) j) *. xj)
+      done
+    end
+  done;
+  (* U x = y; U has kl + ku superdiagonals after pivoting *)
+  for j = n - 1 downto 0 do
+    let xj = x.(j) /. ab.(at j j) in
+    x.(j) <- xj;
+    if xj <> 0.0 then begin
+      let lm = Int.min (kl + ku) j in
+      for i = 1 to lm do
+        x.(j - i) <- x.(j - i) -. (ab.(at (j - i) j) *. xj)
+      done
+    end
+  done
+
+let solve f b =
+  let x = Array.make f.fn 0.0 in
+  solve_into f ~b ~x;
+  x

@@ -49,6 +49,31 @@ let decompose ?(pivot_tol = 1e-300) a =
   done;
   { lu; perm; sign = !sign }
 
+let solve_into f ~b ~x =
+  let n = size f in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Lu.solve_into: size mismatch";
+  if x == b then invalid_arg "Lu.solve_into: b and x must be distinct";
+  for k = 0 to n - 1 do
+    x.(k) <- b.(f.perm.(k))
+  done;
+  (* forward substitution: L y = P b *)
+  for k = 1 to n - 1 do
+    let acc = ref x.(k) in
+    for j = 0 to k - 1 do
+      acc := !acc -. (Matrix.get f.lu k j *. x.(j))
+    done;
+    x.(k) <- !acc
+  done;
+  (* back substitution: U x = y *)
+  for k = n - 1 downto 0 do
+    let acc = ref x.(k) in
+    for j = k + 1 to n - 1 do
+      acc := !acc -. (Matrix.get f.lu k j *. x.(j))
+    done;
+    x.(k) <- !acc /. Matrix.get f.lu k k
+  done
+
 let solve f b =
   let n = size f in
   if Array.length b <> n then invalid_arg "Lu.solve: size mismatch";

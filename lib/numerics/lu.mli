@@ -18,6 +18,12 @@ val decompose : ?pivot_tol:float -> Matrix.t -> t
 val solve : t -> float array -> float array
 (** [solve lu b] solves [A x = b]. *)
 
+val solve_into : t -> b:float array -> x:float array -> unit
+(** Allocation-free [solve]: reads [b], writes the solution into the
+    preallocated [x].  The two arrays must be distinct (the initial
+    permutation reads [b] out of order).  Raises [Invalid_argument] on
+    a length mismatch or aliased arrays. *)
+
 val solve_matrix : ?pivot_tol:float -> Matrix.t -> float array -> float array
 (** One-shot [decompose] + [solve]. *)
 

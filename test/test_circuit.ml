@@ -523,6 +523,204 @@ let test_adaptive_validation () =
         (Transient.run_adaptive ~rtol:0.0 nl ~t_end:1e-6 ~dt_max:1e-8
            ~probes:[]))
 
+(* ---------------- solver backends & engine regressions ---------------- *)
+
+let rlc_ladder_spec segments =
+  { Ladder.r = 4400.0; l = 1.5e-6; c = 123.33e-12; length = 0.011; segments }
+
+let test_banded_dense_agree_on_ladder () =
+  (* the tentpole cross-check: identical trajectories from the dense
+     and banded factorisations, to near machine precision *)
+  let nl, _src, far = Ladder.driven_line (rlc_ladder_spec 40) in
+  let run backend =
+    Transient.run ~backend nl ~t_end:1.2e-9 ~dt:4e-13
+      ~probes:[ Transient.Node_v far; Ladder.input_current_probe () ]
+  in
+  let rd = run Transient.Dense and rb = run Transient.Banded in
+  let vd = Transient.final_voltages rd and vb = Transient.final_voltages rb in
+  Array.iteri
+    (fun node v ->
+      check_close (Printf.sprintf "node %d" node) v vb.(node) ~tol:1e-12)
+    vd;
+  let wd = Transient.get rd (Ladder.input_current_probe ()) in
+  let wb = Transient.get rb (Ladder.input_current_probe ()) in
+  List.iter
+    (fun t ->
+      check_close
+        (Printf.sprintf "input current at %g" t)
+        (Rlc_waveform.Waveform.value_at wd t)
+        (Rlc_waveform.Waveform.value_at wb t)
+        ~tol:1e-12)
+    [ 1e-10; 4e-10; 9e-10 ]
+
+let test_banded_dense_agree_auto_backend () =
+  (* Auto must pick the banded kernel on a long ladder and still match
+     the forced-dense run; the far node of driven_line is numbered
+     before the joints, so this also covers the RCM reordering *)
+  let nl, _src, far = Ladder.driven_line (rlc_ladder_spec 64) in
+  let run backend =
+    Transient.run ~backend nl ~t_end:1e-9 ~dt:1e-12
+      ~probes:[ Transient.Node_v far ]
+  in
+  let ra = run Transient.Auto and rd = run Transient.Dense in
+  let wa = Transient.get ra (Transient.Node_v far) in
+  let wd = Transient.get rd (Transient.Node_v far) in
+  List.iter
+    (fun t ->
+      check_close
+        (Printf.sprintf "far voltage at %g" t)
+        (Rlc_waveform.Waveform.value_at wd t)
+        (Rlc_waveform.Waveform.value_at wa t)
+        ~tol:1e-12)
+    [ 2e-10; 5e-10; 9e-10 ]
+
+let test_banded_dense_agree_coupled () =
+  (* coupled RL pairs stamp cross terms; the permuted banded assembly
+     must reproduce them exactly *)
+  let nl = Netlist.create () in
+  let a1 = Netlist.fresh_node nl and a2 = Netlist.fresh_node nl in
+  let b1 = Netlist.fresh_node nl and b2 = Netlist.fresh_node nl in
+  Netlist.add_vsource nl a1 Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_resistor nl a2 Netlist.ground 50.0;
+  Netlist.add_resistor nl b1 Netlist.ground 50.0;
+  Netlist.add_resistor nl b2 Netlist.ground 50.0;
+  Ladder.make_coupled nl
+    {
+      Ladder.r = 1000.0;
+      l_self = 1e-6;
+      l_mutual = 0.4e-6;
+      c_ground = 100e-12;
+      c_coupling = 30e-12;
+      length = 0.01;
+      segments = 12;
+    }
+    ~from1:a1 ~to1:b1 ~from2:a2 ~to2:b2;
+  let run backend =
+    Transient.run ~backend nl ~t_end:2e-9 ~dt:2e-12
+      ~probes:[ Transient.Branch_i "pair_seg5#1"; Transient.Branch_i "pair_seg5#2" ]
+  in
+  let rd = run Transient.Dense and rb = run Transient.Banded in
+  List.iter
+    (fun probe ->
+      let wd = Transient.get rd probe and wb = Transient.get rb probe in
+      List.iter
+        (fun t ->
+          check_close "coupled branch current"
+            (Rlc_waveform.Waveform.value_at wd t)
+            (Rlc_waveform.Waveform.value_at wb t)
+            ~tol:1e-12)
+        [ 5e-10; 1.5e-9 ])
+    [ Transient.Branch_i "pair_seg5#1"; Transient.Branch_i "pair_seg5#2" ]
+
+let test_vsource_probe_current () =
+  (* regression: I(V1) used to silently read 0; the MNA solution holds
+     the true source current, -V/R in a series V-R loop *)
+  let nl = Netlist.create () in
+  let a = Netlist.fresh_node nl in
+  Netlist.add_vsource ~name:"V1" nl a Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_resistor ~name:"R1" nl a Netlist.ground 2.0;
+  let r =
+    Transient.run nl ~t_end:1e-6 ~dt:1e-9
+      ~probes:[ Transient.Branch_i "V1"; Transient.Branch_i "R1" ]
+  in
+  let wv = Transient.get r (Transient.Branch_i "V1") in
+  let wr = Transient.get r (Transient.Branch_i "R1") in
+  check_close "I(V1) = -V/R" (-0.5)
+    (Rlc_waveform.Waveform.value_at wv 0.5e-6);
+  check_close "I(R1) = V/R" 0.5 (Rlc_waveform.Waveform.value_at wr 0.5e-6);
+  (* KCL at the node: the source supplies exactly the resistor draw *)
+  check_close "KCL" 0.0
+    (Rlc_waveform.Waveform.value_at wv 0.9e-6
+    +. Rlc_waveform.Waveform.value_at wr 0.9e-6)
+
+let test_fixed_step_factorization_count () =
+  (* regression for the LU-cache key: a fixed-step trapezoidal run
+     factorises exactly twice (backward-Euler first step + the rest);
+     a backward-Euler run exactly once *)
+  let nl, b = build_ringer () in
+  ignore b;
+  let r = Transient.run nl ~t_end:1e-6 ~dt:1e-9 ~probes:[] in
+  Alcotest.(check int) "trapezoidal run" 2 (Transient.lu_factorizations r);
+  let r_be =
+    Transient.run ~integration:Transient.Backward_euler nl ~t_end:1e-6
+      ~dt:1e-9 ~probes:[]
+  in
+  Alcotest.(check int) "backward-euler run" 1 (Transient.lu_factorizations r_be)
+
+let test_adaptive_two_dt_levels_reuse_cache () =
+  (* regression for the (meth, dt)-keyed cache and the dt_max/2^k
+     quantization: an adaptive run visits several dt levels (awkward
+     t_end forces a final off-grid partial step) yet builds only a
+     handful of factorisations, and still matches the fixed-step
+     trajectory *)
+  let nl, b = build_ringer () in
+  let fixed =
+    Transient.run nl ~t_end:2.83e-6 ~dt:5e-11 ~probes:[ Transient.Node_v b ]
+  in
+  let nl2, b2 = build_ringer () in
+  let adaptive =
+    Transient.run_adaptive ~rtol:1e-4 nl2 ~t_end:2.83e-6 ~dt_max:3e-7
+      ~probes:[ Transient.Node_v b2 ]
+  in
+  let wf = Transient.get fixed (Transient.Node_v b) in
+  let wa = Transient.get adaptive (Transient.Node_v b2) in
+  List.iter
+    (fun t ->
+      check_close
+        (Printf.sprintf "agree at %g" t)
+        (Rlc_waveform.Waveform.value_at wf t)
+        (Rlc_waveform.Waveform.value_at wa t)
+        ~tol:2e-3)
+    [ 2e-7; 9e-7; 2.5e-6 ];
+  (* every dt is dt_max/2^k with k <= k_max = log2(4096), each level
+     costing at most one BE and one trapezoidal factorisation (plus
+     half-step and final-partial entries) — the count is bounded by
+     the level grid, not by the step count *)
+  let n_factor = Transient.lu_factorizations adaptive in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded factorisations (%d)" n_factor)
+    true (n_factor <= (2 * (12 + 2)) + 4);
+  Alcotest.(check bool) "cache reused across steps" true
+    (Transient.steps_taken adaptive >= 5 * n_factor)
+
+let test_nonconvergence_counter () =
+  (* regression for the nonconvergence commit: when the inverter fixed
+     point runs out of iterations the engine must keep the
+     (solution, trial) pair consistent and report it *)
+  let build () =
+    let nl = Netlist.create () in
+    let input = Netlist.fresh_node nl in
+    let output = Netlist.fresh_node nl in
+    Netlist.add_vsource nl input Netlist.ground
+      (Stimulus.Step { v0 = 0.0; v1 = 1.2; t_delay = 2e-9; t_rise = 0.5e-9 });
+    Netlist.add_inverter nl ~input ~output
+      (Devices.inverter ~r_on:100.0 ~c_in:1e-15 ~c_out:50e-15 ~vdd:1.2
+         ~t_transition:50e-12 ());
+    (nl, output)
+  in
+  let nl, output = build () in
+  let starved =
+    Transient.run ~max_state_iterations:1 nl ~t_end:6e-9 ~dt:5e-12
+      ~probes:[ Transient.Node_v output ]
+  in
+  Alcotest.(check bool) "starved iteration is reported" true
+    (Transient.nonconverged_steps starved > 0);
+  (* the committed state stays physical: inverter output in rails *)
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "within rails" true (v >= -0.05 && v <= 1.25))
+    (Transient.final_voltages starved);
+  let nl2, output2 = build () in
+  let healthy =
+    Transient.run nl2 ~t_end:6e-9 ~dt:5e-12
+      ~probes:[ Transient.Node_v output2 ]
+  in
+  Alcotest.(check int) "default budget converges" 0
+    (Transient.nonconverged_steps healthy);
+  let w = Transient.get healthy (Transient.Node_v output2) in
+  Alcotest.(check bool) "output switched low" true
+    (Rlc_waveform.Waveform.value_at w 5.5e-9 < 0.1)
+
 (* ---------------- Parser ---------------- *)
 
 let test_parser_values () =
@@ -779,6 +977,26 @@ let () =
           Alcotest.test_case "refines on switching edges" `Quick
             test_adaptive_refines_on_edges;
           Alcotest.test_case "validation" `Quick test_adaptive_validation;
+        ] );
+      ( "solver-backends",
+        [
+          Alcotest.test_case "banded = dense on rlc ladder" `Quick
+            test_banded_dense_agree_on_ladder;
+          Alcotest.test_case "auto picks banded on long ladder" `Quick
+            test_banded_dense_agree_auto_backend;
+          Alcotest.test_case "banded = dense on coupled pair" `Quick
+            test_banded_dense_agree_coupled;
+        ] );
+      ( "engine-regressions",
+        [
+          Alcotest.test_case "vsource probe current" `Quick
+            test_vsource_probe_current;
+          Alcotest.test_case "fixed-step factorisation count" `Quick
+            test_fixed_step_factorization_count;
+          Alcotest.test_case "adaptive dt quantization bounds cache" `Quick
+            test_adaptive_two_dt_levels_reuse_cache;
+          Alcotest.test_case "nonconvergence is counted & consistent" `Quick
+            test_nonconvergence_counter;
         ] );
       ( "parser",
         [

@@ -150,6 +150,128 @@ let prop_lu_roundtrip =
       let r = Matrix.mul_vec a x in
       Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-8) r b)
 
+(* ---------------- Banded ---------------- *)
+
+let test_banded_storage () =
+  let s = Banded.create_storage ~n:5 ~kl:1 ~ku:2 in
+  Banded.set s 2 1 4.0;
+  Banded.add_to s 2 1 0.5;
+  check_float "in-band entry" 4.5 (Banded.get s 2 1);
+  check_float "outside band reads 0" 0.0 (Banded.get s 4 0);
+  Alcotest.check_raises "write outside band"
+    (Invalid_argument "Banded: (4,0) outside band (kl=1, ku=2)") (fun () ->
+      Banded.set s 4 0 1.0);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Banded: index (5,0) out of 5x5") (fun () ->
+      ignore (Banded.get s 5 0));
+  let d = Banded.to_dense s in
+  check_float "round-trip to dense" 4.5 (Matrix.get d 2 1);
+  check_float "dense zero" 0.0 (Matrix.get d 0 3)
+
+let test_banded_bandwidth () =
+  let tri =
+    Matrix.of_arrays
+      [|
+        [| 2.0; -1.0; 0.0; 0.0 |];
+        [| -1.0; 2.0; -1.0; 0.0 |];
+        [| 0.0; -1.0; 2.0; -1.0 |];
+        [| 0.0; 0.0; -1.0; 2.0 |];
+      |]
+  in
+  Alcotest.(check (pair int int)) "tridiagonal" (1, 1) (Banded.bandwidth tri);
+  Alcotest.(check (pair int int)) "diagonal" (0, 0)
+    (Banded.bandwidth (Matrix.identity 3));
+  let skew = Matrix.create 4 4 in
+  Matrix.set skew 3 0 1.0;
+  Matrix.set skew 0 1 1.0;
+  for i = 0 to 3 do Matrix.set skew i i 1.0 done;
+  Alcotest.(check (pair int int)) "asymmetric" (3, 1) (Banded.bandwidth skew)
+
+(* deterministic LCG so failures reproduce *)
+let lcg seed =
+  let s = ref seed in
+  fun () ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    (float_of_int !s /. float_of_int 0x3FFFFFFF) -. 0.5
+
+let random_banded rand n kl ku =
+  let a = Matrix.create n n in
+  for i = 0 to n - 1 do
+    for j = Int.max 0 (i - kl) to Int.min (n - 1) (i + ku) do
+      Matrix.set a i j (rand ())
+    done;
+    (* diagonal dominance => nonsingular *)
+    Matrix.add_to a i i (2.0 *. float_of_int (kl + ku + 1))
+  done;
+  a
+
+let test_banded_vs_dense_random () =
+  let rand = lcg 20260806 in
+  List.iter
+    (fun (n, kl, ku) ->
+      let a = random_banded rand n kl ku in
+      let b = Array.init n (fun _ -> rand ()) in
+      let xd = Lu.solve (Lu.decompose a) b in
+      let f = Banded.decompose (Banded.of_matrix a) in
+      Alcotest.(check int) "size" n (Banded.size f);
+      let xb = Banded.solve f b in
+      Array.iteri
+        (fun i v ->
+          check_close (Printf.sprintf "n=%d kl=%d ku=%d x%d" n kl ku i) v
+            xb.(i) ~tol:1e-10)
+        xd)
+    [ (1, 0, 0); (4, 1, 1); (7, 2, 1); (12, 1, 3); (25, 2, 2); (40, 3, 3) ]
+
+let test_banded_pivoting () =
+  (* dominant subdiagonal: partial pivoting must swap on every column *)
+  let n = 8 in
+  let a = Matrix.create n n in
+  for i = 0 to n - 1 do
+    Matrix.set a i i 0.1;
+    if i > 0 then Matrix.set a i (i - 1) 5.0;
+    if i < n - 1 then Matrix.set a i (i + 1) 1.0
+  done;
+  let b = Array.init n (fun i -> float_of_int (i + 1)) in
+  let xd = Lu.solve (Lu.decompose a) b in
+  let xb = Banded.solve (Banded.decompose (Banded.of_matrix a)) b in
+  Array.iteri
+    (fun i v -> check_close (Printf.sprintf "x%d" i) v xb.(i) ~tol:1e-10)
+    xd;
+  (* in-place solve aliasing b and x *)
+  let f = Banded.decompose (Banded.of_matrix a) in
+  Banded.solve_into f ~b ~x:b;
+  Array.iteri
+    (fun i v -> check_close (Printf.sprintf "aliased x%d" i) v b.(i) ~tol:1e-10)
+    xd
+
+let test_banded_singular () =
+  let s = Banded.create_storage ~n:3 ~kl:1 ~ku:1 in
+  (* column 1 identically zero *)
+  Banded.set s 0 0 1.0;
+  Banded.set s 2 2 1.0;
+  Banded.set s 2 1 0.0;
+  Alcotest.check_raises "singular" Banded.Singular (fun () ->
+      ignore (Banded.decompose s))
+
+let test_banded_of_matrix_rejects_tight_band () =
+  let a = random_banded (lcg 7) 6 2 2 in
+  Alcotest.check_raises "band too narrow"
+    (Invalid_argument "Banded.of_matrix: nonzero outside the requested band")
+    (fun () -> ignore (Banded.of_matrix ~kl:1 ~ku:1 a))
+
+let prop_banded_roundtrip =
+  QCheck2.Test.make ~name:"banded: A x = b solved correctly" ~count:200
+    QCheck2.Gen.(
+      triple (int_range 2 30) (int_range 0 3) (int_range 0 3))
+    (fun (n, kl0, ku0) ->
+      let kl = Int.min kl0 (n - 1) and ku = Int.min ku0 (n - 1) in
+      let rand = lcg ((n * 1000) + (kl * 10) + ku) in
+      let a = random_banded rand n kl ku in
+      let b = Array.init n (fun _ -> rand ()) in
+      let x = Banded.solve (Banded.decompose (Banded.of_matrix a)) b in
+      let r = Matrix.mul_vec a x in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-8) r b)
+
 (* ---------------- Roots ---------------- *)
 
 let test_bisect () =
@@ -462,6 +584,18 @@ let () =
           Alcotest.test_case "pivoting" `Quick test_lu_pivoting;
         ] );
       qsuite "lu-properties" [ prop_lu_roundtrip ];
+      ( "banded",
+        [
+          Alcotest.test_case "storage & round-trip" `Quick test_banded_storage;
+          Alcotest.test_case "bandwidth detection" `Quick test_banded_bandwidth;
+          Alcotest.test_case "vs dense LU" `Quick test_banded_vs_dense_random;
+          Alcotest.test_case "pivoting & aliased solve" `Quick
+            test_banded_pivoting;
+          Alcotest.test_case "singular detection" `Quick test_banded_singular;
+          Alcotest.test_case "narrow band rejected" `Quick
+            test_banded_of_matrix_rejects_tight_band;
+        ] );
+      qsuite "banded-properties" [ prop_banded_roundtrip ];
       ( "roots",
         [
           Alcotest.test_case "bisect" `Quick test_bisect;
