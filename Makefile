@@ -1,11 +1,14 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-all bench bench-fast bench-smoke examples clean
+.PHONY: all build check test test-all bench bench-fast bench-smoke examples clean
 
 all: build
 
 build:
 	dune build @all
+
+# what CI runs (see .github/workflows/ci.yml)
+check: build test bench-smoke
 
 test:
 	dune runtest

@@ -273,8 +273,9 @@ let bode_cmd =
     | Some (f, db) ->
         Printf.printf "resonance: %.1f dB at %.2f GHz\n" db (f /. 1e9)
     | None -> print_endline "no resonant peaking (overdamped)");
-    Printf.printf "3 dB bandwidth: %.2f GHz\n"
-      (Rlc_core.Frequency.bandwidth_3db stage /. 1e9)
+    (match Rlc_core.Frequency.bandwidth_3db_opt stage with
+    | Some bw -> Printf.printf "3 dB bandwidth: %.2f GHz\n" (bw /. 1e9)
+    | None -> print_endline "3 dB bandwidth: beyond 1 THz (in-band)")
   in
   Cmd.v
     (Cmd.info "bode" ~doc:"Frequency response of the RC-sized stage.")

@@ -1,6 +1,7 @@
-(* rlcsim -- run a SPICE-flavoured netlist on the MNA transient engine.
+(* rlcsim -- run a SPICE-flavoured netlist on the MNA engines.
 
-   Usage:  rlcsim CIRCUIT.sp [--csv OUT.csv] *)
+   Usage:  rlcsim CIRCUIT.sp [--csv OUT.csv]          transient (.tran card)
+           rlcsim CIRCUIT.sp --ac [--csv OUT.csv]     AC sweep (.ac card) *)
 
 open Cmdliner
 
@@ -16,6 +17,14 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Dump all probe waveforms as CSV.")
 
+let ac_arg =
+  Arg.(
+    value & flag
+    & info [ "ac" ]
+        ~doc:
+          "Run the deck's .ac small-signal sweep instead of the transient \
+           analysis; probed node voltages become Bode responses.")
+
 let probe_label deck = function
   | Rlc_circuit.Transient.Node_v n ->
       Printf.sprintf "v(%s)"
@@ -26,13 +35,115 @@ let probe_label deck = function
 let summarize deck result probe =
   let w = Rlc_circuit.Transient.get result probe in
   let values = Rlc_waveform.Waveform.values w in
-  let lo, hi = Rlc_numerics.Stats.min_max values in
-  let final = values.(Array.length values - 1) in
-  Printf.printf "%-16s  final %12.6g   min %12.6g   max %12.6g   rms %12.6g\n"
-    (probe_label deck probe) final lo hi
-    (Rlc_waveform.Measure.rms w)
+  if Array.length values = 0 then
+    Printf.printf "%-16s  (no samples)\n" (probe_label deck probe)
+  else begin
+    let lo, hi = Rlc_numerics.Stats.min_max values in
+    let final = values.(Array.length values - 1) in
+    Printf.printf
+      "%-16s  final %12.6g   min %12.6g   max %12.6g   rms %12.6g\n"
+      (probe_label deck probe) final lo hi
+      (Rlc_waveform.Measure.rms w)
+  end
 
-let run file csv =
+let run_transient deck csv =
+  let result = Rlc_circuit.Parser.run deck in
+  Printf.printf "transient: %d steps\n\n"
+    (Rlc_circuit.Transient.steps_taken result);
+  List.iter (summarize deck result) deck.Rlc_circuit.Parser.probes;
+  match csv with
+  | None -> ()
+  | Some path ->
+      let time = Rlc_circuit.Transient.time result in
+      let waves =
+        List.map
+          (fun p ->
+            ( probe_label deck p,
+              Rlc_waveform.Waveform.values
+                (Rlc_circuit.Transient.get result p) ))
+          deck.Rlc_circuit.Parser.probes
+      in
+      let rows =
+        List.init (Array.length time) (fun i ->
+            time.(i) :: List.map (fun (_, vs) -> vs.(i)) waves)
+      in
+      Rlc_report.Csv.write ~path
+        ~header:("time" :: List.map fst waves)
+        ~rows;
+      Printf.printf "\nwrote %s\n" path
+
+let run_ac deck csv =
+  let open Rlc_circuit in
+  let spec =
+    match deck.Parser.ac with
+    | Some s -> s
+    | None ->
+        prerr_endline "rlcsim: --ac requested but the deck has no .ac card";
+        exit 1
+  in
+  let m = Mna.of_netlist deck.Parser.netlist in
+  if Array.length m.Mna.inputs > 1 then
+    Printf.eprintf
+      "rlcsim: %d independent sources; sweeping the first one (%s)\n"
+      (Array.length m.Mna.inputs)
+      m.Mna.inputs.(0).Mna.name;
+  let freqs =
+    Ac.decade_grid ~points_per_decade:spec.Parser.points_per_decade
+      ~fstart:spec.Parser.fstart ~fstop:spec.Parser.fstop
+  in
+  let node_probes =
+    List.filter_map
+      (fun p ->
+        match p with
+        | Transient.Node_v n -> Some (probe_label deck p, n)
+        | Transient.Branch_i _ ->
+            Printf.eprintf "rlcsim: skipping %s (AC sweep probes voltages)\n"
+              (probe_label deck p);
+            None)
+      deck.Parser.probes
+  in
+  if node_probes = [] then begin
+    prerr_endline "rlcsim: no voltage probes for the AC sweep";
+    exit 1
+  end;
+  Printf.printf "ac: %d points, %g Hz .. %g Hz\n\n" (Array.length freqs)
+    spec.Parser.fstart spec.Parser.fstop;
+  let sweeps =
+    List.map
+      (fun (label, node) ->
+        let output = Mna.output_of_node m node in
+        (label, Ac.bode m ~input:0 ~output ~freqs))
+      node_probes
+  in
+  List.iter
+    (fun (label, pts) ->
+      let first = pts.(0) and last = pts.(Array.length pts - 1) in
+      Printf.printf
+        "%-16s  %12.6g dB at %10.4g Hz   ...   %12.6g dB at %10.4g Hz\n"
+        label first.Ac.mag_db first.Ac.freq last.Ac.mag_db last.Ac.freq)
+    sweeps;
+  match csv with
+  | None -> ()
+  | Some path ->
+      let header =
+        "freq"
+        :: List.concat_map
+             (fun (label, _) ->
+               [ "mag_db(" ^ label ^ ")"; "phase_deg(" ^ label ^ ")" ])
+             sweeps
+      in
+      let rows =
+        List.init (Array.length freqs) (fun i ->
+            freqs.(i)
+            :: List.concat_map
+                 (fun (_, pts) ->
+                   [ pts.(i).Ac.mag_db; pts.(i).Ac.phase_deg ])
+                 sweeps)
+      in
+      Rlc_report.Csv.write ~path ~header ~rows;
+      Printf.printf "\nwrote %s\n" path
+
+let run file ac csv =
   match Rlc_circuit.Parser.parse_file file with
   | exception Rlc_circuit.Parser.Parse_error (line, msg) ->
       Printf.eprintf "%s:%d: %s\n" file line msg;
@@ -41,35 +152,12 @@ let run file csv =
       (match deck.Rlc_circuit.Parser.title with
       | Some t -> Printf.printf "* %s\n" t
       | None -> ());
-      let result = Rlc_circuit.Parser.run deck in
-      Printf.printf "transient: %d steps\n\n"
-        (Rlc_circuit.Transient.steps_taken result);
-      List.iter (summarize deck result) deck.Rlc_circuit.Parser.probes;
-      match csv with
-      | None -> ()
-      | Some path ->
-          let time = Rlc_circuit.Transient.time result in
-          let waves =
-            List.map
-              (fun p ->
-                ( probe_label deck p,
-                  Rlc_waveform.Waveform.values
-                    (Rlc_circuit.Transient.get result p) ))
-              deck.Rlc_circuit.Parser.probes
-          in
-          let rows =
-            List.init (Array.length time) (fun i ->
-                time.(i) :: List.map (fun (_, vs) -> vs.(i)) waves)
-          in
-          Rlc_report.Csv.write ~path
-            ~header:("time" :: List.map fst waves)
-            ~rows;
-          Printf.printf "\nwrote %s\n" path
+      if ac then run_ac deck csv else run_transient deck csv
 
 let cmd =
   Cmd.v
     (Cmd.info "rlcsim" ~version:"1.0.0"
-       ~doc:"Transient simulation of SPICE-flavoured RLC netlists.")
-    Term.(const run $ file_arg $ csv_arg)
+       ~doc:"Transient and AC simulation of SPICE-flavoured RLC netlists.")
+    Term.(const run $ file_arg $ ac_arg $ csv_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,37 @@
+open Rlc_numerics
+
+type point = { freq : float; mag_db : float; phase_deg : float }
+
+let decade_grid ~points_per_decade ~fstart ~fstop =
+  if points_per_decade < 1 then invalid_arg "Ac.decade_grid: points/decade < 1";
+  if fstart <= 0.0 || fstop < fstart then
+    invalid_arg "Ac.decade_grid: need 0 < fstart <= fstop";
+  if fstart = fstop then [| fstart |]
+  else begin
+    let decades = Float.log10 (fstop /. fstart) in
+    let n =
+      Int.max 1
+        (int_of_float
+           (Float.round (float_of_int points_per_decade *. decades)))
+    in
+    Array.init (n + 1) (fun i ->
+        if i = n then fstop
+        else fstart *. (10.0 ** (decades *. float_of_int i /. float_of_int n)))
+  end
+
+let s_of_freq freq = Cx.make 0.0 (2.0 *. Float.pi *. freq)
+
+let solve mna ~input ~freq = Mna.solve_s mna ~input ~s:(s_of_freq freq)
+
+let transfer mna ~input ~output freq =
+  Mna.transfer mna ~input ~output (s_of_freq freq)
+
+let point_of ~freq h =
+  {
+    freq;
+    mag_db = 20.0 *. Float.log10 (Cx.norm h +. 1e-300);
+    phase_deg = Float.atan2 (Cx.im h) (Cx.re h) *. 180.0 /. Float.pi;
+  }
+
+let bode mna ~input ~output ~freqs =
+  Array.map (fun f -> point_of ~freq:f (transfer mna ~input ~output f)) freqs

@@ -1,0 +1,40 @@
+(** AC small-signal analysis over the {!Mna} descriptor: solve
+    [(G + jwC) x = B u] with a unit-amplitude source at each frequency
+    of a sweep and report Bode points.
+
+    The grid convention follows the SPICE [.ac dec] card: a fixed
+    number of points per decade on a logarithmic grid, both endpoints
+    included.  Points are records of frequency, magnitude in dB and
+    phase in degrees — the same shape as [Rlc_core.Frequency.point], so
+    sweeps of a discretised line overlay directly on the analytic
+    two-pole response of the core library. *)
+
+open Rlc_numerics
+
+type point = { freq : float; mag_db : float; phase_deg : float }
+
+val decade_grid :
+  points_per_decade:int -> fstart:float -> fstop:float -> float array
+(** Logarithmic grid from [fstart] to [fstop] inclusive.  Raises
+    [Invalid_argument] unless [0 < fstart <= fstop] and
+    [points_per_decade >= 1]. *)
+
+val solve : Mna.t -> input:int -> freq:float -> Cx.t array
+(** Full phasor solution at [s = j 2 pi freq]; one complex
+    factorisation.  Multiple probes of the same sweep should share this
+    solution rather than re-solving. *)
+
+val transfer : Mna.t -> input:int -> output:float array -> float -> Cx.t
+(** Complex transfer-function value [H(j 2 pi f)]. *)
+
+val point_of : freq:float -> Cx.t -> point
+(** Magnitude (dB) and unwrapped-free phase (degrees, atan2 branch) of
+    one complex response value. *)
+
+val bode :
+  Mna.t ->
+  input:int ->
+  output:float array ->
+  freqs:float array ->
+  point array
+(** One Bode point per frequency for a single output selector. *)

@@ -1,8 +1,11 @@
 exception Parse_error of int * string
 
+type ac_spec = { points_per_decade : int; fstart : float; fstop : float }
+
 type deck = {
   netlist : Netlist.t;
   tran : (float * float) option;
+  ac : ac_spec option;
   probes : Transient.probe list;
   title : string option;
 }
@@ -97,6 +100,7 @@ type builder = {
   nl : Netlist.t;
   names : (string, Netlist.node) Hashtbl.t;
   mutable b_tran : (float * float) option;
+  mutable b_ac : ac_spec option;
   mutable b_probes : Transient.probe list;
   mutable probe_names : (string * [ `V | `I ]) list; (* resolved later *)
 }
@@ -182,6 +186,21 @@ let dispatch b lineno line =
                   b.b_tran <-
                     Some (value_or_fail lineno dt, value_or_fail lineno t_end)
               | _ -> fail lineno ".tran takes dt and t_end"
+            end
+          | ".ac" -> begin
+              match rest with
+              | [ kind; n; fstart; fstop ] when lowercase kind = "dec" ->
+                  let points_per_decade =
+                    int_of_float (value_or_fail lineno n)
+                  in
+                  let fstart = value_or_fail lineno fstart in
+                  let fstop = value_or_fail lineno fstop in
+                  if points_per_decade < 1 then
+                    fail lineno ".ac dec needs at least 1 point per decade";
+                  if fstart <= 0.0 || fstop < fstart then
+                    fail lineno ".ac dec needs 0 < fstart <= fstop";
+                  b.b_ac <- Some { points_per_decade; fstart; fstop }
+              | _ -> fail lineno ".ac takes: dec n fstart fstop"
             end
           | ".probe" ->
               (* parens were split into spaces: "v(out)" -> "v" "out" *)
@@ -308,6 +327,7 @@ let parse_string text =
       nl = Netlist.create ();
       names = Hashtbl.create 16;
       b_tran = None;
+      b_ac = None;
       b_probes = [];
       probe_names = [];
     }
@@ -361,7 +381,7 @@ let parse_string text =
       b.probe_names
   in
   Hashtbl.replace side_tables b.nl b.names;
-  { netlist = b.nl; tran = b.b_tran; probes; title }
+  { netlist = b.nl; tran = b.b_tran; ac = b.b_ac; probes; title }
 
 let node_of_name deck name =
   let key = lowercase name in

@@ -19,7 +19,8 @@
     Iname n+ n- DC value                 current source (same waveforms)
     Xname in out INV r_on=.. c_in=.. c_out=.. vdd=.. [vth=..] [ttr=..]
                                          threshold inverter
-    .tran dt t_end                       analysis request
+    .tran dt t_end                       transient analysis request
+    .ac dec n fstart fstop               AC sweep, n points per decade
     .probe v(node) i(element) ...        what to record
     .end                                 optional terminator
     v}
@@ -29,9 +30,14 @@
 exception Parse_error of int * string
 (** Line number (1-based) and description. *)
 
+type ac_spec = { points_per_decade : int; fstart : float; fstop : float }
+(** Logarithmic sweep request from an [.ac dec] card; feed it to
+    {!Ac.decade_grid}. *)
+
 type deck = {
   netlist : Netlist.t;
   tran : (float * float) option;  (** (dt, t_end) from [.tran] *)
+  ac : ac_spec option;  (** sweep from [.ac] *)
   probes : Transient.probe list;
   title : string option;  (** first line when it is not a card *)
 }

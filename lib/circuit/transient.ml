@@ -223,46 +223,6 @@ let stamp ~compiled ~n_nodes meth dt ~add =
       | Ci _ -> ())
     compiled
 
-(* Reverse Cuthill-McKee over the structural adjacency of the MNA
-   unknowns.  Netlists built in arbitrary node order (e.g. a far-end
-   node allocated before the ladder joints) still end up with the
-   narrow band the chain topology permits, so the banded backend keeps
-   engaging no matter how the netlist was assembled. *)
-let rcm_permutation m adj =
-  let degree = Array.map List.length adj in
-  let by_degree l =
-    List.sort (fun a b -> Int.compare degree.(a) degree.(b)) l
-  in
-  let visited = Array.make m false in
-  let order = Array.make m 0 in
-  let pos = ref 0 in
-  let queue = Queue.create () in
-  while !pos < m do
-    (* lowest-degree unvisited vertex starts the next component *)
-    let start = ref (-1) in
-    for u = m - 1 downto 0 do
-      if (not visited.(u)) && (!start < 0 || degree.(u) < degree.(!start))
-      then start := u
-    done;
-    visited.(!start) <- true;
-    Queue.add !start queue;
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      order.(!pos) <- u;
-      incr pos;
-      List.iter
-        (fun v ->
-          if not visited.(v) then begin
-            visited.(v) <- true;
-            Queue.add v queue
-          end)
-        (by_degree adj.(u))
-    done
-  done;
-  let perm = Array.make m 0 in
-  Array.iteri (fun i u -> perm.(u) <- m - 1 - i) order;
-  perm
-
 (* Use the banded kernel when the band occupies at most a third of the
    matrix and the system is big enough for the bookkeeping to pay off;
    RC/RLC ladders have kl = ku of 2-3 independent of length. *)
@@ -310,7 +270,7 @@ let make_engine ?(max_state_iterations = 8) ?(initial_voltages = [])
         adj.(j) <- i :: adj.(j)
       end);
   let adj = Array.map (List.sort_uniq Int.compare) adj in
-  let perm = rcm_permutation m adj in
+  let perm = Rcm.permutation adj in
   let kl = ref 0 and ku = ref 0 in
   stamp ~compiled ~n_nodes Trapezoidal 1.0 ~add:(fun i j _ ->
       let d = perm.(i) - perm.(j) in

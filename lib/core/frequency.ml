@@ -24,23 +24,26 @@ let bode ?(points = 200) stage ~f_min ~f_max =
 
 let magnitude stage f = Cx.norm (eval_jw stage f)
 
-let bandwidth_3db ?(f_max = 1e12) stage =
+let bandwidth_3db_opt ?(f_max = 1e12) stage =
   let target = 1.0 /. Float.sqrt 2.0 in
   (* H(0) = 1 *)
   let below f = magnitude stage f -. target in
   (* expanding scan for a bracket, then bisection in log space *)
-  let rec scan f =
-    if f > f_max then raise Not_found
-    else if below f < 0.0 then f
-    else scan (f *. 2.0)
-  in
-  let hi = scan 1e6 in
-  let lo = hi /. 2.0 in
-  if below lo < 0.0 then lo
-  else begin
-    let g x = below (Float.exp x) in
-    Float.exp (Roots.bisect g (Float.log lo) (Float.log hi))
-  end
+  let rec scan f = if f > f_max then None else if below f < 0.0 then Some f else scan (f *. 2.0) in
+  match scan 1e6 with
+  | None -> None
+  | Some hi ->
+      let lo = hi /. 2.0 in
+      if below lo < 0.0 then Some lo
+      else begin
+        let g x = below (Float.exp x) in
+        Some (Float.exp (Roots.bisect g (Float.log lo) (Float.log hi)))
+      end
+
+let bandwidth_3db ?f_max stage =
+  match bandwidth_3db_opt ?f_max stage with
+  | Some f -> f
+  | None -> raise Not_found
 
 let resonance ?(f_max = 1e12) stage =
   (* coarse log scan for the max, then golden-section refinement *)

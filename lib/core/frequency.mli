@@ -17,10 +17,17 @@ val bode : ?points:int -> Stage.t -> f_min:float -> f_max:float -> point list
 (** Log-spaced sweep, default 200 points.  Requires
     0 < f_min < f_max. *)
 
-val bandwidth_3db : ?f_max:float -> Stage.t -> float
+val bandwidth_3db_opt : ?f_max:float -> Stage.t -> float option
 (** First frequency where |H| drops 3 dB below DC.  Searches up to
-    [f_max] (default 1 THz); raises [Not_found] if the stage is still
-    within 3 dB there. *)
+    [f_max] (default 1 THz); [None] when the stage is still within
+    3 dB there — a perfectly ordinary outcome for short stages, which
+    is why the option form is the primary API. *)
+
+val bandwidth_3db : ?f_max:float -> Stage.t -> float
+(** Exception-raising wrapper around {!bandwidth_3db_opt} for callers
+    that treat an in-band stage as a logic error: raises [Not_found]
+    instead of returning [None].  Prefer the option form in new
+    code. *)
 
 val resonance : ?f_max:float -> Stage.t -> (float * float) option
 (** [(f_peak, peak_db)] of the largest magnitude above DC, or [None]

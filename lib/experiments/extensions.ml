@@ -510,12 +510,14 @@ let print_frequency ?(node = default_node) () =
   List.iter
     (fun l_nh ->
       let stage = Rlc_core.Rc_opt.stage node ~l:(l_nh *. 1e-6) in
-      let bw = Rlc_core.Frequency.bandwidth_3db stage in
+      let bw = Rlc_core.Frequency.bandwidth_3db_opt stage in
       let res = Rlc_core.Frequency.resonance stage in
       Rlc_report.Table.add_row t
         [
           Printf.sprintf "%.1f" l_nh;
-          Printf.sprintf "%.2f" (bw /. 1e9);
+          (match bw with
+          | Some f -> Printf.sprintf "%.2f" (f /. 1e9)
+          | None -> ">1000");
           (match res with
           | Some (f, _) -> Printf.sprintf "%.2f" (f /. 1e9)
           | None -> "-");

@@ -1,0 +1,62 @@
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let nrm2 a = Float.sqrt (dot a a)
+
+(* One MGS sweep of v against the basis, in place. *)
+let orthogonalize basis v =
+  List.iter
+    (fun u ->
+      let h = dot u v in
+      for i = 0 to Array.length v - 1 do
+        v.(i) <- v.(i) -. (h *. u.(i))
+      done)
+    basis
+
+let block ?(tol = 1e-10) ~mul ~start m =
+  if m < 1 then invalid_arg "Arnoldi.block: m < 1";
+  let p = Array.length start in
+  if p = 0 then invalid_arg "Arnoldi.block: empty start block";
+  let n = Array.length start.(0) in
+  Array.iter
+    (fun col ->
+      if Array.length col <> n then
+        invalid_arg "Arnoldi.block: mismatched column lengths")
+    start;
+  (* basis kept newest-first; order only matters for the result *)
+  let basis = ref [] in
+  let count = ref 0 in
+  let push_candidate w =
+    let scale0 = nrm2 w in
+    orthogonalize !basis w;
+    orthogonalize !basis w;
+    (* re-orthogonalisation pass *)
+    let scale1 = nrm2 w in
+    if scale1 > tol *. (scale0 +. 1e-300) && scale1 > 0.0 then begin
+      let v = Array.map (fun x -> x /. scale1) w in
+      basis := v :: !basis;
+      incr count;
+      true
+    end
+    else false
+  in
+  Array.iter (fun col -> if !count < m then ignore (push_candidate (Array.copy col))) start;
+  if !count = 0 then invalid_arg "Arnoldi.block: start block is zero";
+  (* apply A to each accepted basis vector in generation order;
+     deflated candidates simply do not enqueue a successor *)
+  let ordered () = Array.of_list (List.rev !basis) in
+  let j = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !count < m do
+    let vs = ordered () in
+    if !j >= Array.length vs then continue_ := false (* invariant: breakdown *)
+    else begin
+      ignore (push_candidate (mul vs.(!j)));
+      incr j
+    end
+  done;
+  ordered ()

@@ -1,0 +1,30 @@
+(** Block Arnoldi iteration: an orthonormal basis of the block Krylov
+    subspace span{S, AS, A^2 S, ...} built by modified Gram-Schmidt.
+
+    This is the subspace generator behind the PRIMA reduction: with
+    A = G^-1 C and S = G^-1 B the projected system matches the first
+    moments of the MNA transfer function.  [A] is only ever applied,
+    never formed, so callers pass a matrix-vector product.
+
+    Every candidate vector is orthogonalised twice against the basis
+    ("twice is enough": a single MGS pass loses orthogonality exactly
+    when the candidate is dominated by the existing span, which is the
+    common case for the clustered spectra of RC/RLC networks).
+    Candidates whose norm collapses under orthogonalisation are
+    deflated — dropped, with the iteration continuing from the next
+    block column — so an invariant subspace yields a smaller basis
+    rather than a garbage direction. *)
+
+val block :
+  ?tol:float ->
+  mul:(float array -> float array) ->
+  start:float array array ->
+  int ->
+  float array array
+(** [block ~mul ~start m] returns up to [m] orthonormal columns
+    spanning the block Krylov space of the operator [mul] started from
+    the columns of [start].  Fewer than [m] columns are returned when
+    the space becomes invariant first (breakdown/deflation).  [tol]
+    (default 1e-10) is the relative norm below which an orthogonalised
+    candidate is considered dependent.  Raises [Invalid_argument] on an
+    empty start block, [m < 1], or mismatched column lengths. *)

@@ -1,0 +1,70 @@
+type t = { rows : int; cols : int; data : Cx.t array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Cmatrix.create: non-positive dimension";
+  { rows; cols; data = Array.make (rows * cols) Cx.zero }
+
+let rows m = m.rows
+let cols m = m.cols
+let idx m i j = (i * m.cols) + j
+
+let check_bounds m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Cmatrix: index (%d,%d) out of %dx%d" i j m.rows m.cols)
+
+let get m i j =
+  check_bounds m i j;
+  m.data.(idx m i j)
+
+let set m i j v =
+  check_bounds m i j;
+  m.data.(idx m i j) <- v
+
+let add_to m i j v =
+  check_bounds m i j;
+  m.data.(idx m i j) <- Cx.( +: ) m.data.(idx m i j) v
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.(idx m i j) <- f i j
+    done
+  done;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+
+let of_matrix a =
+  init (Matrix.rows a) (Matrix.cols a) (fun i j ->
+      Cx.of_float (Matrix.get a i j))
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let mul_vec m v =
+  if m.cols <> Array.length v then
+    invalid_arg "Cmatrix.mul_vec: shape mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref Cx.zero in
+      for k = 0 to m.cols - 1 do
+        acc := Cx.( +: ) !acc (Cx.( *: ) m.data.(idx m i k) v.(k))
+      done;
+      !acc)
+
+let max_norm m =
+  Array.fold_left (fun acc z -> Float.max acc (Cx.norm z)) 0.0 m.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf "  ";
+      Format.fprintf ppf "(%a)" Cx.pp (get m i j)
+    done;
+    Format.fprintf ppf "@]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

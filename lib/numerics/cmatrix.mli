@@ -1,0 +1,38 @@
+(** Dense complex matrices (row-major), the complex twin of {!Matrix}.
+
+    Sized for the model-order-reduction work: the reduced systems are
+    tiny (order 2-20) but the AC engine also factors full MNA matrices
+    of a few thousand unknowns, so the layout mirrors {!Matrix}'s flat
+    row-major array rather than anything fancier. *)
+
+type t
+
+val create : int -> int -> t
+(** Zero matrix.  Raises [Invalid_argument] on a non-positive
+    dimension. *)
+
+val init : int -> int -> (int -> int -> Cx.t) -> t
+(** [init rows cols f] fills entry (i,j) with [f i j]. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val add_to : t -> int -> int -> Cx.t -> unit
+(** All three raise [Invalid_argument] out of bounds. *)
+
+val copy : t -> t
+
+val of_matrix : Matrix.t -> t
+(** Real matrix lifted to complex. *)
+
+val transpose : t -> t
+
+val mul_vec : t -> Cx.t array -> Cx.t array
+(** Raises [Invalid_argument] on a shape mismatch. *)
+
+val max_norm : t -> float
+(** Largest entry norm (0 for the zero matrix). *)
+
+val pp : Format.formatter -> t -> unit

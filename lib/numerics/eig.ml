@@ -1,0 +1,185 @@
+let ( +: ) = Cx.( +: )
+let ( -: ) = Cx.( -: )
+let ( *: ) = Cx.( *: )
+
+(* In-place Householder reduction to upper Hessenberg form. *)
+let hessenberg h =
+  let n = Cmatrix.rows h in
+  for k = 0 to n - 3 do
+    (* column k below the subdiagonal *)
+    let len = n - k - 1 in
+    let x = Array.init len (fun i -> Cmatrix.get h (k + 1 + i) k) in
+    let norm_x =
+      Float.sqrt (Array.fold_left (fun a z -> a +. Cx.norm2 z) 0.0 x)
+    in
+    let tail =
+      Float.sqrt
+        (Array.fold_left (fun a z -> a +. Cx.norm2 z) 0.0
+           (Array.sub x 1 (len - 1)))
+    in
+    if tail > 1e-300 *. (1.0 +. norm_x) then begin
+      (* alpha = -sign(x0) * ||x||, with complex sign e^{i arg x0} *)
+      let alpha =
+        if Cx.norm x.(0) = 0.0 then Cx.of_float (-.norm_x)
+        else Cx.scale (-.norm_x /. Cx.norm x.(0)) x.(0)
+      in
+      let u = Array.copy x in
+      u.(0) <- u.(0) -: alpha;
+      let norm_u =
+        Float.sqrt (Array.fold_left (fun a z -> a +. Cx.norm2 z) 0.0 u)
+      in
+      if norm_u > 1e-300 then begin
+        let u = Array.map (Cx.scale (1.0 /. norm_u)) u in
+        (* left: rows k+1..n-1 of all columns, H <- (I - 2 u uH) H *)
+        for j = 0 to n - 1 do
+          let dot = ref Cx.zero in
+          for i = 0 to len - 1 do
+            dot := !dot +: (Cx.conj u.(i) *: Cmatrix.get h (k + 1 + i) j)
+          done;
+          let s = Cx.scale 2.0 !dot in
+          for i = 0 to len - 1 do
+            Cmatrix.set h (k + 1 + i) j
+              (Cmatrix.get h (k + 1 + i) j -: (u.(i) *: s))
+          done
+        done;
+        (* right: columns k+1..n-1 of all rows, H <- H (I - 2 u uH) *)
+        for i = 0 to n - 1 do
+          let dot = ref Cx.zero in
+          for j = 0 to len - 1 do
+            dot := !dot +: (Cmatrix.get h i (k + 1 + j) *: u.(j))
+          done;
+          let s = Cx.scale 2.0 !dot in
+          for j = 0 to len - 1 do
+            Cmatrix.set h i (k + 1 + j)
+              (Cmatrix.get h i (k + 1 + j) -: (s *: Cx.conj u.(j)))
+          done
+        done
+      end
+    end
+  done
+
+(* Eigenvalues of the 2x2 block [[a b];[c d]]. *)
+let two_by_two a b c d =
+  let tr = a +: d in
+  let det = (a *: d) -: (b *: c) in
+  let disc = Cx.sqrt ((tr *: tr) -: Cx.scale 4.0 det) in
+  (Cx.scale 0.5 (tr +: disc), Cx.scale 0.5 (tr -: disc))
+
+(* Wilkinson shift: the eigenvalue of the trailing 2x2 closest to d. *)
+let wilkinson a b c d =
+  let l1, l2 = two_by_two a b c d in
+  if Cx.norm (l1 -: d) <= Cx.norm (l2 -: d) then l1 else l2
+
+let subdiag_negligible h k =
+  Cx.norm (Cmatrix.get h k (k - 1))
+  <= 1e-14
+     *. (Cx.norm (Cmatrix.get h (k - 1) (k - 1))
+        +. Cx.norm (Cmatrix.get h k k)
+        +. 1e-300)
+
+(* One explicit shifted QR step on the standalone block [lo..hi]:
+   H - mu I = QR (Givens), H <- RQ + mu I.  The block decouples from
+   the rest once its boundary subdiagonals are negligible, so
+   restricting the similarity transform to it preserves the spectrum. *)
+let qr_step h lo hi mu =
+  for k = lo to hi do
+    Cmatrix.set h k k (Cmatrix.get h k k -: mu)
+  done;
+  let rot = Array.make (hi - lo) (1.0, Cx.zero) in
+  for k = lo to hi - 1 do
+    let f = Cmatrix.get h k k and g = Cmatrix.get h (k + 1) k in
+    let c, s =
+      let nf = Cx.norm f and ng = Cx.norm g in
+      if ng = 0.0 then (1.0, Cx.zero)
+      else if nf = 0.0 then (0.0, Cx.one)
+      else begin
+        let r = Float.sqrt ((nf *. nf) +. (ng *. ng)) in
+        (nf /. r, Cx.scale (1.0 /. (nf *. r)) (f *: Cx.conj g))
+      end
+    in
+    rot.(k - lo) <- (c, s);
+    (* apply [ [c s]; [-conj s, c] ] to rows k, k+1 *)
+    for j = k to hi do
+      let a = Cmatrix.get h k j and b = Cmatrix.get h (k + 1) j in
+      Cmatrix.set h k j (Cx.scale c a +: (s *: b));
+      Cmatrix.set h (k + 1) j (Cx.scale c b -: (Cx.conj s *: a))
+    done
+  done;
+  for k = lo to hi - 1 do
+    let c, s = rot.(k - lo) in
+    (* right-multiply columns k, k+1 by the rotation's adjoint *)
+    for i = lo to Int.min hi (k + 1) do
+      let a = Cmatrix.get h i k and b = Cmatrix.get h i (k + 1) in
+      Cmatrix.set h i k (Cx.scale c a +: (Cx.conj s *: b));
+      Cmatrix.set h i (k + 1) (Cx.scale c b -: (s *: a))
+    done
+  done;
+  for k = lo to hi do
+    Cmatrix.set h k k (Cmatrix.get h k k +: mu)
+  done
+
+let eigenvalues_cx ?max_iter a =
+  let n = Cmatrix.rows a in
+  if Cmatrix.cols a <> n then
+    invalid_arg "Eig.eigenvalues: matrix not square";
+  let max_iter = match max_iter with Some m -> m | None -> 40 * n in
+  let h = Cmatrix.copy a in
+  hessenberg h;
+  let evals = Array.make n Cx.zero in
+  let hi = ref (n - 1) in
+  let iters = ref 0 in
+  let stuck = ref 0 in
+  while !hi >= 0 do
+    if !hi = 0 then begin
+      evals.(0) <- Cmatrix.get h 0 0;
+      hi := -1
+    end
+    else if subdiag_negligible h !hi then begin
+      evals.(!hi) <- Cmatrix.get h !hi !hi;
+      decr hi;
+      stuck := 0
+    end
+    else begin
+      let lo = ref !hi in
+      while !lo > 0 && not (subdiag_negligible h !lo) do
+        decr lo
+      done;
+      if !hi - !lo = 1 then begin
+        (* closed-form 2x2 deflation *)
+        let l1, l2 =
+          two_by_two
+            (Cmatrix.get h !lo !lo)
+            (Cmatrix.get h !lo !hi)
+            (Cmatrix.get h !hi !lo)
+            (Cmatrix.get h !hi !hi)
+        in
+        evals.(!hi) <- l1;
+        evals.(!lo) <- l2;
+        hi := !lo - 1;
+        stuck := 0
+      end
+      else begin
+        incr iters;
+        incr stuck;
+        if !iters > max_iter then
+          failwith "Eig.eigenvalues: QR iteration did not converge";
+        let mu =
+          if !stuck mod 12 = 0 then
+            (* exceptional shift to break a rare limit cycle *)
+            Cx.of_float
+              (Cx.norm (Cmatrix.get h !hi (!hi - 1))
+              +. Cx.norm (Cmatrix.get h (!hi - 1) (!hi - 2)))
+          else
+            wilkinson
+              (Cmatrix.get h (!hi - 1) (!hi - 1))
+              (Cmatrix.get h (!hi - 1) !hi)
+              (Cmatrix.get h !hi (!hi - 1))
+              (Cmatrix.get h !hi !hi)
+        in
+        qr_step h !lo !hi mu
+      end
+    end
+  done;
+  evals
+
+let eigenvalues ?max_iter a = eigenvalues_cx ?max_iter (Cmatrix.of_matrix a)

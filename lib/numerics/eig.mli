@@ -1,0 +1,23 @@
+(** Eigenvalues of small dense matrices by the QR iteration —
+    the pole extractor of the model-order-reduction subsystem.
+
+    The matrix is reduced to upper Hessenberg form by (complex)
+    Householder reflections, then shifted QR steps with Wilkinson
+    shifts and deflation peel off eigenvalues from the bottom.
+    Working in complex arithmetic throughout keeps one code path for
+    real and complex-conjugate spectra (the same trade the delay model
+    makes in {!Cx}); a trailing 2x2 block is solved in closed form, so
+    conjugate pairs deflate without the Francis double-shift machinery.
+
+    Intended for the order-2..20 projected matrices of PRIMA, not for
+    large spectra. *)
+
+val eigenvalues : ?max_iter:int -> Matrix.t -> Cx.t array
+(** Eigenvalues of a square real matrix, in deflation order (not
+    sorted).  [max_iter] bounds the total QR sweeps (default [40 * n]).
+    Raises [Invalid_argument] on a non-square input and [Failure] if
+    the iteration fails to converge — unseen in practice for the
+    diagonalisable matrices this project produces. *)
+
+val eigenvalues_cx : ?max_iter:int -> Cmatrix.t -> Cx.t array
+(** Same for a complex matrix. *)

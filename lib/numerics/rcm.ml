@@ -1,0 +1,46 @@
+let permutation adj =
+  let m = Array.length adj in
+  let degree = Array.map List.length adj in
+  let by_degree l =
+    List.sort (fun a b -> Int.compare degree.(a) degree.(b)) l
+  in
+  let visited = Array.make m false in
+  let order = Array.make m 0 in
+  let pos = ref 0 in
+  let queue = Queue.create () in
+  while !pos < m do
+    (* lowest-degree unvisited vertex starts the next component *)
+    let start = ref (-1) in
+    for u = m - 1 downto 0 do
+      if (not visited.(u)) && (!start < 0 || degree.(u) < degree.(!start))
+      then start := u
+    done;
+    visited.(!start) <- true;
+    Queue.add !start queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      order.(!pos) <- u;
+      incr pos;
+      List.iter
+        (fun v ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            Queue.add v queue
+          end)
+        (by_degree adj.(u))
+    done
+  done;
+  let perm = Array.make m 0 in
+  Array.iteri (fun i u -> perm.(u) <- m - 1 - i) order;
+  perm
+
+let bandwidth adj perm =
+  let bw = ref 0 in
+  Array.iteri
+    (fun u neighbours ->
+      List.iter
+        (fun v ->
+          if u <> v then bw := Int.max !bw (abs (perm.(u) - perm.(v))))
+        neighbours)
+    adj;
+  !bw

@@ -1,0 +1,20 @@
+(** Reverse Cuthill-McKee ordering of an undirected graph.
+
+    Both sparse-matrix consumers of the library use it to expose the
+    narrow band a chain-structured system permits regardless of how its
+    unknowns were numbered: the transient engine permutes its MNA
+    unknowns before choosing the banded backend, and the PRIMA reducer
+    permutes the exported G matrix before factoring it.  Lifted here so
+    the two share one implementation. *)
+
+val permutation : int list array -> int array
+(** [permutation adj] takes the adjacency of an undirected graph
+    (vertex [u]'s neighbour list at index [u]; self-loops ignored,
+    symmetry assumed) and returns [perm] with [perm.(u)] the position
+    of vertex [u] in the reverse Cuthill-McKee order.  Disconnected
+    graphs are handled component by component, each started from a
+    lowest-degree unvisited vertex. *)
+
+val bandwidth : int list array -> int array -> int
+(** [bandwidth adj perm] is the half-bandwidth the ordering achieves:
+    the largest [|perm.(u) - perm.(v)|] over the edges. *)

@@ -34,6 +34,10 @@ let min_max a =
     (a.(0), a.(0)) a
 
 let rms_sampled ~xs ~ys =
+  nonempty "rms_sampled" xs;
+  nonempty "rms_sampled" ys;
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Stats.rms_sampled: xs and ys length mismatch";
   let span = xs.(Array.length xs - 1) -. xs.(0) in
   if span <= 0.0 then invalid_arg "Stats.rms_sampled: zero time span";
   let y2 = Array.map (fun y -> y *. y) ys in

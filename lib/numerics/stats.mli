@@ -14,7 +14,10 @@ val min_max : float array -> float * float
 
 val rms_sampled : xs:float array -> ys:float array -> float
 (** Time-weighted RMS of a sampled signal over its span:
-    sqrt( (1/T) * integral y^2 dt ) with trapezoidal integration. *)
+    sqrt( (1/T) * integral y^2 dt ) with trapezoidal integration.
+    Raises [Invalid_argument] on empty or mismatched arrays — a
+    zero-sample waveform is a caller bug, reported clearly rather than
+    as an index error. *)
 
 val percentile : float array -> float -> float
 (** [percentile a p] for p in [0,100], linear interpolation between

@@ -840,6 +840,40 @@ let test_parser_run_requires_tran () =
     (Invalid_argument "Parser.run: deck has no .tran card") (fun () ->
       ignore (Parser.run deck))
 
+let test_parser_ac_card () =
+  let deck =
+    Parser.parse_string
+      "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1p\n.ac dec 10 1meg 1g\n.probe \
+       v(out)\n"
+  in
+  (match deck.Parser.ac with
+  | Some spec ->
+      Alcotest.(check int) "points per decade" 10 spec.Parser.points_per_decade;
+      check_close "fstart" 1e6 spec.Parser.fstart;
+      check_close "fstop" 1e9 spec.Parser.fstop
+  | None -> Alcotest.fail ".ac card must populate deck.ac");
+  (* the sweep request feeds Ac.decade_grid directly *)
+  let grid =
+    Ac.decade_grid
+      ~points_per_decade:(Option.get deck.Parser.ac).Parser.points_per_decade
+      ~fstart:(Option.get deck.Parser.ac).Parser.fstart
+      ~fstop:(Option.get deck.Parser.ac).Parser.fstop
+  in
+  Alcotest.(check int) "grid size" 31 (Array.length grid);
+  (* malformed cards *)
+  List.iter
+    (fun text ->
+      match Parser.parse_string text with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected a parse error for %S" text)
+    [
+      ".ac lin 10 1e6 1e9\n";
+      ".ac dec 0 1e6 1e9\n";
+      ".ac dec 10 0 1e9\n";
+      ".ac dec 10 1e9 1e6\n";
+      ".ac dec 10 1e6\n";
+    ]
+
 (* ---------------- Writer ---------------- *)
 
 let build_mixed_netlist () =
@@ -1010,6 +1044,7 @@ let () =
           Alcotest.test_case "error reporting" `Quick test_parser_errors;
           Alcotest.test_case "run requires .tran" `Quick
             test_parser_run_requires_tran;
+          Alcotest.test_case ".ac card" `Quick test_parser_ac_card;
           Alcotest.test_case "B card" `Quick test_parser_b_card;
         ] );
       ( "writer",

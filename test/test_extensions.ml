@@ -725,6 +725,18 @@ let test_frequency_bandwidth () =
     ~tol:1e-2;
   Alcotest.(check bool) "plausible range" true (bw > 1e8 && bw < 1e11)
 
+let test_frequency_bandwidth_opt () =
+  let stage = mk_stage () in
+  (* the option form agrees with the raising wrapper when in range *)
+  (match Frequency.bandwidth_3db_opt stage with
+  | Some bw -> check_close "same as wrapper" (Frequency.bandwidth_3db stage) bw
+  | None -> Alcotest.fail "expected a bandwidth for the reference stage");
+  (* capping the search below the corner yields None, not an exception *)
+  Alcotest.(check bool) "in-band below the corner" true
+    (Frequency.bandwidth_3db_opt ~f_max:1e7 stage = None);
+  Alcotest.check_raises "wrapper raises instead" Not_found (fun () ->
+      ignore (Frequency.bandwidth_3db ~f_max:1e7 stage))
+
 let test_frequency_peaking_iff_underdamped () =
   let over = Rc_opt.stage node100 ~l:0.0 in
   Alcotest.(check bool) "no peaking overdamped" true
@@ -977,6 +989,8 @@ let () =
         [
           Alcotest.test_case "dc & rolloff" `Quick test_frequency_dc_and_rolloff;
           Alcotest.test_case "bandwidth" `Quick test_frequency_bandwidth;
+          Alcotest.test_case "bandwidth option form" `Quick
+            test_frequency_bandwidth_opt;
           Alcotest.test_case "peaking iff underdamped" `Quick
             test_frequency_peaking_iff_underdamped;
           Alcotest.test_case "peaking grows with l" `Quick

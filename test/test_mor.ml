@@ -1,0 +1,467 @@
+(* Tests for the AC small-signal engine (Mna + Ac) and the PRIMA
+   model-order reducer (Rlc_mor.Prima): moment cross-validation against
+   the tree engine, pole recovery against the paper's analytic two-pole
+   model and AWE, and step-response agreement with both the banded
+   transient engine and the Talbot inverse Laplace transform. *)
+
+open Rlc_numerics
+open Rlc_circuit
+module Prima = Rlc_mor.Prima
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > tol *. (1.0 +. Float.max (Float.abs expected) (Float.abs actual))
+  then
+    Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+let check_cx ?(tol = 1e-9) msg expected actual =
+  check_close ~tol (msg ^ " (re)") (Cx.re expected) (Cx.re actual);
+  check_close ~tol (msg ^ " (im)") (Cx.im expected) (Cx.im actual)
+
+(* ---------------- fixtures ---------------- *)
+
+(* Lumped driver-line-load stage: Rs into a single series R-L branch
+   into a load cap.  Its transfer function to the far node is exactly
+   the paper's two-pole form H = 1/(1 + b1 s + b2 s^2) with
+   b1 = CL (Rs + R) and b2 = L CL. *)
+let rs = 30.0
+let r_line = 50.0
+let l_line = 5e-9
+let cl = 50e-15
+let b1 = cl *. (rs +. r_line)
+let b2 = l_line *. cl
+
+let lumped_stage () =
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node ~name:"src" nl in
+  let mid = Netlist.fresh_node ~name:"mid" nl in
+  let far = Netlist.fresh_node ~name:"far" nl in
+  Netlist.add_vsource ~name:"vin" nl src Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_resistor ~name:"rdrv" nl src mid rs;
+  Netlist.add_rl_branch ~name:"line" nl mid far ~ohms:r_line ~henries:l_line;
+  Netlist.add_capacitor ~name:"cload" nl far Netlist.ground cl;
+  (nl, far)
+
+let h_lumped s =
+  Cx.inv
+    (Cx.( +: ) Cx.one
+       (Cx.( +: ) (Cx.scale b1 s) (Cx.( *: ) (Cx.scale b2 s) s)))
+
+(* Discretised paper-style stage: driver resistance + parasitic cap,
+   [segments]-section RLC ladder, receiver load cap.  The same
+   structure as the bench's 800-segment line, shrunk. *)
+let line_r = 4400.0 (* ohm/m *)
+let line_l = 1.5e-6 (* H/m *)
+let line_c = 123.33e-12 (* F/m *)
+let line_len = 0.011 (* m *)
+let drv_rs = 30.0
+let drv_cp = 15e-15
+let load_cl = 50e-15
+
+let ladder_stage segments =
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node ~name:"src" nl in
+  Netlist.add_vsource ~name:"vin" nl src Netlist.ground (Stimulus.Dc 1.0);
+  let inp = Netlist.fresh_node ~name:"inp" nl in
+  Netlist.add_resistor ~name:"rdrv" nl src inp drv_rs;
+  Netlist.add_capacitor ~name:"cpar" nl inp Netlist.ground drv_cp;
+  let far = Netlist.fresh_node ~name:"far" nl in
+  Ladder.make nl
+    { Ladder.r = line_r; l = line_l; c = line_c; length = line_len; segments }
+    ~from_node:inp ~to_node:far;
+  Netlist.add_capacitor ~name:"cload" nl far Netlist.ground load_cl;
+  (nl, far)
+
+(* RC-dominated (diffusive) variant of the same stage: the paper's r
+   and c with a much smaller inductance per length over a longer span,
+   so the response has no sharp wavefront.  A low-order rational model
+   can track this regime closely — it is the regime the MOR bench
+   targets (a sharp low-loss wavefront needs far more poles than
+   order 10: Gibbs-like undershoot at the front otherwise). *)
+let rc_line_l = 0.1e-6
+let rc_line_len = 0.05
+let rc_drv_rs = 100.0
+
+let rc_ladder_stage segments =
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node ~name:"src" nl in
+  Netlist.add_vsource ~name:"vin" nl src Netlist.ground (Stimulus.Dc 1.0);
+  let inp = Netlist.fresh_node ~name:"inp" nl in
+  Netlist.add_resistor ~name:"rdrv" nl src inp rc_drv_rs;
+  Netlist.add_capacitor ~name:"cpar" nl inp Netlist.ground drv_cp;
+  let far = Netlist.fresh_node ~name:"far" nl in
+  Ladder.make nl
+    {
+      Ladder.r = line_r;
+      l = rc_line_l;
+      c = line_c;
+      length = rc_line_len;
+      segments;
+    }
+    ~from_node:inp ~to_node:far;
+  Netlist.add_capacitor ~name:"cload" nl far Netlist.ground load_cl;
+  (nl, far)
+
+let ladder_tree segments =
+  let dh = line_len /. float_of_int segments in
+  let wire =
+    Rlc_tree.Tree.wire ~r:(line_r *. dh) ~l:(line_l *. dh) ~c:(line_c *. dh)
+  in
+  Rlc_tree.Tree.chain ~sink_cap:load_cl
+    (List.init segments (fun _ -> wire))
+
+let mna_of nl = Mna.of_netlist nl
+
+let far_output mna far = Mna.output_of_node mna far
+
+(* ---------------- Mna ---------------- *)
+
+let test_mna_shapes () =
+  let nl, far = lumped_stage () in
+  let m = mna_of nl in
+  (* 3 non-ground nodes + 1 inductor current + 1 vsource current *)
+  Alcotest.(check int) "size" 5 m.Mna.size;
+  Alcotest.(check int) "currents" 1 m.Mna.n_currents;
+  Alcotest.(check int) "inputs" 1 (Array.length m.Mna.inputs);
+  Alcotest.(check (option int)) "input by name" (Some 0) (Mna.input_index m "vin");
+  Alcotest.(check (option int)) "unknown input" None (Mna.input_index m "nope");
+  let l = far_output m far in
+  check_close "selector is a unit vector" 1.0 (Array.fold_left ( +. ) 0.0 l);
+  Alcotest.check_raises "ground has no unknown"
+    (Invalid_argument "Mna.unknown_of_node: ground has no unknown") (fun () ->
+      ignore (Mna.unknown_of_node m Netlist.ground))
+
+let test_mna_transfer_analytic () =
+  let nl, far = lumped_stage () in
+  let m = mna_of nl in
+  let output = far_output m far in
+  List.iter
+    (fun f ->
+      let s = Cx.make 0.0 (2.0 *. Float.pi *. f) in
+      check_cx ~tol:1e-9
+        (Printf.sprintf "H at %.0e Hz" f)
+        (h_lumped s)
+        (Mna.transfer m ~input:0 ~output s))
+    [ 1e6; 1e8; 1e9; 5e9; 2e10 ];
+  (* a real (damping-axis) point too: the descriptor is not just a
+     jw-axis story *)
+  let s = Cx.of_float 1e9 in
+  check_cx ~tol:1e-9 "H at real s" (h_lumped s) (Mna.transfer m ~input:0 ~output s)
+
+let test_mna_dc_and_moments_analytic () =
+  let nl, far = lumped_stage () in
+  let m = mna_of nl in
+  let output = far_output m far in
+  check_close "dc gain" 1.0 (Mna.dc_gain m ~input:0 ~output);
+  let mom = Mna.moments m ~input:0 ~output ~order:3 in
+  (* 1/(1 + b1 s + b2 s^2) = 1 - b1 s + (b1^2 - b2) s^2
+                             + (2 b1 b2 - b1^3) s^3 + ... *)
+  check_close "m0" 1.0 mom.(0);
+  check_close ~tol:1e-9 "m1" (-.b1) mom.(1);
+  check_close ~tol:1e-9 "m2" ((b1 *. b1) -. b2) mom.(2);
+  check_close ~tol:1e-9 "m3"
+    ((2.0 *. b1 *. b2) -. (b1 *. b1 *. b1))
+    mom.(3)
+
+let test_mna_moments_match_tree () =
+  let segments = 16 in
+  let nl, far = ladder_stage segments in
+  let m = mna_of nl in
+  let mom =
+    Mna.moments m ~input:0 ~output:(far_output m far) ~order:5
+  in
+  let tree_mom =
+    match
+      Rlc_tree.Moments.voltage_moments ~driver_cp:drv_cp ~driver_rs:drv_rs
+        ~order:5 (ladder_tree segments)
+    with
+    | [ (_, arr) ] -> arr
+    | _ -> Alcotest.fail "expected a single sink"
+  in
+  for k = 0 to 5 do
+    let scale = Float.max (Float.abs tree_mom.(k)) 1e-300 in
+    check_close ~tol:1e-9
+      (Printf.sprintf "moment %d" k)
+      (tree_mom.(k) /. scale)
+      (mom.(k) /. scale)
+  done
+
+(* ---------------- Ac ---------------- *)
+
+let test_decade_grid () =
+  let g = Ac.decade_grid ~points_per_decade:10 ~fstart:1e6 ~fstop:1e9 in
+  Alcotest.(check int) "count" 31 (Array.length g);
+  check_close "first" 1e6 g.(0);
+  check_close "last" 1e9 g.(Array.length g - 1);
+  (* log-uniform: constant ratio *)
+  check_close ~tol:1e-9 "ratio" (g.(1) /. g.(0)) (g.(11) /. g.(10));
+  Alcotest.(check int) "degenerate"
+    1
+    (Array.length (Ac.decade_grid ~points_per_decade:7 ~fstart:42.0 ~fstop:42.0));
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Ac.decade_grid: need 0 < fstart <= fstop") (fun () ->
+      ignore (Ac.decade_grid ~points_per_decade:1 ~fstart:0.0 ~fstop:1.0))
+
+let test_ac_rc_lowpass () =
+  let r = 1e3 and c = 1e-12 in
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node nl in
+  let out = Netlist.fresh_node nl in
+  Netlist.add_vsource ~name:"vin" nl src Netlist.ground (Stimulus.Dc 1.0);
+  Netlist.add_resistor nl src out r;
+  Netlist.add_capacitor nl out Netlist.ground c;
+  let m = mna_of nl in
+  let output = far_output m out in
+  let f3 = 1.0 /. (2.0 *. Float.pi *. r *. c) in
+  let pts = Ac.bode m ~input:0 ~output ~freqs:[| f3 /. 100.0; f3; f3 *. 100.0 |] in
+  (* at f3/100 the magnitude is 1/sqrt(1 + 1e-4): flat to ~4e-4 dB *)
+  check_close ~tol:1e-6 "dc flat"
+    (-10.0 *. Float.log10 (1.0 +. 1e-4))
+    pts.(0).Ac.mag_db;
+  check_close ~tol:1e-6 "-3 dB at the corner"
+    (10.0 *. Float.log10 0.5)
+    pts.(1).Ac.mag_db;
+  check_close ~tol:1e-6 "-45 deg at the corner" (-45.0) pts.(1).Ac.phase_deg;
+  (* one decade above the corner: -20 dB/decade slope *)
+  check_close ~tol:1e-2 "far rolloff" (-40.0) pts.(2).Ac.mag_db
+
+let test_ac_matches_exact_line () =
+  (* the discretised ladder's sweep must converge to the exact
+     distributed-line response of the core library (equation (1) of the
+     paper) in and around the passband *)
+  let line = Rlc_core.Line.make ~r:line_r ~l:line_l ~c:line_c in
+  let driver = Rlc_tech.Driver.make ~rs:drv_rs ~c0:load_cl ~cp:drv_cp in
+  let stage = Rlc_core.Stage.make ~line ~driver ~h:line_len ~k:1.0 in
+  let nl, far = ladder_stage 64 in
+  let m = mna_of nl in
+  let output = far_output m far in
+  List.iter
+    (fun f ->
+      let exact = Rlc_core.Frequency.response stage f in
+      let ladder = Ac.point_of ~freq:f (Ac.transfer m ~input:0 ~output f) in
+      check_close ~tol:2e-3
+        (Printf.sprintf "mag at %.2e Hz" f)
+        exact.Rlc_core.Frequency.mag_db ladder.Ac.mag_db;
+      check_close ~tol:2e-3
+        (Printf.sprintf "phase at %.2e Hz" f)
+        exact.Rlc_core.Frequency.phase_deg ladder.Ac.phase_deg)
+    [ 1e8; 5e8; 1e9; 2e9; 5e9 ]
+
+(* ---------------- Prima ---------------- *)
+
+let test_prima_lumped_poles () =
+  let nl, far = lumped_stage () in
+  let m = mna_of nl in
+  let output = far_output m far in
+  let model = Prima.reduce ~order:3 m ~input:0 ~output in
+  check_close "dc" 1.0 model.Prima.dc;
+  Alcotest.(check bool) "stable" true model.Prima.stable;
+  let analytic = Rlc_core.Poles.of_coeffs { Rlc_core.Pade.b1; b2 } in
+  let expected = [ analytic.Rlc_core.Poles.s1; analytic.Rlc_core.Poles.s2 ] in
+  (* match each analytic pole to its closest reduced pole *)
+  List.iter
+    (fun p ->
+      let best =
+        Array.fold_left
+          (fun acc q ->
+            Float.min acc (Cx.norm (Cx.( -: ) p q) /. Cx.norm p))
+          Float.infinity model.Prima.poles
+      in
+      if best > 1e-6 then
+        Alcotest.failf "pole %a missed by relative %.2e" Cx.pp p best)
+    expected;
+  (* any extra basis pole must carry (relatively) no step-response
+     weight: H_r = H exactly, so everything beyond the two physical
+     poles is residue noise *)
+  Array.iteri
+    (fun i p ->
+      let physical =
+        List.exists
+          (fun e -> Cx.norm (Cx.( -: ) p e) /. Cx.norm e < 1e-6)
+          expected
+      in
+      let weight = Cx.norm (Cx.( /: ) model.Prima.residues.(i) p) in
+      if (not physical) && weight > 1e-3 then
+        Alcotest.failf "spurious pole %a carries step weight %.2e" Cx.pp p
+          weight)
+    model.Prima.poles
+
+let test_prima_matches_awe () =
+  let nl, far = lumped_stage () in
+  let m = mna_of nl in
+  let output = far_output m far in
+  let model = Prima.reduce ~order:3 m ~input:0 ~output in
+  let moments = Mna.moments m ~input:0 ~output ~order:3 in
+  let awe = Rlc_tree.Awe.reduce ~moments ~order:2 in
+  List.iter
+    (fun p ->
+      let best =
+        Array.fold_left
+          (fun acc q ->
+            Float.min acc (Cx.norm (Cx.( -: ) p q) /. Cx.norm p))
+          Float.infinity model.Prima.poles
+      in
+      if best > 1e-6 then
+        Alcotest.failf "AWE pole %a missed by relative %.2e" Cx.pp p best)
+    awe.Rlc_tree.Awe.poles
+
+let reduced_moments model order =
+  (* moments of the reduced model, straight from its small matrices *)
+  let q = model.Prima.order in
+  let lu = Lu.decompose (Matrix.copy model.Prima.g_r) in
+  let x = ref (Lu.solve lu model.Prima.b_r) in
+  Array.init (order + 1) (fun k ->
+      if k > 0 then begin
+        let cx = Matrix.mul_vec model.Prima.c_r !x in
+        x := Array.map (fun v -> -.v) (Lu.solve lu cx)
+      end;
+      let acc = ref 0.0 in
+      for i = 0 to q - 1 do
+        acc := !acc +. (model.Prima.l_r.(i) *. !x.(i))
+      done;
+      !acc)
+
+let test_prima_moment_matching () =
+  let nl, far = ladder_stage 16 in
+  let m = mna_of nl in
+  let output = far_output m far in
+  let order = 4 in
+  let model = Prima.reduce ~order m ~input:0 ~output in
+  Alcotest.(check int) "kept the full order" order model.Prima.order;
+  let full = Mna.moments m ~input:0 ~output ~order:(order - 1) in
+  let red = reduced_moments model (order - 1) in
+  (* the PRIMA guarantee: the first q moments agree *)
+  for k = 0 to order - 1 do
+    let scale = Float.max (Float.abs full.(k)) 1e-300 in
+    check_close ~tol:1e-8
+      (Printf.sprintf "moment %d" k)
+      (full.(k) /. scale)
+      (red.(k) /. scale)
+  done
+
+let test_prima_full_order_exact () =
+  (* with the basis spanning the whole reachable space the projection
+     is no longer an approximation at all *)
+  let nl, far = ladder_stage 8 in
+  let m = mna_of nl in
+  let output = far_output m far in
+  let model = Prima.reduce ~order:m.Mna.size m ~input:0 ~output in
+  List.iter
+    (fun f ->
+      let s = Cx.make 0.0 (2.0 *. Float.pi *. f) in
+      check_cx ~tol:1e-7
+        (Printf.sprintf "H at %.0e Hz" f)
+        (Mna.transfer m ~input:0 ~output s)
+        (Prima.eval model s))
+    [ 1e8; 1e9; 5e9; 2e10 ]
+
+let test_prima_step_vs_transient () =
+  let segments = 64 in
+  let nl, far = rc_ladder_stage segments in
+  let m = mna_of nl in
+  let output = far_output m far in
+  let model = Prima.reduce ~order:10 m ~input:0 ~output in
+  Alcotest.(check bool) "stable" true model.Prima.stable;
+  let t_end = 8e-9 and dt = 4e-12 in
+  let r =
+    Transient.run nl ~t_end ~dt ~probes:[ Transient.Node_v far ]
+  in
+  let w = Transient.get r (Transient.Node_v far) in
+  let times = Rlc_waveform.Waveform.times w in
+  let values = Rlc_waveform.Waveform.values w in
+  let lo, hi = Stats.min_max values in
+  let swing = hi -. lo in
+  Alcotest.(check bool) "nontrivial swing" true (swing > 0.5);
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i t ->
+      if t > 0.0 then
+        worst :=
+          Float.max !worst (Float.abs (Prima.step_eval model t -. values.(i))))
+    times;
+  if !worst > 0.01 *. swing then
+    Alcotest.failf "reduced step response off by %.3f%% of swing"
+      (100.0 *. !worst /. swing)
+
+let test_prima_bode_matches_ac () =
+  let nl, far = ladder_stage 64 in
+  let m = mna_of nl in
+  let output = far_output m far in
+  let model = Prima.reduce ~order:10 m ~input:0 ~output in
+  let freqs = Ac.decade_grid ~points_per_decade:5 ~fstart:1e8 ~fstop:5e9 in
+  let full = Ac.bode m ~input:0 ~output ~freqs in
+  let red = Prima.bode model ~freqs in
+  Array.iteri
+    (fun i p ->
+      check_close ~tol:2e-2
+        (Printf.sprintf "mag at %.2e Hz" p.Ac.freq)
+        p.Ac.mag_db red.(i).Ac.mag_db)
+    full
+
+(* ---------------- Laplace inversion vs the AC engine ---------------- *)
+
+let test_laplace_step_vs_transient () =
+  (* the Talbot inversion of the MNA transfer function is a third,
+     independent route to the step response; all three engines
+     (frequency-domain + inversion, reduced model, time stepping) must
+     tell the same story *)
+  (* the diffusive stage keeps the transfer function's singularities
+     well off the imaginary axis, where the Talbot contour is
+     accurate; an underdamped line would need a different contour *)
+  let segments = 16 in
+  let nl, far = rc_ladder_stage segments in
+  let m = mna_of nl in
+  let output = far_output m far in
+  let h = Mna.transfer m ~input:0 ~output in
+  let t_end = 8e-9 and dt = 4e-12 in
+  let r = Transient.run nl ~t_end ~dt ~probes:[ Transient.Node_v far ] in
+  let w = Transient.get r (Transient.Node_v far) in
+  List.iter
+    (fun t ->
+      let talbot = Laplace.step_response h t in
+      let sim = Rlc_waveform.Waveform.value_at w t in
+      check_close ~tol:5e-3 (Printf.sprintf "step at %.2e s" t) talbot sim)
+    [ 1e-9; 2e-9; 4e-9; 7e-9 ]
+
+let () =
+  Alcotest.run "mor"
+    [
+      ( "mna",
+        [
+          Alcotest.test_case "descriptor shape" `Quick test_mna_shapes;
+          Alcotest.test_case "transfer vs analytic" `Quick
+            test_mna_transfer_analytic;
+          Alcotest.test_case "dc + moments vs analytic" `Quick
+            test_mna_dc_and_moments_analytic;
+          Alcotest.test_case "moments vs tree engine" `Quick
+            test_mna_moments_match_tree;
+        ] );
+      ( "ac",
+        [
+          Alcotest.test_case "decade grid" `Quick test_decade_grid;
+          Alcotest.test_case "rc lowpass" `Quick test_ac_rc_lowpass;
+          Alcotest.test_case "ladder vs exact line" `Quick
+            test_ac_matches_exact_line;
+        ] );
+      ( "prima",
+        [
+          Alcotest.test_case "lumped stage poles" `Quick
+            test_prima_lumped_poles;
+          Alcotest.test_case "matches awe order 2" `Quick
+            test_prima_matches_awe;
+          Alcotest.test_case "moment matching" `Quick
+            test_prima_moment_matching;
+          Alcotest.test_case "full order is exact" `Quick
+            test_prima_full_order_exact;
+          Alcotest.test_case "step vs transient" `Quick
+            test_prima_step_vs_transient;
+          Alcotest.test_case "bode vs full ac" `Quick
+            test_prima_bode_matches_ac;
+        ] );
+      ( "laplace-x-check",
+        [
+          Alcotest.test_case "talbot step vs transient" `Quick
+            test_laplace_step_vs_transient;
+        ] );
+    ]

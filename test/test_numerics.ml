@@ -501,7 +501,13 @@ let test_stats_rms_sampled () =
 
 let test_stats_empty () =
   Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty array")
-    (fun () -> ignore (Stats.mean [||]))
+    (fun () -> ignore (Stats.mean [||]));
+  Alcotest.check_raises "empty rms_sampled"
+    (Invalid_argument "Stats.rms_sampled: empty array") (fun () ->
+      ignore (Stats.rms_sampled ~xs:[||] ~ys:[||]));
+  Alcotest.check_raises "mismatched rms_sampled"
+    (Invalid_argument "Stats.rms_sampled: xs and ys length mismatch")
+    (fun () -> ignore (Stats.rms_sampled ~xs:[| 0.0; 1.0 |] ~ys:[| 0.0 |]))
 
 (* ---------------- Fdiff ---------------- *)
 
@@ -555,6 +561,145 @@ let test_laplace_oscillatory () =
         (Float.sin (w *. t))
         (Laplace.invert ~m:48 fhat t) ~tol:1e-4)
     [ 0.3; 1.0; 2.0 ]
+
+(* ---------------- Cmatrix / Clu ---------------- *)
+
+let test_cmatrix_basic () =
+  let m = Cmatrix.init 2 3 (fun i j -> Cx.make (float_of_int i) (float_of_int j)) in
+  Alcotest.(check int) "rows" 2 (Cmatrix.rows m);
+  Alcotest.(check int) "cols" 3 (Cmatrix.cols m);
+  check_close "get re" 1.0 (Cx.re (Cmatrix.get m 1 2));
+  check_close "get im" 2.0 (Cx.im (Cmatrix.get m 1 2));
+  let t = Cmatrix.transpose m in
+  check_close "transpose" 2.0 (Cx.im (Cmatrix.get t 2 1));
+  let r = Cmatrix.of_matrix (Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]) in
+  let y = Cmatrix.mul_vec r [| Cx.one; Cx.i |] in
+  check_close "mul_vec re" 1.0 (Cx.re y.(0));
+  check_close "mul_vec im" 2.0 (Cx.im y.(0));
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Cmatrix: index (2,0) out of 2x3") (fun () ->
+      ignore (Cmatrix.get m 2 0))
+
+let test_clu_solve_roundtrip () =
+  (* complex 3x3: solve, then verify A x = b *)
+  let a =
+    Cmatrix.init 3 3 (fun i j ->
+        Cx.make
+          (float_of_int ((i * 3) + j + 1))
+          (if i = j then 1.0 else -0.5))
+  in
+  let b = [| Cx.one; Cx.i; Cx.make 2.0 (-1.0) |] in
+  let x = Clu.solve_matrix a b in
+  let ax = Cmatrix.mul_vec a x in
+  Array.iteri
+    (fun i bi ->
+      check_close ~tol:1e-12 "Ax=b re" (Cx.re bi) (Cx.re ax.(i));
+      check_close ~tol:1e-12 "Ax=b im" (Cx.im bi) (Cx.im ax.(i)))
+    b;
+  (* solve_into matches solve *)
+  let lu = Clu.decompose a in
+  let x2 = Array.make 3 Cx.zero in
+  Clu.solve_into lu ~b ~x:x2;
+  Array.iteri
+    (fun i xi -> check_close "solve_into" (Cx.re xi) (Cx.re x2.(i)))
+    x
+
+let test_clu_singular () =
+  let a = Cmatrix.init 2 2 (fun _ j -> if j = 0 then Cx.one else Cx.i) in
+  Alcotest.check_raises "rank-1 matrix" Clu.Singular (fun () ->
+      ignore (Clu.decompose a))
+
+(* ---------------- Eig ---------------- *)
+
+let sorted_re_im zs =
+  let l = Array.to_list zs in
+  List.sort
+    (fun a b ->
+      let c = Float.compare (Cx.re a) (Cx.re b) in
+      if c <> 0 then c else Float.compare (Cx.im a) (Cx.im b))
+    l
+
+let test_eig_real_spectrum () =
+  (* companion matrix of (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6 *)
+  let a =
+    Matrix.of_arrays
+      [| [| 6.0; -11.0; 6.0 |]; [| 1.0; 0.0; 0.0 |]; [| 0.0; 1.0; 0.0 |] |]
+  in
+  match sorted_re_im (Eig.eigenvalues a) with
+  | [ e1; e2; e3 ] ->
+      check_close ~tol:1e-9 "e1" 1.0 (Cx.re e1);
+      check_close ~tol:1e-9 "e2" 2.0 (Cx.re e2);
+      check_close ~tol:1e-9 "e3" 3.0 (Cx.re e3);
+      List.iter
+        (fun e -> check_close ~tol:1e-9 "real" 0.0 (Cx.im e))
+        [ e1; e2; e3 ]
+  | _ -> Alcotest.fail "expected 3 eigenvalues"
+
+let test_eig_conjugate_pair () =
+  (* damped rotation: eigenvalues -0.1 +/- 2i *)
+  let a = Matrix.of_arrays [| [| -0.1; -2.0 |]; [| 2.0; -0.1 |] |] in
+  match sorted_re_im (Eig.eigenvalues a) with
+  | [ e1; e2 ] ->
+      check_close ~tol:1e-9 "re" (-0.1) (Cx.re e1);
+      check_close ~tol:1e-9 "im pair" (-2.0) (Float.min (Cx.im e1) (Cx.im e2));
+      check_close ~tol:1e-9 "im pair" 2.0 (Float.max (Cx.im e1) (Cx.im e2))
+  | _ -> Alcotest.fail "expected 2 eigenvalues"
+
+(* ---------------- Arnoldi ---------------- *)
+
+let test_arnoldi_orthonormal () =
+  (* nonsymmetric operator; the basis must still be orthonormal *)
+  let a =
+    Matrix.of_arrays
+      [|
+        [| 2.0; 1.0; 0.0; 0.0 |];
+        [| 0.5; 2.0; 1.0; 0.0 |];
+        [| 0.0; 0.5; 2.0; 1.0 |];
+        [| 0.0; 0.0; 0.5; 2.0 |];
+      |]
+  in
+  let v =
+    Arnoldi.block ~mul:(Matrix.mul_vec a) ~start:[| [| 1.0; 1.0; 1.0; 1.0 |] |] 4
+  in
+  Alcotest.(check int) "full dimension" 4 (Array.length v);
+  Array.iteri
+    (fun i vi ->
+      Array.iteri
+        (fun j vj ->
+          let d = Array.fold_left ( +. ) 0.0 (Array.map2 ( *. ) vi vj) in
+          check_close ~tol:1e-10
+            (Printf.sprintf "V%d . V%d" i j)
+            (if i = j then 1.0 else 0.0)
+            d)
+        v)
+    v
+
+let test_arnoldi_deflation () =
+  (* start vector is an eigenvector: the Krylov space is 1-dimensional
+     no matter how many columns are requested *)
+  let a = Matrix.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 5.0 |] |] in
+  let v = Arnoldi.block ~mul:(Matrix.mul_vec a) ~start:[| [| 1.0; 0.0 |] |] 4 in
+  Alcotest.(check int) "invariant subspace" 1 (Array.length v)
+
+(* ---------------- Rcm ---------------- *)
+
+let test_rcm_chain () =
+  (* a path graph numbered adversarially still yields bandwidth 1 *)
+  let n = 9 in
+  let shuffled = [| 4; 7; 1; 8; 0; 3; 6; 2; 5 |] in
+  (* path over shuffled labels: shuffled.(k) -- shuffled.(k+1) *)
+  let adj = Array.make n [] in
+  for k = 0 to n - 2 do
+    let u = shuffled.(k) and v = shuffled.(k + 1) in
+    adj.(u) <- v :: adj.(u);
+    adj.(v) <- u :: adj.(v)
+  done;
+  let perm = Rcm.permutation adj in
+  (* a valid permutation of 0..n-1 *)
+  let seen = Array.make n false in
+  Array.iter (fun p -> seen.(p) <- true) perm;
+  Alcotest.(check bool) "is a permutation" true (Array.for_all Fun.id seen);
+  Alcotest.(check int) "path bandwidth" 1 (Rcm.bandwidth adj perm)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -665,4 +810,23 @@ let () =
             test_laplace_step_of_first_order;
           Alcotest.test_case "oscillatory" `Quick test_laplace_oscillatory;
         ] );
+      ( "cmatrix",
+        [
+          Alcotest.test_case "basics" `Quick test_cmatrix_basic;
+          Alcotest.test_case "clu round-trip" `Quick test_clu_solve_roundtrip;
+          Alcotest.test_case "clu singular" `Quick test_clu_singular;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "real spectrum" `Quick test_eig_real_spectrum;
+          Alcotest.test_case "conjugate pair" `Quick test_eig_conjugate_pair;
+        ] );
+      ( "arnoldi",
+        [
+          Alcotest.test_case "orthonormal basis" `Quick
+            test_arnoldi_orthonormal;
+          Alcotest.test_case "deflation" `Quick test_arnoldi_deflation;
+        ] );
+      ( "rcm",
+        [ Alcotest.test_case "path graph" `Quick test_rcm_chain ] );
     ]
