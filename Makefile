@@ -1,14 +1,19 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test test-all bench bench-fast bench-smoke examples clean
+.PHONY: all build check test test-jobs4 test-all bench bench-fast bench-smoke examples clean
 
 all: build
 
 build:
 	dune build @all
 
-# what CI runs (see .github/workflows/ci.yml)
-check: build test bench-smoke
+# what CI runs (see .github/workflows/ci.yml): the test suite under a
+# sequential and a 4-domain pool, then the bench smoke (which asserts
+# the parallel runs are bit-identical and records BENCH_parallel.json)
+check: build test test-jobs4 bench-smoke
+
+test-jobs4:
+	RLC_JOBS=4 dune runtest --force
 
 test:
 	dune runtest

@@ -6,14 +6,35 @@
      dune exec bench/main.exe -- --fast  -- skip the transient ring sims
      dune exec bench/main.exe -- --no-bechamel  -- skip kernel timings
      dune exec bench/main.exe -- --smoke -- tiny ladder-scaling run only
-                                            (wired into dune runtest) *)
+                                            (wired into dune runtest)
+     dune exec bench/main.exe -- -j N    -- worker domains for the
+                                            experiment fan-outs (also
+                                            --jobs N / --jobs=N; default
+                                            from RLC_JOBS or the machine) *)
 
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
 let no_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
-let section title =
-  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+let jobs =
+  let prefixed a ~prefix =
+    String.length a > String.length prefix
+    && String.sub a 0 (String.length prefix) = prefix
+  in
+  let rec find i =
+    if i >= Array.length Sys.argv then Rlc_parallel.Pool.default_domains ()
+    else
+      let a = Sys.argv.(i) in
+      if (a = "-j" || a = "--jobs") && i + 1 < Array.length Sys.argv then
+        int_of_string Sys.argv.(i + 1)
+      else if prefixed a ~prefix:"--jobs=" then
+        int_of_string (String.sub a 7 (String.length a - 7))
+      else find (i + 1)
+  in
+  find 1
+
+let pool = Rlc_parallel.Pool.create ~domains:jobs ()
+let section title = Rlc_report.Report.section title
 
 (* ------------------------------------------------------------------ *)
 (* Paper experiments                                                    *)
@@ -21,18 +42,19 @@ let section title =
 
 let run_table1 () =
   section "T1: Table 1 -- technology parameters";
-  Rlc_experiments.Table1.print (Rlc_experiments.Table1.compute ())
+  Rlc_experiments.Table1.print (Rlc_experiments.Table1.compute ~pool ())
 
 let run_fig2 () =
   section "F2: Figure 2 -- second-order step responses";
-  Rlc_experiments.Fig2.print (Rlc_experiments.Fig2.compute ())
+  Rlc_experiments.Fig2.print (Rlc_experiments.Fig2.compute ~pool ())
 
 let run_sweep_figs () =
   section "F4-F8: inductance sweeps (Sections 3.1 / 3.2)";
-  let s250 = Rlc_experiments.Sweeps.run Rlc_tech.Presets.node_250nm in
-  let s100 = Rlc_experiments.Sweeps.run Rlc_tech.Presets.node_100nm in
+  let s250 = Rlc_experiments.Sweeps.run ~pool Rlc_tech.Presets.node_250nm in
+  let s100 = Rlc_experiments.Sweeps.run ~pool Rlc_tech.Presets.node_100nm in
   let s100c =
-    Rlc_experiments.Sweeps.run Rlc_tech.Presets.node_100nm_250nm_dielectric
+    Rlc_experiments.Sweeps.run ~pool
+      Rlc_tech.Presets.node_100nm_250nm_dielectric
   in
   Rlc_experiments.Sweeps.print_fig4 [ s250; s100 ];
   print_newline ();
@@ -49,9 +71,11 @@ let run_sweep_figs () =
 let run_ring_waveforms () =
   section "F9/F10: ring-oscillator waveforms (Section 3.3.1)";
   let cases =
-    Rlc_experiments.Ring_figs.waveforms ~l_values:[ 1.8e-6; 2.2e-6 ] ()
+    Rlc_experiments.Ring_figs.waveforms ~pool ~l_values:[ 1.8e-6; 2.2e-6 ] ()
   in
-  List.iter Rlc_experiments.Ring_figs.print_waveform_case cases
+  List.iter
+    (fun c -> Rlc_experiments.Ring_figs.print_waveform_case c)
+    cases
 
 let run_ring_sweeps () =
   section "F11/F12: ring-oscillator period and current density vs l";
@@ -59,7 +83,7 @@ let run_ring_sweeps () =
   List.iter
     (fun node ->
       let points =
-        Rlc_experiments.Ring_figs.period_sweep node ~l_values
+        Rlc_experiments.Ring_figs.period_sweep ~pool node ~l_values
       in
       Rlc_experiments.Ring_figs.print_fig11
         ~node_name:node.Rlc_tech.Node.name points;
@@ -183,7 +207,14 @@ let run_ladder_scaling ~sizes ~steps ~json =
   section "Ladder scaling: dense vs banded transient backend";
   Printf.printf "%8s %9s %7s %12s %12s %9s %12s\n" "segments" "unknowns"
     "steps" "dense [s]" "banded [s]" "speedup" "max |dV|";
-  let rows = List.map (fun segments -> ladder_case ~segments ~steps) sizes in
+  (* sizes are independent cases; when several worker domains run them
+     concurrently the per-case wall clocks contend, but the dense/banded
+     ratio and the trajectory cross-check stay meaningful *)
+  let rows =
+    Rlc_parallel.Pool.map_list pool
+      (fun segments -> ladder_case ~segments ~steps)
+      sizes
+  in
   let fixed = List.map fst rows and adaptive = List.map snd rows in
   List.iter
     (fun (r : fixed_row) ->
@@ -271,6 +302,17 @@ let mor_case ~segments ~order =
   let reduced, eval_s =
     wall_best 5 (fun () -> Array.map (Rlc_mor.Prima.step_eval model) times)
   in
+  (* the pooled fan-out must reproduce the serial evaluation bit for
+     bit; the 50x speedup gate below stays on the serial timing so it
+     is not at the mercy of domain-spawn overhead on small machines *)
+  let reduced_pooled =
+    Rlc_parallel.Pool.map pool (Rlc_mor.Prima.step_eval model) times
+  in
+  Array.iteri
+    (fun i v ->
+      if Int64.bits_of_float v <> Int64.bits_of_float reduced_pooled.(i) then
+        failwith "MOR bench: pooled eval differs from the serial eval")
+    reduced;
   let lo, hi = Rlc_numerics.Stats.min_max values in
   let worst = ref 0.0 in
   Array.iteri
@@ -336,6 +378,146 @@ let run_mor_bench ~json =
       Printf.printf "\nrecorded baseline in %s\n" path
   | None -> ());
   r
+
+(* ------------------------------------------------------------------ *)
+(* Parallel: domain scaling + determinism on the experiment fan-outs   *)
+(* ------------------------------------------------------------------ *)
+
+type par_row = {
+  p_name : string;
+  p_domains : int;
+  p_s : float;
+  p_speedup : float;  (* vs the 1-domain run of the same workload *)
+  p_identical : bool;  (* bit-identical to the 1-domain run *)
+}
+
+let sweep_signature (s : Rlc_experiments.Sweeps.sweep) =
+  List.concat_map
+    (fun (p : Rlc_experiments.Sweeps.point) ->
+      [
+        p.Rlc_experiments.Sweeps.l;
+        p.Rlc_experiments.Sweeps.l_crit;
+        p.Rlc_experiments.Sweeps.h_ratio;
+        p.Rlc_experiments.Sweeps.k_ratio;
+        p.Rlc_experiments.Sweeps.delay_ratio;
+        p.Rlc_experiments.Sweeps.rc_sized_penalty;
+      ])
+    s.Rlc_experiments.Sweeps.points
+
+let stats_signature (s : Rlc_core.Variation.stats) =
+  [
+    s.Rlc_core.Variation.mean; s.Rlc_core.Variation.stddev;
+    s.Rlc_core.Variation.min; s.Rlc_core.Variation.max;
+    s.Rlc_core.Variation.p95;
+  ]
+
+let write_parallel_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"description\": \"Pool.map domain scaling on the Fig 4-8 inductance \
+     sweep and a 512-sample Monte-Carlo (Variation.delay_statistics, fixed \
+     seed). Results are asserted bit-identical across domain counts; times \
+     in seconds.\",\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"runs\": [\n"
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"case\": \"%s\", \"domains\": %d, \"s\": %.6f, \"speedup\": \
+         %.2f, \"bit_identical\": %b}%s\n"
+        r.p_name r.p_domains r.p_s r.p_speedup r.p_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_parallel_bench ~json =
+  section "Parallel: domain scaling (Fig 4-8 sweep + 512-sample Monte-Carlo)";
+  let node = Rlc_tech.Presets.node_100nm in
+  let rc = Rlc_core.Rc_opt.optimize node in
+  let h = rc.Rlc_core.Rc_opt.h_opt and k = rc.Rlc_core.Rc_opt.k_opt in
+  let dist = Rlc_core.Variation.default_distribution node in
+  let cases =
+    [
+      ( "fig4-8-sweep",
+        fun p ->
+          sweep_signature (Rlc_experiments.Sweeps.run ~pool:p ~n:21 node) );
+      ( "monte-carlo-512",
+        fun p ->
+          stats_signature
+            (Rlc_core.Variation.delay_statistics ~pool:p ~seed:42 ~n:512 node
+               ~h ~k dist) );
+    ]
+  in
+  Printf.printf "%16s %8s %10s %9s %14s\n" "case" "domains" "wall [s]"
+    "speedup" "bit-identical";
+  let rows =
+    List.concat_map
+      (fun (name, work) ->
+        let reference, base_s =
+          wall (fun () -> work (Rlc_parallel.Pool.create ~domains:1 ()))
+        in
+        let ref_bits = List.map Int64.bits_of_float reference in
+        List.map
+          (fun domains ->
+            let result, s =
+              if domains = 1 then (reference, base_s)
+              else wall (fun () -> work (Rlc_parallel.Pool.create ~domains ()))
+            in
+            let identical =
+              List.equal Int64.equal ref_bits
+                (List.map Int64.bits_of_float result)
+            in
+            let row =
+              {
+                p_name = name;
+                p_domains = domains;
+                p_s = s;
+                p_speedup = base_s /. s;
+                p_identical = identical;
+              }
+            in
+            Printf.printf "%16s %8d %10.5f %8.2fx %14s\n" row.p_name
+              row.p_domains row.p_s row.p_speedup
+              (if identical then "yes" else "NO");
+            row)
+          [ 1; 2; 4 ])
+      cases
+  in
+  List.iter
+    (fun r ->
+      if not r.p_identical then
+        failwith
+          (Printf.sprintf
+             "parallel bench: %s at %d domains is not bit-identical to the \
+              sequential run"
+             r.p_name r.p_domains))
+    rows;
+  if Domain.recommended_domain_count () >= 4 then begin
+    let worst =
+      List.fold_left
+        (fun acc r -> if r.p_domains = 4 then Float.min acc r.p_speedup else acc)
+        infinity rows
+    in
+    if worst < 2.0 then
+      failwith
+        (Printf.sprintf
+           "parallel bench: %.2fx speedup at 4 domains below the 2x target"
+           worst)
+  end
+  else
+    Printf.printf
+      "\n[only %d recommended domain(s) on this machine: speedup target not \
+       asserted; determinism was]\n"
+      (Domain.recommended_domain_count ());
+  (match json with
+  | Some path ->
+      write_parallel_json path rows;
+      Printf.printf "\nrecorded baseline in %s\n" path
+  | None -> ());
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel kernel timings: one Test.make per table/figure kernel      *)
@@ -433,25 +615,29 @@ let run_bechamel () =
 
 let run_extensions () =
   section "Extensions & ablations (beyond the paper)";
-  Rlc_experiments.Extensions.print_all_fast ();
+  Rlc_experiments.Extensions.print_all_fast ~pool ();
   if not fast then begin
     print_newline ();
-    Rlc_experiments.Extensions.print_chain ()
+    Rlc_experiments.Extensions.print_chain ~pool ()
   end
 
 let () =
   if smoke then begin
-    (* tiny, fast (<~2 s) cross-check of the backend-selection machinery;
-       wired into `dune runtest` / `make bench-smoke` *)
+    (* tiny, fast (<~2 s) cross-check of the backend-selection machinery
+       and the parallel pool's determinism; wired into `dune runtest` /
+       `make bench-smoke` *)
     let rows = run_ladder_scaling ~sizes:[ 10; 24 ] ~steps:200 ~json:None in
     if List.exists (fun r -> r.max_diff > 1e-9) rows then exit 1;
     ignore (run_mor_bench ~json:(Some "BENCH_mor.json"));
+    ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
     print_endline "\nbench smoke OK"
   end
   else begin
     Printf.printf
       "RLC interconnect performance-optimization reproduction -- benchmark \
-       harness\n";
+       harness (%d worker domain%s)\n"
+      jobs
+      (if jobs = 1 then "" else "s");
     run_table1 ();
     run_fig2 ();
     run_sweep_figs ();
@@ -464,6 +650,7 @@ let () =
       (run_ladder_scaling ~sizes:[ 50; 200; 800 ] ~steps:1000
          ~json:(Some "BENCH_transient.json"));
     ignore (run_mor_bench ~json:(Some "BENCH_mor.json"));
+    ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
     run_extensions ();
     if not no_bechamel then run_bechamel ()
   end

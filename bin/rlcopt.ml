@@ -24,6 +24,18 @@ let node_arg =
     & info [ "n"; "node" ] ~docv:"NODE"
         ~doc:"Technology node: 250nm, 100nm or 100nm-c250.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Rlc_parallel.Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel fan-outs (default: \
+           $(b,RLC_JOBS) or the machine's recommended domain count). \
+           Results are bit-identical for any value.")
+
+let pool_of_jobs jobs = Rlc_parallel.Pool.create ~domains:jobs ()
+
 let l_arg =
   Arg.(
     value
@@ -122,8 +134,9 @@ let sweep_cmd =
       & opt int 21
       & info [ "points" ] ~docv:"N" ~doc:"Number of sweep points.")
   in
-  let run node n =
-    let sweep = Rlc_experiments.Sweeps.run ~n node in
+  let run node n jobs =
+    let pool = pool_of_jobs jobs in
+    let sweep = Rlc_experiments.Sweeps.run ~pool ~n node in
     Rlc_experiments.Sweeps.print_fig5 [ sweep ];
     Rlc_experiments.Sweeps.print_fig6 [ sweep ];
     Rlc_experiments.Sweeps.print_fig7 [ sweep ];
@@ -132,15 +145,18 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Sweep line inductance and print the optimization ratios.")
-    Term.(const run $ node_arg $ n_arg)
+    Term.(const run $ node_arg $ n_arg $ jobs_arg)
 
 (* ---- table1 ---- *)
 
 let table1_cmd =
-  let run () = Rlc_experiments.Table1.print (Rlc_experiments.Table1.compute ()) in
+  let run jobs =
+    Rlc_experiments.Table1.print
+      (Rlc_experiments.Table1.compute ~pool:(pool_of_jobs jobs) ())
+  in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate Table 1 of the paper.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* ---- ring ---- *)
 
@@ -151,11 +167,12 @@ let ring_cmd =
       & opt int 12
       & info [ "segments" ] ~docv:"N" ~doc:"Ladder sections per line.")
   in
-  let run node l_nh segments =
+  let run node l_nh segments jobs =
     let l = Rlc_tech.Units.nh_per_mm l_nh in
     let case =
       List.hd
-        (Rlc_experiments.Ring_figs.waveforms ~node ~segments ~l_values:[ l ] ())
+        (Rlc_experiments.Ring_figs.waveforms ~pool:(pool_of_jobs jobs) ~node
+           ~segments ~l_values:[ l ] ())
     in
     Rlc_experiments.Ring_figs.print_waveform_case case;
     let m = case.Rlc_experiments.Ring_figs.measurement in
@@ -167,7 +184,7 @@ let ring_cmd =
   Cmd.v
     (Cmd.info "ring"
        ~doc:"Simulate the five-stage ring oscillator at one inductance.")
-    Term.(const run $ node_arg $ l_arg $ segments_arg)
+    Term.(const run $ node_arg $ l_arg $ segments_arg $ jobs_arg)
 
 (* ---- extract ---- *)
 
@@ -289,11 +306,14 @@ let buffer_tree_cmd =
     Term.(const run $ node_arg)
 
 let variation_cmd =
-  let run node = Rlc_experiments.Extensions.print_variation ~node () in
+  let run node jobs =
+    Rlc_experiments.Extensions.print_variation ~pool:(pool_of_jobs jobs) ~node
+      ()
+  in
   Cmd.v
     (Cmd.info "variation"
        ~doc:"Delay statistics under inductance/Miller/driver variation.")
-    Term.(const run $ node_arg)
+    Term.(const run $ node_arg $ jobs_arg)
 
 let main_cmd =
   let info =

@@ -25,6 +25,17 @@ let ac_arg =
           "Run the deck's .ac small-signal sweep instead of the transient \
            analysis; probed node voltages become Bode responses.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Rlc_parallel.Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel fan-outs (AC frequency points; \
+           speculative steps of the adaptive transient). Default: \
+           $(b,RLC_JOBS) or the machine's recommended domain count. \
+           Results are bit-identical for any value.")
+
 let probe_label deck = function
   | Rlc_circuit.Transient.Node_v n ->
       Printf.sprintf "v(%s)"
@@ -46,8 +57,11 @@ let summarize deck result probe =
       (Rlc_waveform.Measure.rms w)
   end
 
-let run_transient deck csv =
-  let result = Rlc_circuit.Parser.run deck in
+let run_transient deck pool csv =
+  let config =
+    { Rlc_circuit.Transient.Config.default with pool = Some pool }
+  in
+  let result = Rlc_circuit.Parser.run ~config deck in
   Printf.printf "transient: %d steps\n\n"
     (Rlc_circuit.Transient.steps_taken result);
   List.iter (summarize deck result) deck.Rlc_circuit.Parser.probes;
@@ -72,7 +86,7 @@ let run_transient deck csv =
         ~rows;
       Printf.printf "\nwrote %s\n" path
 
-let run_ac deck csv =
+let run_ac deck pool csv =
   let open Rlc_circuit in
   let spec =
     match deck.Parser.ac with
@@ -112,7 +126,7 @@ let run_ac deck csv =
     List.map
       (fun (label, node) ->
         let output = Mna.output_of_node m node in
-        (label, Ac.bode m ~input:0 ~output ~freqs))
+        (label, Ac.bode ~pool m ~input:0 ~output ~freqs))
       node_probes
   in
   List.iter
@@ -143,7 +157,8 @@ let run_ac deck csv =
       Rlc_report.Csv.write ~path ~header ~rows;
       Printf.printf "\nwrote %s\n" path
 
-let run file ac csv =
+let run file ac jobs csv =
+  let pool = Rlc_parallel.Pool.create ~domains:jobs () in
   match Rlc_circuit.Parser.parse_file file with
   | exception Rlc_circuit.Parser.Parse_error (line, msg) ->
       Printf.eprintf "%s:%d: %s\n" file line msg;
@@ -152,12 +167,12 @@ let run file ac csv =
       (match deck.Rlc_circuit.Parser.title with
       | Some t -> Printf.printf "* %s\n" t
       | None -> ());
-      if ac then run_ac deck csv else run_transient deck csv
+      if ac then run_ac deck pool csv else run_transient deck pool csv
 
 let cmd =
   Cmd.v
     (Cmd.info "rlcsim" ~version:"1.0.0"
        ~doc:"Transient and AC simulation of SPICE-flavoured RLC netlists.")
-    Term.(const run $ file_arg $ ac_arg $ csv_arg)
+    Term.(const run $ file_arg $ ac_arg $ jobs_arg $ csv_arg)
 
 let () = exit (Cmd.eval cmd)

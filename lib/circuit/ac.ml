@@ -33,5 +33,10 @@ let point_of ~freq h =
     phase_deg = Float.atan2 (Cx.im h) (Cx.re h) *. 180.0 /. Float.pi;
   }
 
-let bode mna ~input ~output ~freqs =
-  Array.map (fun f -> point_of ~freq:f (transfer mna ~input ~output f)) freqs
+let bode ?pool mna ~input ~output ~freqs =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
+  Rlc_parallel.Pool.map pool
+    (fun f -> point_of ~freq:f (transfer mna ~input ~output f))
+    freqs

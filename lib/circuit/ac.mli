@@ -32,9 +32,13 @@ val point_of : freq:float -> Cx.t -> point
     one complex response value. *)
 
 val bode :
+  ?pool:Rlc_parallel.Pool.t ->
   Mna.t ->
   input:int ->
   output:float array ->
   freqs:float array ->
   point array
-(** One Bode point per frequency for a single output selector. *)
+(** One Bode point per frequency for a single output selector.  Each
+    frequency is an independent complex factorisation; [pool] fans them
+    out with points slotted back in [freqs] order (bit-identical for
+    any domain count). *)

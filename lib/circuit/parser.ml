@@ -409,9 +409,9 @@ let parse_file path =
       let len = in_channel_length ic in
       parse_string (really_input_string ic len))
 
-let run deck =
+let run ?config deck =
   match deck.tran with
   | None -> invalid_arg "Parser.run: deck has no .tran card"
   | Some (dt, t_end) ->
       if deck.probes = [] then invalid_arg "Parser.run: deck has no probes";
-      Transient.run deck.netlist ~t_end ~dt ~probes:deck.probes
+      Transient.simulate ?config deck.netlist ~t_end ~dt ~probes:deck.probes

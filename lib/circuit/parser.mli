@@ -55,6 +55,7 @@ val parse_value : string -> float
 (** Parse one SPICE number ("4.4k", "100p", "2.5pF", "1meg") — exposed
     for tests.  Raises [Failure] on malformed input. *)
 
-val run : deck -> Transient.result
-(** Run the deck's transient analysis.  Raises [Invalid_argument] when
-    the deck has no [.tran] card or no probes. *)
+val run : ?config:Transient.Config.t -> deck -> Transient.result
+(** Run the deck's transient analysis with [config] (default
+    {!Transient.Config.default}).  Raises [Invalid_argument] when the
+    deck has no [.tran] card or no probes. *)

@@ -14,9 +14,11 @@ type t =
 
 let validate = function
   | Dc _ -> ()
-  | Step { t_rise; _ } ->
+  | Step { t_delay; t_rise; _ } ->
+      if t_delay < 0.0 then invalid_arg "Stimulus: step t_delay < 0";
       if t_rise <= 0.0 then invalid_arg "Stimulus: step t_rise <= 0"
-  | Pulse { t_rise; t_fall; t_high; period; _ } ->
+  | Pulse { t_delay; t_rise; t_fall; t_high; period; _ } ->
+      if t_delay < 0.0 then invalid_arg "Stimulus: pulse t_delay < 0";
       if t_rise <= 0.0 || t_fall <= 0.0 then
         invalid_arg "Stimulus: pulse edge <= 0";
       if t_high < 0.0 then invalid_arg "Stimulus: pulse t_high < 0";
@@ -25,6 +27,10 @@ let validate = function
         invalid_arg "Stimulus: pulse does not fit its period"
   | Pwl corners ->
       if List.length corners < 1 then invalid_arg "Stimulus: empty PWL";
+      (match corners with
+      | (t0, _) :: _ when t0 < 0.0 ->
+          invalid_arg "Stimulus: PWL starts before t = 0"
+      | _ -> ());
       let rec check = function
         | (t0, _) :: ((t1, _) :: _ as rest) ->
             if t1 <= t0 then invalid_arg "Stimulus: PWL times not increasing";

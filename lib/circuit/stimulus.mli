@@ -26,5 +26,6 @@ val square_wave : vdd:float -> period:float -> ?t_rise:float -> unit -> t
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on malformed descriptions (non-positive
-    rise times or periods, non-increasing PWL corners, pulse that does
-    not fit its period). *)
+    rise times or periods, negative [t_delay] on [Step]/[Pulse], a PWL
+    first corner before t = 0, non-increasing PWL corners, pulse that
+    does not fit its period). *)

@@ -6,6 +6,33 @@ type backend = Auto | Dense | Banded
 
 type probe = Node_v of Netlist.node | Branch_i of string
 
+module Config = struct
+  type t = {
+    integration : integration;
+    backend : backend;
+    max_state_iterations : int;
+    record_every : int;
+    initial_voltages : (Netlist.node * float) list;
+    rtol : float;
+    atol : float;
+    dt_min : float option;
+    pool : Rlc_parallel.Pool.t option;
+  }
+
+  let default =
+    {
+      integration = Trapezoidal;
+      backend = Auto;
+      max_state_iterations = 8;
+      record_every = 1;
+      initial_voltages = [];
+      rtol = 1e-3;
+      atol = 1e-6;
+      dt_min = None;
+      pool = None;
+    }
+end
+
 (* Desugared element with per-element state indices. *)
 type compiled =
   | Cr of { a : int; b : int; g : float }
@@ -228,8 +255,10 @@ let stamp ~compiled ~n_nodes meth dt ~add =
    RC/RLC ladders have kl = ku of 2-3 independent of length. *)
 let banded_pays m kl ku = m >= 12 && 3 * (kl + ku + 1) <= m
 
-let make_engine ?(max_state_iterations = 8) ?(initial_voltages = [])
-    ?(backend = Auto) netlist =
+let make_engine (config : Config.t) netlist =
+  let max_state_iterations = config.Config.max_state_iterations in
+  let initial_voltages = config.Config.initial_voltages in
+  let backend = config.Config.backend in
   if max_state_iterations < 1 then
     invalid_arg "Transient: max_state_iterations < 1";
   let n_nodes = Netlist.node_count netlist in
@@ -581,14 +610,13 @@ let validate_probes eng probes =
 
 (* ---------------- fixed-step driver ---------------- *)
 
-let run ?(integration = Trapezoidal) ?initial_voltages ?max_state_iterations
-    ?(record_every = 1) ?backend netlist ~t_end ~dt ~probes =
+let simulate ?(config = Config.default) netlist ~t_end ~dt ~probes =
+  let integration = config.Config.integration in
+  let record_every = config.Config.record_every in
   if t_end <= 0.0 then invalid_arg "Transient.run: t_end <= 0";
   if dt <= 0.0 || dt >= t_end then invalid_arg "Transient.run: bad dt";
   if record_every < 1 then invalid_arg "Transient.run: record_every < 1";
-  let eng =
-    make_engine ?max_state_iterations ?initial_voltages ?backend netlist
-  in
+  let eng = make_engine config netlist in
   validate_probes eng probes;
   let n_steps = int_of_float (Float.ceil (t_end /. dt)) in
   let n_records = (n_steps / record_every) + 1 in
@@ -627,22 +655,32 @@ let run ?(integration = Trapezoidal) ?initial_voltages ?max_state_iterations
 
 (* ---------------- adaptive driver ---------------- *)
 
-let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
-    ?(atol = 1e-6) ?dt_min ?backend netlist ~t_end ~dt_max ~probes =
+let simulate_adaptive ?(config = Config.default) netlist ~t_end ~dt_max
+    ~probes =
+  let rtol = config.Config.rtol and atol = config.Config.atol in
   if t_end <= 0.0 then invalid_arg "Transient.run_adaptive: t_end <= 0";
   if dt_max <= 0.0 || dt_max >= t_end then
     invalid_arg "Transient.run_adaptive: bad dt_max";
   if rtol <= 0.0 || atol <= 0.0 then
     invalid_arg "Transient.run_adaptive: tolerances must be positive";
   let dt_min =
-    match dt_min with Some d -> d | None -> dt_max /. 4096.0
+    match config.Config.dt_min with Some d -> d | None -> dt_max /. 4096.0
   in
   if dt_min <= 0.0 || dt_min > dt_max then
     invalid_arg "Transient.run_adaptive: bad dt_min";
-  let eng =
-    make_engine ?max_state_iterations ?initial_voltages ?backend netlist
-  in
+  let eng = make_engine config netlist in
   validate_probes eng probes;
+  (* With a pool of capacity >= 2 the speculative full step of the
+     step-doubling control runs on a mirror engine (same netlist, same
+     ordering, hence bit-identical factors) in a second domain, while
+     this domain takes the two half steps.  The error estimate and
+     every committed state are the same floats either way. *)
+  let mirror =
+    match config.Config.pool with
+    | Some p when Rlc_parallel.Pool.domains p >= 2 ->
+        Some (p, make_engine config netlist)
+    | Some _ | None -> None
+  in
   (* Step-doubling error control: one dt step vs two dt/2 steps, both
      trapezoidal.  dt is tracked as a level k with dt = dt_max / 2^k,
      so every step (except a final partial one reaching exactly t_end)
@@ -671,16 +709,30 @@ let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
     let dt_now = if dt_level > remaining then remaining else dt_level in
     let t_next = !t +. dt_now in
     let meth = if !first then Backward_euler else Trapezoidal in
-    (* full step *)
     blit_state ~src:eng.state ~dst:saved;
-    advance eng meth dt_now t_next;
-    Array.blit eng.state.v 0 v_full 0 eng.n_nodes;
-    (* two half steps from the saved state *)
-    blit_state ~src:saved ~dst:eng.state;
-    advance eng meth (dt_now /. 2.0) (!t +. (dt_now /. 2.0));
-    advance eng
-      (if !first then Backward_euler else Trapezoidal)
-      (dt_now /. 2.0) t_next;
+    (match mirror with
+    | None ->
+        (* full step *)
+        advance eng meth dt_now t_next;
+        Array.blit eng.state.v 0 v_full 0 eng.n_nodes;
+        (* two half steps from the saved state *)
+        blit_state ~src:saved ~dst:eng.state;
+        advance eng meth (dt_now /. 2.0) (!t +. (dt_now /. 2.0));
+        advance eng
+          (if !first then Backward_euler else Trapezoidal)
+          (dt_now /. 2.0) t_next
+    | Some (p, meng) ->
+        blit_state ~src:eng.state ~dst:meng.state;
+        let (), () =
+          Rlc_parallel.Pool.both p
+            (fun () -> advance meng meth dt_now t_next)
+            (fun () ->
+              advance eng meth (dt_now /. 2.0) (!t +. (dt_now /. 2.0));
+              advance eng
+                (if !first then Backward_euler else Trapezoidal)
+                (dt_now /. 2.0) t_next)
+        in
+        Array.blit meng.state.v 0 v_full 0 eng.n_nodes);
     (* error estimate over node voltages *)
     let err = ref 0.0 in
     for node = 1 to eng.n_nodes - 1 do
@@ -703,6 +755,17 @@ let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
       level := Int.min k_max (!level + 1)
     end
   done;
+  (* fold the mirror engine's diagnostics in, so the pooled run reports
+     the same amount of work (its cache is separate, so
+     lu_factorizations can exceed the sequential count) *)
+  (match mirror with
+  | Some (_, meng) ->
+      Array.iteri
+        (fun i v -> eng.histogram.(i) <- eng.histogram.(i) + v)
+        meng.histogram;
+      eng.nonconverged <- eng.nonconverged + meng.nonconverged;
+      eng.factorizations <- eng.factorizations + meng.factorizations
+  | None -> ());
   let time = Array.of_list (List.rev !times) in
   {
     time;
@@ -715,3 +778,43 @@ let run_adaptive ?initial_voltages ?max_state_iterations ?(rtol = 1e-3)
     nonconverged_steps = eng.nonconverged;
     lu_factorizations = eng.factorizations;
   }
+
+(* ---------------- deprecated labelled wrappers ---------------- *)
+
+let run ?integration ?initial_voltages ?max_state_iterations ?record_every
+    ?backend netlist ~t_end ~dt ~probes =
+  let d = Config.default in
+  let config =
+    {
+      d with
+      Config.integration =
+        Option.value ~default:d.Config.integration integration;
+      backend = Option.value ~default:d.Config.backend backend;
+      max_state_iterations =
+        Option.value ~default:d.Config.max_state_iterations
+          max_state_iterations;
+      record_every = Option.value ~default:d.Config.record_every record_every;
+      initial_voltages =
+        Option.value ~default:d.Config.initial_voltages initial_voltages;
+    }
+  in
+  simulate ~config netlist ~t_end ~dt ~probes
+
+let run_adaptive ?initial_voltages ?max_state_iterations ?rtol ?atol ?dt_min
+    ?backend netlist ~t_end ~dt_max ~probes =
+  let d = Config.default in
+  let config =
+    {
+      d with
+      Config.backend = Option.value ~default:d.Config.backend backend;
+      max_state_iterations =
+        Option.value ~default:d.Config.max_state_iterations
+          max_state_iterations;
+      initial_voltages =
+        Option.value ~default:d.Config.initial_voltages initial_voltages;
+      rtol = Option.value ~default:d.Config.rtol rtol;
+      atol = Option.value ~default:d.Config.atol atol;
+      dt_min = (match dt_min with Some _ -> dt_min | None -> d.Config.dt_min);
+    }
+  in
+  simulate_adaptive ~config netlist ~t_end ~dt_max ~probes

@@ -34,6 +34,72 @@ type probe =
 
 type result
 
+(** Engine configuration as a single record instead of a growing spread
+    of optional labels.  Build one with functional record update:
+
+    {[
+      let cfg = { Transient.Config.default with backend = Banded;
+                  record_every = 10 } in
+      Transient.simulate ~config:cfg nl ~t_end ~dt ~probes
+    ]} *)
+module Config : sig
+  type t = {
+    integration : integration;  (** fixed-step method (default
+        [Trapezoidal]); the first step is always backward Euler *)
+    backend : backend;  (** factorisation kernel (default [Auto]) *)
+    max_state_iterations : int;  (** inverter fixed-point cap
+        (default 8) *)
+    record_every : int;  (** sample decimation, fixed-step only
+        (default 1) *)
+    initial_voltages : (Netlist.node * float) list;
+        (** unlisted nodes start at 0 V *)
+    rtol : float;  (** adaptive relative tolerance (default 1e-3) *)
+    atol : float;  (** adaptive absolute tolerance, volts/amps
+        (default 1e-6) *)
+    dt_min : float option;  (** adaptive step floor
+        (default [dt_max /. 4096.]) *)
+    pool : Rlc_parallel.Pool.t option;
+        (** when given with capacity >= 2, {!simulate_adaptive}
+            evaluates the speculative full step of its step-doubling
+            error control on a second domain, concurrently with the
+            two half steps.  Waveforms, accepted/rejected step counts
+            and final voltages are bit-identical with or without the
+            pool; only the {!lu_factorizations} diagnostic may differ
+            (the two engines keep separate caches). *)
+  }
+
+  val default : t
+end
+
+val simulate :
+  ?config:Config.t ->
+  Netlist.t ->
+  t_end:float ->
+  dt:float ->
+  probes:probe list ->
+  result
+(** Simulate from t = 0 to [t_end] with fixed step [dt].  Unlisted
+    initial node voltages start at 0; branch currents start at 0.
+    Raises [Invalid_argument] for nonsensical parameters or unknown
+    probe names, [Failure] if the MNA matrix is singular. *)
+
+val simulate_adaptive :
+  ?config:Config.t ->
+  Netlist.t ->
+  t_end:float ->
+  dt_max:float ->
+  probes:probe list ->
+  result
+(** Variable-step transient with step-doubling error control: each
+    candidate step is computed once at [dt] and once as two [dt/2]
+    trapezoidal steps; their per-node difference against
+    [atol + rtol * |v|] accepts, shrinks or grows the step.  Step
+    sizes are tracked as levels on the dt_max / 2^k grid (k bounded by
+    [dt_min]) so MNA factorisations are reused; only the final partial
+    step reaching exactly [t_end] may leave the grid.
+    The result's time axis is non-uniform; [rejected_steps] counts
+    error-control rollbacks. *)
+
 val run :
   ?integration:integration ->
   ?initial_voltages:(Netlist.node * float) list ->
@@ -45,12 +111,8 @@ val run :
   dt:float ->
   probes:probe list ->
   result
-(** Simulate from t = 0 to [t_end] with step [dt].  Unlisted initial
-    node voltages start at 0; branch currents start at 0.
-    [record_every] (default 1) decimates the stored samples.
-    [backend] (default [Auto]) selects the factorisation kernel.
-    Raises [Invalid_argument] for nonsensical parameters or unknown
-    probe names, [Failure] if the MNA matrix is singular. *)
+(** @deprecated Thin wrapper over {!simulate} kept so existing callers
+    don't break; new code should build a {!Config.t}. *)
 
 val run_adaptive :
   ?initial_voltages:(Netlist.node * float) list ->
@@ -64,16 +126,8 @@ val run_adaptive :
   dt_max:float ->
   probes:probe list ->
   result
-(** Variable-step transient with step-doubling error control: each
-    candidate step is computed once at [dt] and once as two [dt/2]
-    trapezoidal steps; their per-node difference against
-    [atol + rtol * |v|] accepts, shrinks or grows the step.  Step
-    sizes are tracked as levels on the dt_max / 2^k grid (k bounded by
-    [dt_min]) so MNA factorisations are reused; only the final partial
-    step reaching exactly [t_end] may leave the grid.
-    Defaults: rtol 1e-3, atol 1e-6 (volts/amps), dt_min = dt_max/4096.
-    The result's time axis is non-uniform; [rejected_steps] counts
-    error-control rollbacks. *)
+(** @deprecated Thin wrapper over {!simulate_adaptive} kept so existing
+    callers don't break; new code should build a {!Config.t}. *)
 
 val time : result -> float array
 

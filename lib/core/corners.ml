@@ -48,8 +48,11 @@ let apply node corner ~h ~k =
   in
   Stage.make ~line ~driver ~h ~k
 
-let evaluate ?f ?(corners = standard_set) node ~h ~k =
-  List.map
+let evaluate ?pool ?f ?(corners = standard_set) node ~h ~k =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
+  Rlc_parallel.Pool.map_list pool
     (fun corner ->
       let stage = apply node corner ~h ~k in
       let cs = Pade.coeffs stage in
@@ -61,8 +64,8 @@ let evaluate ?f ?(corners = standard_set) node ~h ~k =
       })
     corners
 
-let delay_window ?f ?corners node ~h ~k =
-  match evaluate ?f ?corners node ~h ~k with
+let delay_window ?pool ?f ?corners node ~h ~k =
+  match evaluate ?pool ?f ?corners node ~h ~k with
   | [] -> invalid_arg "Corners.delay_window: no corners"
   | e :: rest ->
       List.fold_left

@@ -39,11 +39,13 @@ val apply : Rlc_tech.Node.t -> corner -> h:float -> k:float -> Stage.t
 (** The stage a corner produces for a fixed design. *)
 
 val evaluate :
-  ?f:float -> ?corners:corner list -> Rlc_tech.Node.t -> h:float ->
-  k:float -> evaluation list
-(** Evaluate a design over [corners] (default {!standard_set}). *)
+  ?pool:Rlc_parallel.Pool.t -> ?f:float -> ?corners:corner list ->
+  Rlc_tech.Node.t -> h:float -> k:float -> evaluation list
+(** Evaluate a design over [corners] (default {!standard_set}),
+    one corner per pool slot when [pool] is given (order and floats
+    independent of the domain count). *)
 
 val delay_window :
-  ?f:float -> ?corners:corner list -> Rlc_tech.Node.t -> h:float ->
-  k:float -> float * float
+  ?pool:Rlc_parallel.Pool.t -> ?f:float -> ?corners:corner list ->
+  Rlc_tech.Node.t -> h:float -> k:float -> float * float
 (** (best, worst) delay/length over the corner set. *)

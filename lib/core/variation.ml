@@ -77,23 +77,24 @@ let stats_of array =
     p95 = Rlc_numerics.Stats.percentile array 95.0;
   }
 
-let delay_statistics ?seed ?(n = 500) ?f node ~h ~k dist =
-  let samples = draw ?seed ~n node dist in
-  let delays =
-    Array.of_list
-      (List.map (fun s -> stage_delay_of_sample ?f node ~h ~k s /. h) samples)
+(* Sampling stays sequential (one PRNG stream); only the per-sample
+   delay evaluations fan out.  Results land in the array by sample
+   index, so the statistics are bit-identical for any domain count. *)
+let sample_delays ?pool ?f node ~h ~k samples =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
   in
-  stats_of delays
+  Rlc_parallel.Pool.map pool
+    (fun s -> stage_delay_of_sample ?f node ~h ~k s /. h)
+    (Array.of_list samples)
 
-let compare_sizings ?seed ?(n = 500) ?f node dist candidates =
+let delay_statistics ?pool ?seed ?(n = 500) ?f node ~h ~k dist =
+  let samples = draw ?seed ~n node dist in
+  stats_of (sample_delays ?pool ?f node ~h ~k samples)
+
+let compare_sizings ?pool ?seed ?(n = 500) ?f node dist candidates =
   let samples = draw ?seed ~n node dist in
   List.map
     (fun (name, h, k) ->
-      let delays =
-        Array.of_list
-          (List.map
-             (fun s -> stage_delay_of_sample ?f node ~h ~k s /. h)
-             samples)
-      in
-      (name, stats_of delays))
+      (name, stats_of (sample_delays ?pool ?f node ~h ~k samples)))
     candidates

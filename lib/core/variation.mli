@@ -42,12 +42,16 @@ type stats = {
 }
 
 val delay_statistics :
-  ?seed:int -> ?n:int -> ?f:float -> Rlc_tech.Node.t -> h:float -> k:float ->
-  distribution -> stats
-(** Delay-per-unit-length statistics over [n] (default 500) samples. *)
+  ?pool:Rlc_parallel.Pool.t -> ?seed:int -> ?n:int -> ?f:float ->
+  Rlc_tech.Node.t -> h:float -> k:float -> distribution -> stats
+(** Delay-per-unit-length statistics over [n] (default 500) samples.
+    Sampling is sequential (one PRNG stream); the per-sample delay
+    solves fan out over [pool] when given, with bit-identical results
+    for any domain count. *)
 
 val compare_sizings :
-  ?seed:int -> ?n:int -> ?f:float -> Rlc_tech.Node.t -> distribution ->
+  ?pool:Rlc_parallel.Pool.t -> ?seed:int -> ?n:int -> ?f:float ->
+  Rlc_tech.Node.t -> distribution ->
   (string * float * float) list -> (string * stats) list
 (** Evaluate several named (h, k) candidates on the SAME sample set —
     e.g. RC-sized vs mid-range-RLC-sized — so their distributions are

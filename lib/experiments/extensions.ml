@@ -131,13 +131,13 @@ let print_crosstalk ?(node = default_node) () =
     [ 0.5; 1.0; 2.0; 3.0; 5.0 ];
   Rlc_report.Table.print t
 
-let print_variation ?(node = default_node) () =
+let print_variation ?pool ?ppf ?(node = default_node) () =
   let rc = Rlc_core.Rc_opt.optimize node in
   let mid_l = 0.5 *. node.Rlc_tech.Node.l_max in
   let mid = Rlc_core.Rlc_opt.optimize node ~l:mid_l in
   let dist = Rlc_core.Variation.default_distribution node in
   let results =
-    Rlc_core.Variation.compare_sizings node dist
+    Rlc_core.Variation.compare_sizings ?pool node dist
       [
         ("rc-sized", rc.Rlc_core.Rc_opt.h_opt, rc.Rlc_core.Rc_opt.k_opt);
         ("rlc-mid-l", mid.Rlc_core.Rlc_opt.h, mid.Rlc_core.Rlc_opt.k);
@@ -162,7 +162,7 @@ let print_variation ?(node = default_node) () =
           Printf.sprintf "%.2f" (s.Rlc_core.Variation.max *. 1e9);
         ])
     results;
-  Rlc_report.Table.print t
+  Rlc_report.Table.print ?ppf t
 
 let print_wire_sizing ?(node = default_node) () =
   let t =
@@ -365,7 +365,7 @@ let print_clock_skew ?(node = default_node) () =
     [ 0.0; 0.5; 1.0; 2.0; 3.0 ];
   Rlc_report.Table.print t
 
-let print_corners ?(node = default_node) () =
+let print_corners ?pool ?ppf ?(node = default_node) () =
   let rc = Rlc_core.Rc_opt.optimize node in
   let h = rc.Rlc_core.Rc_opt.h_opt and k = rc.Rlc_core.Rc_opt.k_opt in
   let t =
@@ -385,11 +385,11 @@ let print_corners ?(node = default_node) () =
           Printf.sprintf "%.1f" (e.Rlc_core.Corners.overshoot *. 100.0);
           (if e.Rlc_core.Corners.underdamped then "yes" else "no");
         ])
-    (Rlc_core.Corners.evaluate node ~h ~k);
-  let lo, hi = Rlc_core.Corners.delay_window node ~h ~k in
-  Rlc_report.Table.print t;
-  Printf.printf "corner delay window: %.2f .. %.2f ps/mm (%.0f%%)\n"
-    (lo *. 1e9) (hi *. 1e9)
+    (Rlc_core.Corners.evaluate ?pool node ~h ~k);
+  let lo, hi = Rlc_core.Corners.delay_window ?pool node ~h ~k in
+  Rlc_report.Table.print ?ppf t;
+  Rlc_report.Report.line ?ppf
+    "corner delay window: %.2f .. %.2f ps/mm (%.0f%%)" (lo *. 1e9) (hi *. 1e9)
     ((hi /. lo -. 1.0) *. 100.0)
 
 let print_bus ?(node = default_node) () =
@@ -595,8 +595,11 @@ let print_eye ?(node = default_node) () =
     [ 0.0; 1.0; 2.0; 3.0; 5.0 ];
   Rlc_report.Table.print t
 
-let print_chain ?(node = default_node)
+let print_chain ?pool ?ppf ?(node = default_node)
     ?(l_values = [ 0.0; 2.0e-6; 4.0e-6 ]) () =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
   let t =
     Rlc_report.Table.create
       ~title:
@@ -606,10 +609,15 @@ let print_chain ?(node = default_node)
       ~columns:
         [ "l (nH/mm)"; "input edges"; "output edges"; "false switching" ]
   in
+  let checks =
+    Rlc_parallel.Pool.map_list pool
+      (fun l ->
+        let cfg = Rlc_ringosc.Chain.rc_sized_config ~segments:10 node ~l in
+        (l, Rlc_ringosc.Chain.check (Rlc_ringosc.Chain.simulate cfg)))
+      l_values
+  in
   List.iter
-    (fun l ->
-      let cfg = Rlc_ringosc.Chain.rc_sized_config ~segments:10 node ~l in
-      let v = Rlc_ringosc.Chain.check (Rlc_ringosc.Chain.simulate cfg) in
+    (fun (l, v) ->
       Rlc_report.Table.add_row t
         [
           Printf.sprintf "%.1f" (l *. 1e6);
@@ -617,17 +625,17 @@ let print_chain ?(node = default_node)
           string_of_int v.Rlc_ringosc.Chain.output_edges;
           (if v.Rlc_ringosc.Chain.false_switching then "YES" else "no");
         ])
-    l_values;
-  Rlc_report.Table.print t
+    checks;
+  Rlc_report.Table.print ?ppf t
 
-let print_all_fast () =
+let print_all_fast ?pool () =
   print_model_accuracy ();
   print_newline ();
   print_power_pareto ();
   print_newline ();
   print_crosstalk ();
   print_newline ();
-  print_variation ();
+  print_variation ?pool ();
   print_newline ();
   print_wire_sizing ();
   print_newline ();
@@ -639,7 +647,7 @@ let print_all_fast () =
   print_newline ();
   print_sensitivity ();
   print_newline ();
-  print_corners ();
+  print_corners ?pool ();
   print_newline ();
   print_bus ();
   print_newline ();

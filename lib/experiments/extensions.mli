@@ -15,13 +15,22 @@
 val print_model_accuracy : ?node:Rlc_tech.Node.t -> unit -> unit
 val print_power_pareto : ?node:Rlc_tech.Node.t -> ?l:float -> unit -> unit
 val print_crosstalk : ?node:Rlc_tech.Node.t -> unit -> unit
-val print_variation : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_variation :
+  ?pool:Rlc_parallel.Pool.t -> ?ppf:Format.formatter ->
+  ?node:Rlc_tech.Node.t -> unit -> unit
+(** Monte-Carlo delay distributions; the per-sample solves fan out
+    over [pool] when given (results independent of domain count). *)
+
 val print_wire_sizing : ?node:Rlc_tech.Node.t -> unit -> unit
 val print_insertion : ?node:Rlc_tech.Node.t -> ?l:float -> unit -> unit
 val print_tree_buffering : ?node:Rlc_tech.Node.t -> unit -> unit
 val print_clock_skew : ?node:Rlc_tech.Node.t -> unit -> unit
 val print_sensitivity : ?node:Rlc_tech.Node.t -> unit -> unit
-val print_corners : ?node:Rlc_tech.Node.t -> unit -> unit
+val print_corners :
+  ?pool:Rlc_parallel.Pool.t -> ?ppf:Format.formatter ->
+  ?node:Rlc_tech.Node.t -> unit -> unit
+(** Corner sign-off; one corner per pool slot when [pool] is given. *)
+
 val print_bus : ?node:Rlc_tech.Node.t -> unit -> unit
 val print_shielding : ?node:Rlc_tech.Node.t -> unit -> unit
 val print_thermal : ?node:Rlc_tech.Node.t -> unit -> unit
@@ -29,8 +38,11 @@ val print_frequency : ?node:Rlc_tech.Node.t -> unit -> unit
 val print_skin : ?node:Rlc_tech.Node.t -> unit -> unit
 val print_eye : ?node:Rlc_tech.Node.t -> unit -> unit
 
-val print_chain : ?node:Rlc_tech.Node.t -> ?l_values:float list -> unit -> unit
-(** Transient simulations — a couple of seconds per inductance value. *)
+val print_chain :
+  ?pool:Rlc_parallel.Pool.t -> ?ppf:Format.formatter ->
+  ?node:Rlc_tech.Node.t -> ?l_values:float list -> unit -> unit
+(** Transient simulations — a couple of seconds per inductance value;
+    one simulation per pool slot when [pool] is given. *)
 
-val print_all_fast : unit -> unit
+val print_all_fast : ?pool:Rlc_parallel.Pool.t -> unit -> unit
 (** Everything except [print_chain]. *)

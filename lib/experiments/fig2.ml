@@ -5,7 +5,10 @@ type case = {
   overshoot : float;
 }
 
-let compute ?(node = Rlc_tech.Presets.node_100nm) () =
+let compute ?pool ?(node = Rlc_tech.Presets.node_100nm) () =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
   let rc = Rlc_core.Rc_opt.optimize node in
   let h = rc.Rlc_core.Rc_opt.h_opt and k = rc.Rlc_core.Rc_opt.k_opt in
   let l_crit = Rlc_core.Critical_inductance.of_node node ~h ~k in
@@ -20,14 +23,15 @@ let compute ?(node = Rlc_tech.Presets.node_100nm) () =
       overshoot = Rlc_core.Step_response.overshoot cs;
     }
   in
-  [ mk (0.2 *. l_crit); mk l_crit; mk (5.0 *. l_crit) ]
+  Rlc_parallel.Pool.map_list pool mk
+    [ 0.2 *. l_crit; l_crit; 5.0 *. l_crit ]
 
 let regime_name = function
   | Rlc_core.Pade.Underdamped -> "underdamped"
   | Rlc_core.Pade.Critically_damped -> "critical"
   | Rlc_core.Pade.Overdamped -> "overdamped"
 
-let print cases =
+let print ?ppf cases =
   let series =
     List.mapi
       (fun i case ->
@@ -38,7 +42,7 @@ let print cases =
           ~ys:(Rlc_waveform.Waveform.values case.waveform))
       cases
   in
-  Rlc_report.Ascii_plot.print
+  Rlc_report.Ascii_plot.print ?ppf
     ~title:"Figure 2: step responses (o=overdamped, c=critical, u=underdamped)"
     series;
   let t =
@@ -54,4 +58,4 @@ let print cases =
           Printf.sprintf "%.1f" (case.overshoot *. 100.0);
         ])
     cases;
-  Rlc_report.Table.print t
+  Rlc_report.Table.print ?ppf t

@@ -13,5 +13,10 @@ type case = {
   overshoot : float;  (** fraction of final value *)
 }
 
-val compute : ?node:Rlc_tech.Node.t -> unit -> case list
-val print : case list -> unit
+val compute :
+  ?pool:Rlc_parallel.Pool.t -> ?node:Rlc_tech.Node.t -> unit -> case list
+(** The three damping cases are independent and fan out over [pool]
+    when given; output order (over/critical/under) is fixed. *)
+
+val print : ?ppf:Format.formatter -> case list -> unit
+(** Defaults [ppf] to {!Format.std_formatter}; flushes it. *)

@@ -4,9 +4,12 @@ type waveform_case = {
   measurement : Rlc_ringosc.Analysis.measurement;
 }
 
-let waveforms ?(node = Rlc_tech.Presets.node_100nm) ?(segments = 12) ~l_values
-    () =
-  List.map
+let waveforms ?pool ?(node = Rlc_tech.Presets.node_100nm) ?(segments = 12)
+    ~l_values () =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
+  Rlc_parallel.Pool.map_list pool
     (fun l ->
       let cfg = Rlc_ringosc.Ring.rc_sized_config ~segments node ~l in
       let sim = Rlc_ringosc.Ring.simulate cfg in
@@ -18,10 +21,10 @@ let last_portion w fraction =
   let t1 = Rlc_waveform.Waveform.t_end w in
   Rlc_waveform.Waveform.slice w ~t0:(t1 -. (fraction *. (t1 -. t0))) ~t1
 
-let print_waveform_case case =
+let print_waveform_case ?ppf case =
   let m = case.measurement in
-  Printf.printf
-    "Ring waveforms at l = %.2f nH/mm: period=%s overshoot=%.3f V undershoot=%.3f V\n"
+  Rlc_report.Report.line ?ppf
+    "Ring waveforms at l = %.2f nH/mm: period=%s overshoot=%.3f V undershoot=%.3f V"
     (case.l *. 1e6)
     (match m.Rlc_ringosc.Analysis.period with
     | Some p -> Printf.sprintf "%.3f ns" (p *. 1e9)
@@ -31,7 +34,7 @@ let print_waveform_case case =
   (* plot the last ~3 periods of input and output *)
   let vin = last_portion case.sim.Rlc_ringosc.Ring.in0 0.25 in
   let vout = last_portion case.sim.Rlc_ringosc.Ring.out0 0.25 in
-  Rlc_report.Ascii_plot.print
+  Rlc_report.Ascii_plot.print ?ppf
     ~title:
       (Printf.sprintf
          "Figures 9/10 style: inverter input (i) and output (o), l = %.2f nH/mm"
@@ -47,12 +50,12 @@ let print_waveform_case case =
 
 type sweep_point = { l : float; m : Rlc_ringosc.Analysis.measurement }
 
-let period_sweep ?(segments = 12) node ~l_values =
+let period_sweep ?pool ?(segments = 12) node ~l_values =
   List.map
     (fun (l, m) -> { l; m })
-    (Rlc_ringosc.Analysis.period_sweep ~segments node ~l_values)
+    (Rlc_ringosc.Analysis.period_sweep ?pool ~segments node ~l_values)
 
-let print_fig11 ~node_name points =
+let print_fig11 ?ppf ~node_name points =
   let t =
     Rlc_report.Table.create
       ~title:
@@ -82,7 +85,7 @@ let print_fig11 ~node_name points =
           (if flagged then "YES" else "no");
         ])
     points;
-  Rlc_report.Table.print t;
+  Rlc_report.Table.print ?ppf t;
   let usable =
     List.filter_map
       (fun { l; m } ->
@@ -90,7 +93,7 @@ let print_fig11 ~node_name points =
       points
   in
   if List.length usable >= 2 then
-    Rlc_report.Ascii_plot.print
+    Rlc_report.Ascii_plot.print ?ppf
       ~title:
         (Printf.sprintf "Figure 11 (%s; x: l nH/mm, y: period ns)" node_name)
       [
@@ -99,7 +102,7 @@ let print_fig11 ~node_name points =
           ~ys:(Array.of_list (List.map snd usable));
       ]
 
-let print_fig12 ~node_name points =
+let print_fig12 ?ppf ~node_name points =
   let t =
     Rlc_report.Table.create
       ~title:
@@ -116,7 +119,7 @@ let print_fig12 ~node_name points =
           Printf.sprintf "%.3e" (m.Rlc_ringosc.Analysis.rms_current_density /. 1e4);
         ])
     points;
-  Rlc_report.Table.print t
+  Rlc_report.Table.print ?ppf t
 
 let default_l_values () =
   List.init 14 (fun i -> float_of_int i *. 0.4e-6)

@@ -12,26 +12,33 @@ type waveform_case = {
 }
 
 val waveforms :
+  ?pool:Rlc_parallel.Pool.t ->
   ?node:Rlc_tech.Node.t ->
   ?segments:int ->
   l_values:float list ->
   unit ->
   waveform_case list
 (** Simulate the RC-sized ring at each inductance (defaults: 100 nm
-    node, 12 ladder segments). *)
+    node, 12 ladder segments).  Independent simulations fan out over
+    [pool] when given, results in [l_values] order. *)
 
-val print_waveform_case : waveform_case -> unit
+val print_waveform_case : ?ppf:Format.formatter -> waveform_case -> unit
 
 type sweep_point = { l : float; m : Rlc_ringosc.Analysis.measurement }
 
 val period_sweep :
+  ?pool:Rlc_parallel.Pool.t ->
   ?segments:int ->
   Rlc_tech.Node.t ->
   l_values:float list ->
   sweep_point list
 
-val print_fig11 : node_name:string -> sweep_point list -> unit
-val print_fig12 : node_name:string -> sweep_point list -> unit
+val print_fig11 :
+  ?ppf:Format.formatter -> node_name:string -> sweep_point list -> unit
+
+val print_fig12 :
+  ?ppf:Format.formatter -> node_name:string -> sweep_point list -> unit
+(** Printers default [ppf] to {!Format.std_formatter} and flush it. *)
 
 val default_l_values : unit -> float list
 (** 0 .. 5 nH/mm in 0.4 nH/mm steps (H/m). *)

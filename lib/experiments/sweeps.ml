@@ -14,13 +14,18 @@ type point = {
 
 type sweep = { node : Rlc_tech.Node.t; points : point list }
 
-let run ?(n = 21) node =
+let run ?pool ?(n = 21) node =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
   let rc = Rlc_core.Rc_opt.optimize node in
   let h_rc = rc.Rlc_core.Rc_opt.h_opt and k_rc = rc.Rlc_core.Rc_opt.k_opt in
   let base = Rlc_core.Rlc_opt.optimize node ~l:0.0 in
   let base_dpl = base.Rlc_core.Rlc_opt.delay_per_length in
-  let points =
-    List.init n (fun i ->
+  (* each l point is an independent Newton optimization; the pool fans
+     them out and slots the results back by index, so the sweep is the
+     same list of floats for any domain count *)
+  let point i =
         let l =
           float_of_int i /. float_of_int (n - 1) *. node.Rlc_tech.Node.l_max
         in
@@ -48,13 +53,17 @@ let run ?(n = 21) node =
           if_k_ratio = Rlc_core.Ismail_friedman.k_opt node ~l /. k_rc;
           km_applicable = Rlc_core.Kahng_muddu.is_applicable cs;
           km_delay_error = km /. exact;
-        })
+        }
+  in
+  let points =
+    Array.to_list
+      (Rlc_parallel.Pool.mapi pool (fun i () -> point i) (Array.make n ()))
   in
   { node; points }
 
 let nh l = l *. 1e6
 
-let figure_table ~title ~column ~value sweeps =
+let figure_table ?ppf ~title ~column ~value sweeps =
   let t =
     Rlc_report.Table.create ~title
       ~columns:
@@ -74,9 +83,9 @@ let figure_table ~title ~column ~value sweeps =
                  (fun s -> Printf.sprintf "%.4f" (value (List.nth s.points i)))
                  sweeps))
         first.points);
-  Rlc_report.Table.print t
+  Rlc_report.Table.print ?ppf t
 
-let figure_plot ~title ~value sweeps =
+let figure_plot ?ppf ~title ~value sweeps =
   let series =
     List.map
       (fun s ->
@@ -86,57 +95,58 @@ let figure_plot ~title ~value sweeps =
           ~ys:(Array.of_list (List.map value s.points)))
       sweeps
   in
-  Rlc_report.Ascii_plot.print ~title series
+  Rlc_report.Ascii_plot.print ?ppf ~title series
 
-let print_fig4 sweeps =
-  figure_table
+let print_fig4 ?ppf sweeps =
+  figure_table ?ppf
     ~title:"Figure 4: critical inductance l_crit at the optimized (h,k)"
     ~column:"l_crit (nH/mm)"
     ~value:(fun p -> nh p.l_crit)
     sweeps;
-  figure_plot ~title:"Figure 4 (x: l nH/mm, y: l_crit nH/mm; 2=250nm 1=100nm)"
+  figure_plot ?ppf
+    ~title:"Figure 4 (x: l nH/mm, y: l_crit nH/mm; 2=250nm 1=100nm)"
     ~value:(fun p -> nh p.l_crit)
     sweeps
 
-let print_fig5 sweeps =
-  figure_table ~title:"Figure 5: h_optRLC / h_optRC" ~column:"h ratio"
+let print_fig5 ?ppf sweeps =
+  figure_table ?ppf ~title:"Figure 5: h_optRLC / h_optRC" ~column:"h ratio"
     ~value:(fun p -> p.h_ratio)
     sweeps;
-  figure_plot ~title:"Figure 5 (x: l nH/mm, y: h ratio)"
+  figure_plot ?ppf ~title:"Figure 5 (x: l nH/mm, y: h ratio)"
     ~value:(fun p -> p.h_ratio)
     sweeps
 
-let print_fig6 sweeps =
-  figure_table ~title:"Figure 6: k_optRLC / k_optRC" ~column:"k ratio"
+let print_fig6 ?ppf sweeps =
+  figure_table ?ppf ~title:"Figure 6: k_optRLC / k_optRC" ~column:"k ratio"
     ~value:(fun p -> p.k_ratio)
     sweeps;
-  figure_plot ~title:"Figure 6 (x: l nH/mm, y: k ratio)"
+  figure_plot ?ppf ~title:"Figure 6 (x: l nH/mm, y: k ratio)"
     ~value:(fun p -> p.k_ratio)
     sweeps
 
-let print_fig7 sweeps =
-  figure_table
+let print_fig7 ?ppf sweeps =
+  figure_table ?ppf
     ~title:
       "Figure 7: optimized delay-per-length ratio (tau/h)(l) / (tau/h)(0)"
     ~column:"delay ratio"
     ~value:(fun p -> p.delay_ratio)
     sweeps;
-  figure_plot ~title:"Figure 7 (x: l nH/mm, y: delay ratio)"
+  figure_plot ?ppf ~title:"Figure 7 (x: l nH/mm, y: delay ratio)"
     ~value:(fun p -> p.delay_ratio)
     sweeps
 
-let print_fig8 sweeps =
-  figure_table
+let print_fig8 ?ppf sweeps =
+  figure_table ?ppf
     ~title:
       "Figure 8: delay penalty of RC-sized repeaters vs RLC-optimal sizing"
     ~column:"penalty"
     ~value:(fun p -> p.rc_sized_penalty)
     sweeps;
-  figure_plot ~title:"Figure 8 (x: l nH/mm, y: penalty ratio)"
+  figure_plot ?ppf ~title:"Figure 8 (x: l nH/mm, y: penalty ratio)"
     ~value:(fun p -> p.rc_sized_penalty)
     sweeps
 
-let print_baselines sweeps =
+let print_baselines ?ppf sweeps =
   List.iter
     (fun s ->
       let t =
@@ -164,5 +174,5 @@ let print_baselines sweeps =
               Printf.sprintf "%.3f" p.km_delay_error;
             ])
         s.points;
-      Rlc_report.Table.print t)
+      Rlc_report.Table.print ?ppf t)
     sweeps

@@ -27,17 +27,21 @@ type point = {
 
 type sweep = { node : Rlc_tech.Node.t; points : point list }
 
-val run : ?n:int -> Rlc_tech.Node.t -> sweep
-(** Sweep l over [0, node.l_max] with [n] points (default 21). *)
+val run : ?pool:Rlc_parallel.Pool.t -> ?n:int -> Rlc_tech.Node.t -> sweep
+(** Sweep l over [0, node.l_max] with [n] points (default 21).  The
+    per-l optimizations are independent; when [pool] is given they fan
+    out across its domains, with results slotted back by index so the
+    sweep is bit-identical for any domain count. *)
 
-val print_fig4 : sweep list -> unit
-val print_fig5 : sweep list -> unit
-val print_fig6 : sweep list -> unit
-val print_fig7 : sweep list -> unit
+val print_fig4 : ?ppf:Format.formatter -> sweep list -> unit
+val print_fig5 : ?ppf:Format.formatter -> sweep list -> unit
+val print_fig6 : ?ppf:Format.formatter -> sweep list -> unit
+val print_fig7 : ?ppf:Format.formatter -> sweep list -> unit
 (** Figure 7 additionally expects the 100nm-with-250nm-dielectric
     ablation sweep in the list. *)
 
-val print_fig8 : sweep list -> unit
-val print_baselines : sweep list -> unit
+val print_fig8 : ?ppf:Format.formatter -> sweep list -> unit
+val print_baselines : ?ppf:Format.formatter -> sweep list -> unit
 (** Extra table: our optimizer against the Ismail-Friedman and
-    Kahng-Muddu baselines. *)
+    Kahng-Muddu baselines.  All printers default [ppf] to
+    {!Format.std_formatter} and flush it before returning. *)

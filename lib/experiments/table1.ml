@@ -8,8 +8,11 @@ type row = {
   l_worst : float;
 }
 
-let compute () =
-  List.map
+let compute ?pool () =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
+  Rlc_parallel.Pool.map_list pool
     (fun node ->
       let rc = Rlc_core.Rc_opt.optimize node in
       let rederived_driver =
@@ -36,7 +39,7 @@ let compute () =
       })
     Rlc_tech.Presets.all
 
-let print rows =
+let print ?ppf rows =
   let t =
     Rlc_report.Table.create ~title:"Table 1: technology parameters (paper-given + derived)"
       ~columns:
@@ -61,7 +64,7 @@ let print rows =
           Printf.sprintf "%.4f" (d.Rlc_tech.Driver.cp *. 1e15);
         ])
     rows;
-  Rlc_report.Table.print t;
+  Rlc_report.Table.print ?ppf t;
   let e =
     Rlc_report.Table.create
       ~title:"Table 1 cross-check: analytic extraction vs paper values"
@@ -83,4 +86,4 @@ let print rows =
           Printf.sprintf "%.3f" (row.l_worst *. 1e6);
         ])
     rows;
-  Rlc_report.Table.print e
+  Rlc_report.Table.print ?ppf e

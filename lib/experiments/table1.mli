@@ -19,5 +19,9 @@ type row = {
   l_worst : float;  (** far-return worst case at h_optRC length, H/m *)
 }
 
-val compute : unit -> row list
-val print : row list -> unit
+val compute : ?pool:Rlc_parallel.Pool.t -> unit -> row list
+(** One row per preset node; rows fan out over [pool] when given,
+    preset order preserved regardless of domain count. *)
+
+val print : ?ppf:Format.formatter -> row list -> unit
+(** Defaults [ppf] to {!Format.std_formatter}; flushes it. *)

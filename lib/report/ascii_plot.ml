@@ -60,5 +60,10 @@ let render ?(width = 72) ?(height = 18) ?title ?y_min ?y_max all =
     (Printf.sprintf "%11s %-10.3g%*s%10.3g\n" "" x_lo (width - 20) "" x_hi);
   Buffer.contents buf
 
-let print ?width ?height ?title ?y_min ?y_max all =
-  print_string (render ?width ?height ?title ?y_min ?y_max all)
+let pp ?width ?height ?title ?y_min ?y_max ppf all =
+  Format.pp_print_string ppf (render ?width ?height ?title ?y_min ?y_max all)
+
+let print ?width ?height ?title ?y_min ?y_max ?(ppf = Format.std_formatter)
+    all =
+  pp ?width ?height ?title ?y_min ?y_max ppf all;
+  Format.pp_print_flush ppf ()

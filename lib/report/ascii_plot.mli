@@ -20,11 +20,24 @@ val render :
     by 5%; x is the union of series ranges.  Overlapping points keep
     the label of the later series. *)
 
+val pp :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?y_min:float ->
+  ?y_max:float ->
+  Format.formatter ->
+  series list ->
+  unit
+(** [render] onto a formatter (no flush). *)
+
 val print :
   ?width:int ->
   ?height:int ->
   ?title:string ->
   ?y_min:float ->
   ?y_max:float ->
+  ?ppf:Format.formatter ->
   series list ->
   unit
+(** [pp] + flush; [ppf] defaults to [Format.std_formatter]. *)

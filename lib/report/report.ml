@@ -1,0 +1,15 @@
+let section ?(ppf = Format.std_formatter) title =
+  Format.fprintf ppf "@\n%s@\n%s@\n@\n" title
+    (String.make (String.length title) '=');
+  Format.pp_print_flush ppf ()
+
+let newline ?(ppf = Format.std_formatter) () =
+  Format.pp_print_newline ppf ();
+  Format.pp_print_flush ppf ()
+
+let line ?(ppf = Format.std_formatter) fmt =
+  Format.kfprintf
+    (fun ppf ->
+      Format.pp_print_newline ppf ();
+      Format.pp_print_flush ppf ())
+    ppf fmt

@@ -1,0 +1,16 @@
+(** The shared output surface of every run/print entry point.
+
+    All figure/table printers in the repository take a
+    [?ppf:Format.formatter] (default [Format.std_formatter]) and route
+    everything through here, {!Table} and {!Ascii_plot}; tests capture
+    a report into a buffer formatter and diff it instead of shelling
+    out.  Every helper flushes, so output interleaves correctly with
+    legacy [Printf] callers sharing the same channel. *)
+
+val section : ?ppf:Format.formatter -> string -> unit
+(** A bench/CLI section header: blank line, title, ['=']-underline. *)
+
+val newline : ?ppf:Format.formatter -> unit -> unit
+
+val line : ?ppf:Format.formatter -> ('a, Format.formatter, unit) format -> 'a
+(** [Format.fprintf] followed by a newline and a flush. *)

@@ -53,4 +53,10 @@ let render t =
     (rows t);
   Buffer.contents buf
 
-let print t = print_string (render t)
+let pp ppf t = Format.pp_print_string ppf (render t)
+
+(* flush after every table so output interleaves correctly with code
+   that still writes to the underlying channel via Printf *)
+let print ?(ppf = Format.std_formatter) t =
+  pp ppf t;
+  Format.pp_print_flush ppf ()

@@ -13,8 +13,14 @@ val add_float_row : t -> ?fmt:(float -> string) -> float list -> unit
 (** Formats every cell with [fmt] (default [%.4g]). *)
 
 val render : t -> string
-val print : t -> unit
-(** [render] + output to stdout with a trailing newline. *)
+
+val pp : Format.formatter -> t -> unit
+(** [render] onto a formatter (no flush). *)
+
+val print : ?ppf:Format.formatter -> t -> unit
+(** [pp] + flush; [ppf] defaults to [Format.std_formatter], so by
+    default the table lands on stdout exactly as before.  Tests pass a
+    buffer-backed formatter to capture and diff figure output. *)
 
 val rows : t -> string list list
 (** Raw cells, for tests. *)

@@ -52,8 +52,11 @@ let false_switching ~baseline_period m =
   | None -> false
   | Some p -> p < 0.6 *. baseline_period
 
-let period_sweep ?stages ?segments ?dt ?t_end node ~l_values =
-  List.map
+let period_sweep ?pool ?stages ?segments ?dt ?t_end node ~l_values =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
+  Rlc_parallel.Pool.map_list pool
     (fun l ->
       let cfg = Ring.rc_sized_config ?stages ?segments node ~l in
       let sim = Ring.simulate ?dt ?t_end cfg in

@@ -22,6 +22,7 @@ val false_switching : baseline_period:float -> measurement -> bool
     ring. *)
 
 val period_sweep :
+  ?pool:Rlc_parallel.Pool.t ->
   ?stages:int ->
   ?segments:int ->
   ?dt:float ->
@@ -30,4 +31,6 @@ val period_sweep :
   l_values:float list ->
   (float * measurement) list
 (** RC-sized ring oscillator measured across line inductances —
-    regenerates Figures 11 and 12. *)
+    regenerates Figures 11 and 12.  Each inductance is an independent
+    transient simulation; [pool] fans them out with results slotted
+    back in [l_values] order (bit-identical for any domain count). *)

@@ -57,7 +57,24 @@ let test_stimulus_validation () =
              t_fall = 0.5; period = 1.0 }));
   Alcotest.check_raises "pwl not increasing"
     (Invalid_argument "Stimulus: PWL times not increasing") (fun () ->
-      Stimulus.validate (Stimulus.Pwl [ (1.0, 0.0); (1.0, 1.0) ]))
+      Stimulus.validate (Stimulus.Pwl [ (1.0, 0.0); (1.0, 1.0) ]));
+  Alcotest.check_raises "negative step delay"
+    (Invalid_argument "Stimulus: step t_delay < 0") (fun () ->
+      Stimulus.validate
+        (Stimulus.Step { v0 = 0.0; v1 = 1.0; t_delay = -1e-12; t_rise = 1e-12 }));
+  Alcotest.check_raises "negative pulse delay"
+    (Invalid_argument "Stimulus: pulse t_delay < 0") (fun () ->
+      Stimulus.validate
+        (Stimulus.Pulse
+           { v0 = 0.0; v1 = 1.0; t_delay = -0.1; t_rise = 0.1; t_high = 0.1;
+             t_fall = 0.1; period = 1.0 }));
+  Alcotest.check_raises "pwl before t=0"
+    (Invalid_argument "Stimulus: PWL starts before t = 0") (fun () ->
+      Stimulus.validate (Stimulus.Pwl [ (-1.0, 0.0); (1.0, 1.0) ]));
+  (* a zero delay and a zero first PWL time stay legal *)
+  Stimulus.validate
+    (Stimulus.Step { v0 = 0.0; v1 = 1.0; t_delay = 0.0; t_rise = 1e-12 });
+  Stimulus.validate (Stimulus.Pwl [ (0.0, 0.0); (1.0, 1.0) ])
 
 (* ---------------- Devices ---------------- *)
 
