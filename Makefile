@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test test-jobs4 test-all bench bench-fast bench-smoke examples clean
+.PHONY: all build check fmt fmt-check test test-jobs4 test-all bench bench-fast bench-smoke examples clean
 
 all: build
 
@@ -11,6 +11,14 @@ build:
 # sequential and a 4-domain pool, then the bench smoke (which asserts
 # the parallel runs are bit-identical and records BENCH_parallel.json)
 check: build test test-jobs4 bench-smoke
+
+# formatting is a separate CI job (needs the ocamlformat binary, which
+# not every dev box has) — not part of `check`
+fmt:
+	dune build @fmt --auto-promote
+
+fmt-check:
+	dune build @fmt
 
 test-jobs4:
 	RLC_JOBS=4 dune runtest --force

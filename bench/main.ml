@@ -239,6 +239,140 @@ let run_ladder_scaling ~sizes ~steps ~json =
   fixed
 
 (* ------------------------------------------------------------------ *)
+(* AC: dense-complex vs complex-banded per-frequency solves            *)
+(* ------------------------------------------------------------------ *)
+
+type ac_row = {
+  ac_segments : int;
+  ac_unknowns : int;
+  band : int; (* kl + ku + 1 under the shared plan's RCM ordering *)
+  banded_points : int;
+  dense_points : int;
+  dense_per_point_s : float;
+  banded_per_point_s : float;
+  ac_speedup : float;
+  max_dev : float; (* max |H_dense - H_banded| over the dense points *)
+}
+
+(* One driven RLC ladder, swept over three decades: every frequency
+   point through Assembly.solve_complex, once forced dense
+   (the historical O(n^3) path) and once under the shared plan
+   (complex banded in RCM order, O(n.b^2)).  The dense side only gets
+   a handful of points at the larger sizes -- a single 1603-unknown
+   dense complex LU costs more than the entire banded sweep. *)
+let ac_case ~segments ~dense_points ~banded_points =
+  let open Rlc_circuit in
+  let open Rlc_numerics in
+  let nl, _src, far = Ladder.driven_line (ladder_spec segments) in
+  let m = Mna.of_netlist nl in
+  let asm = m.Mna.asm in
+  let output = Mna.output_of_node m far in
+  let rhs = Array.map Cx.of_float (Assembly.b_column asm 0) in
+  let freqs = Ac.decade_grid ~points_per_decade:7 ~fstart:1e7 ~fstop:1e10 in
+  let dot x =
+    let acc = ref Cx.zero in
+    Array.iteri
+      (fun i l -> if l <> 0.0 then acc := Cx.( +: ) !acc (Cx.scale l x.(i)))
+      output;
+    !acc
+  in
+  let point backend f =
+    let s = Cx.make 0.0 (2.0 *. Float.pi *. f) in
+    dot (Assembly.solve_complex ~backend asm ~s ~rhs)
+  in
+  let take k = Array.sub freqs 0 (Int.min k (Array.length freqs)) in
+  let dense_fs = take dense_points and banded_fs = take banded_points in
+  let hd, dense_t =
+    wall (fun () -> Array.map (point Solver.Dense) dense_fs)
+  in
+  let hb, banded_t =
+    wall (fun () -> Array.map (point Solver.Auto) banded_fs)
+  in
+  let max_dev = ref 0.0 in
+  Array.iteri
+    (fun i h -> max_dev := Float.max !max_dev (Cx.norm (Cx.( -: ) h hb.(i))))
+    hd;
+  let plan = asm.Assembly.plan in
+  let dense_per = dense_t /. float_of_int (Array.length dense_fs) in
+  let banded_per = banded_t /. float_of_int (Array.length banded_fs) in
+  {
+    ac_segments = segments;
+    ac_unknowns = m.Mna.size;
+    band = plan.Solver.kl + plan.Solver.ku + 1;
+    banded_points = Array.length banded_fs;
+    dense_points = Array.length dense_fs;
+    dense_per_point_s = dense_per;
+    banded_per_point_s = banded_per;
+    ac_speedup = dense_per /. banded_per;
+    max_dev = !max_dev;
+  }
+
+let write_ac_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"description\": \"Per-frequency-point cost of the AC path on \
+     step-driven RLC ladders (Mna.solve_s / Assembly.solve_complex, three \
+     decades at 7 points/decade): dense complex LU vs the shared plan's \
+     complex banded LU in RCM order. Transfer functions compared at every \
+     dense-timed point; times in seconds per point.\",\n\
+    \  \"points\": [\n";
+  List.iteri
+    (fun i (r : ac_row) ->
+      Printf.fprintf oc
+        "    {\"segments\": %d, \"unknowns\": %d, \"band\": %d, \
+         \"dense_points\": %d, \"banded_points\": %d, \"dense_per_point_s\": \
+         %.6f, \"banded_per_point_s\": %.6f, \"speedup\": %.1f, \
+         \"max_abs_dev_H\": %.3e}%s\n"
+        r.ac_segments r.ac_unknowns r.band r.dense_points r.banded_points
+        r.dense_per_point_s r.banded_per_point_s r.ac_speedup r.max_dev
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_ac_bench ~cases ~json =
+  section "AC: dense-complex vs complex-banded per-point solves";
+  Printf.printf "%8s %9s %6s %14s %14s %9s %12s\n" "segments" "unknowns"
+    "band" "dense [s/pt]" "banded [s/pt]" "speedup" "max |dH|";
+  let rows =
+    List.map
+      (fun (segments, dense_points, banded_points) ->
+        let r = ac_case ~segments ~dense_points ~banded_points in
+        Printf.printf "%8d %9d %6d %14.6f %14.6f %8.1fx %12.3e\n" r.ac_segments
+          r.ac_unknowns r.band r.dense_per_point_s r.banded_per_point_s
+          r.ac_speedup r.max_dev;
+        r)
+      cases
+  in
+  List.iter
+    (fun (r : ac_row) ->
+      if r.max_dev > 1e-9 then
+        failwith
+          (Printf.sprintf
+             "AC bench: dense and banded transfer functions differ by %.3e \
+              at %d segments (> 1e-9)"
+             r.max_dev r.ac_segments))
+    rows;
+  (* the algorithmic gate: at the largest size the banded path must be
+     at least 10x cheaper per point than the dense complex LU *)
+  (match List.rev rows with
+  | (last : ac_row) :: _ when last.ac_segments >= 400 ->
+      if last.ac_speedup < 10.0 then
+        failwith
+          (Printf.sprintf
+             "AC bench: %.1fx per-point speedup at %d segments below the 10x \
+              target"
+             last.ac_speedup last.ac_segments)
+  | _ -> ());
+  (match json with
+  | Some path ->
+      write_ac_json path rows;
+      Printf.printf "\nrecorded baseline in %s\n" path
+  | None -> ());
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* MOR: PRIMA reduced model vs full banded transient                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -628,6 +762,9 @@ let () =
        `make bench-smoke` *)
     let rows = run_ladder_scaling ~sizes:[ 10; 24 ] ~steps:200 ~json:None in
     if List.exists (fun r -> r.max_diff > 1e-9) rows then exit 1;
+    (* small sizes, no JSON: the recorded BENCH_ac.json baseline comes
+       from the full run's 100/400/800-segment cases *)
+    ignore (run_ac_bench ~cases:[ (24, 8, 8); (64, 8, 8) ] ~json:None);
     ignore (run_mor_bench ~json:(Some "BENCH_mor.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
     print_endline "\nbench smoke OK"
@@ -649,6 +786,10 @@ let () =
     ignore
       (run_ladder_scaling ~sizes:[ 50; 200; 800 ] ~steps:1000
          ~json:(Some "BENCH_transient.json"));
+    ignore
+      (run_ac_bench
+         ~cases:[ (100, 6, 22); (400, 3, 22); (800, 1, 22) ]
+         ~json:(Some "BENCH_ac.json"));
     ignore (run_mor_bench ~json:(Some "BENCH_mor.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
     run_extensions ();

@@ -143,16 +143,26 @@ let run_ac deck pool csv =
         "freq"
         :: List.concat_map
              (fun (label, _) ->
-               [ "mag_db(" ^ label ^ ")"; "phase_deg(" ^ label ^ ")" ])
+               [
+                 "mag_db(" ^ label ^ ")";
+                 "phase_deg(" ^ label ^ ")";
+                 "phase_unwrapped_deg(" ^ label ^ ")";
+               ])
              sweeps
+      in
+      let unwrapped =
+        List.map
+          (fun (_, pts) -> Ac.unwrap (Array.map (fun p -> p.Ac.phase_deg) pts))
+          sweeps
       in
       let rows =
         List.init (Array.length freqs) (fun i ->
             freqs.(i)
-            :: List.concat_map
-                 (fun (_, pts) ->
-                   [ pts.(i).Ac.mag_db; pts.(i).Ac.phase_deg ])
-                 sweeps)
+            :: List.concat
+                 (List.map2
+                    (fun (_, pts) unw ->
+                      [ pts.(i).Ac.mag_db; pts.(i).Ac.phase_deg; unw.(i) ])
+                    sweeps unwrapped))
       in
       Rlc_report.Csv.write ~path ~header ~rows;
       Printf.printf "\nwrote %s\n" path

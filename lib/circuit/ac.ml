@@ -33,6 +33,20 @@ let point_of ~freq h =
     phase_deg = Float.atan2 (Cx.im h) (Cx.re h) *. 180.0 /. Float.pi;
   }
 
+let unwrap phases =
+  let n = Array.length phases in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n phases.(0) in
+    let offset = ref 0.0 in
+    for i = 1 to n - 1 do
+      let d = phases.(i) -. phases.(i - 1) in
+      offset := !offset -. (360.0 *. Float.round (d /. 360.0));
+      out.(i) <- phases.(i) +. !offset
+    done;
+    out
+  end
+
 let bode ?pool mna ~input ~output ~freqs =
   let pool =
     match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential

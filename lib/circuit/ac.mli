@@ -31,6 +31,16 @@ val point_of : freq:float -> Cx.t -> point
 (** Magnitude (dB) and unwrapped-free phase (degrees, atan2 branch) of
     one complex response value. *)
 
+val unwrap : float array -> float array
+(** Phase unwrapping: given wrapped phases in degrees (each in
+    (-180, 180], as {!point_of} produces along a sweep), remove the
+    360-degree jumps so the returned curve is continuous — whenever a
+    step between consecutive samples exceeds 180 degrees in magnitude
+    the rest of the curve is shifted by the compensating multiple of
+    360.  The first sample is kept as-is; a distributed RLC line's
+    phase then descends monotonically past -180 instead of sawing.
+    Returns a fresh array ([[||]] for empty input). *)
+
 val bode :
   ?pool:Rlc_parallel.Pool.t ->
   Mna.t ->

@@ -1,0 +1,143 @@
+(** The one stamping layer: a netlist compiled once into a sparse
+    triplet (COO) stamp IR, from which every analysis materialises the
+    system it needs.
+
+    Historically the repository stamped the MNA system three separate
+    times — dense (G, C, B) matrices for the frequency domain, a
+    private dense stamp inside the DC solver, and a callback-based
+    stamp inside the transient engine.  This module replaces all of
+    them: {!Coo} is the primitive stamp target (the conductance
+    pattern {!Coo.stamp_g} lives here and nowhere else), and
+    {!of_netlist} compiles a netlist into the (G, C, B) pattern with
+    per-element value slots plus the {!Rlc_numerics.Solver.plan}
+    (reverse Cuthill-McKee ordering + bandwidth + backend choice) that
+    every consumer shares.  Dense, banded(+RCM) and complex-banded
+    instantiations all come from the same IR, so they agree entry for
+    entry by construction.
+
+    Unknown ordering matches the classic MNA convention: node voltages
+    first (node [k] at index [k - 1], ground eliminated), then one
+    branch current per inductive element, then one current per voltage
+    source.  Branch equations are stamped in the skew form
+    ([-v_a + v_b + R i + sL i = 0] against [+i] incidence in the node
+    rows) so that [G + G^T] and [C] stay positive semidefinite — the
+    structure PRIMA's congruence projection needs. *)
+
+open Rlc_numerics
+
+(** Sparse triplet (COO) accumulator: the stamp target shared by this
+    module (netlist compilation) and the transient engine (companion
+    models, whose values depend on the integration method and dt).
+    Duplicate (i,j) stamps accumulate into one slot in first-stamp
+    order, exactly like stamping into a dense matrix. *)
+module Coo : sig
+  type t
+
+  val create : size:int -> t
+  (** Empty [size] x [size] accumulator.  Raises [Invalid_argument]
+      when [size <= 0]. *)
+
+  val size : t -> int
+
+  val nnz : t -> int
+  (** Distinct (i,j) slots stamped so far. *)
+
+  val stamp_g : t -> Netlist.node -> Netlist.node -> float -> unit
+  (** [stamp_g coo a b v] stamps the two-terminal conductance pattern
+      between nodes [a] and [b] (ground rows/columns eliminated):
+      [+v] on both diagonals, [-v] on both off-diagonals.  The single
+      conductance-stamp implementation in the repository. *)
+
+  val stamp_cross : t ->
+    a:Netlist.node -> b:Netlist.node ->
+    ma:Netlist.node -> mb:Netlist.node -> float -> unit
+  (** Cross-coupling pattern between branch (a,b) and branch (ma,mb)
+      — the mutual term of a coupled-RL companion model: [+v] into
+      (a,ma) and (b,mb), [-v] into (a,mb) and (b,ma), ground
+      eliminated. *)
+
+  val stamp_at : t -> int -> int -> float -> unit
+  (** Accumulate at raw unknown indices (incidence rows, branch
+      diagonals).  Raises [Invalid_argument] out of bounds. *)
+
+  val iter : t -> (int -> int -> float -> unit) -> unit
+  (** One call per distinct slot with its accumulated value, in
+      first-stamp order. *)
+
+  val adjacency_into : t -> int list array -> unit
+  (** Append each off-diagonal slot (both directions) to an adjacency
+      under construction; callers [List.sort_uniq] afterwards.  Used
+      to form pattern unions across several accumulators. *)
+
+  val adjacency : t -> int list array
+  (** The deduplicated undirected adjacency of this accumulator alone
+      — the shape {!Rlc_numerics.Solver.plan} consumes. *)
+
+  val to_dense : t -> Matrix.t
+end
+
+type source_kind = Voltage | Current
+
+type input = {
+  name : string;  (** netlist element name *)
+  kind : source_kind;
+  stim : Stimulus.t;  (** the deck's waveform, for DC levels *)
+}
+
+type t = private {
+  size : int;  (** unknown count *)
+  n_nodes : int;  (** netlist nodes including ground *)
+  n_currents : int;  (** inductor branch-current unknowns *)
+  g : Coo.t;  (** conductances + incidence rows *)
+  c : Coo.t;  (** capacitances + (mutual) inductances *)
+  b_rows : int array;  (** source incidence triplets: rows, *)
+  b_cols : int array;  (** input columns, *)
+  b_vals : float array;  (** values *)
+  inputs : input array;  (** column order of B *)
+  adj : int list array;  (** union pattern of G and C *)
+  plan : Solver.plan;  (** the shared structure analysis (RCM +
+      bandwidth + backend) every consumer reuses *)
+}
+
+val of_netlist : Netlist.t -> t
+(** Validates the netlist (see {!Netlist.validate}) and compiles the
+    stamp IR.  Unlike the frequency-domain descriptor {!Mna.t}, a
+    source-free netlist (e.g. a latch of inverters, solved for its DC
+    point) is accepted; only an empty system raises
+    [Invalid_argument]. *)
+
+val dense_g : t -> Matrix.t
+val dense_c : t -> Matrix.t
+(** Dense materialisations of the IR (entry-identical to stamping the
+    elements straight into a dense matrix). *)
+
+val dense_b : t -> Matrix.t
+(** [size] x [max 1 (Array.length inputs)] dense B. *)
+
+val b_column : t -> int -> float array
+(** Column of B for one input.  Raises [Invalid_argument] on a bad
+    index. *)
+
+val iter_b : t -> (int -> int -> float -> unit) -> unit
+(** The B triplets: [f row input_column value]. *)
+
+val factor_g : t -> Solver.factor
+(** Factor G under the shared plan (banded + RCM when the band is
+    narrow).  Raises {!Rlc_numerics.Lu.Singular} or
+    {!Rlc_numerics.Banded.Singular}. *)
+
+val solve_g : t -> Solver.factor -> float array -> float array
+(** Solve [G x = b] in natural unknown order with a {!factor_g}
+    factor. *)
+
+val solve_complex : ?backend:Solver.backend -> t -> s:Cx.t
+  -> rhs:Cx.t array -> Cx.t array
+(** One frequency point: assemble [G + sC] in complex banded (RCM
+    ordered) or dense form, factor, and solve against [rhs].  With the
+    plan's banded backend this costs O(n·b^2) per call instead of the
+    O(n^3) of a dense complex LU.  Allocates its own storage, so
+    concurrent calls from a {!Rlc_parallel.Pool} fan-out are safe.
+    [backend] overrides the shared plan's choice (the AC bench times
+    the dense path through exactly this override).  Raises
+    {!Rlc_numerics.Clu.Singular} or {!Rlc_numerics.Cbanded.Singular}
+    at a frequency where the pencil is singular. *)

@@ -1,56 +1,56 @@
 open Rlc_numerics
 
-let operating_point ?(max_state_iterations = 64) netlist =
-  let n_nodes = Netlist.node_count netlist in
-  let elems = Netlist.elements netlist in
-  let n_vsrcs =
-    Array.fold_left
-      (fun acc e -> match e with Netlist.Vsource _ -> acc + 1 | _ -> acc)
-      0 elems
-  in
-  let m = n_nodes - 1 + n_vsrcs in
-  if m = 0 then invalid_arg "Dc.operating_point: empty circuit";
-  let vi node = node - 1 in
-  let a = Matrix.create m m in
-  let stamp_g na nb g =
-    if na <> 0 then Matrix.add_to a (vi na) (vi na) g;
-    if nb <> 0 then Matrix.add_to a (vi nb) (vi nb) g;
-    if na <> 0 && nb <> 0 then begin
-      Matrix.add_to a (vi na) (vi nb) (-.g);
-      Matrix.add_to a (vi nb) (vi na) (-.g)
-    end
-  in
-  let vrow = ref 0 in
+type system = {
+  asm : Assembly.t;
+  netlist : Netlist.t;
+  factor : Solver.factor;
+  states : bool array;
+  x : float array;
+  voltages : float array;
+}
+
+let assembly s = s.asm
+let inputs s = s.asm.Assembly.inputs
+let voltages s = s.voltages
+let unknowns s = s.x
+
+(* Inverter drives enter the RHS, not B: they are internal switching
+   stages, not independent inputs. *)
+let add_inverter_drives netlist states rhs =
+  let inv = ref 0 in
   Array.iter
     (fun e ->
       match e with
-      | Netlist.Resistor { a = na; b = nb; ohms } -> stamp_g na nb (1.0 /. ohms)
-      | Netlist.Rl_branch { a = na; b = nb; ohms; _ } ->
-          stamp_g na nb (1.0 /. ohms)
-      | Netlist.Coupled_rl { a1; b1; a2; b2; ohms; _ } ->
-          (* inductors short in DC: each branch is its resistance *)
-          stamp_g a1 b1 (1.0 /. ohms);
-          stamp_g a2 b2 (1.0 /. ohms)
       | Netlist.Inverter { output; dev; _ } ->
-          stamp_g output Netlist.ground (1.0 /. dev.Devices.r_on)
-      | Netlist.Vsource { a = na; b = nb; _ } ->
-          let r = n_nodes - 1 + !vrow in
-          incr vrow;
-          if na <> 0 then begin
-            Matrix.add_to a (vi na) r 1.0;
-            Matrix.add_to a r (vi na) 1.0
-          end;
-          if nb <> 0 then begin
-            Matrix.add_to a (vi nb) r (-1.0);
-            Matrix.add_to a r (vi nb) (-1.0)
+          let v_drive = if states.(!inv) then dev.Devices.vdd else 0.0 in
+          incr inv;
+          if output <> Netlist.ground then begin
+            let k = output - 1 in
+            rhs.(k) <- rhs.(k) +. (v_drive /. dev.Devices.r_on)
           end
-      | Netlist.Capacitor _ | Netlist.Isource _ -> ())
-    elems;
-  let lu =
-    try Lu.decompose a
-    with Lu.Singular -> failwith "Dc.operating_point: singular system"
+      | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Rl_branch _
+      | Netlist.Coupled_rl _ | Netlist.Vsource _ | Netlist.Isource _ -> ())
+    (Netlist.elements netlist)
+
+let rhs_at_t0 asm netlist states =
+  let rhs = Array.make asm.Assembly.size 0.0 in
+  let u =
+    Array.map
+      (fun inp -> Stimulus.eval inp.Assembly.stim 0.0)
+      asm.Assembly.inputs
   in
-  (* inverter states: fixed point over the linear solves *)
+  Assembly.iter_b asm (fun row col v -> rhs.(row) <- rhs.(row) +. (v *. u.(col)));
+  add_inverter_drives netlist states rhs;
+  rhs
+
+let make ?(max_state_iterations = 64) netlist =
+  let asm = Assembly.of_netlist netlist in
+  let factor =
+    try Assembly.factor_g asm
+    with Lu.Singular | Banded.Singular ->
+      failwith "Dc.operating_point: singular system"
+  in
+  let elems = Netlist.elements netlist in
   let n_invs =
     Array.fold_left
       (fun acc e -> match e with Netlist.Inverter _ -> acc + 1 | _ -> acc)
@@ -58,28 +58,10 @@ let operating_point ?(max_state_iterations = 64) netlist =
   in
   let states = Array.make (Int.max n_invs 1) true in
   let solve_with states =
-    let b = Array.make m 0.0 in
-    let vrow = ref 0 and inv = ref 0 in
-    Array.iter
-      (fun e ->
-        match e with
-        | Netlist.Vsource { stim; _ } ->
-            b.(n_nodes - 1 + !vrow) <- Stimulus.eval stim 0.0;
-            incr vrow
-        | Netlist.Isource { a = na; b = nb; stim } ->
-            let j = Stimulus.eval stim 0.0 in
-            if na <> 0 then b.(vi na) <- b.(vi na) -. j;
-            if nb <> 0 then b.(vi nb) <- b.(vi nb) +. j
-        | Netlist.Inverter { output; dev; _ } ->
-            let v_drive = if states.(!inv) then dev.Devices.vdd else 0.0 in
-            incr inv;
-            if output <> 0 then
-              b.(vi output) <- b.(vi output) +. (v_drive /. dev.Devices.r_on)
-        | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Rl_branch _
-        | Netlist.Coupled_rl _ -> ())
-      elems;
-    Lu.solve lu b
+    Assembly.solve_g asm factor (rhs_at_t0 asm netlist states)
   in
+  (* inverter logic states: fixed point over the linear solves, all
+     sharing the one factorisation *)
   let rec iterate pass =
     if pass > max_state_iterations then
       failwith "Dc.operating_point: inverter states do not settle";
@@ -90,7 +72,7 @@ let operating_point ?(max_state_iterations = 64) netlist =
       (fun e ->
         match e with
         | Netlist.Inverter { input; dev; _ } ->
-            let v_in = if input = 0 then 0.0 else x.(vi input) in
+            let v_in = if input = Netlist.ground then 0.0 else x.(input - 1) in
             let s = Devices.drives_high dev ~v_in in
             if s <> states.(!inv) then begin
               states.(!inv) <- s;
@@ -103,14 +85,29 @@ let operating_point ?(max_state_iterations = 64) netlist =
     if !changed then iterate (pass + 1) else x
   in
   let x = iterate 1 in
-  let out = Array.make n_nodes 0.0 in
+  let n_nodes = asm.Assembly.n_nodes in
+  let voltages = Array.make n_nodes 0.0 in
   for node = 1 to n_nodes - 1 do
-    out.(node) <- x.(vi node)
+    voltages.(node) <- x.(node - 1)
   done;
-  out
+  { asm; netlist; factor; states; x; voltages }
+
+let sensitivity s ~input =
+  let n_inputs = Array.length s.asm.Assembly.inputs in
+  if input < 0 || input >= n_inputs then
+    invalid_arg
+      (Printf.sprintf "Dc.sensitivity: input %d out of %d" input n_inputs);
+  let dx = Assembly.solve_g s.asm s.factor (Assembly.b_column s.asm input) in
+  let n_nodes = s.asm.Assembly.n_nodes in
+  let dv = Array.make n_nodes 0.0 in
+  for node = 1 to n_nodes - 1 do
+    dv.(node) <- dx.(node - 1)
+  done;
+  dv
+
+let operating_point ?max_state_iterations netlist =
+  (make ?max_state_iterations netlist).voltages
 
 let initial_conditions ?max_state_iterations netlist =
   let v = operating_point ?max_state_iterations netlist in
-  List.init
-    (Array.length v - 1)
-    (fun i -> (i + 1, v.(i + 1)))
+  List.init (Array.length v - 1) (fun i -> (i + 1, v.(i + 1)))

@@ -1,14 +1,53 @@
 (** DC operating point: capacitors open, inductors short (their series
     resistance remains), sources at their t = 0 value, inverter logic
-    states resolved by fixed-point iteration. *)
+    states resolved by fixed-point iteration.
 
-val operating_point :
-  ?max_state_iterations:int -> Netlist.t -> float array
-(** Node voltages (index = node id, entry 0 is ground = 0 V).  Raises
+    The solve runs on the shared stamp IR ({!Assembly.t}): the DC
+    system is simply the IR's [G] block — the inductor branch rows
+    with [R] on the diagonal reduce to shorts-with-series-resistance
+    at [s = 0] — factored once under the shared
+    {!Rlc_numerics.Solver.plan}.  {!make} exposes that factorisation
+    as a {!system}, so the operating point, every inverter fixed-point
+    pass, and the per-source sensitivities all reuse one LU. *)
+
+type system
+(** A netlist compiled and factored for DC: holds the stamp IR, the
+    [G] factorisation, the settled inverter states and the solved
+    operating point. *)
+
+val make : ?max_state_iterations:int -> Netlist.t -> system
+(** Compile, factor once, and settle the operating point.  Raises
     [Failure] on a singular system — run {!Netlist.validate} first for
-    a better diagnostic — and [Failure] when the inverter states do not
-    settle (a ring oscillator has no stable DC point; use the transient
-    engine for those). *)
+    a better diagnostic — and [Failure] when the inverter states do
+    not settle (a ring oscillator has no stable DC point; use the
+    transient engine for those). *)
+
+val voltages : system -> float array
+(** Node voltages (index = node id, entry 0 is ground = 0 V). *)
+
+val unknowns : system -> float array
+(** The full MNA solution vector (node voltages, then inductor branch
+    currents, then voltage-source currents — the unknown order of
+    {!Assembly.t}). *)
+
+val assembly : system -> Assembly.t
+(** The stamp IR behind the system. *)
+
+val inputs : system -> Assembly.input array
+(** The independent sources, in the input-column order
+    {!sensitivity} indexes. *)
+
+val sensitivity : system -> input:int -> float array
+(** [sensitivity sys ~input] is d(node voltages)/d(u_input) — the node
+    voltages' first-order response to a unit change in that source's
+    DC value, from the already-computed factorisation (one banded or
+    dense back-substitution, no new LU).  Inverter logic states are
+    held at their settled values (small-signal assumption).  Index =
+    node id, entry 0 is ground.  Raises [Invalid_argument] on a bad
+    input index. *)
+
+val operating_point : ?max_state_iterations:int -> Netlist.t -> float array
+(** [voltages (make netlist)] — the historical one-shot entry point. *)
 
 val initial_conditions :
   ?max_state_iterations:int -> Netlist.t -> (Netlist.node * float) list

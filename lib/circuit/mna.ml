@@ -1,8 +1,8 @@
 open Rlc_numerics
 
-type source_kind = Voltage | Current
+type source_kind = Assembly.source_kind = Voltage | Current
 
-type input = {
+type input = Assembly.input = {
   name : string;
   kind : source_kind;
   stim : Stimulus.t;
@@ -16,138 +16,25 @@ type t = {
   c : Matrix.t;
   b : Matrix.t;
   inputs : input array;
+  asm : Assembly.t;
 }
 
-let vi node = node - 1
-
-(* First pass: count the extra unknowns and the source columns so the
-   matrices can be sized before stamping. *)
-let count_extras elems =
-  let currents = ref 0 and vsrcs = ref 0 and srcs = ref 0 in
-  Array.iter
-    (fun e ->
-      match e with
-      | Netlist.Rl_branch { henries; _ } ->
-          if henries > 0.0 then incr currents
-      | Netlist.Coupled_rl _ -> currents := !currents + 2
-      | Netlist.Vsource _ ->
-          incr vsrcs;
-          incr srcs
-      | Netlist.Isource _ -> incr srcs
-      | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Inverter _ -> ())
-    elems;
-  (!currents, !vsrcs, !srcs)
-
 let of_netlist netlist =
-  Netlist.validate netlist;
-  let elems = Netlist.elements netlist in
-  let n_nodes = Netlist.node_count netlist in
-  let n_currents, n_vsrcs, n_srcs = count_extras elems in
-  let size = n_nodes - 1 + n_currents + n_vsrcs in
-  if size = 0 then invalid_arg "Mna.of_netlist: empty circuit";
-  if n_srcs = 0 then invalid_arg "Mna.of_netlist: no independent sources";
-  let g = Matrix.create size size in
-  let c = Matrix.create size size in
-  let b = Matrix.create size n_srcs in
-  let inputs = ref [] in
-  (* conductance-pattern stamp shared by G (resistors) and C (caps) *)
-  let stamp_pattern m na nb v =
-    if na <> 0 then Matrix.add_to m (vi na) (vi na) v;
-    if nb <> 0 then Matrix.add_to m (vi nb) (vi nb) v;
-    if na <> 0 && nb <> 0 then begin
-      Matrix.add_to m (vi na) (vi nb) (-.v);
-      Matrix.add_to m (vi nb) (vi na) (-.v)
-    end
-  in
-  (* Branch row for a current unknown at [row]: KCL incidence in the
-     node rows plus the element equation written as
-     -v_a + v_b + R i + s L i = 0.  The sign convention matters: with
-     the branch block skew-coupled to the node block and R, L positive
-     on the branch diagonal, G + G^T and C are positive semidefinite —
-     the structure PRIMA's congruence projection needs to keep reduced
-     models stable. *)
-  let stamp_branch ~row na nb r_ohms =
-    if na <> 0 then begin
-      Matrix.add_to g (vi na) row 1.0;
-      Matrix.add_to g row (vi na) (-1.0)
-    end;
-    if nb <> 0 then begin
-      Matrix.add_to g (vi nb) row (-1.0);
-      Matrix.add_to g row (vi nb) 1.0
-    end;
-    Matrix.add_to g row row r_ohms
-  in
-  let next_current = ref (n_nodes - 1) in
-  let next_vrow = ref (n_nodes - 1 + n_currents) in
-  let next_col = ref 0 in
-  Array.iteri
-    (fun id e ->
-      match e with
-      | Netlist.Resistor { a; b = nb; ohms } ->
-          stamp_pattern g a nb (1.0 /. ohms)
-      | Netlist.Capacitor { a; b = nb; farads } ->
-          stamp_pattern c a nb farads
-      | Netlist.Rl_branch { a; b = nb; ohms; henries } ->
-          if henries = 0.0 then stamp_pattern g a nb (1.0 /. ohms)
-          else begin
-            let row = !next_current in
-            incr next_current;
-            stamp_branch ~row a nb ohms;
-            Matrix.add_to c row row henries
-          end
-      | Netlist.Coupled_rl { a1; b1; a2; b2; ohms; henries; mutual } ->
-          let row1 = !next_current in
-          let row2 = row1 + 1 in
-          next_current := !next_current + 2;
-          stamp_branch ~row:row1 a1 b1 ohms;
-          stamp_branch ~row:row2 a2 b2 ohms;
-          Matrix.add_to c row1 row1 henries;
-          Matrix.add_to c row2 row2 henries;
-          Matrix.add_to c row1 row2 mutual;
-          Matrix.add_to c row2 row1 mutual
-      | Netlist.Vsource { a; b = nb; stim } ->
-          (* same skew convention as the inductor branches:
-             -v_a + v_b = -u *)
-          let row = !next_vrow in
-          incr next_vrow;
-          if a <> 0 then begin
-            Matrix.add_to g (vi a) row 1.0;
-            Matrix.add_to g row (vi a) (-1.0)
-          end;
-          if nb <> 0 then begin
-            Matrix.add_to g (vi nb) row (-1.0);
-            Matrix.add_to g row (vi nb) 1.0
-          end;
-          let col = !next_col in
-          incr next_col;
-          Matrix.add_to b row col (-1.0);
-          inputs :=
-            { name = Netlist.element_name netlist id; kind = Voltage; stim }
-            :: !inputs
-      | Netlist.Isource { a; b = nb; stim } ->
-          (* current a -> b through the source: drawn from a, injected
-             into b (matches the transient engine's RHS signs) *)
-          let col = !next_col in
-          incr next_col;
-          if a <> 0 then Matrix.add_to b (vi a) col (-1.0);
-          if nb <> 0 then Matrix.add_to b (vi nb) col 1.0;
-          inputs :=
-            { name = Netlist.element_name netlist id; kind = Current; stim }
-            :: !inputs
-      | Netlist.Inverter { input; output; dev } ->
-          stamp_pattern c input Netlist.ground dev.Devices.c_in;
-          stamp_pattern c output Netlist.ground dev.Devices.c_out;
-          stamp_pattern g output Netlist.ground (1.0 /. dev.Devices.r_on))
-    elems;
+  let asm = Assembly.of_netlist netlist in
+  if Array.length asm.Assembly.inputs = 0 then
+    invalid_arg "Mna.of_netlist: no independent sources";
   {
-    size;
-    n_nodes;
-    n_currents;
-    g;
-    c;
-    b;
-    inputs = Array.of_list (List.rev !inputs);
+    size = asm.Assembly.size;
+    n_nodes = asm.Assembly.n_nodes;
+    n_currents = asm.Assembly.n_currents;
+    g = Assembly.dense_g asm;
+    c = Assembly.dense_c asm;
+    b = Assembly.dense_b asm;
+    inputs = asm.Assembly.inputs;
+    asm;
   }
+
+let vi node = node - 1
 
 let unknown_of_node m node =
   if node = Netlist.ground then
@@ -177,14 +64,8 @@ let b_column m input =
 
 let solve_s m ~input ~s =
   check_input m input;
-  let a =
-    Cmatrix.init m.size m.size (fun r q ->
-        Cx.( +: )
-          (Cx.of_float (Matrix.get m.g r q))
-          (Cx.( *: ) s (Cx.of_float (Matrix.get m.c r q))))
-  in
   let rhs = Array.map Cx.of_float (b_column m input) in
-  Clu.solve_matrix a rhs
+  Assembly.solve_complex m.asm ~s ~rhs
 
 let transfer m ~input ~output s =
   if Array.length output <> m.size then
@@ -207,20 +88,20 @@ let dc_gain m ~input ~output =
   check_input m input;
   if Array.length output <> m.size then
     invalid_arg "Mna.dc_gain: output selector length mismatch";
-  let lu = Lu.decompose m.g in
-  dot output (Lu.solve lu (b_column m input))
+  let f = Assembly.factor_g m.asm in
+  dot output (Assembly.solve_g m.asm f (b_column m input))
 
 let moments m ~input ~output ~order =
   check_input m input;
   if order < 0 then invalid_arg "Mna.moments: negative order";
   if Array.length output <> m.size then
     invalid_arg "Mna.moments: output selector length mismatch";
-  let lu = Lu.decompose m.g in
-  let x = ref (Lu.solve lu (b_column m input)) in
+  let f = Assembly.factor_g m.asm in
+  let x = ref (Assembly.solve_g m.asm f (b_column m input)) in
   Array.init (order + 1) (fun k ->
       if k > 0 then begin
         let cx = Matrix.mul_vec m.c !x in
-        let y = Lu.solve lu cx in
+        let y = Assembly.solve_g m.asm f cx in
         x := Array.map (fun v -> -.v) y
       end;
       dot output !x)

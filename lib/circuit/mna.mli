@@ -23,13 +23,20 @@
     Inverters are linearised at their output stage: the gate and drain
     capacitances stamp into [C] and the on-resistance into [G], while
     the switching source itself contributes nothing (small-signal
-    analysis of a held logic state). *)
+    analysis of a held logic state).
+
+    Since the stamp/assembly refactor the dense matrices are
+    materialised from the shared sparse IR ({!Assembly.t}, kept in the
+    [asm] field): PRIMA's congruence projection still wants dense
+    [G]/[C]/[B], while the solves themselves ({!solve_s}, {!dc_gain},
+    {!moments}) go through the IR's shared
+    {!Rlc_numerics.Solver.plan}. *)
 
 open Rlc_numerics
 
-type source_kind = Voltage | Current
+type source_kind = Assembly.source_kind = Voltage | Current
 
-type input = {
+type input = Assembly.input = {
   name : string;  (** netlist element name *)
   kind : source_kind;
   stim : Stimulus.t;  (** the deck's waveform, for DC levels *)
@@ -43,6 +50,7 @@ type t = private {
   c : Matrix.t;
   b : Matrix.t;  (** [size] x number of sources *)
   inputs : input array;  (** column order of [b] *)
+  asm : Assembly.t;  (** the sparse stamp IR the matrices came from *)
 }
 
 val of_netlist : Netlist.t -> t
@@ -63,19 +71,23 @@ val input_index : t -> string -> int option
 
 val solve_s : t -> input:int -> s:Cx.t -> Cx.t array
 (** Full phasor solution [(G + sC)^-1 B e_input] at one complex
-    frequency with a unit source, by dense complex LU.  Raises
-    [Clu.Singular] at a frequency where the matrix pencil is singular
-    and [Invalid_argument] on a bad input index. *)
+    frequency with a unit source, through
+    {!Assembly.solve_complex} — complex banded LU in RCM order when
+    the structure is narrow (O(n·b^2) per point), dense complex LU
+    otherwise.  Raises [Clu.Singular] or [Cbanded.Singular] at a
+    frequency where the matrix pencil is singular and
+    [Invalid_argument] on a bad input index. *)
 
 val transfer : t -> input:int -> output:float array -> Cx.t -> Cx.t
 (** [transfer m ~input ~output s] is [l^T (G + sC)^-1 B e_input] — the
     transfer function from a unit-amplitude source to an output
-    selector, evaluated at [s].  One dense complex factorisation per
-    call; for sweeps over many outputs share a {!solve_s} solution
+    selector, evaluated at [s].  One complex factorisation per call;
+    for sweeps over many outputs share a {!solve_s} solution
     instead. *)
 
 val dc_gain : t -> input:int -> output:float array -> float
-(** [transfer] at [s = 0], computed with the real LU. *)
+(** [transfer] at [s = 0], computed with the real factorisation of the
+    shared plan ({!Assembly.factor_g}). *)
 
 val moments : t -> input:int -> output:float array -> order:int -> float array
 (** First [order + 1] Taylor coefficients of the transfer function

@@ -2,7 +2,7 @@ open Rlc_numerics
 
 type integration = Trapezoidal | Backward_euler
 
-type backend = Auto | Dense | Banded
+type backend = Solver.backend = Auto | Dense | Banded
 
 type probe = Node_v of Netlist.node | Branch_i of string
 
@@ -167,20 +167,16 @@ let blit_state ~src ~dst =
   Array.blit src.inv_high 0 dst.inv_high 0 (Array.length src.inv_high);
   Array.blit src.inv_drive 0 dst.inv_drive 0 (Array.length src.inv_drive)
 
-type factor = F_dense of Lu.t | F_banded of Banded.t
-
 type engine = {
   compiled : compiled array;
   compiled_of_id : (int, compiled) Hashtbl.t;
   netlist : Netlist.t;
   n_nodes : int;
   m : int; (* unknown count: nodes-1 + vsources *)
-  perm : int array; (* unknown index -> bandwidth-minimising position *)
-  kl : int; (* sub/superdiagonal bandwidth of the permuted MNA matrix *)
-  ku : int;
-  use_banded : bool;
+  plan : Solver.plan; (* shared structure analysis: RCM + bandwidth *)
+  perm : int array; (* = plan.perm, kept flat for the hot loops *)
   state : state;
-  lu_cache : (integration * int64, factor) Hashtbl.t;
+  lu_cache : (integration * int64, Solver.factor) Hashtbl.t;
       (* keyed by the integration method and the exact dt bits *)
   rhs : float array; (* preallocated per-step buffers: *)
   x : float array; (* last MNA solution, in permuted order *)
@@ -195,25 +191,24 @@ type engine = {
 
 let vi node = node - 1
 
-(* Stamp the (method, dt) MNA matrix through [add row col value]; the
-   caller decides the storage (dense, banded, or a structure probe). *)
-let stamp ~compiled ~n_nodes meth dt ~add =
+(* Stamp the (method, dt) companion-model MNA matrix into a fresh COO
+   accumulator.  The conductance/cross patterns come from
+   {!Assembly.Coo} — the one stamping implementation — only the
+   companion values (alpha C / dt, the closed-form 2x2 coupled-RL
+   inverse) are computed here.  The voltage-source rows stay in the
+   engine's historical symmetric form (+1/+1), which differs from the
+   frequency-domain skew convention but yields the same solutions. *)
+let stamp_coo ~compiled ~n_nodes ~m meth dt =
   let alpha = alpha_of meth in
-  let stamp_g na nb g =
-    if na <> 0 then add (vi na) (vi na) g;
-    if nb <> 0 then add (vi nb) (vi nb) g;
-    if na <> 0 && nb <> 0 then begin
-      add (vi na) (vi nb) (-.g);
-      add (vi nb) (vi na) (-.g)
-    end
-  in
+  let coo = Assembly.Coo.create ~size:m in
   Array.iter
     (fun c ->
       match c with
-      | Cr { a = na; b = nb; g } -> stamp_g na nb g
-      | Cc { a = na; b = nb; c; _ } -> stamp_g na nb (alpha *. c /. dt)
+      | Cr { a = na; b = nb; g } -> Assembly.Coo.stamp_g coo na nb g
+      | Cc { a = na; b = nb; c; _ } ->
+          Assembly.Coo.stamp_g coo na nb (alpha *. c /. dt)
       | Crl { a = na; b = nb; r; l; _ } ->
-          stamp_g na nb (1.0 /. (r +. (alpha *. l /. dt)))
+          Assembly.Coo.stamp_g coo na nb (1.0 /. (r +. (alpha *. l /. dt)))
       | Ccrl { a1; b1; a2; b2; r; l; m; _ } ->
           (* i = G v with G = inv(R I + alpha L_mat / dt),
              L_mat = [l m; m l]; closed-form 2x2 inverse *)
@@ -221,39 +216,26 @@ let stamp ~compiled ~n_nodes meth dt ~add =
           let o = alpha *. m /. dt in
           let det = (d *. d) -. (o *. o) in
           let g_self = d /. det and g_cross = -.o /. det in
-          let stamp_cross na nb ma mb g =
-            if na <> 0 then begin
-              if ma <> 0 then add (vi na) (vi ma) g;
-              if mb <> 0 then add (vi na) (vi mb) (-.g)
-            end;
-            if nb <> 0 then begin
-              if ma <> 0 then add (vi nb) (vi ma) (-.g);
-              if mb <> 0 then add (vi nb) (vi mb) g
-            end
-          in
-          stamp_g a1 b1 g_self;
-          stamp_g a2 b2 g_self;
-          stamp_cross a1 b1 a2 b2 g_cross;
-          stamp_cross a2 b2 a1 b1 g_cross
+          Assembly.Coo.stamp_g coo a1 b1 g_self;
+          Assembly.Coo.stamp_g coo a2 b2 g_self;
+          Assembly.Coo.stamp_cross coo ~a:a1 ~b:b1 ~ma:a2 ~mb:b2 g_cross;
+          Assembly.Coo.stamp_cross coo ~a:a2 ~b:b2 ~ma:a1 ~mb:b1 g_cross
       | Cinv { output; dev; _ } ->
-          stamp_g output Netlist.ground (1.0 /. dev.Devices.r_on)
+          Assembly.Coo.stamp_g coo output Netlist.ground
+            (1.0 /. dev.Devices.r_on)
       | Cv { a = na; b = nb; row; _ } ->
           let r = n_nodes - 1 + row in
           if na <> 0 then begin
-            add (vi na) r 1.0;
-            add r (vi na) 1.0
+            Assembly.Coo.stamp_at coo (vi na) r 1.0;
+            Assembly.Coo.stamp_at coo r (vi na) 1.0
           end;
           if nb <> 0 then begin
-            add (vi nb) r (-1.0);
-            add r (vi nb) (-1.0)
+            Assembly.Coo.stamp_at coo (vi nb) r (-1.0);
+            Assembly.Coo.stamp_at coo r (vi nb) (-1.0)
           end
       | Ci _ -> ())
-    compiled
-
-(* Use the banded kernel when the band occupies at most a third of the
-   matrix and the system is big enough for the bookkeeping to pay off;
-   RC/RLC ladders have kl = ku of 2-3 independent of length. *)
-let banded_pays m kl ku = m >= 12 && 3 * (kl + ku + 1) <= m
+    compiled;
+  coo
 
 let make_engine (config : Config.t) netlist =
   let max_state_iterations = config.Config.max_state_iterations in
@@ -290,37 +272,19 @@ let make_engine (config : Config.t) netlist =
           state.inv_drive.(si) <- (if high then dev.Devices.vdd else 0.0)
       | Cr _ | Cc _ | Crl _ | Ccrl _ | Cv _ | Ci _ -> ())
     compiled;
-  (* structural probe (any positive dt): adjacency for the ordering,
-     then the bandwidth that ordering achieves *)
-  let adj = Array.make m [] in
-  stamp ~compiled ~n_nodes Trapezoidal 1.0 ~add:(fun i j _ ->
-      if i <> j then begin
-        adj.(i) <- j :: adj.(i);
-        adj.(j) <- i :: adj.(j)
-      end);
-  let adj = Array.map (List.sort_uniq Int.compare) adj in
-  let perm = Rcm.permutation adj in
-  let kl = ref 0 and ku = ref 0 in
-  stamp ~compiled ~n_nodes Trapezoidal 1.0 ~add:(fun i j _ ->
-      let d = perm.(i) - perm.(j) in
-      if d > !kl then kl := d;
-      if -d > !ku then ku := -d);
-  let use_banded =
-    match backend with
-    | Dense -> false
-    | Banded -> true
-    | Auto -> banded_pays m !kl !ku
-  in
+  (* structural probe (any positive dt): the companion structure is
+     dt-independent, so one stamp gives the adjacency the shared plan
+     (RCM ordering + bandwidth + backend choice) is built from *)
+  let probe = stamp_coo ~compiled ~n_nodes ~m Trapezoidal 1.0 in
+  let plan = Solver.plan ~backend (Assembly.Coo.adjacency probe) in
   {
     compiled;
     compiled_of_id;
     netlist;
     n_nodes;
     m;
-    perm;
-    kl = !kl;
-    ku = !ku;
-    use_banded;
+    plan;
+    perm = plan.Solver.perm;
     state;
     lu_cache = Hashtbl.create 8;
     rhs = Array.make m 0.0;
@@ -346,21 +310,13 @@ let factorization eng meth dt =
   match Hashtbl.find_opt eng.lu_cache key with
   | Some f -> f
   | None ->
+      let coo =
+        stamp_coo ~compiled:eng.compiled ~n_nodes:eng.n_nodes ~m:eng.m meth dt
+      in
       let f =
-        if eng.use_banded then begin
-          let s = Banded.create_storage ~n:eng.m ~kl:eng.kl ~ku:eng.ku in
-          stamp ~compiled:eng.compiled ~n_nodes:eng.n_nodes meth dt
-            ~add:(fun i j v -> Banded.add_to s eng.perm.(i) eng.perm.(j) v);
-          try F_banded (Banded.decompose s)
-          with Banded.Singular -> failwith "Transient: singular MNA matrix"
-        end
-        else begin
-          let a = Matrix.create eng.m eng.m in
-          stamp ~compiled:eng.compiled ~n_nodes:eng.n_nodes meth dt
-            ~add:(fun i j v -> Matrix.add_to a eng.perm.(i) eng.perm.(j) v);
-          try F_dense (Lu.decompose a)
-          with Lu.Singular -> failwith "Transient: singular MNA matrix"
-        end
+        try Solver.factor eng.plan ~fill:(Assembly.Coo.iter coo)
+        with Lu.Singular | Banded.Singular ->
+          failwith "Transient: singular MNA matrix"
       in
       if Hashtbl.length eng.lu_cache >= lu_cache_limit then
         Hashtbl.reset eng.lu_cache;
@@ -368,10 +324,7 @@ let factorization eng meth dt =
       eng.factorizations <- eng.factorizations + 1;
       f
 
-let solve_factor f ~b ~x =
-  match f with
-  | F_dense lu -> Lu.solve_into lu ~b ~x
-  | F_banded bd -> Banded.solve_into bd ~b ~x
+let solve_factor f ~b ~x = Solver.solve_permuted_into f ~b ~x
 
 let slewed_drive dev ~dt current target_high =
   let target = if target_high then dev.Devices.vdd else 0.0 in

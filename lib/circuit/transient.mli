@@ -20,11 +20,15 @@
 
 type integration = Trapezoidal | Backward_euler
 
-type backend =
+type backend = Rlc_numerics.Solver.backend =
   | Auto  (** banded when the measured band occupies at most a third
               of the matrix (and m >= 12); dense otherwise *)
   | Dense  (** force dense LU *)
   | Banded  (** force the banded kernel *)
+      (** Re-export of {!Rlc_numerics.Solver.backend}: the engine's
+          structure analysis and factorisations run through the shared
+          {!Rlc_numerics.Solver.plan}, the same pass the DC, AC and
+          PRIMA paths use. *)
 
 type probe =
   | Node_v of Netlist.node  (** node voltage *)

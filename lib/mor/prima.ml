@@ -19,65 +19,18 @@ let ( /: ) = Cx.( /: )
 
 (* ---------------- fast solves with G ----------------
 
-   The Krylov recurrence applies G^-1 many times; mirror the transient
-   engine's backend choice: RCM-permute the structure of G and factor
-   banded when the band is narrow, dense otherwise. *)
+   The Krylov recurrence applies G^-1 many times; the factorisation
+   comes straight from the MNA descriptor's stamp IR under the shared
+   structure plan (RCM + banded-when-narrow), so PRIMA, the transient
+   engine and the AC path all make the same backend choice from the
+   same analysis. *)
 
-type g_solver = {
-  solve_g : float array -> float array;
-  dense_fallback : bool;
-}
-
-let banded_pays n kl ku = n >= 12 && 3 * (kl + ku + 1) <= n
-
-let make_g_solver g =
-  let n = Matrix.rows g in
-  let adj = Array.make n [] in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      if i <> j && Matrix.get g i j <> 0.0 then adj.(i) <- j :: adj.(i)
-    done
-  done;
-  let adj = Array.map (List.sort_uniq Int.compare) adj in
-  let perm = Rcm.permutation adj in
-  let kl = ref 0 and ku = ref 0 in
-  for i = 0 to n - 1 do
-    List.iter
-      (fun j ->
-        let d = perm.(i) - perm.(j) in
-        if d > !kl then kl := d;
-        if -d > !ku then ku := -d)
-      adj.(i)
-  done;
-  if banded_pays n !kl !ku then begin
-    let s = Banded.create_storage ~n ~kl:!kl ~ku:!ku in
-    for i = 0 to n - 1 do
-      for j = 0 to n - 1 do
-        let v = Matrix.get g i j in
-        if v <> 0.0 then Banded.add_to s perm.(i) perm.(j) v
-      done
-    done;
-    let f =
-      try Banded.decompose s
-      with Banded.Singular -> failwith "Prima: singular G matrix"
-    in
-    let solve_g b =
-      let bp = Array.make n 0.0 in
-      for i = 0 to n - 1 do
-        bp.(perm.(i)) <- b.(i)
-      done;
-      Banded.solve_into f ~b:bp ~x:bp;
-      Array.init n (fun i -> bp.(perm.(i)))
-    in
-    { solve_g; dense_fallback = false }
-  end
-  else begin
-    let f =
-      try Lu.decompose (Matrix.copy g)
-      with Lu.Singular -> failwith "Prima: singular G matrix"
-    in
-    { solve_g = (fun b -> Lu.solve f b); dense_fallback = true }
-  end
+let make_g_solver (asm : Rlc_circuit.Assembly.t) =
+  let f =
+    try Rlc_circuit.Assembly.factor_g asm
+    with Lu.Singular | Banded.Singular -> failwith "Prima: singular G matrix"
+  in
+  fun b -> Rlc_circuit.Assembly.solve_g asm f b
 
 (* ---------------- projection ---------------- *)
 
@@ -223,10 +176,10 @@ let reduce ~order (mna : Mna.t) ~input ~output =
   if Array.length output <> mna.Mna.size then
     invalid_arg "Prima.reduce: output selector length mismatch";
   let n = mna.Mna.size in
-  let solver = make_g_solver mna.Mna.g in
+  let solve_g = make_g_solver mna.Mna.asm in
   let b_col = Array.init n (fun i -> Matrix.get mna.Mna.b i input) in
-  let r0 = solver.solve_g b_col in
-  let mul v = solver.solve_g (Matrix.mul_vec mna.Mna.c v) in
+  let r0 = solve_g b_col in
+  let mul v = solve_g (Matrix.mul_vec mna.Mna.c v) in
   let v = Arnoldi.block ~mul ~start:[| r0 |] order in
   let q = Array.length v in
   let g_r = project mna.Mna.g v in

@@ -1,0 +1,229 @@
+(* Complex band storage in LAPACK's general-band convention (see
+   Banded for the real twin): column j is contiguous, entry (i,j)
+   lives at offset [kl + ku + i - j], and the top [kl] rows of each
+   column are workspace so that the fill-in created by row pivoting (U
+   gains up to kl extra superdiagonals) stays inside the array.  Real
+   and imaginary parts are split into two float arrays so assembly and
+   factorisation never box a complex value. *)
+
+type storage = {
+  n : int;
+  skl : int;
+  sku : int;
+  ldab : int; (* 2*skl + sku + 1 *)
+  re : float array; (* column-major, n columns of height ldab *)
+  im : float array;
+}
+
+type t = {
+  fn : int;
+  fkl : int;
+  fku : int;
+  fldab : int;
+  fre : float array; (* factorised bands: L multipliers + widened U *)
+  fim : float array;
+  ipiv : int array; (* row interchanged with row k at step k *)
+}
+
+exception Singular
+
+let create_storage ~n ~kl ~ku =
+  if n <= 0 then invalid_arg "Cbanded.create_storage: n <= 0";
+  if kl < 0 || ku < 0 then
+    invalid_arg "Cbanded.create_storage: negative bandwidth";
+  if kl >= n || ku >= n then
+    invalid_arg "Cbanded.create_storage: bandwidth >= n";
+  let ldab = (2 * kl) + ku + 1 in
+  {
+    n;
+    skl = kl;
+    sku = ku;
+    ldab;
+    re = Array.make (n * ldab) 0.0;
+    im = Array.make (n * ldab) 0.0;
+  }
+
+let storage_n s = s.n
+let storage_kl s = s.skl
+let storage_ku s = s.sku
+
+let idx s i j = (j * s.ldab) + s.skl + s.sku + i - j
+
+let check_bounds s i j =
+  if i < 0 || i >= s.n || j < 0 || j >= s.n then
+    invalid_arg
+      (Printf.sprintf "Cbanded: index (%d,%d) out of %dx%d" i j s.n s.n)
+
+let in_band s i j = i - j <= s.skl && j - i <= s.sku
+
+let get s i j =
+  check_bounds s i j;
+  if in_band s i j then
+    let k = idx s i j in
+    Cx.make s.re.(k) s.im.(k)
+  else Cx.zero
+
+let check_band s i j =
+  check_bounds s i j;
+  if not (in_band s i j) then
+    invalid_arg
+      (Printf.sprintf "Cbanded: (%d,%d) outside band (kl=%d, ku=%d)" i j s.skl
+         s.sku)
+
+let set s i j v =
+  check_band s i j;
+  let k = idx s i j in
+  s.re.(k) <- Cx.re v;
+  s.im.(k) <- Cx.im v
+
+let add_to s i j v =
+  check_band s i j;
+  let k = idx s i j in
+  s.re.(k) <- s.re.(k) +. Cx.re v;
+  s.im.(k) <- s.im.(k) +. Cx.im v
+
+let to_dense s =
+  let m = Cmatrix.create s.n s.n in
+  for j = 0 to s.n - 1 do
+    for i = Int.max 0 (j - s.sku) to Int.min (s.n - 1) (j + s.skl) do
+      let k = idx s i j in
+      Cmatrix.set m i j (Cx.make s.re.(k) s.im.(k))
+    done
+  done;
+  m
+
+(* Smith's algorithm for (ar + i ai) / (br + i bi): avoids the
+   overflow/underflow of the naive formula when |b| is extreme. *)
+let div_parts ar ai br bi =
+  if Float.abs br >= Float.abs bi then begin
+    let r = bi /. br in
+    let d = br +. (bi *. r) in
+    ((ar +. (ai *. r)) /. d, (ai -. (ar *. r)) /. d)
+  end
+  else begin
+    let r = br /. bi in
+    let d = (br *. r) +. bi in
+    (((ar *. r) +. ai) /. d, ((ai *. r) -. ar) /. d)
+  end
+
+(* Unblocked zgbtf2, mirroring Banded.decompose: at column j the pivot
+   is searched by modulus over the kl rows below the diagonal; a swap
+   moves a row whose entries extend up to column j + kl + ku, which is
+   why U is stored kl wider than the assembled band. *)
+let decompose ?(pivot_tol = 1e-300) s =
+  let { n; skl = kl; sku = ku; ldab; re; im } = s in
+  let at i j = (j * ldab) + kl + ku + i - j in
+  let ipiv = Array.make n 0 in
+  let ju = ref 0 in
+  for j = 0 to n - 1 do
+    let km = Int.min kl (n - 1 - j) in
+    let jp = ref 0 in
+    let pv = ref (Float.hypot re.(at j j) im.(at j j)) in
+    for i = 1 to km do
+      let k = at (j + i) j in
+      let v = Float.hypot re.(k) im.(k) in
+      if v > !pv then begin
+        pv := v;
+        jp := i
+      end
+    done;
+    if !pv <= pivot_tol then raise Singular;
+    ipiv.(j) <- j + !jp;
+    ju := Int.max !ju (Int.min (j + ku + !jp) (n - 1));
+    if !jp <> 0 then begin
+      let r = j + !jp in
+      for c = j to !ju do
+        let a = at j c and b = at r c in
+        let tr = re.(a) and ti = im.(a) in
+        re.(a) <- re.(b);
+        im.(a) <- im.(b);
+        re.(b) <- tr;
+        im.(b) <- ti
+      done
+    end;
+    if km > 0 then begin
+      let p = at j j in
+      let pr = re.(p) and pi = im.(p) in
+      for i = 1 to km do
+        let k = at (j + i) j in
+        let qr, qi = div_parts re.(k) im.(k) pr pi in
+        re.(k) <- qr;
+        im.(k) <- qi
+      done;
+      for c = j + 1 to !ju do
+        let u = at j c in
+        let ur = re.(u) and ui = im.(u) in
+        if ur <> 0.0 || ui <> 0.0 then
+          for i = 1 to km do
+            let l = at (j + i) j in
+            let k = at (j + i) c in
+            let lr = re.(l) and li = im.(l) in
+            re.(k) <- re.(k) -. ((lr *. ur) -. (li *. ui));
+            im.(k) <- im.(k) -. ((lr *. ui) +. (li *. ur))
+          done
+      done
+    end
+  done;
+  { fn = n; fkl = kl; fku = ku; fldab = ldab; fre = re; fim = im; ipiv }
+
+let size f = f.fn
+let kl f = f.fkl
+let ku f = f.fku
+
+let solve_into f ~b ~x =
+  let n = f.fn in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Cbanded.solve_into: size mismatch";
+  let { fkl = kl; fku = ku; fldab = ldab; fre = re; fim = im; ipiv; _ } = f in
+  let at i j = (j * ldab) + kl + ku + i - j in
+  (* split the RHS so the substitution sweeps stay box-free *)
+  let xr = Array.make n 0.0 and xi = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    xr.(k) <- Cx.re b.(k);
+    xi.(k) <- Cx.im b.(k)
+  done;
+  (* L y = P b, applying the interchanges in factorisation order *)
+  for j = 0 to n - 1 do
+    let p = ipiv.(j) in
+    if p <> j then begin
+      let tr = xr.(j) and ti = xi.(j) in
+      xr.(j) <- xr.(p);
+      xi.(j) <- xi.(p);
+      xr.(p) <- tr;
+      xi.(p) <- ti
+    end;
+    let yr = xr.(j) and yi = xi.(j) in
+    if yr <> 0.0 || yi <> 0.0 then begin
+      let km = Int.min kl (n - 1 - j) in
+      for i = 1 to km do
+        let l = at (j + i) j in
+        let lr = re.(l) and li = im.(l) in
+        xr.(j + i) <- xr.(j + i) -. ((lr *. yr) -. (li *. yi));
+        xi.(j + i) <- xi.(j + i) -. ((lr *. yi) +. (li *. yr))
+      done
+    end
+  done;
+  (* U x = y; U has kl + ku superdiagonals after pivoting *)
+  for j = n - 1 downto 0 do
+    let d = at j j in
+    let qr, qi = div_parts xr.(j) xi.(j) re.(d) im.(d) in
+    xr.(j) <- qr;
+    xi.(j) <- qi;
+    if qr <> 0.0 || qi <> 0.0 then begin
+      let lm = Int.min (kl + ku) j in
+      for i = 1 to lm do
+        let u = at (j - i) j in
+        let ur = re.(u) and ui = im.(u) in
+        xr.(j - i) <- xr.(j - i) -. ((ur *. qr) -. (ui *. qi));
+        xi.(j - i) <- xi.(j - i) -. ((ur *. qi) +. (ui *. qr))
+      done
+    end
+  done;
+  for k = 0 to n - 1 do
+    x.(k) <- Cx.make xr.(k) xi.(k)
+  done
+
+let solve f b =
+  let x = Array.make f.fn Cx.zero in
+  solve_into f ~b ~x;
+  x

@@ -1,0 +1,94 @@
+type backend = Auto | Dense | Banded
+
+type plan = {
+  n : int;
+  perm : int array;
+  kl : int;
+  ku : int;
+  use_banded : bool;
+}
+
+(* Use the banded kernel when the band occupies at most a third of the
+   matrix and the system is big enough for the bookkeeping to pay off;
+   RC/RLC ladders have kl = ku of 2-3 independent of length. *)
+let banded_pays ~n ~kl ~ku = n >= 12 && 3 * (kl + ku + 1) <= n
+
+let plan ?(backend = Auto) adj =
+  let n = Array.length adj in
+  if n = 0 then invalid_arg "Solver.plan: empty adjacency";
+  let perm = Rcm.permutation adj in
+  let kl = ref 0 and ku = ref 0 in
+  Array.iteri
+    (fun i neighbours ->
+      List.iter
+        (fun j ->
+          let d = perm.(i) - perm.(j) in
+          if d > !kl then kl := d;
+          if -d > !ku then ku := -d)
+        neighbours)
+    adj;
+  let use_banded =
+    match backend with
+    | Dense -> false
+    | Banded -> true
+    | Auto -> banded_pays ~n ~kl:!kl ~ku:!ku
+  in
+  { n; perm; kl = !kl; ku = !ku; use_banded }
+
+type factor = F_dense of Lu.t | F_banded of Banded.t
+
+let factor p ~fill =
+  if p.use_banded then begin
+    let s = Banded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
+    fill (fun i j v -> Banded.add_to s p.perm.(i) p.perm.(j) v);
+    F_banded (Banded.decompose s)
+  end
+  else begin
+    let a = Matrix.create p.n p.n in
+    fill (fun i j v -> Matrix.add_to a p.perm.(i) p.perm.(j) v);
+    F_dense (Lu.decompose a)
+  end
+
+let solve_permuted_into f ~b ~x =
+  match f with
+  | F_dense lu -> Lu.solve_into lu ~b ~x
+  | F_banded bd -> Banded.solve_into bd ~b ~x
+
+let solve p f b =
+  let n = p.n in
+  if Array.length b <> n then invalid_arg "Solver.solve: size mismatch";
+  let bp = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    bp.(p.perm.(i)) <- b.(i)
+  done;
+  let xp = Array.make n 0.0 in
+  solve_permuted_into f ~b:bp ~x:xp;
+  Array.init n (fun i -> xp.(p.perm.(i)))
+
+type cfactor = C_dense of Clu.t | C_banded of Cbanded.t
+
+let cfactor p ~fill =
+  if p.use_banded then begin
+    let s = Cbanded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
+    fill (fun i j v -> Cbanded.add_to s p.perm.(i) p.perm.(j) v);
+    C_banded (Cbanded.decompose s)
+  end
+  else begin
+    let a = Cmatrix.create p.n p.n in
+    fill (fun i j v -> Cmatrix.add_to a p.perm.(i) p.perm.(j) v);
+    C_dense (Clu.decompose a)
+  end
+
+let csolve p f b =
+  let n = p.n in
+  if Array.length b <> n then invalid_arg "Solver.csolve: size mismatch";
+  let bp = Array.make n Cx.zero in
+  for i = 0 to n - 1 do
+    bp.(p.perm.(i)) <- b.(i)
+  done;
+  let xp =
+    match f with
+    | C_dense lu -> Clu.solve lu bp
+    | C_banded bd -> Cbanded.solve bd bp
+  in
+  Array.init n (fun i -> xp.(p.perm.(i)))

@@ -1,0 +1,76 @@
+(** Pluggable direct-solver backends behind one structure-analysis
+    pass.
+
+    Every sparse consumer in the repository — the transient engine's
+    per-(method, dt) factorisations, the DC operating point, the AC
+    per-frequency complex solves and PRIMA's Krylov G-solves — faces
+    the same choice: reorder the unknowns with reverse Cuthill-McKee,
+    measure the bandwidth the stamped structure achieves, and factor
+    banded when the band is narrow or dense otherwise.  This module is
+    that choice, made once: {!plan} runs the structure analysis on an
+    adjacency, and {!factor} / {!cfactor} materialise a real or
+    complex system through a stamping callback into whichever storage
+    the plan selected, hiding the dense/banded split behind one
+    factor type. *)
+
+type backend =
+  | Auto
+      (** banded when the measured band occupies at most a third of
+          the matrix (and n >= 12); dense otherwise *)
+  | Dense  (** force dense LU *)
+  | Banded  (** force the banded kernel *)
+
+type plan = private {
+  n : int;  (** unknown count *)
+  perm : int array;  (** unknown index -> bandwidth-minimising position *)
+  kl : int;  (** sub-bandwidth the stamps achieve under [perm] *)
+  ku : int;  (** super-bandwidth under [perm] *)
+  use_banded : bool;  (** the backend the plan settled on *)
+}
+
+val banded_pays : n:int -> kl:int -> ku:int -> bool
+(** The [Auto] heuristic: banded when the band occupies at most a
+    third of the matrix and the system is big enough ([n >= 12]) for
+    the bookkeeping to pay off. *)
+
+val plan : ?backend:backend -> int list array -> plan
+(** [plan adj] analyses the nonzero structure given as an undirected
+    adjacency (vertex [u]'s neighbour list at index [u]; self-loops
+    ignored, symmetry assumed — the shape {!Rcm.permutation} takes):
+    computes the RCM ordering, the half-bandwidths the structure
+    achieves under it, and picks the backend ([Auto] by default).
+    Raises [Invalid_argument] on an empty adjacency. *)
+
+type factor
+(** A factorised real system, dense or banded per the plan. *)
+
+val factor : plan -> fill:((int -> int -> float -> unit) -> unit) -> factor
+(** [factor p ~fill] assembles and factorises a real matrix.  [fill]
+    is called once with an [add i j v] accumulator taking *natural*
+    (unpermuted) indices; the plan's permutation is applied inside.
+    Banded assembly requires every stamped (i,j) to satisfy the plan's
+    bandwidth — guaranteed when [fill] stamps the structure the plan
+    was built from.  Raises {!Lu.Singular} or {!Banded.Singular} on
+    numerical breakdown. *)
+
+val solve_permuted_into : factor -> b:float array -> x:float array -> unit
+(** Allocation-free solve in *permuted* coordinates ([b] and [x] may
+    alias for the banded backend; for dense they must differ — pass
+    distinct buffers to be backend-agnostic).  The hot-path entry for
+    callers that keep their vectors permuted, like the transient
+    engine. *)
+
+val solve : plan -> factor -> float array -> float array
+(** Solve in natural coordinates: permutes the RHS, solves, and
+    un-permutes the solution (fresh array). *)
+
+type cfactor
+(** A factorised complex system, dense or banded per the plan. *)
+
+val cfactor : plan -> fill:((int -> int -> Cx.t -> unit) -> unit) -> cfactor
+(** Complex twin of {!factor}: assembles [G + sC]-shaped systems into
+    {!Cbanded} storage (or a dense {!Cmatrix}) and factorises.  Raises
+    {!Clu.Singular} or {!Cbanded.Singular}. *)
+
+val csolve : plan -> cfactor -> Cx.t array -> Cx.t array
+(** Complex solve in natural coordinates (fresh array). *)

@@ -207,6 +207,48 @@ let test_dc_inverter_chain () =
   let v = Dc.operating_point nl in
   check_close "output at vdd" 1.2 v.(output)
 
+let test_dc_system_reuse () =
+  (* one factorisation serves the operating point and every
+     per-source sensitivity; check both against finite differences *)
+  let build v1 v2 =
+    let nl = Netlist.create () in
+    let a = Netlist.fresh_node nl in
+    let b = Netlist.fresh_node nl in
+    let mid = Netlist.fresh_node nl in
+    Netlist.add_vsource nl a Netlist.ground (Stimulus.Dc v1);
+    Netlist.add_vsource nl b Netlist.ground (Stimulus.Dc v2);
+    Netlist.add_resistor nl a mid 2.0;
+    Netlist.add_rl_branch nl b mid ~ohms:3.0 ~henries:1e-9;
+    Netlist.add_resistor nl mid Netlist.ground 6.0;
+    (nl, mid)
+  in
+  let nl, mid = build 1.0 2.0 in
+  let sys = Dc.make nl in
+  let v = Dc.voltages sys in
+  (* superposition: v_mid = v1/(2*(1/2+1/3+1/6)) + v2/(3*(...)) *)
+  check_close "operating point" (0.5 +. (2.0 /. 3.0)) v.(mid) ~tol:1e-12;
+  let x = Dc.unknowns sys in
+  Alcotest.(check bool) "unknowns extend voltages" true
+    (Array.length x > Array.length v - 1);
+  Alcotest.(check int) "two inputs" 2 (Array.length (Dc.inputs sys));
+  (* sensitivities against central finite differences over fresh solves *)
+  let dv = 1e-3 in
+  List.iteri
+    (fun input _ ->
+      let s = Dc.sensitivity sys ~input in
+      let at v1 v2 = (Dc.operating_point (fst (build v1 v2))).(mid) in
+      let fd =
+        if input = 0 then (at (1.0 +. dv) 2.0 -. at (1.0 -. dv) 2.0) /. (2.0 *. dv)
+        else (at 1.0 (2.0 +. dv) -. at 1.0 (2.0 -. dv)) /. (2.0 *. dv)
+      in
+      check_close
+        (Printf.sprintf "d v_mid / d u%d" input)
+        fd s.(mid) ~tol:1e-9)
+    [ (); () ];
+  Alcotest.check_raises "bad input index"
+    (Invalid_argument "Dc.sensitivity: input 7 out of 2") (fun () ->
+      ignore (Dc.sensitivity sys ~input:7))
+
 (* ---------------- Transient ---------------- *)
 
 let test_transient_rc_charge () =
@@ -993,6 +1035,8 @@ let () =
           Alcotest.test_case "initial conditions" `Quick
             test_dc_initial_conditions;
           Alcotest.test_case "inverter" `Quick test_dc_inverter_chain;
+          Alcotest.test_case "factored system & sensitivity" `Quick
+            test_dc_system_reuse;
         ] );
       ( "transient",
         [

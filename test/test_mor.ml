@@ -248,6 +248,44 @@ let test_ac_matches_exact_line () =
         exact.Rlc_core.Frequency.phase_deg ladder.Ac.phase_deg)
     [ 1e8; 5e8; 1e9; 2e9; 5e9 ]
 
+let test_ac_unwrap () =
+  Alcotest.(check int) "empty" 0 (Array.length (Ac.unwrap [||]));
+  let smooth = [| 10.0; -20.0; -50.0; -170.0 |] in
+  Array.iteri
+    (fun i v -> check_close (Printf.sprintf "no jump %d" i) smooth.(i) v)
+    (Ac.unwrap smooth);
+  (* a wrap at +/-180: the unwrapped curve keeps descending *)
+  let wrapped = [| -150.0; -170.0; 170.0; 150.0 |] in
+  let expect = [| -150.0; -170.0; -190.0; -210.0 |] in
+  Array.iteri
+    (fun i v -> check_close (Printf.sprintf "descending %d" i) expect.(i) v)
+    (Ac.unwrap wrapped);
+  (* multiple turns accumulate *)
+  let spiral = [| 170.0; -170.0; 170.0; -170.0 |] in
+  let expect = [| 170.0; 190.0; 170.0; 190.0 |] in
+  Array.iteri
+    (fun i v -> check_close (Printf.sprintf "spiral %d" i) expect.(i) v)
+    (Ac.unwrap spiral);
+  (* a long lossy ladder's phase decreases monotonically once unwrapped *)
+  let nl, far = ladder_stage 48 in
+  let m = mna_of nl in
+  let output = far_output m far in
+  let freqs = Ac.decade_grid ~points_per_decade:20 ~fstart:1e8 ~fstop:2e10 in
+  let pts = Ac.bode m ~input:0 ~output ~freqs in
+  let unwrapped = Ac.unwrap (Array.map (fun p -> p.Ac.phase_deg) pts) in
+  let wraps = ref false in
+  Array.iteri
+    (fun i u ->
+      if i > 0 then begin
+        if u > unwrapped.(i - 1) +. 1e-9 then
+          Alcotest.failf "phase not monotone at point %d" i;
+        if Float.abs (u -. unwrapped.(i - 1)) > 180.0 then wraps := true
+      end)
+    unwrapped;
+  Alcotest.(check bool) "no 360-degree jumps" false !wraps;
+  Alcotest.(check bool) "accumulates beyond -180" true
+    (unwrapped.(Array.length unwrapped - 1) < -180.0)
+
 (* ---------------- Prima ---------------- *)
 
 let test_prima_lumped_poles () =
@@ -443,6 +481,7 @@ let () =
           Alcotest.test_case "rc lowpass" `Quick test_ac_rc_lowpass;
           Alcotest.test_case "ladder vs exact line" `Quick
             test_ac_matches_exact_line;
+          Alcotest.test_case "phase unwrapping" `Quick test_ac_unwrap;
         ] );
       ( "prima",
         [

@@ -272,6 +272,169 @@ let prop_banded_roundtrip =
       let r = Matrix.mul_vec a x in
       Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-8) r b)
 
+(* ---------------- Cbanded ---------------- *)
+
+let random_cbanded rand n kl ku =
+  let a = Cmatrix.create n n in
+  for i = 0 to n - 1 do
+    for j = Int.max 0 (i - kl) to Int.min (n - 1) (i + ku) do
+      Cmatrix.set a i j (Cx.make (rand ()) (rand ()))
+    done;
+    Cmatrix.add_to a i i (Cx.of_float (2.0 *. float_of_int (kl + ku + 1)))
+  done;
+  a
+
+let cbanded_of_cmatrix ~kl ~ku a =
+  let n = Cmatrix.rows a in
+  let s = Cbanded.create_storage ~n ~kl ~ku in
+  for i = 0 to n - 1 do
+    for j = Int.max 0 (i - kl) to Int.min (n - 1) (i + ku) do
+      Cbanded.set s i j (Cmatrix.get a i j)
+    done
+  done;
+  s
+
+let check_cx msg expected actual =
+  check_close (msg ^ " re") (Cx.re expected) (Cx.re actual) ~tol:1e-10;
+  check_close (msg ^ " im") (Cx.im expected) (Cx.im actual) ~tol:1e-10
+
+let test_cbanded_storage () =
+  let s = Cbanded.create_storage ~n:5 ~kl:1 ~ku:2 in
+  Cbanded.set s 2 1 (Cx.make 4.0 1.0);
+  Cbanded.add_to s 2 1 (Cx.make 0.5 (-0.5));
+  check_cx "in-band entry" (Cx.make 4.5 0.5) (Cbanded.get s 2 1);
+  check_cx "outside band reads 0" Cx.zero (Cbanded.get s 4 0);
+  Alcotest.check_raises "outside band write"
+    (Invalid_argument "Cbanded: (4,0) outside band (kl=1, ku=2)") (fun () ->
+      Cbanded.set s 4 0 Cx.one);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Cbanded: index (5,0) out of 5x5") (fun () ->
+      ignore (Cbanded.get s 5 0));
+  let d = Cbanded.to_dense s in
+  check_cx "dense round-trip" (Cx.make 4.5 0.5) (Cmatrix.get d 2 1)
+
+let test_cbanded_vs_clu_random () =
+  let rand = lcg 20260807 in
+  List.iter
+    (fun (n, kl, ku) ->
+      let a = random_cbanded rand n kl ku in
+      let b = Array.init n (fun _ -> Cx.make (rand ()) (rand ())) in
+      let xd = Clu.solve (Clu.decompose a) b in
+      let f = Cbanded.decompose (cbanded_of_cmatrix ~kl ~ku a) in
+      Alcotest.(check int) "size" n (Cbanded.size f);
+      let xb = Cbanded.solve f b in
+      Array.iteri
+        (fun i v ->
+          check_cx (Printf.sprintf "n=%d kl=%d ku=%d x%d" n kl ku i) v xb.(i))
+        xd)
+    [ (1, 0, 0); (4, 1, 1); (7, 2, 1); (12, 1, 3); (25, 2, 2); (40, 3, 3) ]
+
+let test_cbanded_pivoting () =
+  (* dominant subdiagonal: partial pivoting must swap on every column *)
+  let n = 8 in
+  let a = Cmatrix.create n n in
+  for i = 0 to n - 1 do
+    Cmatrix.set a i i (Cx.make 0.1 0.05);
+    if i > 0 then Cmatrix.set a i (i - 1) (Cx.make 5.0 (-2.0));
+    if i < n - 1 then Cmatrix.set a i (i + 1) (Cx.make 1.0 0.5)
+  done;
+  let b = Array.init n (fun i -> Cx.make (float_of_int (i + 1)) 1.0) in
+  let xd = Clu.solve (Clu.decompose a) b in
+  let xb =
+    Cbanded.solve (Cbanded.decompose (cbanded_of_cmatrix ~kl:1 ~ku:1 a)) b
+  in
+  Array.iteri (fun i v -> check_cx (Printf.sprintf "x%d" i) v xb.(i)) xd
+
+let test_cbanded_singular () =
+  let s = Cbanded.create_storage ~n:3 ~kl:1 ~ku:1 in
+  Cbanded.set s 0 0 Cx.one;
+  Cbanded.set s 2 2 Cx.one;
+  Alcotest.check_raises "singular" Cbanded.Singular (fun () ->
+      ignore (Cbanded.decompose s))
+
+(* ---------------- Solver ---------------- *)
+
+let tridiag_adjacency n =
+  Array.init n (fun i ->
+      List.filter (fun j -> j >= 0 && j < n) [ i - 1; i + 1 ])
+
+let test_solver_plan () =
+  let small = Solver.plan (tridiag_adjacency 5) in
+  Alcotest.(check bool) "small system stays dense" false
+    small.Solver.use_banded;
+  let big = Solver.plan (tridiag_adjacency 30) in
+  Alcotest.(check bool) "ladder goes banded" true big.Solver.use_banded;
+  Alcotest.(check bool) "narrow band" true (big.Solver.kl + big.Solver.ku <= 4);
+  let forced = Solver.plan ~backend:Solver.Dense (tridiag_adjacency 30) in
+  Alcotest.(check bool) "Dense override" false forced.Solver.use_banded;
+  let forced_b = Solver.plan ~backend:Solver.Banded (tridiag_adjacency 5) in
+  Alcotest.(check bool) "Banded override" true forced_b.Solver.use_banded;
+  Alcotest.(check bool) "banded_pays heuristic" true
+    (Solver.banded_pays ~n:30 ~kl:2 ~ku:2
+    && not (Solver.banded_pays ~n:8 ~kl:1 ~ku:1))
+
+(* factor/solve under both backends against a dense Lu oracle, filling
+   through natural indices *)
+let test_solver_factor_solve () =
+  let rand = lcg 31337 in
+  let n = 20 in
+  let a = random_banded rand n 2 2 in
+  let adj =
+    Array.init n (fun i ->
+        List.filter
+          (fun j -> j >= 0 && j < n && j <> i)
+          (List.init 5 (fun k -> i - 2 + k)))
+  in
+  let b = Array.init n (fun _ -> rand ()) in
+  let fill add =
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let v = Matrix.get a i j in
+        if v <> 0.0 then add i j v
+      done
+    done
+  in
+  let oracle = Lu.solve (Lu.decompose (Matrix.copy a)) b in
+  List.iter
+    (fun backend ->
+      let p = Solver.plan ~backend adj in
+      let f = Solver.factor p ~fill in
+      let x = Solver.solve p f b in
+      Array.iteri
+        (fun i v -> check_close (Printf.sprintf "x%d" i) v x.(i) ~tol:1e-10)
+        oracle)
+    [ Solver.Dense; Solver.Banded; Solver.Auto ]
+
+let test_solver_cfactor_csolve () =
+  let rand = lcg 4242 in
+  let n = 20 in
+  let a = random_cbanded rand n 2 2 in
+  let adj =
+    Array.init n (fun i ->
+        List.filter
+          (fun j -> j >= 0 && j < n && j <> i)
+          (List.init 5 (fun k -> i - 2 + k)))
+  in
+  let b = Array.init n (fun _ -> Cx.make (rand ()) (rand ())) in
+  let fill add =
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let v = Cmatrix.get a i j in
+        if Cx.norm v <> 0.0 then add i j v
+      done
+    done
+  in
+  let oracle = Clu.solve (Clu.decompose a) b in
+  List.iter
+    (fun backend ->
+      let p = Solver.plan ~backend adj in
+      let f = Solver.cfactor p ~fill in
+      let x = Solver.csolve p f b in
+      Array.iteri
+        (fun i v -> check_cx (Printf.sprintf "x%d" i) v x.(i))
+        oracle)
+    [ Solver.Dense; Solver.Banded; Solver.Auto ]
+
 (* ---------------- Roots ---------------- *)
 
 let test_bisect () =
@@ -741,6 +904,22 @@ let () =
             test_banded_of_matrix_rejects_tight_band;
         ] );
       qsuite "banded-properties" [ prop_banded_roundtrip ];
+      ( "cbanded",
+        [
+          Alcotest.test_case "storage & round-trip" `Quick test_cbanded_storage;
+          Alcotest.test_case "vs dense complex LU" `Quick
+            test_cbanded_vs_clu_random;
+          Alcotest.test_case "pivoting" `Quick test_cbanded_pivoting;
+          Alcotest.test_case "singular detection" `Quick test_cbanded_singular;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "plan & backend choice" `Quick test_solver_plan;
+          Alcotest.test_case "real factor/solve vs dense" `Quick
+            test_solver_factor_solve;
+          Alcotest.test_case "complex factor/solve vs dense" `Quick
+            test_solver_cfactor_csolve;
+        ] );
       ( "roots",
         [
           Alcotest.test_case "bisect" `Quick test_bisect;

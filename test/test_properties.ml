@@ -263,6 +263,288 @@ let prop_insertion_bound =
       let p = Insertion.plan node100 ~l ~length:len in
       p.Insertion.total_delay >= p.Insertion.continuous_bound *. (1.0 -. 1e-9))
 
+(* ---------------- assembly stamp IR ---------------- *)
+
+(* Random-netlist recipe: a connected chain of R/RL branches (every
+   node reaches ground), grounded caps, an optional coupled-RL pair
+   and an optional current source — pure data so QCheck can shrink. *)
+type net_recipe = {
+  chain : (int * float * float) list; (* parent index, ohms, henries *)
+  caps : (int * float) list; (* chain-node index, farads *)
+  vdc : float;
+  isrc : (int * float) option; (* chain-node index, amps *)
+  coupled : (int * int * float * float * float) option;
+      (* node idx pair, ohms, henries, mutual fraction *)
+}
+
+let recipe_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let* chain =
+      flatten_l
+        (List.init n (fun i ->
+             let* parent = int_range 0 i in
+             let* ohms = float_range 1.0 1000.0 in
+             let* inductive = bool in
+             let* henries =
+               if inductive then float_range 1e-9 1e-6 else return 0.0
+             in
+             return (parent, ohms, henries)))
+    in
+    let* caps =
+      flatten_l
+        (List.init n (fun i ->
+             let* farads = float_range 1e-15 1e-11 in
+             return (i + 1, farads)))
+    in
+    let* vdc = float_range 0.5 2.0 in
+    let* with_isrc = bool in
+    let* isrc =
+      if with_isrc then
+        let* node = int_range 1 n in
+        let* amps = float_range 1e-6 1e-3 in
+        return (Some (node, amps))
+      else return None
+    in
+    let* with_coupled = bool in
+    let* coupled =
+      if with_coupled && n >= 3 then
+        let* a = int_range 0 n in
+        let* b = int_range 0 n in
+        let* ohms = float_range 1.0 200.0 in
+        let* henries = float_range 1e-9 1e-7 in
+        let* mfrac = float_range 0.0 0.8 in
+        return (if a = b then None else Some (a, b, ohms, henries, mfrac))
+      else return None
+    in
+    return { chain; caps; vdc; isrc; coupled })
+
+let build_netlist recipe =
+  let open Rlc_circuit in
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node nl in
+  Netlist.add_vsource nl src Netlist.ground (Stimulus.Dc recipe.vdc);
+  let nodes = Array.make (List.length recipe.chain + 1) src in
+  List.iteri
+    (fun i (parent, ohms, henries) ->
+      let n = Netlist.fresh_node nl in
+      nodes.(i + 1) <- n;
+      if henries = 0.0 then Netlist.add_resistor nl nodes.(parent) n ohms
+      else Netlist.add_rl_branch nl nodes.(parent) n ~ohms ~henries)
+    recipe.chain;
+  List.iter
+    (fun (i, farads) ->
+      Netlist.add_capacitor nl nodes.(i) Netlist.ground farads)
+    recipe.caps;
+  (match recipe.isrc with
+  | Some (i, amps) ->
+      Netlist.add_isource nl nodes.(i) Netlist.ground (Stimulus.Dc amps)
+  | None -> ());
+  (match recipe.coupled with
+  | Some (a, b, ohms, henries, mfrac) ->
+      Netlist.add_coupled_rl nl ~a1:nodes.(a) ~b1:Netlist.ground ~a2:nodes.(b)
+        ~b2:Netlist.ground ~ohms ~henries ~mutual:(mfrac *. henries)
+  | None -> ());
+  (nl, nodes)
+
+(* From-scratch dense oracle for the MNA quadruple: stamps the same
+   skew-form convention straight into dense matrices, independently of
+   Assembly's COO accumulator.  The IR's dense materialisation must
+   match entry for entry, bit for bit. *)
+let dense_oracle nl =
+  let open Rlc_circuit in
+  let open Rlc_numerics in
+  let elems = Netlist.elements nl in
+  let n_nodes = Netlist.node_count nl in
+  let currents = ref 0 and vsrcs = ref 0 and srcs = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Netlist.Rl_branch { henries; _ } -> if henries > 0.0 then incr currents
+      | Netlist.Coupled_rl _ -> currents := !currents + 2
+      | Netlist.Vsource _ ->
+          incr vsrcs;
+          incr srcs
+      | Netlist.Isource _ -> incr srcs
+      | _ -> ())
+    elems;
+  let size = n_nodes - 1 + !currents + !vsrcs in
+  let g = Matrix.create size size in
+  let c = Matrix.create size size in
+  let b = Matrix.create size (Int.max 1 !srcs) in
+  let vi n = n - 1 in
+  let stamp m a bn v =
+    if a <> 0 then Matrix.add_to m (vi a) (vi a) v;
+    if bn <> 0 then Matrix.add_to m (vi bn) (vi bn) v;
+    if a <> 0 && bn <> 0 then begin
+      Matrix.add_to m (vi a) (vi bn) (-.v);
+      Matrix.add_to m (vi bn) (vi a) (-.v)
+    end
+  in
+  let branch row a bn r =
+    if a <> 0 then begin
+      Matrix.add_to g (vi a) row 1.0;
+      Matrix.add_to g row (vi a) (-1.0)
+    end;
+    if bn <> 0 then begin
+      Matrix.add_to g (vi bn) row (-1.0);
+      Matrix.add_to g row (vi bn) 1.0
+    end;
+    Matrix.add_to g row row r
+  in
+  let next_current = ref (n_nodes - 1) in
+  let next_vrow = ref (n_nodes - 1 + !currents) in
+  let next_col = ref 0 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Netlist.Resistor { a; b = bn; ohms } -> stamp g a bn (1.0 /. ohms)
+      | Netlist.Capacitor { a; b = bn; farads } -> stamp c a bn farads
+      | Netlist.Rl_branch { a; b = bn; ohms; henries } ->
+          if henries = 0.0 then stamp g a bn (1.0 /. ohms)
+          else begin
+            let row = !next_current in
+            incr next_current;
+            branch row a bn ohms;
+            Matrix.add_to c row row henries
+          end
+      | Netlist.Coupled_rl { a1; b1; a2; b2; ohms; henries; mutual } ->
+          let r1 = !next_current in
+          let r2 = r1 + 1 in
+          next_current := !next_current + 2;
+          branch r1 a1 b1 ohms;
+          branch r2 a2 b2 ohms;
+          Matrix.add_to c r1 r1 henries;
+          Matrix.add_to c r2 r2 henries;
+          Matrix.add_to c r1 r2 mutual;
+          Matrix.add_to c r2 r1 mutual
+      | Netlist.Vsource { a; b = bn; _ } ->
+          let row = !next_vrow in
+          incr next_vrow;
+          if a <> 0 then begin
+            Matrix.add_to g (vi a) row 1.0;
+            Matrix.add_to g row (vi a) (-1.0)
+          end;
+          if bn <> 0 then begin
+            Matrix.add_to g (vi bn) row (-1.0);
+            Matrix.add_to g row (vi bn) 1.0
+          end;
+          let col = !next_col in
+          incr next_col;
+          Matrix.add_to b row col (-1.0)
+      | Netlist.Isource { a; b = bn; _ } ->
+          let col = !next_col in
+          incr next_col;
+          if a <> 0 then Matrix.add_to b (vi a) col (-1.0);
+          if bn <> 0 then Matrix.add_to b (vi bn) col 1.0
+      | Netlist.Inverter { input; output; dev } ->
+          stamp c input 0 dev.Rlc_circuit.Devices.c_in;
+          stamp c output 0 dev.Rlc_circuit.Devices.c_out;
+          stamp g output 0 (1.0 /. dev.Rlc_circuit.Devices.r_on))
+    elems;
+  (size, g, c, b)
+
+let matrices_bit_identical a b =
+  let open Rlc_numerics in
+  Matrix.rows a = Matrix.rows b
+  && Matrix.cols a = Matrix.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Matrix.rows a - 1 do
+    for j = 0 to Matrix.cols a - 1 do
+      if
+        Int64.bits_of_float (Matrix.get a i j)
+        <> Int64.bits_of_float (Matrix.get b i j)
+      then ok := false
+    done
+  done;
+  !ok
+
+let prop_assembly_matches_dense_oracle =
+  QCheck2.Test.make
+    ~name:"assembly IR materialises bit-identically to a dense oracle"
+    ~count:100 recipe_gen (fun recipe ->
+      let open Rlc_circuit in
+      let nl, _ = build_netlist recipe in
+      let asm = Assembly.of_netlist nl in
+      let size, g, c, b = dense_oracle nl in
+      asm.Assembly.size = size
+      && matrices_bit_identical (Assembly.dense_g asm) g
+      && matrices_bit_identical (Assembly.dense_c asm) c
+      && matrices_bit_identical (Assembly.dense_b asm) b)
+
+let prop_ac_backends_agree =
+  QCheck2.Test.make
+    ~name:"solve_complex: dense and banded backends agree to 1e-9" ~count:60
+    QCheck2.Gen.(
+      let* recipe = recipe_gen in
+      let* freq = float_range 1e5 1e10 in
+      return (recipe, freq))
+    (fun (recipe, freq) ->
+      let open Rlc_circuit in
+      let open Rlc_numerics in
+      let nl, _ = build_netlist recipe in
+      let asm = Assembly.of_netlist nl in
+      let rhs = Array.map Cx.of_float (Assembly.b_column asm 0) in
+      let s = Cx.make 0.0 (2.0 *. Float.pi *. freq) in
+      let xd = Assembly.solve_complex ~backend:Solver.Dense asm ~s ~rhs in
+      let xb = Assembly.solve_complex ~backend:Solver.Banded asm ~s ~rhs in
+      let scale =
+        Array.fold_left (fun acc z -> Float.max acc (Cx.norm z)) 1.0 xd
+      in
+      Array.for_all2
+        (fun a b -> Cx.norm (Cx.( -: ) a b) <= 1e-9 *. scale)
+        xd xb)
+
+let prop_dc_matches_dense_oracle =
+  QCheck2.Test.make
+    ~name:"Dc.operating_point matches a dense-LU solve of the oracle"
+    ~count:60 recipe_gen (fun recipe ->
+      let open Rlc_circuit in
+      let open Rlc_numerics in
+      let nl, _ = build_netlist recipe in
+      let v = Dc.operating_point nl in
+      let size, g, _, b = dense_oracle nl in
+      let rhs = Array.make size 0.0 in
+      let col = ref 0 in
+      Array.iter
+        (fun e ->
+          (match e with
+          | Netlist.Vsource { stim; _ } | Netlist.Isource { stim; _ } ->
+              let u = Stimulus.eval stim 0.0 in
+              for i = 0 to size - 1 do
+                rhs.(i) <- rhs.(i) +. (Matrix.get b i !col *. u)
+              done;
+              incr col
+          | _ -> ()))
+        (Netlist.elements nl);
+      let x = Lu.solve (Lu.decompose g) rhs in
+      let scale =
+        Array.fold_left (fun acc z -> Float.max acc (Float.abs z)) 1.0 x
+      in
+      let ok = ref true in
+      for node = 1 to Netlist.node_count nl - 1 do
+        if Float.abs (v.(node) -. x.(node - 1)) > 1e-12 *. scale then
+          ok := false
+      done;
+      !ok)
+
+let prop_transient_backends_agree =
+  QCheck2.Test.make
+    ~name:"transient: dense and banded backends agree to 1e-9" ~count:25
+    recipe_gen (fun recipe ->
+      let open Rlc_circuit in
+      let nl, nodes = build_netlist recipe in
+      let probe = Transient.Node_v nodes.(Array.length nodes - 1) in
+      let run backend =
+        Transient.run ~backend nl ~t_end:1e-9 ~dt:1e-11 ~probes:[ probe ]
+      in
+      let vd = Transient.final_voltages (run Transient.Dense) in
+      let vb = Transient.final_voltages (run Transient.Banded) in
+      Array.for_all2
+        (fun a b -> Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a))
+        vd vb)
+
 (* ---------------- simulator physics ---------------- *)
 
 let prop_rc_ladder_passivity =
@@ -365,6 +647,13 @@ let () =
       qsuite "coupled" [ prop_coupled_mode_capacitance ];
       qsuite "eye" [ prop_eye_prbs_balanced ];
       qsuite "insertion" [ prop_insertion_bound ];
+      qsuite "assembly"
+        [
+          prop_assembly_matches_dense_oracle;
+          prop_ac_backends_agree;
+          prop_dc_matches_dense_oracle;
+          prop_transient_backends_agree;
+        ];
       qsuite "simulator-passivity" [ prop_rc_ladder_passivity ];
       ( "simulator-convergence",
         [
