@@ -1,16 +1,19 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check fmt fmt-check test test-jobs4 test-all bench bench-fast bench-smoke examples clean
+.PHONY: all build check fmt fmt-check test test-jobs4 test-all stats-check bench bench-fast bench-smoke examples clean
 
 all: build
 
+# what CI runs (see .github/workflows/ci.yml): the test suite under a
+# sequential and a 4-domain pool, once more with metrics recording on
+# (results must not change by a bit), then the bench smoke (which
+# asserts the parallel runs are bit-identical, gates the disabled-path
+# instrumentation overhead, and records BENCH_parallel.json /
+# BENCH_instr.json)
+check: build test test-jobs4 stats-check bench-smoke
+
 build:
 	dune build @all
-
-# what CI runs (see .github/workflows/ci.yml): the test suite under a
-# sequential and a 4-domain pool, then the bench smoke (which asserts
-# the parallel runs are bit-identical and records BENCH_parallel.json)
-check: build test test-jobs4 bench-smoke
 
 # formatting is a separate CI job (needs the ocamlformat binary, which
 # not every dev box has) — not part of `check`
@@ -22,6 +25,11 @@ fmt-check:
 
 test-jobs4:
 	RLC_JOBS=4 dune runtest --force
+
+# the whole suite with rlc_instr recording on: every waveform/number
+# must still be bit-identical (recording must never perturb results)
+stats-check:
+	RLC_STATS=1 dune runtest --force
 
 test:
 	dune runtest

@@ -10,17 +10,42 @@
      dune exec bench/main.exe -- -j N    -- worker domains for the
                                             experiment fan-outs (also
                                             --jobs N / --jobs=N; default
-                                            from RLC_JOBS or the machine) *)
+                                            from RLC_JOBS or the machine)
+     dune exec bench/main.exe -- --stats -- dump the rlc_instr metrics
+                                            table on exit (RLC_STATS=1
+                                            works too)
+     dune exec bench/main.exe -- --trace FILE.json -- Chrome trace of
+                                            all recorded spans *)
 
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
 let no_bechamel = Array.exists (fun a -> a = "--no-bechamel") Sys.argv
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let stats = Array.exists (fun a -> a = "--stats") Sys.argv
+
+let prefixed a ~prefix =
+  String.length a > String.length prefix
+  && String.sub a 0 (String.length prefix) = prefix
+
+let opt_value ~flag =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else
+      let a = Sys.argv.(i) in
+      if a = flag && i + 1 < Array.length Sys.argv then
+        Some Sys.argv.(i + 1)
+      else if prefixed a ~prefix:(flag ^ "=") then
+        Some
+          (String.sub a
+             (String.length flag + 1)
+             (String.length a - String.length flag - 1))
+      else find (i + 1)
+  in
+  find 1
+
+let trace = opt_value ~flag:"--trace"
+let () = Rlc_instr.Control.setup ~stats ?trace ()
 
 let jobs =
-  let prefixed a ~prefix =
-    String.length a > String.length prefix
-    && String.sub a 0 (String.length prefix) = prefix
-  in
   let rec find i =
     if i >= Array.length Sys.argv then Rlc_parallel.Pool.default_domains ()
     else
@@ -97,10 +122,58 @@ let run_ring_sweeps () =
 (* Ladder scaling: dense vs banded transient backend                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Wall-clock timing now rides on the instrumentation library's
+   monotonic-origin timers: always-on, never gated by RLC_STATS. *)
 let wall f =
-  let t0 = Unix.gettimeofday () in
+  let t = Rlc_instr.Timer.start () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Rlc_instr.Timer.elapsed_s t)
+
+(* The shortest of [reps] runs: a single wall-clock sample of a
+   millisecond-scale job is at the mercy of scheduler noise. *)
+let wall_best reps f =
+  let result, t0 = wall f in
+  let best = ref t0 in
+  for _ = 2 to reps do
+    let _, t = wall f in
+    if t < !best then best := t
+  done;
+  (result, !best)
+
+(* ------------------------------------------------------------------ *)
+(* Run metadata + metrics snapshot, embedded in every BENCH_*.json     *)
+(* ------------------------------------------------------------------ *)
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+      | exception _ -> "unknown")
+
+let iso_date_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* "meta" (environment provenance) and "metrics" (registry snapshot at
+   write time) fields for a BENCH_*.json; the caller is between the
+   opening brace and the first payload field. *)
+let write_meta oc ~jobs =
+  Printf.fprintf oc
+    "  \"meta\": {\"ocaml\": \"%s\", \"jobs\": %d, \"rlc_jobs_env\": %s, \
+     \"recommended_domains\": %d, \"git_rev\": \"%s\", \"date\": \"%s\"},\n"
+    Sys.ocaml_version jobs
+    (match Sys.getenv_opt "RLC_JOBS" with
+    | Some v -> Printf.sprintf "\"%s\"" (String.escaped v)
+    | None -> "null")
+    (Domain.recommended_domain_count ())
+    (git_rev ()) (iso_date_utc ());
+  Printf.fprintf oc "  \"metrics\": %s,\n" (Rlc_instr.Metrics.json_snapshot ())
 
 type fixed_row = {
   segments : int;
@@ -173,6 +246,7 @@ let write_bench_json path (fixed, adaptive) =
   let oc = open_out path in
   let field fmt = Printf.fprintf oc fmt in
   field "{\n";
+  write_meta oc ~jobs;
   field
     "  \"description\": \"Dense vs banded MNA backend on step-driven RLC \
      ladders (Transient.run, trapezoidal; adaptive rtol=1e-4, auto \
@@ -309,9 +383,10 @@ let ac_case ~segments ~dense_points ~banded_points =
 
 let write_ac_json path rows =
   let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  write_meta oc ~jobs;
   Printf.fprintf oc
-    "{\n\
-    \  \"description\": \"Per-frequency-point cost of the AC path on \
+    "  \"description\": \"Per-frequency-point cost of the AC path on \
      step-driven RLC ladders (Mna.solve_s / Assembly.solve_complex, three \
      decades at 7 points/decade): dense complex LU vs the shared plan's \
      complex banded LU in RCM order. Transfer functions compared at every \
@@ -409,18 +484,6 @@ let mor_case ~segments ~order =
   Netlist.add_capacitor nl far Netlist.ground 50e-15;
   let m = Mna.of_netlist nl in
   let output = Mna.output_of_node m far in
-  (* the reduced evaluation takes ~1 ms; a single wall-clock sample is
-     at the mercy of scheduler noise, so each side keeps its best of a
-     few repetitions *)
-  let wall_best reps f =
-    let result, t0 = wall f in
-    let best = ref t0 in
-    for _ = 2 to reps do
-      let _, t = wall f in
-      if t < !best then best := t
-    done;
-    (result, !best)
-  in
   let model, reduce_s =
     wall (fun () -> Rlc_mor.Prima.reduce ~order m ~input:0 ~output)
   in
@@ -467,9 +530,10 @@ let mor_case ~segments ~order =
 
 let write_mor_json path (r : mor_row) =
   let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  write_meta oc ~jobs;
   Printf.fprintf oc
-    "{\n\
-    \  \"description\": \"PRIMA order-%d reduced model vs full banded \
+    "  \"description\": \"PRIMA order-%d reduced model vs full banded \
      transient on an RC-dominated %d-segment RLC ladder (5 cm, 4400 ohm/m, \
      0.1 uH/m, 123.33 pF/m, 100 ohm driver). Step response compared at \
      every transient sample; times in seconds.\",\n\
@@ -514,6 +578,122 @@ let run_mor_bench ~json =
   r
 
 (* ------------------------------------------------------------------ *)
+(* Instrumentation: disabled-path overhead + waveform identity gate    *)
+(* ------------------------------------------------------------------ *)
+
+type instr_row = {
+  i_segments : int;
+  i_steps : int;
+  i_identical : bool;
+  i_step_s : float; (* per-step transient time, recording off *)
+  i_call_s : float; (* per-call cost of a disabled record call *)
+  i_overhead_pct : float; (* calls_per_step * call_s vs step_s *)
+}
+
+(* Record calls on the fixed-step transient hot path while recording is
+   disabled: the advance wrapper's recording() branch, the permuted
+   solve's branch, the banded/dense solve counter and the LU-cache hit
+   counter -- call it 8 per step to stay conservative. *)
+let calls_per_step = 8
+
+let write_instr_json path (r : instr_row) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  write_meta oc ~jobs;
+  Printf.fprintf oc
+    "  \"description\": \"Instrumentation gate: fixed-step banded transient \
+     on a step-driven RLC ladder, run with recording disabled and enabled \
+     (waveforms must be bit-identical), plus the measured per-call cost of \
+     a disabled record call against the per-step cost of the transient hot \
+     loop. Times in seconds.\",\n";
+  Printf.fprintf oc "  \"segments\": %d,\n  \"steps\": %d,\n" r.i_segments
+    r.i_steps;
+  Printf.fprintf oc "  \"bit_identical\": %b,\n" r.i_identical;
+  Printf.fprintf oc "  \"per_step_s\": %.9f,\n" r.i_step_s;
+  Printf.fprintf oc "  \"disabled_call_s\": %.3e,\n" r.i_call_s;
+  Printf.fprintf oc "  \"calls_per_step\": %d,\n" calls_per_step;
+  Printf.fprintf oc "  \"overhead_pct\": %.4f\n}\n" r.i_overhead_pct;
+  close_out oc
+
+(* The acceptance gate for the instrumentation layer itself: recording
+   must never change the computed waveforms (bitwise), and the disabled
+   record path must cost well under 2% of a transient step.  The
+   overhead is estimated as measured-per-call cost x a conservative
+   calls-per-step count, against the measured per-step time of the same
+   loop -- machine noise inflates the step time, so the gate can only
+   get easier to pass on a loaded box, never spuriously fail. *)
+let run_instr_bench ~segments ~steps ~json =
+  section "Instrumentation: disabled overhead + waveform identity";
+  let open Rlc_circuit in
+  let nl, _src, far = Ladder.driven_line (ladder_spec segments) in
+  let t_end = 1e-9 in
+  let dt = t_end /. float_of_int steps in
+  let probes = [ Transient.Node_v far ] in
+  let run () =
+    Transient.run ~backend:Transient.Banded ~record_every:1 nl ~t_end ~dt
+      ~probes
+  in
+  let was = Rlc_instr.Control.enabled () in
+  Rlc_instr.Control.set_enabled false;
+  let r_off, off_s = wall_best 3 run in
+  Rlc_instr.Control.set_enabled true;
+  let r_on, on_s = wall run in
+  Rlc_instr.Control.set_enabled false;
+  let probe_counter = Rlc_instr.Metrics.counter "bench.disabled_probe" in
+  let calls = 10_000_000 in
+  let (), loop_s =
+    wall (fun () ->
+        for _ = 1 to calls do
+          Rlc_instr.Metrics.incr probe_counter
+        done)
+  in
+  Rlc_instr.Control.set_enabled was;
+  let values r = Rlc_waveform.Waveform.values (Transient.get r (Transient.Node_v far)) in
+  let v_off = values r_off and v_on = values r_on in
+  let identical =
+    Array.length v_off = Array.length v_on
+    && Array.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         v_off v_on
+  in
+  let step_s = off_s /. float_of_int steps in
+  let call_s = loop_s /. float_of_int calls in
+  let overhead_pct =
+    100.0 *. (float_of_int calls_per_step *. call_s) /. step_s
+  in
+  let row =
+    {
+      i_segments = segments;
+      i_steps = steps;
+      i_identical = identical;
+      i_step_s = step_s;
+      i_call_s = call_s;
+      i_overhead_pct = overhead_pct;
+    }
+  in
+  Printf.printf "%8s %7s %12s %12s %14s %13s %10s\n" "segments" "steps"
+    "off [s]" "on [s]" "bit-identical" "call [ns]" "overhead";
+  Printf.printf "%8d %7d %12.5f %12.5f %14s %13.2f %9.4f%%\n" segments steps
+    off_s on_s
+    (if identical then "yes" else "NO")
+    (call_s *. 1e9) overhead_pct;
+  if not identical then
+    failwith
+      "instr bench: waveforms differ between recording enabled and disabled";
+  if overhead_pct > 2.0 then
+    failwith
+      (Printf.sprintf
+         "instr bench: disabled-path overhead %.4f%% of a transient step \
+          exceeds the 2%% budget"
+         overhead_pct);
+  (match json with
+  | Some path ->
+      write_instr_json path row;
+      Printf.printf "\nrecorded baseline in %s\n" path
+  | None -> ());
+  row
+
+(* ------------------------------------------------------------------ *)
 (* Parallel: domain scaling + determinism on the experiment fan-outs   *)
 (* ------------------------------------------------------------------ *)
 
@@ -547,9 +727,10 @@ let stats_signature (s : Rlc_core.Variation.stats) =
 
 let write_parallel_json path rows =
   let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  write_meta oc ~jobs;
   Printf.fprintf oc
-    "{\n\
-    \  \"description\": \"Pool.map domain scaling on the Fig 4-8 inductance \
+    "  \"description\": \"Pool.map domain scaling on the Fig 4-8 inductance \
      sweep and a 512-sample Monte-Carlo (Variation.delay_statistics, fixed \
      seed). Results are asserted bit-identical across domain counts; times \
      in seconds.\",\n\
@@ -766,6 +947,9 @@ let () =
        from the full run's 100/400/800-segment cases *)
     ignore (run_ac_bench ~cases:[ (24, 8, 8); (64, 8, 8) ] ~json:None);
     ignore (run_mor_bench ~json:(Some "BENCH_mor.json"));
+    ignore
+      (run_instr_bench ~segments:200 ~steps:400
+         ~json:(Some "BENCH_instr.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
     print_endline "\nbench smoke OK"
   end
@@ -791,6 +975,9 @@ let () =
          ~cases:[ (100, 6, 22); (400, 3, 22); (800, 1, 22) ]
          ~json:(Some "BENCH_ac.json"));
     ignore (run_mor_bench ~json:(Some "BENCH_mor.json"));
+    ignore
+      (run_instr_bench ~segments:800 ~steps:1000
+         ~json:(Some "BENCH_instr.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
     run_extensions ();
     if not no_bechamel then run_bechamel ()

@@ -36,6 +36,31 @@ let jobs_arg =
 
 let pool_of_jobs jobs = Rlc_parallel.Pool.create ~domains:jobs ()
 
+(* shared --stats / --trace wiring, prepended to every subcommand *)
+let instr_term =
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print solver/engine/pool metrics and span timings to stderr \
+             on exit ($(b,RLC_STATS=1) enables the recording by default). \
+             Recording never changes any computed result.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.json"
+          ~doc:
+            "Write a Chrome trace_event JSON of all recorded spans to \
+             $(docv) on exit (load it in about:tracing or Perfetto). \
+             Implies enabling recording.")
+  in
+  Term.(
+    const (fun stats trace -> Rlc_instr.Control.setup ~stats ?trace ())
+    $ stats_arg $ trace_arg)
+
 let l_arg =
   Arg.(
     value
@@ -53,7 +78,7 @@ let f_arg =
 (* ---- optimize ---- *)
 
 let optimize_cmd =
-  let run node l_nh f =
+  let run () node l_nh f =
     let l = Rlc_tech.Units.nh_per_mm l_nh in
     let r = Rlc_core.Rlc_opt.optimize ~f node ~l in
     let rc = Rlc_core.Rc_opt.optimize node in
@@ -81,7 +106,7 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Optimal repeater size and segment length for a given inductance.")
-    Term.(const run $ node_arg $ l_arg $ f_arg)
+    Term.(const run $ instr_term $ node_arg $ l_arg $ f_arg)
 
 (* ---- delay ---- *)
 
@@ -98,7 +123,7 @@ let delay_cmd =
       & opt (some float) None
       & info [ "k"; "size" ] ~docv:"K" ~doc:"Repeater size (multiple of minimum).")
   in
-  let run node l_nh f h_mm k =
+  let run () node l_nh f h_mm k =
     let l = Rlc_tech.Units.nh_per_mm l_nh in
     let stage =
       Rlc_core.Stage.of_node node ~l ~h:(Rlc_tech.Units.mm h_mm) ~k
@@ -123,7 +148,7 @@ let delay_cmd =
   in
   Cmd.v
     (Cmd.info "delay" ~doc:"Delay analysis of an explicit (h, k) stage.")
-    Term.(const run $ node_arg $ l_arg $ f_arg $ h_arg $ k_arg)
+    Term.(const run $ instr_term $ node_arg $ l_arg $ f_arg $ h_arg $ k_arg)
 
 (* ---- sweep ---- *)
 
@@ -134,7 +159,7 @@ let sweep_cmd =
       & opt int 21
       & info [ "points" ] ~docv:"N" ~doc:"Number of sweep points.")
   in
-  let run node n jobs =
+  let run () node n jobs =
     let pool = pool_of_jobs jobs in
     let sweep = Rlc_experiments.Sweeps.run ~pool ~n node in
     Rlc_experiments.Sweeps.print_fig5 [ sweep ];
@@ -145,18 +170,18 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Sweep line inductance and print the optimization ratios.")
-    Term.(const run $ node_arg $ n_arg $ jobs_arg)
+    Term.(const run $ instr_term $ node_arg $ n_arg $ jobs_arg)
 
 (* ---- table1 ---- *)
 
 let table1_cmd =
-  let run jobs =
+  let run () jobs =
     Rlc_experiments.Table1.print
       (Rlc_experiments.Table1.compute ~pool:(pool_of_jobs jobs) ())
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate Table 1 of the paper.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ instr_term $ jobs_arg)
 
 (* ---- ring ---- *)
 
@@ -167,7 +192,7 @@ let ring_cmd =
       & opt int 12
       & info [ "segments" ] ~docv:"N" ~doc:"Ladder sections per line.")
   in
-  let run node l_nh segments jobs =
+  let run () node l_nh segments jobs =
     let l = Rlc_tech.Units.nh_per_mm l_nh in
     let case =
       List.hd
@@ -184,12 +209,12 @@ let ring_cmd =
   Cmd.v
     (Cmd.info "ring"
        ~doc:"Simulate the five-stage ring oscillator at one inductance.")
-    Term.(const run $ node_arg $ l_arg $ segments_arg $ jobs_arg)
+    Term.(const run $ instr_term $ node_arg $ l_arg $ segments_arg $ jobs_arg)
 
 (* ---- extract ---- *)
 
 let extract_cmd =
-  let run node =
+  let run () node =
     let g = node.Rlc_tech.Node.geometry in
     let quiet = Rlc_extraction.Capacitance.total ~miller:1.0 g in
     let best, worst = Rlc_extraction.Capacitance.miller_range g in
@@ -215,60 +240,60 @@ let extract_cmd =
   Cmd.v
     (Cmd.info "extract"
        ~doc:"Analytic parasitic extraction for a node's top-metal geometry.")
-    Term.(const run $ node_arg)
+    Term.(const run $ instr_term $ node_arg)
 
 (* ---- extension commands ---- *)
 
 let models_cmd =
-  let run node = Rlc_experiments.Extensions.print_model_accuracy ~node () in
+  let run () node = Rlc_experiments.Extensions.print_model_accuracy ~node () in
   Cmd.v
     (Cmd.info "models"
        ~doc:
          "Delay-model accuracy ladder: Elmore / Kahng-Muddu / \
           Ismail-Friedman / Pade-2 / Pade-3 / exact.")
-    Term.(const run $ node_arg)
+    Term.(const run $ instr_term $ node_arg)
 
 let power_cmd =
-  let run node l_nh =
+  let run () node l_nh =
     Rlc_experiments.Extensions.print_power_pareto ~node
       ~l:(Rlc_tech.Units.nh_per_mm l_nh) ()
   in
   Cmd.v
     (Cmd.info "power" ~doc:"Power/delay Pareto front of repeater sizing.")
-    Term.(const run $ node_arg $ l_arg)
+    Term.(const run $ instr_term $ node_arg $ l_arg)
 
 let xtalk_cmd =
-  let run node = Rlc_experiments.Extensions.print_crosstalk ~node () in
+  let run () node = Rlc_experiments.Extensions.print_crosstalk ~node () in
   Cmd.v
     (Cmd.info "xtalk"
        ~doc:"Coupled-pair switching-delay spread and victim noise.")
-    Term.(const run $ node_arg)
+    Term.(const run $ instr_term $ node_arg)
 
 let wiresize_cmd =
-  let run node = Rlc_experiments.Extensions.print_wire_sizing ~node () in
+  let run () node = Rlc_experiments.Extensions.print_wire_sizing ~node () in
   Cmd.v
     (Cmd.info "wiresize"
        ~doc:"Wire-width co-optimization inside the routing track.")
-    Term.(const run $ node_arg)
+    Term.(const run $ instr_term $ node_arg)
 
 let insert_cmd =
-  let run node l_nh =
+  let run () node l_nh =
     Rlc_experiments.Extensions.print_insertion ~node
       ~l:(Rlc_tech.Units.nh_per_mm l_nh) ()
   in
   Cmd.v
     (Cmd.info "insert"
        ~doc:"Integer repeater insertion for fixed-length nets.")
-    Term.(const run $ node_arg $ l_arg)
+    Term.(const run $ instr_term $ node_arg $ l_arg)
 
 let eye_cmd =
-  let run node = Rlc_experiments.Extensions.print_eye ~node () in
+  let run () node = Rlc_experiments.Extensions.print_eye ~node () in
   Cmd.v
     (Cmd.info "eye" ~doc:"PRBS eye opening and jitter vs inductance.")
-    Term.(const run $ node_arg)
+    Term.(const run $ instr_term $ node_arg)
 
 let bode_cmd =
-  let run node l_nh =
+  let run () node l_nh =
     let stage =
       Rlc_core.Rc_opt.stage node ~l:(Rlc_tech.Units.nh_per_mm l_nh)
     in
@@ -296,24 +321,24 @@ let bode_cmd =
   in
   Cmd.v
     (Cmd.info "bode" ~doc:"Frequency response of the RC-sized stage.")
-    Term.(const run $ node_arg $ l_arg)
+    Term.(const run $ instr_term $ node_arg $ l_arg)
 
 let buffer_tree_cmd =
-  let run node = Rlc_experiments.Extensions.print_tree_buffering ~node () in
+  let run () node = Rlc_experiments.Extensions.print_tree_buffering ~node () in
   Cmd.v
     (Cmd.info "buffer-tree"
        ~doc:"RLC-aware van Ginneken buffering of a branching demo net.")
-    Term.(const run $ node_arg)
+    Term.(const run $ instr_term $ node_arg)
 
 let variation_cmd =
-  let run node jobs =
+  let run () node jobs =
     Rlc_experiments.Extensions.print_variation ~pool:(pool_of_jobs jobs) ~node
       ()
   in
   Cmd.v
     (Cmd.info "variation"
        ~doc:"Delay statistics under inductance/Miller/driver variation.")
-    Term.(const run $ node_arg $ jobs_arg)
+    Term.(const run $ instr_term $ node_arg $ jobs_arg)
 
 let main_cmd =
   let info =

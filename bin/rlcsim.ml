@@ -36,6 +36,30 @@ let jobs_arg =
            $(b,RLC_JOBS) or the machine's recommended domain count. \
            Results are bit-identical for any value.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print solver/engine/pool metrics and span timings to stderr on \
+           exit ($(b,RLC_STATS=1) enables the recording by default). \
+           Recording never changes the computed waveforms.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~doc:
+          "Write a Chrome trace_event JSON of all recorded spans to \
+           $(docv) on exit (load it in about:tracing or Perfetto). \
+           Implies enabling recording.")
+
+let instr_term =
+  Term.(
+    const (fun stats trace -> Rlc_instr.Control.setup ~stats ?trace ())
+    $ stats_arg $ trace_arg)
+
 let probe_label deck = function
   | Rlc_circuit.Transient.Node_v n ->
       Printf.sprintf "v(%s)"
@@ -167,7 +191,7 @@ let run_ac deck pool csv =
       Rlc_report.Csv.write ~path ~header ~rows;
       Printf.printf "\nwrote %s\n" path
 
-let run file ac jobs csv =
+let run () file ac jobs csv =
   let pool = Rlc_parallel.Pool.create ~domains:jobs () in
   match Rlc_circuit.Parser.parse_file file with
   | exception Rlc_circuit.Parser.Parse_error (line, msg) ->
@@ -183,6 +207,6 @@ let cmd =
   Cmd.v
     (Cmd.info "rlcsim" ~version:"1.0.0"
        ~doc:"Transient and AC simulation of SPICE-flavoured RLC netlists.")
-    Term.(const run $ file_arg $ ac_arg $ jobs_arg $ csv_arg)
+    Term.(const run $ instr_term $ file_arg $ ac_arg $ jobs_arg $ csv_arg)
 
 let () = exit (Cmd.eval cmd)

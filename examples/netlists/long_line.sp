@@ -1,0 +1,9 @@
+800-segment step-driven rlc ladder (instrumentation acceptance deck)
+* a 1 V step into 11 mm of the paper's 100nm-node global wire,
+* discretized at 800 segments (802 MNA unknowns, bandwidth 3 after
+* RCM); try:  rlcsim long_line.sp --stats --trace trace.json
+V1 in 0 PULSE(0 1.0 0 20p 20p 2n 4n)
+W1 in far r=4.4k l=1.5u c=123.33p len=11m seg=800
+.tran 1p 1n
+.probe v(far)
+.end

@@ -47,10 +47,17 @@ let unwrap phases =
     out
   end
 
+let m_points = Rlc_instr.Metrics.counter "ac.points"
+let m_point_s = Rlc_instr.Metrics.hist "ac.point_s"
+
 let bode ?pool mna ~input ~output ~freqs =
   let pool =
     match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
   in
-  Rlc_parallel.Pool.map pool
-    (fun f -> point_of ~freq:f (transfer mna ~input ~output f))
-    freqs
+  Rlc_instr.Span.with_ "ac.bode" (fun () ->
+      Rlc_parallel.Pool.map pool
+        (fun f ->
+          Rlc_instr.Metrics.incr m_points;
+          Rlc_instr.Metrics.timed m_point_s (fun () ->
+              point_of ~freq:f (transfer mna ~input ~output f)))
+        freqs)

@@ -1,4 +1,13 @@
 open Rlc_numerics
+module M = Rlc_instr.Metrics
+
+let m_steps = M.counter "transient.steps"
+let m_rejected = M.counter "transient.rejected_steps"
+let m_nonconverged = M.counter "transient.nonconverged_steps"
+let m_cache_hit = M.counter "transient.lu_cache.hit"
+let m_cache_miss = M.counter "transient.lu_cache.miss"
+let m_advances = M.counter "transient.advances"
+let m_step_s = M.hist "transient.step_s"
 
 type integration = Trapezoidal | Backward_euler
 
@@ -72,9 +81,36 @@ let time r = Array.copy r.time
 let final_voltages r = Array.copy r.final_v
 let steps_taken r = r.steps
 let state_iteration_histogram r = Array.copy r.histogram
-let rejected_steps r = r.rejected_steps
-let nonconverged_steps r = r.nonconverged_steps
-let lu_factorizations r = r.lu_factorizations
+
+module Stats = struct
+  type t = {
+    steps : int;
+    rejected_steps : int;
+    nonconverged_steps : int;
+    lu_factorizations : int;
+  }
+end
+
+let stats r =
+  {
+    Stats.steps = r.steps;
+    rejected_steps = r.rejected_steps;
+    nonconverged_steps = r.nonconverged_steps;
+    lu_factorizations = r.lu_factorizations;
+  }
+
+(* deprecated wrappers over [stats]; see the interface *)
+let rejected_steps r = (stats r).Stats.rejected_steps
+let nonconverged_steps r = (stats r).Stats.nonconverged_steps
+let lu_factorizations r = (stats r).Stats.lu_factorizations
+
+(* Counters mirror the per-run [Stats.t] into the registry at the end
+   of each driver.  LU factorizations are *not* re-added here — every
+   one was already counted as a [transient.lu_cache.miss]. *)
+let publish_stats (s : Stats.t) =
+  M.add m_steps (Float.of_int s.Stats.steps);
+  M.add m_rejected (Float.of_int s.Stats.rejected_steps);
+  M.add m_nonconverged (Float.of_int s.Stats.nonconverged_steps)
 
 let get r probe =
   match List.assoc_opt probe r.probe_data with
@@ -308,8 +344,11 @@ let lu_cache_limit = 64
 let factorization eng meth dt =
   let key = (meth, Int64.bits_of_float dt) in
   match Hashtbl.find_opt eng.lu_cache key with
-  | Some f -> f
+  | Some f ->
+      M.incr m_cache_hit;
+      f
   | None ->
+      M.incr m_cache_miss;
       let coo =
         stamp_coo ~compiled:eng.compiled ~n_nodes:eng.n_nodes ~m:eng.m meth dt
       in
@@ -410,7 +449,7 @@ let build_rhs eng meth dt t_next trial =
 (* Advance the engine state by one step of [dt] ending at [t_next],
    resolving the inverter logic by fixed point.  Mutates eng.state and
    the engine's scratch buffers; allocates nothing per step. *)
-let advance eng meth dt t_next =
+let advance_raw eng meth dt t_next =
   let s = eng.state in
   let f = factorization eng meth dt in
   let trial = eng.trial in
@@ -508,6 +547,16 @@ let advance eng meth dt t_next =
   Array.blit v_new 0 s.v 0 eng.n_nodes;
   Array.blit trial 0 s.inv_high 0 (Array.length trial)
 
+(* hot loop: one predicted branch when recording is off *)
+let advance eng meth dt t_next =
+  if M.recording () then begin
+    M.incr m_advances;
+    let t0 = Rlc_instr.Timer.start () in
+    advance_raw eng meth dt t_next;
+    M.observe m_step_s (Rlc_instr.Timer.elapsed_s t0)
+  end
+  else advance_raw eng meth dt t_next
+
 (* ---------------- probing ---------------- *)
 
 let resolve_probe_element eng name =
@@ -563,7 +612,7 @@ let validate_probes eng probes =
 
 (* ---------------- fixed-step driver ---------------- *)
 
-let simulate ?(config = Config.default) netlist ~t_end ~dt ~probes =
+let simulate_impl ?(config = Config.default) netlist ~t_end ~dt ~probes =
   let integration = config.Config.integration in
   let record_every = config.Config.record_every in
   if t_end <= 0.0 then invalid_arg "Transient.run: t_end <= 0";
@@ -594,21 +643,29 @@ let simulate ?(config = Config.default) netlist ~t_end ~dt ~probes =
     end
   done;
   let used = !slot + 1 in
-  {
-    time = Array.sub times 0 used;
-    probe_data =
-      List.map (fun (p, arr) -> (p, Array.sub arr 0 used)) probe_specs;
-    final_v = Array.copy eng.state.v;
-    steps = n_steps;
-    histogram = Array.copy eng.histogram;
-    rejected_steps = 0;
-    nonconverged_steps = eng.nonconverged;
-    lu_factorizations = eng.factorizations;
-  }
+  let r =
+    {
+      time = Array.sub times 0 used;
+      probe_data =
+        List.map (fun (p, arr) -> (p, Array.sub arr 0 used)) probe_specs;
+      final_v = Array.copy eng.state.v;
+      steps = n_steps;
+      histogram = Array.copy eng.histogram;
+      rejected_steps = 0;
+      nonconverged_steps = eng.nonconverged;
+      lu_factorizations = eng.factorizations;
+    }
+  in
+  publish_stats (stats r);
+  r
+
+let simulate ?config netlist ~t_end ~dt ~probes =
+  Rlc_instr.Span.with_ "transient.simulate" (fun () ->
+      simulate_impl ?config netlist ~t_end ~dt ~probes)
 
 (* ---------------- adaptive driver ---------------- *)
 
-let simulate_adaptive ?(config = Config.default) netlist ~t_end ~dt_max
+let simulate_adaptive_impl ?(config = Config.default) netlist ~t_end ~dt_max
     ~probes =
   let rtol = config.Config.rtol and atol = config.Config.atol in
   if t_end <= 0.0 then invalid_arg "Transient.run_adaptive: t_end <= 0";
@@ -720,17 +777,25 @@ let simulate_adaptive ?(config = Config.default) netlist ~t_end ~dt_max
       eng.factorizations <- eng.factorizations + meng.factorizations
   | None -> ());
   let time = Array.of_list (List.rev !times) in
-  {
-    time;
-    probe_data =
-      List.map (fun (p, acc) -> (p, Array.of_list (List.rev !acc))) data;
-    final_v = Array.copy eng.state.v;
-    steps = !steps;
-    histogram = Array.copy eng.histogram;
-    rejected_steps = !rejected;
-    nonconverged_steps = eng.nonconverged;
-    lu_factorizations = eng.factorizations;
-  }
+  let r =
+    {
+      time;
+      probe_data =
+        List.map (fun (p, acc) -> (p, Array.of_list (List.rev !acc))) data;
+      final_v = Array.copy eng.state.v;
+      steps = !steps;
+      histogram = Array.copy eng.histogram;
+      rejected_steps = !rejected;
+      nonconverged_steps = eng.nonconverged;
+      lu_factorizations = eng.factorizations;
+    }
+  in
+  publish_stats (stats r);
+  r
+
+let simulate_adaptive ?config netlist ~t_end ~dt_max ~probes =
+  Rlc_instr.Span.with_ "transient.simulate_adaptive" (fun () ->
+      simulate_adaptive_impl ?config netlist ~t_end ~dt_max ~probes)
 
 (* ---------------- deprecated labelled wrappers ---------------- *)
 

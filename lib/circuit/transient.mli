@@ -143,20 +143,42 @@ val final_voltages : result -> float array
 (** Node voltages at [t_end] (index = node id). *)
 
 val steps_taken : result -> int
+
+(** Per-run work/diagnostic counters, as one record.  The same numbers
+    are also published to the {!Rlc_instr.Metrics} registry
+    ([transient.steps], [transient.rejected_steps],
+    [transient.nonconverged_steps]; factorisations appear as
+    [transient.lu_cache.miss]) at the end of every driver run. *)
+module Stats : sig
+  type t = {
+    steps : int;  (** accepted steps *)
+    rejected_steps : int;
+        (** error-control rollbacks (adaptive only; 0 for fixed-step) *)
+    nonconverged_steps : int;
+        (** steps whose inverter fixed point was still changing when
+            [max_state_iterations] ran out; the committed state is the
+            consistent (solution, logic-trial) pair that produced the
+            last solve, and this counter is the diagnostic that it
+            happened *)
+    lu_factorizations : int;
+        (** distinct (method, dt) factorisations built during the run
+            — the observable for LU-cache reuse: a fixed-step
+            trapezoidal run costs exactly 2 (backward-Euler first step
+            + trapezoidal rest), and an adaptive run stays within a
+            couple per dt level *)
+  }
+end
+
+val stats : result -> Stats.t
+
 val rejected_steps : result -> int
-(** Error-control rollbacks ([run_adaptive] only; 0 for [run]). *)
+(** @deprecated Use [(stats r).Stats.rejected_steps]. *)
 
 val nonconverged_steps : result -> int
-(** Steps whose inverter fixed point was still changing when
-    [max_state_iterations] ran out; the committed state is the
-    consistent (solution, logic-trial) pair that produced the last
-    solve, and this counter is the diagnostic that it happened. *)
+(** @deprecated Use [(stats r).Stats.nonconverged_steps]. *)
 
 val lu_factorizations : result -> int
-(** Distinct (method, dt) factorisations built during the run — the
-    observable for LU-cache reuse: a fixed-step trapezoidal run costs
-    exactly 2 (backward-Euler first step + trapezoidal rest), and an
-    adaptive run stays within a couple per dt level. *)
+(** @deprecated Use [(stats r).Stats.lu_factorizations]. *)
 
 val state_iteration_histogram : result -> int array
 (** [h.(i)] counts steps that needed [i+1] fixed-point passes —

@@ -1,0 +1,32 @@
+let env_stats =
+  Shard.truthy (Sys.getenv_opt "RLC_STATS")
+
+let enabled () = !Shard.enabled
+let set_enabled v = Shard.enabled := v
+
+let dump ?(ppf = Format.err_formatter) () =
+  Format.fprintf ppf "== rlc_instr metrics ==@.";
+  Metrics.dump ppf;
+  let spans = Span.trees () in
+  if spans <> [] then begin
+    Format.fprintf ppf "@.== rlc_instr spans ==@.";
+    Span.dump_tree ppf
+  end;
+  let dropped = Trace.dropped_events () in
+  if dropped > 0 then
+    Format.fprintf ppf "@.(trace buffer overflow: %d events dropped)@."
+      dropped;
+  Format.pp_print_flush ppf ()
+
+let setup ?(stats = false) ?trace () =
+  if stats || env_stats then set_enabled true;
+  (match trace with
+  | Some path ->
+      Trace.start ();
+      at_exit (fun () ->
+          try Trace.write path
+          with Sys_error msg ->
+            Printf.eprintf "rlc_instr: cannot write trace %s: %s\n%!" path
+              msg)
+  | None -> ());
+  if stats then at_exit (fun () -> dump ())

@@ -1,0 +1,21 @@
+(** The on/off switch and the CLI-facing conveniences behind
+    [--stats] / [--trace] / [RLC_STATS]. *)
+
+val env_stats : bool
+(** Whether [RLC_STATS] was set truthy ([1]/[true]/[yes]/[on]) when
+    the process started. Recording defaults to this. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Flip recording globally. Flip only at quiescent points (no worker
+    domains in flight) when a bit-exact metrics picture matters. *)
+
+val dump : ?ppf:Format.formatter -> unit -> unit
+(** Print the metrics table and (if any spans were recorded) the span
+    tree. Default formatter is stderr. *)
+
+val setup : ?stats:bool -> ?trace:string -> unit -> unit
+(** One-stop CLI wiring: [stats] (or [RLC_STATS]) enables recording
+    and registers an at-exit {!dump} to stderr; [trace] additionally
+    starts {!Trace} capture and registers an at-exit {!Trace.write} to
+    the given path. *)

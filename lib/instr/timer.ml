@@ -1,0 +1,9 @@
+type t = float
+
+let start () = Shard.now_s ()
+let elapsed_s t0 = Shard.now_s () -. t0
+
+let time f =
+  let t0 = Shard.now_s () in
+  let v = f () in
+  (v, Shard.now_s () -. t0)

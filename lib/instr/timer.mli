@@ -1,0 +1,12 @@
+(** Plain wall-clock stopwatch. Unlike {!Metrics} and {!Span} this is
+    not gated by the recording switch — it always measures — so it can
+    replace ad-hoc [Unix.gettimeofday] pairs in benches. *)
+
+type t
+(** A started stopwatch. *)
+
+val start : unit -> t
+val elapsed_s : t -> float
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] is [(f (), wall-clock seconds f took)]. *)

@@ -1,0 +1,57 @@
+(* Chrome trace_event export: every completed span becomes a complete
+   ("ph":"X") event with the owning shard's id as tid, loadable in
+   about:tracing / Perfetto / chrome://tracing. *)
+
+let start () =
+  Shard.enabled := true;
+  Shard.tracing := true
+
+let stop () = Shard.tracing := false
+let capturing () = !Shard.tracing
+
+let dropped_events () =
+  List.fold_left
+    (fun acc (sh : Shard.t) -> acc + sh.Shard.dropped_events)
+    0 (Shard.all_shards ())
+
+let to_buffer () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  let shards =
+    List.sort
+      (fun (a : Shard.t) (b : Shard.t) -> Int.compare a.Shard.id b.Shard.id)
+      (Shard.all_shards ())
+  in
+  List.iter
+    (fun (sh : Shard.t) ->
+      if sh.Shard.events <> [] then begin
+        emit
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"shard-%d\"}}"
+             sh.Shard.id sh.Shard.id);
+        (* events are stored newest-first; reverse for chronological ts *)
+        List.iter
+          (fun (ev : Shard.event) ->
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"rlc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+                 (Buffer.contents (Shard.json_escape ev.Shard.ev_name))
+                 ev.Shard.ev_ts_us ev.Shard.ev_dur_us sh.Shard.id))
+          (List.rev sh.Shard.events)
+      end)
+    shards;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  buf
+
+let to_string () = Buffer.contents (to_buffer ())
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc (to_buffer ()))

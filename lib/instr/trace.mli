@@ -1,0 +1,25 @@
+(** Chrome [trace_event] capture and export.
+
+    While capture is on, every span completed by {!Span} is buffered
+    as a complete ("X") event tagged with its domain shard's id as the
+    trace [tid]. The export loads directly in [about:tracing],
+    [chrome://tracing] and Perfetto. Buffers are bounded (200k events
+    per shard); overflow is counted, not grown. *)
+
+val start : unit -> unit
+(** Begin buffering span events. Implies enabling recording. *)
+
+val stop : unit -> unit
+(** Stop buffering. Already-captured events remain until
+    {!Metrics.reset}. *)
+
+val capturing : unit -> bool
+
+val dropped_events : unit -> int
+(** Events discarded because a shard's buffer was full. *)
+
+val to_string : unit -> string
+(** The trace as a JSON object ([{"traceEvents": [...], ...}]). *)
+
+val write : string -> unit
+(** [write path] saves [to_string ()] to [path]. *)

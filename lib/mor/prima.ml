@@ -169,30 +169,45 @@ let spectrum g_r c_r b_r l_r ~dc =
 
 (* ---------------- public API ---------------- *)
 
+let m_moments = Rlc_instr.Metrics.counter "prima.moments"
+
 let reduce ~order (mna : Mna.t) ~input ~output =
   if order < 1 then invalid_arg "Prima.reduce: order < 1";
   if input < 0 || input >= Array.length mna.Mna.inputs then
     invalid_arg "Prima.reduce: input index out of range";
   if Array.length output <> mna.Mna.size then
     invalid_arg "Prima.reduce: output selector length mismatch";
-  let n = mna.Mna.size in
-  let solve_g = make_g_solver mna.Mna.asm in
-  let b_col = Array.init n (fun i -> Matrix.get mna.Mna.b i input) in
-  let r0 = solve_g b_col in
-  let mul v = solve_g (Matrix.mul_vec mna.Mna.c v) in
-  let v = Arnoldi.block ~mul ~start:[| r0 |] order in
-  let q = Array.length v in
-  let g_r = project mna.Mna.g v in
-  let c_r = project mna.Mna.c v in
-  let b_r = Array.map (fun vi -> dot vi b_col) v in
-  let l_r = Array.map (fun vi -> dot vi output) v in
-  let dc =
-    let lu = Lu.decompose (Matrix.copy g_r) in
-    dot l_r (Lu.solve lu b_r)
-  in
-  let poles, residues = spectrum g_r c_r b_r l_r ~dc in
-  let stable = Array.for_all (fun p -> Cx.re p < 0.0) poles in
-  { order = q; g_r; c_r; b_r; l_r; poles; residues; dc; stable }
+  Rlc_instr.Span.with_ "prima.reduce" (fun () ->
+      let n = mna.Mna.size in
+      let solve_g = make_g_solver mna.Mna.asm in
+      let b_col = Array.init n (fun i -> Matrix.get mna.Mna.b i input) in
+      let r0 = solve_g b_col in
+      let mul v =
+        Rlc_instr.Metrics.incr m_moments;
+        Rlc_instr.Span.with_ "prima.moment" (fun () ->
+            solve_g (Matrix.mul_vec mna.Mna.c v))
+      in
+      let v =
+        Rlc_instr.Span.with_ "prima.krylov" (fun () ->
+            Arnoldi.block ~mul ~start:[| r0 |] order)
+      in
+      let q = Array.length v in
+      let g_r, c_r =
+        Rlc_instr.Span.with_ "prima.project" (fun () ->
+            (project mna.Mna.g v, project mna.Mna.c v))
+      in
+      let b_r = Array.map (fun vi -> dot vi b_col) v in
+      let l_r = Array.map (fun vi -> dot vi output) v in
+      let dc =
+        let lu = Lu.decompose (Matrix.copy g_r) in
+        dot l_r (Lu.solve lu b_r)
+      in
+      let poles, residues =
+        Rlc_instr.Span.with_ "prima.spectrum" (fun () ->
+            spectrum g_r c_r b_r l_r ~dc)
+      in
+      let stable = Array.for_all (fun p -> Cx.re p < 0.0) poles in
+      { order = q; g_r; c_r; b_r; l_r; poles; residues; dc; stable })
 
 let eval m s =
   let q = m.order in

@@ -17,6 +17,9 @@ let orthogonalize basis v =
       done)
     basis
 
+let m_vectors = Rlc_instr.Metrics.counter "arnoldi.vectors"
+let m_deflations = Rlc_instr.Metrics.counter "arnoldi.deflations"
+
 let block ?(tol = 1e-10) ~mul ~start m =
   if m < 1 then invalid_arg "Arnoldi.block: m < 1";
   let p = Array.length start in
@@ -40,9 +43,13 @@ let block ?(tol = 1e-10) ~mul ~start m =
       let v = Array.map (fun x -> x /. scale1) w in
       basis := v :: !basis;
       incr count;
+      Rlc_instr.Metrics.incr m_vectors;
       true
     end
-    else false
+    else begin
+      Rlc_instr.Metrics.incr m_deflations;
+      false
+    end
   in
   Array.iter (fun col -> if !count < m then ignore (push_candidate (Array.copy col))) start;
   if !count = 0 then invalid_arg "Arnoldi.block: start block is zero";

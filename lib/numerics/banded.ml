@@ -106,7 +106,11 @@ let of_matrix ?kl ?ku m =
    rows below the diagonal; a swap moves a row whose entries extend up
    to column j + kl + ku, which is why U is stored kl wider than the
    assembled band. *)
+let m_decompose = Rlc_instr.Metrics.counter "banded.decompose"
+let m_solve = Rlc_instr.Metrics.counter "banded.solve"
+
 let decompose ?(pivot_tol = 1e-300) s =
+  Rlc_instr.Metrics.incr m_decompose;
   let { n; skl = kl; sku = ku; ldab; ab } = s in
   let at i j = (j * ldab) + kl + ku + i - j in
   let ipiv = Array.make n 0 in
@@ -155,6 +159,7 @@ let kl f = f.fkl
 let ku f = f.fku
 
 let solve_into f ~b ~x =
+  Rlc_instr.Metrics.incr m_solve;
   let n = f.fn in
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Banded.solve_into: size mismatch";

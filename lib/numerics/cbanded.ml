@@ -110,7 +110,11 @@ let div_parts ar ai br bi =
    is searched by modulus over the kl rows below the diagonal; a swap
    moves a row whose entries extend up to column j + kl + ku, which is
    why U is stored kl wider than the assembled band. *)
+let m_decompose = Rlc_instr.Metrics.counter "cbanded.decompose"
+let m_solve = Rlc_instr.Metrics.counter "cbanded.solve"
+
 let decompose ?(pivot_tol = 1e-300) s =
+  Rlc_instr.Metrics.incr m_decompose;
   let { n; skl = kl; sku = ku; ldab; re; im } = s in
   let at i j = (j * ldab) + kl + ku + i - j in
   let ipiv = Array.make n 0 in
@@ -171,6 +175,7 @@ let kl f = f.fkl
 let ku f = f.fku
 
 let solve_into f ~b ~x =
+  Rlc_instr.Metrics.incr m_solve;
   let n = f.fn in
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Cbanded.solve_into: size mismatch";

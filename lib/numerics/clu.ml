@@ -5,10 +5,14 @@ type t = {
 
 exception Singular
 
+let m_decompose = Rlc_instr.Metrics.counter "clu.decompose"
+let m_solve = Rlc_instr.Metrics.counter "clu.solve"
+
 let size f = Array.length f.perm
 
 (* Doolittle factorisation with partial (row) pivoting by modulus. *)
 let decompose ?(pivot_tol = 1e-300) a =
+  Rlc_instr.Metrics.incr m_decompose;
   let n = Cmatrix.rows a in
   if Cmatrix.cols a <> n then invalid_arg "Clu.decompose: matrix not square";
   let lu = Cmatrix.copy a in
@@ -48,6 +52,7 @@ let decompose ?(pivot_tol = 1e-300) a =
   { lu; perm }
 
 let solve_into f ~b ~x =
+  Rlc_instr.Metrics.incr m_solve;
   let n = size f in
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Clu.solve_into: size mismatch";

@@ -6,10 +6,14 @@ type t = {
 
 exception Singular
 
+let m_decompose = Rlc_instr.Metrics.counter "lu.decompose"
+let m_solve = Rlc_instr.Metrics.counter "lu.solve"
+
 let size f = Array.length f.perm
 
 (* Doolittle factorisation with partial (row) pivoting. *)
 let decompose ?(pivot_tol = 1e-300) a =
+  Rlc_instr.Metrics.incr m_decompose;
   let n = Matrix.rows a in
   if Matrix.cols a <> n then invalid_arg "Lu.decompose: matrix not square";
   let lu = Matrix.copy a in
@@ -50,6 +54,7 @@ let decompose ?(pivot_tol = 1e-300) a =
   { lu; perm; sign = !sign }
 
 let solve_into f ~b ~x =
+  Rlc_instr.Metrics.incr m_solve;
   let n = size f in
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Lu.solve_into: size mismatch";
@@ -75,6 +80,7 @@ let solve_into f ~b ~x =
   done
 
 let solve f b =
+  Rlc_instr.Metrics.incr m_solve;
   let n = size f in
   if Array.length b <> n then invalid_arg "Lu.solve: size mismatch";
   let x = Array.init n (fun k -> b.(f.perm.(k))) in

@@ -9,6 +9,12 @@ let guard f x =
   let v = f x in
   if Float.is_nan v then infinity else v
 
+module M = Rlc_instr.Metrics
+
+let m_calls = M.counter "nelder_mead.calls"
+let m_iterations = M.counter "nelder_mead.iterations"
+let m_spread = M.hist "nelder_mead.fspread"
+
 let minimize ?(max_iter = 2000) ?(ftol = 1e-12) ?(xtol = 1e-10)
     ?(initial_step = 0.05) ~f ~x0 () =
   let n = Array.length x0 in
@@ -43,15 +49,18 @@ let minimize ?(max_iter = 2000) ?(ftol = 1e-12) ?(xtol = 1e-10)
   let combine a alpha b beta =
     Array.init n (fun j -> (alpha *. a.(j)) +. (beta *. b.(j)))
   in
+  M.incr m_calls;
   let iter = ref 0 in
   let converged = ref false in
   while (not !converged) && !iter < max_iter do
     incr iter;
+    M.incr m_iterations;
     let idx = order () in
     let best = idx.(0) and worst = idx.(n) and second_worst = idx.(n - 1) in
     let fbest = values.(best) and fworst = values.(worst) in
     (* convergence: spread of values and vertex coordinates *)
     let fspread = Float.abs (fworst -. fbest) in
+    M.observe m_spread fspread;
     let xspread =
       Array.fold_left
         (fun acc v ->

@@ -7,6 +7,12 @@ type result = {
 
 let norm v = Float.sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v)
 
+module M = Rlc_instr.Metrics
+
+let m_calls = M.counter "newton.calls"
+let m_iterations = M.counter "newton.iterations"
+let m_residual = M.hist "newton.residual"
+
 let clamp ?lower ?upper x =
   let x = Array.copy x in
   (match lower with
@@ -27,10 +33,13 @@ let solve ?(max_iter = 60) ?(tol = 1e-10) ?jacobian ?lower ?upper ~f ~x0 () =
   let fx = ref (f !x) in
   let r0 = norm !fx in
   let threshold = Float.max (tol *. r0) tol in
+  M.incr m_calls;
   let iter = ref 0 in
   let stalled = ref false in
   while (not !stalled) && norm !fx > threshold && !iter < max_iter do
     incr iter;
+    M.incr m_iterations;
+    M.observe m_residual (norm !fx);
     let step =
       try Some (Lu.solve_matrix (jac !x) (Array.map (fun v -> -.v) !fx))
       with Lu.Singular -> None

@@ -3,6 +3,12 @@ exception No_convergence of string
 
 let default_tol = 1e-12
 
+module M = Rlc_instr.Metrics
+
+let m_calls = M.counter "roots.calls"
+let m_iterations = M.counter "roots.iterations"
+let m_residual = M.hist "roots.residual"
+
 let check_bracket name fa fb =
   if fa *. fb > 0.0 then
     raise No_bracket
@@ -10,6 +16,7 @@ let check_bracket name fa fb =
     raise (No_convergence (name ^ ": NaN at bracket endpoint"))
 
 let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
+  M.incr m_calls;
   let fa = f a and fb = f b in
   check_bracket "bisect" fa fb;
   if fa = 0.0 then a
@@ -23,6 +30,8 @@ let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
       if !iter > max_iter then raise (No_convergence "bisect");
       let mid = 0.5 *. (!lo +. !hi) in
       let fmid = f mid in
+      M.incr m_iterations;
+      M.observe m_residual (Float.abs fmid);
       if fmid = 0.0 || (!hi -. !lo) /. 2.0 < tol *. (1.0 +. Float.abs mid)
       then result := mid
       else if !flo *. fmid < 0.0 then hi := mid
@@ -36,6 +45,7 @@ let bisect ?(tol = default_tol) ?(max_iter = 200) f a b =
 
 (* Brent's method, following the classic Numerical Recipes formulation. *)
 let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
+  M.incr m_calls;
   let fa = f a and fb = f b in
   check_bracket "brent" fa fb;
   let a = ref a and b = ref b and c = ref a in
@@ -46,6 +56,8 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
   while Float.is_nan !result do
     incr iter;
     if !iter > max_iter then raise (No_convergence "brent");
+    M.incr m_iterations;
+    M.observe m_residual (Float.abs !fb);
     if (!fb > 0.0 && !fc > 0.0) || (!fb < 0.0 && !fc < 0.0) then begin
       c := !a;
       fc := !fa;
@@ -106,9 +118,12 @@ let brent ?(tol = default_tol) ?(max_iter = 200) f a b =
   !result
 
 let newton ?(tol = default_tol) ?(max_iter = 50) ~f ~df x0 =
+  M.incr m_calls;
   let rec go x iter =
     if iter > max_iter then raise (No_convergence "newton");
+    M.incr m_iterations;
     let fx = f x in
+    M.observe m_residual (Float.abs fx);
     let dfx = df x in
     if Float.abs dfx < 1e-300 then raise (No_convergence "newton: flat slope");
     let step = fx /. dfx in
@@ -127,6 +142,7 @@ let newton ?(tol = default_tol) ?(max_iter = 50) ~f ~df x0 =
   go x0 0
 
 let newton_bracketed ?(tol = default_tol) ?(max_iter = 100) ~f ~df lo hi =
+  M.incr m_calls;
   let flo = f lo and fhi = f hi in
   check_bracket "newton_bracketed" flo fhi;
   if flo = 0.0 then lo
@@ -150,6 +166,8 @@ let newton_bracketed ?(tol = default_tol) ?(max_iter = 100) ~f ~df lo hi =
       incr iter;
       if !iter > max_iter then raise (No_convergence "newton_bracketed");
       let fx = f !x in
+      M.incr m_iterations;
+      M.observe m_residual (Float.abs fx);
       if fx = 0.0 then result := !x
       else begin
         if !flo *. fx < 0.0 then hi := !x

@@ -1,3 +1,18 @@
+module M = Rlc_instr.Metrics
+
+let m_plan_banded = M.counter "solver.plan.banded"
+let m_plan_dense = M.counter "solver.plan.dense"
+let m_bandwidth = M.gauge "solver.plan.bandwidth"
+let m_n = M.gauge "solver.plan.n"
+let m_factor = M.counter "solver.factor"
+let m_factor_s = M.hist "solver.factor_s"
+let m_solve = M.counter "solver.solve"
+let m_solve_s = M.hist "solver.solve_s"
+let m_cfactor = M.counter "solver.cfactor"
+let m_cfactor_s = M.hist "solver.cfactor_s"
+let m_csolve = M.counter "solver.csolve"
+let m_csolve_s = M.hist "solver.csolve_s"
+
 type backend = Auto | Dense | Banded
 
 type plan = {
@@ -33,26 +48,42 @@ let plan ?(backend = Auto) adj =
     | Banded -> true
     | Auto -> banded_pays ~n ~kl:!kl ~ku:!ku
   in
+  M.incr (if use_banded then m_plan_banded else m_plan_dense);
+  M.set m_bandwidth (Float.of_int (!kl + !ku + 1));
+  M.set m_n (Float.of_int n);
   { n; perm; kl = !kl; ku = !ku; use_banded }
 
 type factor = F_dense of Lu.t | F_banded of Banded.t
 
 let factor p ~fill =
-  if p.use_banded then begin
-    let s = Banded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
-    fill (fun i j v -> Banded.add_to s p.perm.(i) p.perm.(j) v);
-    F_banded (Banded.decompose s)
-  end
-  else begin
-    let a = Matrix.create p.n p.n in
-    fill (fun i j v -> Matrix.add_to a p.perm.(i) p.perm.(j) v);
-    F_dense (Lu.decompose a)
-  end
+  M.incr m_factor;
+  M.timed m_factor_s (fun () ->
+      if p.use_banded then begin
+        let s = Banded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
+        fill (fun i j v -> Banded.add_to s p.perm.(i) p.perm.(j) v);
+        F_banded (Banded.decompose s)
+      end
+      else begin
+        let a = Matrix.create p.n p.n in
+        fill (fun i j v -> Matrix.add_to a p.perm.(i) p.perm.(j) v);
+        F_dense (Lu.decompose a)
+      end)
 
-let solve_permuted_into f ~b ~x =
+let solve_permuted_into_raw f ~b ~x =
   match f with
   | F_dense lu -> Lu.solve_into lu ~b ~x
   | F_banded bd -> Banded.solve_into bd ~b ~x
+
+let solve_permuted_into f ~b ~x =
+  (* hot path: when recording is off this is one predicted branch on
+     top of the raw solve — no closure, no timing syscalls *)
+  if M.recording () then begin
+    M.incr m_solve;
+    let t = Rlc_instr.Timer.start () in
+    solve_permuted_into_raw f ~b ~x;
+    M.observe m_solve_s (Rlc_instr.Timer.elapsed_s t)
+  end
+  else solve_permuted_into_raw f ~b ~x
 
 let solve p f b =
   let n = p.n in
@@ -68,16 +99,18 @@ let solve p f b =
 type cfactor = C_dense of Clu.t | C_banded of Cbanded.t
 
 let cfactor p ~fill =
-  if p.use_banded then begin
-    let s = Cbanded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
-    fill (fun i j v -> Cbanded.add_to s p.perm.(i) p.perm.(j) v);
-    C_banded (Cbanded.decompose s)
-  end
-  else begin
-    let a = Cmatrix.create p.n p.n in
-    fill (fun i j v -> Cmatrix.add_to a p.perm.(i) p.perm.(j) v);
-    C_dense (Clu.decompose a)
-  end
+  M.incr m_cfactor;
+  M.timed m_cfactor_s (fun () ->
+      if p.use_banded then begin
+        let s = Cbanded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
+        fill (fun i j v -> Cbanded.add_to s p.perm.(i) p.perm.(j) v);
+        C_banded (Cbanded.decompose s)
+      end
+      else begin
+        let a = Cmatrix.create p.n p.n in
+        fill (fun i j v -> Cmatrix.add_to a p.perm.(i) p.perm.(j) v);
+        C_dense (Clu.decompose a)
+      end)
 
 let csolve p f b =
   let n = p.n in
@@ -86,9 +119,11 @@ let csolve p f b =
   for i = 0 to n - 1 do
     bp.(p.perm.(i)) <- b.(i)
   done;
+  M.incr m_csolve;
   let xp =
-    match f with
-    | C_dense lu -> Clu.solve lu bp
-    | C_banded bd -> Cbanded.solve bd bp
+    M.timed m_csolve_s (fun () ->
+        match f with
+        | C_dense lu -> Clu.solve lu bp
+        | C_banded bd -> Cbanded.solve bd bp)
   in
   Array.init n (fun i -> xp.(p.perm.(i)))

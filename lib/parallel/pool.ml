@@ -1,5 +1,18 @@
 type t = { capacity : int }
 
+module M = Rlc_instr.Metrics
+
+let m_maps = M.counter "pool.maps"
+let m_spawn_fallback = M.counter "pool.spawn_fallback"
+
+let worker_handles w =
+  let p = Printf.sprintf "pool.worker%d." w in
+  (M.counter (p ^ "chunks"), M.counter (p ^ "busy_s"), M.counter (p ^ "idle_s"))
+
+(* intern the first few worker rows up front so a --stats dump always
+   shows the pool section, honestly zeroed when nothing ran parallel *)
+let () = for w = 0 to 3 do ignore (worker_handles w) done
+
 let clamp n = Int.max 1 (Int.min 128 n)
 
 let default_domains () =
@@ -31,34 +44,56 @@ let domains t = t.capacity
    must write only slots owned by chunk [c]; any exception parks in
    [failure] (first observed wins) and drains the cursor. *)
 let run_workers ~capacity ~n_chunks ~work =
+  M.incr m_maps;
   let cursor = Atomic.make 0 in
   let failure = Atomic.make None in
-  let worker () =
+  (* [w] is the worker's index (0 = the calling domain), used only to
+     label its telemetry; the chunk cursor alone decides who does what,
+     so recording never changes the work distribution's semantics *)
+  let worker w () =
+    let on = M.recording () in
+    let t_worker = Rlc_instr.Timer.start () in
+    let busy = ref 0.0 in
+    let chunks = ref 0 in
     let continue = ref true in
     while !continue do
       if Atomic.get failure <> None then continue := false
       else begin
         let c = Atomic.fetch_and_add cursor 1 in
         if c >= n_chunks then continue := false
-        else
-          try work c
+        else begin
+          if on then incr chunks;
+          try
+            if on then begin
+              let t = Rlc_instr.Timer.start () in
+              work c;
+              busy := !busy +. Rlc_instr.Timer.elapsed_s t
+            end
+            else work c
           with e ->
             let bt = Printexc.get_raw_backtrace () in
             ignore (Atomic.compare_and_set failure None (Some (e, bt)));
             continue := false
+        end
       end
-    done
+    done;
+    if on then begin
+      let mc, mb, mi = worker_handles w in
+      M.add mc (Float.of_int !chunks);
+      M.add mb !busy;
+      M.add mi (Float.max 0.0 (Rlc_instr.Timer.elapsed_s t_worker -. !busy))
+    end
   in
   let spawned = ref [] in
   (* spawn failure is not an error: the chunks left in the cursor are
      simply drained by the domains that did start (possibly only the
      calling one) *)
   (try
-     for _ = 2 to Int.min capacity n_chunks do
-       spawned := Domain.spawn worker :: !spawned
+     for w = 2 to Int.min capacity n_chunks do
+       spawned := Domain.spawn (worker (w - 1)) :: !spawned
      done
-   with _ -> ());
-  worker ();
+   with _ -> M.incr m_spawn_fallback);
+  worker 0 ();
   List.iter Domain.join !spawned;
   match Atomic.get failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -112,6 +147,7 @@ let both pool fa fb =
   else
     match Domain.spawn fa with
     | exception _ ->
+        M.incr m_spawn_fallback;
         let a = fa () in
         let b = fb () in
         (a, b)
