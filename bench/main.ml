@@ -448,6 +448,271 @@ let run_ac_bench ~cases ~json =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Sparse backend: ladder-vs-grid factor matrix + sweep-reuse gates    *)
+(* ------------------------------------------------------------------ *)
+
+type sparse_row = {
+  s_case : string;  (* "ladder-200", "grid-32", ... *)
+  s_unknowns : int;
+  s_nnz : int;
+  s_choice : string;  (* what the Auto plan picked *)
+  s_band : int;  (* RCM bandwidth (banded storage width) *)
+  s_lu_nnz : int;  (* L+U fill of the sparse factor *)
+  dense_factor_s : float;  (* < 0 when extrapolated, see below *)
+  dense_extrapolated_s : float;
+  banded_factor_s : float;
+  sparse_analyze_s : float;
+  sparse_refactor_s : float;
+  s_max_dev : float;  (* solution deviation vs the best oracle *)
+}
+
+(* Real G-system of a netlist under each forced backend.  The G matrix
+   alone (mesh conductances + source incidence rows) is exactly what
+   the DC path factors, and it is available for ladders and grids
+   alike. *)
+let sparse_case ~name ~reps ~with_dense (asm : Rlc_circuit.Assembly.t) =
+  let open Rlc_numerics in
+  let open Rlc_circuit in
+  let fill = Assembly.Coo.iter asm.Assembly.g in
+  let n = asm.Assembly.size in
+  let auto_plan = asm.Assembly.plan in
+  let plan_of backend = Solver.plan ~backend asm.Assembly.adj in
+  let banded_plan = plan_of Solver.Banded in
+  let sparse_plan = plan_of Solver.Sparse in
+  let b = Array.init n (fun i -> Float.sin (float_of_int (i + 1))) in
+  let solve plan f = Solver.solve plan f b in
+  (* sparse: fresh analysis, then value-only refactors through the
+     recorded symbolic -- the per-point cost of sweeps and restamps *)
+  let fs, sparse_analyze_s =
+    wall_best reps (fun () -> Solver.factor sparse_plan ~fill)
+  in
+  let sym = Solver.symbolic_of fs in
+  let _, sparse_refactor_s =
+    wall_best reps (fun () -> Solver.factor_with ?symbolic:sym sparse_plan ~fill)
+  in
+  let fb, banded_factor_s =
+    wall_best reps (fun () -> Solver.factor banded_plan ~fill)
+  in
+  let x_sparse = solve sparse_plan fs in
+  let x_banded = solve banded_plan fb in
+  let dev a bb =
+    let m = ref 0.0 in
+    Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. bb.(i)))) a;
+    !m
+  in
+  let dense_factor_s, dense_extrapolated_s, max_dev =
+    if with_dense then begin
+      let dense_plan = plan_of Solver.Dense in
+      let fd, t = wall_best reps (fun () -> Solver.factor dense_plan ~fill) in
+      (t, t, dev x_sparse (solve dense_plan fd))
+    end
+    else (-1.0, 0.0, dev x_sparse x_banded)
+  in
+  let lu_nnz =
+    match Rlc_instr.Metrics.gauge_value (Rlc_instr.Metrics.gauge "solver.sparse.lu_nnz") with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  {
+    s_case = name;
+    s_unknowns = n;
+    s_nnz = Assembly.Coo.nnz asm.Assembly.g;
+    s_choice =
+      (match auto_plan.Solver.choice with
+      | Solver.Sparse_lu -> "sparse"
+      | Solver.Banded_lu -> "banded"
+      | Solver.Dense_lu -> "dense");
+    s_band = banded_plan.Solver.kl + banded_plan.Solver.ku + 1;
+    s_lu_nnz = lu_nnz;
+    dense_factor_s;
+    dense_extrapolated_s;
+    banded_factor_s;
+    sparse_analyze_s;
+    sparse_refactor_s;
+    s_max_dev = max_dev;
+  }
+
+let ladder_asm segments =
+  let nl, _src, _far = Rlc_circuit.Ladder.driven_line (ladder_spec segments) in
+  Rlc_circuit.Assembly.of_netlist nl
+
+let grid_pdn size =
+  Rlc_circuit.Pdn.build (Rlc_circuit.Pdn.rc_grid ~rows:size ~cols:size ())
+
+(* one symbolic analysis for a whole AC sweep, checked through the
+   instrumentation counters: the engine analyses once at the reference
+   frequency, then every sweep point (the reference one included)
+   replays it -- 1 analyze + points refactors, zero repivots *)
+type sweep_reuse = { sweep_points : int; canalyze : int; crefactor : int; repivot : int }
+
+let sparse_sweep_reuse pdn =
+  let open Rlc_circuit in
+  let points = 16 in
+  let freqs =
+    Ac.decade_grid ~points_per_decade:5 ~fstart:1e6 ~fstop:1e9
+  in
+  let freqs = Array.sub freqs 0 (Int.min points (Array.length freqs)) in
+  let c_analyze = Rlc_instr.Metrics.counter "solver.sparse.canalyze" in
+  let c_refactor = Rlc_instr.Metrics.counter "solver.sparse.crefactor" in
+  let c_repivot = Rlc_instr.Metrics.counter "solver.sparse.repivot" in
+  let v c = int_of_float (Rlc_instr.Metrics.value c) in
+  let a0 = v c_analyze and r0 = v c_refactor and p0 = v c_repivot in
+  let at =
+    match pdn.Pdn.spec.Pdn.loads with
+    | (r, c, _) :: _ -> (r, c)
+    | [] -> failwith "sparse bench: PDN without a load"
+  in
+  ignore (Pdn.impedance pdn ~at ~freqs);
+  {
+    sweep_points = Array.length freqs;
+    canalyze = v c_analyze - a0;
+    crefactor = v c_refactor - r0;
+    repivot = v c_repivot - p0;
+  }
+
+let write_sparse_json path rows (reuse : sweep_reuse) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  write_meta oc ~jobs;
+  Printf.fprintf oc
+    "  \"description\": \"General sparse LU vs banded vs dense on the real \
+     G-systems of RLC ladders and PDN grids (Solver.factor under forced \
+     backends; seconds per factorisation, best of several). \
+     dense_factor_s is -1 where the dense kernel was not run; \
+     dense_extrapolated_s then scales the largest measured dense time by \
+     (n'/n)^3. choice is what the Auto plan picks; sweep_reuse counts \
+     symbolic reuse across one 16-point AC impedance scan.\",\n\
+    \  \"cases\": [\n";
+  List.iteri
+    (fun i (r : sparse_row) ->
+      Printf.fprintf oc
+        "    {\"case\": \"%s\", \"unknowns\": %d, \"nnz\": %d, \"choice\": \
+         \"%s\", \"band\": %d, \"lu_nnz\": %d, \"dense_factor_s\": %.6f, \
+         \"dense_extrapolated_s\": %.6f, \"banded_factor_s\": %.6f, \
+         \"sparse_analyze_s\": %.6f, \"sparse_refactor_s\": %.6f, \
+         \"max_abs_dev\": %.3e}%s\n"
+        r.s_case r.s_unknowns r.s_nnz r.s_choice r.s_band r.s_lu_nnz
+        r.dense_factor_s r.dense_extrapolated_s r.banded_factor_s
+        r.sparse_analyze_s r.sparse_refactor_s r.s_max_dev
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"sweep_reuse\": {\"points\": %d, \"canalyze\": %d, \"crefactor\": \
+     %d, \"repivot\": %d}\n}\n"
+    reuse.sweep_points reuse.canalyze reuse.crefactor reuse.repivot;
+  close_out oc
+
+let run_sparse_bench ~gate_size ~json =
+  section "Sparse LU: ladder-vs-grid backend matrix";
+  (* the lu_nnz gauge and the reuse counters only move while the
+     instrumentation records; restore the caller's choice after *)
+  let was_recording = Rlc_instr.Control.enabled () in
+  Rlc_instr.Control.set_enabled true;
+  let reps = if smoke then 2 else 3 in
+  let cases =
+    [
+      ("ladder-200", ladder_asm 200, true);
+      ("ladder-800", ladder_asm 800, false);
+      ("grid-24", (grid_pdn 24).Rlc_circuit.Pdn.asm, true);
+      (* the dense kernel already needs seconds at n ~ 1000; the smoke
+         run extrapolates from grid-24 instead of measuring it *)
+      ("grid-32", (grid_pdn 32).Rlc_circuit.Pdn.asm, not smoke);
+      ( Printf.sprintf "grid-%d" gate_size,
+        (grid_pdn gate_size).Rlc_circuit.Pdn.asm,
+        false );
+    ]
+  in
+  Printf.printf "%12s %9s %7s %7s %6s %12s %12s %12s %12s %10s\n" "case"
+    "unknowns" "choice" "band" "fill" "dense [s]" "banded [s]" "analyze [s]"
+    "refactor [s]" "max dev";
+  let rows =
+    List.map
+      (fun (name, asm, with_dense) ->
+        let r = sparse_case ~name ~reps ~with_dense asm in
+        Printf.printf "%12s %9d %7s %7d %6d %12.6f %12.6f %12.6f %12.6f %10.3e\n"
+          r.s_case r.s_unknowns r.s_choice r.s_band r.s_lu_nnz r.dense_factor_s
+          r.banded_factor_s r.sparse_analyze_s r.sparse_refactor_s r.s_max_dev;
+        r)
+      cases
+  in
+  (* fill in the cubic dense extrapolation from the largest measured
+     dense factorisation *)
+  let dense_ref =
+    List.fold_left
+      (fun acc (r : sparse_row) ->
+        if r.dense_factor_s > 0.0 then Some r else acc)
+      None rows
+  in
+  let rows =
+    List.map
+      (fun (r : sparse_row) ->
+        if r.dense_factor_s >= 0.0 then r
+        else
+          match dense_ref with
+          | Some d ->
+              let scale =
+                let q = float_of_int r.s_unknowns /. float_of_int d.s_unknowns in
+                q *. q *. q
+              in
+              { r with dense_extrapolated_s = d.dense_factor_s *. scale }
+          | None -> r)
+      rows
+  in
+  (* gates *)
+  List.iter
+    (fun (r : sparse_row) ->
+      if r.s_max_dev > 1e-9 then
+        failwith
+          (Printf.sprintf
+             "sparse bench: %s deviates by %.3e from its oracle (> 1e-9)"
+             r.s_case r.s_max_dev))
+    rows;
+  let find name = List.find (fun r -> r.s_case = name) rows in
+  let grid32 = find "grid-32" in
+  if grid32.s_choice <> "sparse" then
+    failwith "sparse bench: Auto sends the 32x32 grid to the banded kernel";
+  let ladder = find "ladder-200" in
+  if ladder.s_choice <> "banded" then
+    failwith "sparse bench: Auto no longer keeps ladders banded";
+  let gate = find (Printf.sprintf "grid-%d" gate_size) in
+  if gate.s_unknowns >= 10_000 || smoke then begin
+    if gate.dense_extrapolated_s < 10.0 *. gate.sparse_analyze_s then
+      failwith
+        (Printf.sprintf
+           "sparse bench: at %d unknowns sparse analyze (%.4f s) is not 10x \
+            under the dense cost (%.4f s)"
+           gate.s_unknowns gate.sparse_analyze_s gate.dense_extrapolated_s);
+    if gate.banded_factor_s < 2.0 *. gate.sparse_refactor_s then
+      failwith
+        (Printf.sprintf
+           "sparse bench: at %d unknowns sparse refactor (%.4f s) is not 2x \
+            under the banded factor (%.4f s)"
+           gate.s_unknowns gate.sparse_refactor_s gate.banded_factor_s)
+  end;
+  let reuse = sparse_sweep_reuse (grid_pdn gate_size) in
+  Printf.printf
+    "sweep reuse over %d points: %d analyze, %d refactor, %d repivot\n"
+    reuse.sweep_points reuse.canalyze reuse.crefactor reuse.repivot;
+  if
+    reuse.canalyze <> 1
+    || reuse.crefactor <> reuse.sweep_points
+    || reuse.repivot <> 0
+  then
+    failwith
+      (Printf.sprintf
+         "sparse bench: AC sweep did not reuse one symbolic analysis \
+          (analyze %d, refactor %d over %d points, repivot %d)"
+         reuse.canalyze reuse.crefactor reuse.sweep_points reuse.repivot);
+  Rlc_instr.Control.set_enabled was_recording;
+  (match json with
+  | Some path ->
+      write_sparse_json path rows reuse;
+      Printf.printf "\nrecorded baseline in %s\n" path
+  | None -> ());
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* MOR: PRIMA reduced model vs full banded transient                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -946,6 +1211,7 @@ let () =
     (* small sizes, no JSON: the recorded BENCH_ac.json baseline comes
        from the full run's 100/400/800-segment cases *)
     ignore (run_ac_bench ~cases:[ (24, 8, 8); (64, 8, 8) ] ~json:None);
+    ignore (run_sparse_bench ~gate_size:100 ~json:(Some "BENCH_sparse.json"));
     ignore (run_mor_bench ~json:(Some "BENCH_mor.json"));
     ignore
       (run_instr_bench ~segments:200 ~steps:400
@@ -974,6 +1240,7 @@ let () =
       (run_ac_bench
          ~cases:[ (100, 6, 22); (400, 3, 22); (800, 1, 22) ]
          ~json:(Some "BENCH_ac.json"));
+    ignore (run_sparse_bench ~gate_size:100 ~json:(Some "BENCH_sparse.json"));
     ignore (run_mor_bench ~json:(Some "BENCH_mor.json"));
     ignore
       (run_instr_bench ~segments:800 ~steps:1000

@@ -340,6 +340,84 @@ let variation_cmd =
        ~doc:"Delay statistics under inductance/Miller/driver variation.")
     Term.(const run $ instr_term $ node_arg $ jobs_arg)
 
+(* ---- pdn ---- *)
+
+let pdn_cmd =
+  let rows_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "rows" ] ~docv:"N" ~doc:"Grid rows of the power mesh.")
+  in
+  let cols_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "cols" ] ~docv:"N" ~doc:"Grid columns of the power mesh.")
+  in
+  let rlc_arg =
+    Arg.(
+      value & flag
+      & info [ "rlc" ]
+          ~doc:
+            "Keep the segment and bump inductances (default: pure RC \
+             mesh).")
+  in
+  let ppd_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "points-per-decade" ] ~docv:"N"
+          ~doc:"Frequency points per decade of the impedance scan.")
+  in
+  let fstart_arg =
+    Arg.(
+      value & opt float 1e5
+      & info [ "fstart" ] ~docv:"HZ" ~doc:"Scan start frequency.")
+  in
+  let fstop_arg =
+    Arg.(
+      value & opt float 1e9
+      & info [ "fstop" ] ~docv:"HZ" ~doc:"Scan stop frequency.")
+  in
+  let run () rows cols rlc ppd fstart fstop jobs =
+    let base = Rlc_circuit.Pdn.rc_grid ~rows ~cols () in
+    let spec =
+      if rlc then
+        {
+          base with
+          Rlc_circuit.Pdn.l_seg = Rlc_circuit.Pdn.default.Rlc_circuit.Pdn.l_seg;
+          l_via = Rlc_circuit.Pdn.default.Rlc_circuit.Pdn.l_via;
+        }
+      else base
+    in
+    let pdn = Rlc_circuit.Pdn.build spec in
+    let plan = pdn.Rlc_circuit.Pdn.asm.Rlc_circuit.Assembly.plan in
+    Printf.printf "# pdn %dx%d %s mesh: %d unknowns, %s backend (band %d)\n"
+      rows cols
+      (if rlc then "RLC" else "RC")
+      (Rlc_circuit.Pdn.size pdn)
+      (match plan.Rlc_numerics.Solver.choice with
+      | Rlc_numerics.Solver.Sparse_lu -> "sparse"
+      | Rlc_numerics.Solver.Banded_lu -> "banded"
+      | Rlc_numerics.Solver.Dense_lu -> "dense")
+      (plan.Rlc_numerics.Solver.kl + plan.Rlc_numerics.Solver.ku + 1);
+    let freqs =
+      Rlc_circuit.Ac.decade_grid ~points_per_decade:ppd ~fstart ~fstop
+    in
+    let at = (rows / 2, cols / 2) in
+    let z =
+      Rlc_circuit.Pdn.impedance ~pool:(pool_of_jobs jobs) pdn ~at ~freqs
+    in
+    Printf.printf "freq_hz,z_ohm\n";
+    Array.iter (fun (f, zf) -> Printf.printf "%.6e,%.6e\n" f zf) z
+  in
+  Cmd.v
+    (Cmd.info "pdn"
+       ~doc:
+         "AC impedance scan of an on-chip power-delivery grid (the \
+          sparse solver backend's reference workload).")
+    Term.(
+      const run $ instr_term $ rows_arg $ cols_arg $ rlc_arg $ ppd_arg
+      $ fstart_arg $ fstop_arg $ jobs_arg)
+
 let main_cmd =
   let info =
     Cmd.info "rlcopt" ~version:"1.0.0"
@@ -351,7 +429,7 @@ let main_cmd =
     [
       optimize_cmd; delay_cmd; sweep_cmd; table1_cmd; ring_cmd; extract_cmd;
       models_cmd; power_cmd; xtalk_cmd; wiresize_cmd; insert_cmd; eye_cmd;
-      bode_cmd; buffer_tree_cmd; variation_cmd;
+      bode_cmd; buffer_tree_cmd; variation_cmd; pdn_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -54,10 +54,36 @@ let bode ?pool mna ~input ~output ~freqs =
   let pool =
     match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
   in
-  Rlc_instr.Span.with_ "ac.bode" (fun () ->
-      Rlc_parallel.Pool.map pool
-        (fun f ->
-          Rlc_instr.Metrics.incr m_points;
-          Rlc_instr.Metrics.timed m_point_s (fun () ->
-              point_of ~freq:f (transfer mna ~input ~output f)))
-        freqs)
+  if Array.length output <> mna.Mna.size then
+    invalid_arg "Ac.bode: output selector length mismatch";
+  if Array.length freqs = 0 then [||]
+  else
+    Rlc_instr.Span.with_ "ac.bode" (fun () ->
+        let asm = mna.Mna.asm in
+        (* engine built before the fan-out: one structure analysis
+           (and one sparse symbolic factorisation) shared read-only by
+           every point, with the pivot sequence pinned at the first
+           frequency — deterministic at any domain count *)
+        let eng = Assembly.cengine asm ~s_ref:(s_of_freq freqs.(0)) in
+        let plan = Assembly.cengine_plan eng in
+        let rhs = Array.map Cx.of_float (Assembly.b_column asm input) in
+        (* per-domain scratch: the solve buffers are the only mutable
+           state a point touches besides its own [x] *)
+        let scratch_key =
+          Domain.DLS.new_key (fun () -> Assembly.cengine_scratch eng)
+        in
+        let n = plan.Solver.n in
+        Rlc_parallel.Pool.map pool
+          (fun f ->
+            Rlc_instr.Metrics.incr m_points;
+            Rlc_instr.Metrics.timed m_point_s (fun () ->
+                let x = Array.make n Cx.zero in
+                Assembly.cengine_solve_into eng
+                  (Domain.DLS.get scratch_key)
+                  ~s:(s_of_freq f) ~rhs ~x;
+                let acc = ref Cx.zero in
+                for k = 0 to n - 1 do
+                  acc := Cx.( +: ) !acc (Cx.scale output.(k) x.(k))
+                done;
+                point_of ~freq:f !acc))
+          freqs)

@@ -19,6 +19,9 @@ val decade_grid :
     [Invalid_argument] unless [0 < fstart <= fstop] and
     [points_per_decade >= 1]. *)
 
+val s_of_freq : float -> Cx.t
+(** [s = j 2 pi f], the Laplace point of a real frequency. *)
+
 val solve : Mna.t -> input:int -> freq:float -> Cx.t array
 (** Full phasor solution at [s = j 2 pi freq]; one complex
     factorisation.  Multiple probes of the same sweep should share this
@@ -48,7 +51,8 @@ val bode :
   output:float array ->
   freqs:float array ->
   point array
-(** One Bode point per frequency for a single output selector.  Each
-    frequency is an independent complex factorisation; [pool] fans them
-    out with points slotted back in [freqs] order (bit-identical for
-    any domain count). *)
+(** One Bode point per frequency for a single output selector.  The
+    whole sweep shares one {!Assembly.cengine} — on the sparse backend
+    the symbolic analysis happens once and every point refactors it —
+    and [pool] fans the points out, slotted back in [freqs] order
+    (bit-identical for any domain count). *)

@@ -274,15 +274,52 @@ let factor_g t = Solver.factor t.plan ~fill:(Coo.iter t.g)
 
 let solve_g t f b = Solver.solve t.plan f b
 
+let plan_for t backend =
+  match backend with
+  | Solver.Auto -> t.plan
+  | Solver.Dense | Solver.Banded | Solver.Sparse -> Solver.plan ~backend t.adj
+
+let cfill t s add =
+  Coo.iter t.g (fun i j v -> add i j (Cx.of_float v));
+  Coo.iter t.c (fun i j v -> add i j (Cx.( *: ) s (Cx.of_float v)))
+
 let solve_complex ?(backend = Solver.Auto) t ~s ~rhs =
-  let plan =
-    match backend with
-    | Solver.Auto -> t.plan
-    | Solver.Dense | Solver.Banded -> Solver.plan ~backend t.adj
-  in
-  let f =
-    Solver.cfactor plan ~fill:(fun add ->
-        Coo.iter t.g (fun i j v -> add i j (Cx.of_float v));
-        Coo.iter t.c (fun i j v -> add i j (Cx.( *: ) s (Cx.of_float v))))
-  in
+  let plan = plan_for t backend in
+  let f = Solver.cfactor plan ~fill:(cfill t s) in
   Solver.csolve plan f rhs
+
+(* The per-sweep complex engine: one structure analysis (and, on the
+   sparse backend, one symbolic factorisation at a reference
+   frequency) shared read-only by every subsequent point.  Building
+   the engine *before* a Pool fan-out is what keeps sweeps
+   deterministic at any domain count: the pivot sequence is fixed at
+   [s_ref] instead of racing to whichever frequency factors first. *)
+type cengine = {
+  ce_asm : t;
+  ce_plan : Solver.plan;
+  ce_sym : Solver.symbolic option;
+}
+
+let cengine ?(backend = Solver.Auto) t ~s_ref =
+  let plan = plan_for t backend in
+  let sym =
+    match plan.Solver.choice with
+    | Solver.Sparse_lu ->
+        Solver.csymbolic_of (Solver.cfactor plan ~fill:(cfill t s_ref))
+    | Solver.Dense_lu | Solver.Banded_lu -> None
+  in
+  { ce_asm = t; ce_plan = plan; ce_sym = sym }
+
+let cengine_plan e = e.ce_plan
+let cengine_scratch e = Solver.cscratch e.ce_plan
+
+let cengine_solve_into e cs ~s ~rhs ~x =
+  let f =
+    Solver.cfactor_with ?symbolic:e.ce_sym e.ce_plan ~fill:(cfill e.ce_asm s)
+  in
+  Solver.csolve_into e.ce_plan f cs ~b:rhs ~x
+
+let cengine_solve e ~s ~rhs =
+  let x = Array.make e.ce_plan.Solver.n Cx.zero in
+  cengine_solve_into e (cengine_scratch e) ~s ~rhs ~x;
+  x

@@ -133,11 +133,46 @@ val solve_g : t -> Solver.factor -> float array -> float array
 val solve_complex : ?backend:Solver.backend -> t -> s:Cx.t
   -> rhs:Cx.t array -> Cx.t array
 (** One frequency point: assemble [G + sC] in complex banded (RCM
-    ordered) or dense form, factor, and solve against [rhs].  With the
-    plan's banded backend this costs O(n·b^2) per call instead of the
-    O(n^3) of a dense complex LU.  Allocates its own storage, so
-    concurrent calls from a {!Rlc_parallel.Pool} fan-out are safe.
-    [backend] overrides the shared plan's choice (the AC bench times
-    the dense path through exactly this override).  Raises
-    {!Rlc_numerics.Clu.Singular} or {!Rlc_numerics.Cbanded.Singular}
-    at a frequency where the pencil is singular. *)
+    ordered), sparse (min-degree ordered) or dense form, factor, and
+    solve against [rhs].  With the plan's banded backend this costs
+    O(n·b^2) per call instead of the O(n^3) of a dense complex LU.
+    Allocates its own storage, so concurrent calls from a
+    {!Rlc_parallel.Pool} fan-out are safe.  [backend] overrides the
+    shared plan's choice (the AC bench times the dense path through
+    exactly this override).  Raises {!Rlc_numerics.Clu.Singular},
+    {!Rlc_numerics.Cbanded.Singular} or {!Rlc_numerics.Sparse.Singular}
+    at a frequency where the pencil is singular.
+
+    For a *sweep* of frequency points against one assembly, build a
+    {!cengine} instead: on the sparse backend it analyses the pattern
+    once and refactors per point. *)
+
+type cengine
+(** A complex sweep engine: the shared plan plus (on the sparse
+    backend) one symbolic analysis taken at a reference frequency and
+    replayed at every point.  Immutable — build it before a
+    {!Rlc_parallel.Pool} fan-out and share it across domains; that
+    also pins the pivot sequence to the reference frequency, keeping
+    sweeps deterministic at any domain count. *)
+
+val cengine : ?backend:Solver.backend -> t -> s_ref:Cx.t -> cengine
+(** [cengine t ~s_ref] builds the engine, analysing at [s_ref]
+    (sweeps pass their first frequency point).  Raises like
+    {!solve_complex} when the pencil is singular at [s_ref]. *)
+
+val cengine_plan : cengine -> Solver.plan
+
+val cengine_scratch : cengine -> Solver.cscratch
+(** Fresh solver scratch sized for this engine — one per domain. *)
+
+val cengine_solve_into :
+  cengine -> Solver.cscratch -> s:Cx.t -> rhs:Cx.t array -> x:Cx.t array
+  -> unit
+(** One frequency point through the engine: assemble [G + sC], factor
+    (reusing the engine's symbolic analysis on the sparse backend —
+    counted on [solver.sparse.crefactor] instead of [canalyze]) and
+    solve [rhs] into caller-owned [x] ([rhs] is read-only, so sharing
+    it across domains is safe; [rhs] and [x] may alias). *)
+
+val cengine_solve : cengine -> s:Cx.t -> rhs:Cx.t array -> Cx.t array
+(** Allocating convenience wrapper over {!cengine_solve_into}. *)

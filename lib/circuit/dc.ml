@@ -32,22 +32,21 @@ let add_inverter_drives netlist states rhs =
       | Netlist.Coupled_rl _ | Netlist.Vsource _ | Netlist.Isource _ -> ())
     (Netlist.elements netlist)
 
-let rhs_at_t0 asm netlist states =
-  let rhs = Array.make asm.Assembly.size 0.0 in
+let rhs_at_t0_into asm netlist states rhs =
+  Array.fill rhs 0 (Array.length rhs) 0.0;
   let u =
     Array.map
       (fun inp -> Stimulus.eval inp.Assembly.stim 0.0)
       asm.Assembly.inputs
   in
   Assembly.iter_b asm (fun row col v -> rhs.(row) <- rhs.(row) +. (v *. u.(col)));
-  add_inverter_drives netlist states rhs;
-  rhs
+  add_inverter_drives netlist states rhs
 
 let make ?(max_state_iterations = 64) netlist =
   let asm = Assembly.of_netlist netlist in
   let factor =
     try Assembly.factor_g asm
-    with Lu.Singular | Banded.Singular ->
+    with Lu.Singular | Banded.Singular | Sparse.Singular ->
       failwith "Dc.operating_point: singular system"
   in
   let elems = Netlist.elements netlist in
@@ -57,8 +56,16 @@ let make ?(max_state_iterations = 64) netlist =
       0 elems
   in
   let states = Array.make (Int.max n_invs 1) true in
+  (* the fixed-point loop reuses one RHS buffer, one solution buffer
+     and one solver scratch across passes instead of allocating three
+     arrays per solve *)
+  let rhs = Array.make asm.Assembly.size 0.0 in
+  let x_buf = Array.make asm.Assembly.size 0.0 in
+  let scr = Solver.scratch asm.Assembly.plan in
   let solve_with states =
-    Assembly.solve_g asm factor (rhs_at_t0 asm netlist states)
+    rhs_at_t0_into asm netlist states rhs;
+    Solver.solve_into asm.Assembly.plan factor scr ~b:rhs ~x:x_buf;
+    x_buf
   in
   (* inverter logic states: fixed point over the linear solves, all
      sharing the one factorisation *)

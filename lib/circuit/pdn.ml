@@ -1,0 +1,176 @@
+open Rlc_numerics
+
+type spec = {
+  rows : int;
+  cols : int;
+  r_seg : float;
+  l_seg : float;
+  c_node : float;
+  r_via : float;
+  l_via : float;
+  vdd : float;
+  vdd_ports : (int * int) list;
+  loads : (int * int * float) list;
+}
+
+(* DATE 2007 distributed-PDN flavour: 12x12 die grid, 2.2 nF total die
+   decap, 50 mohm segments, 40 mohm / 72 pH C4 bumps, 1 A switching
+   load at the centre. *)
+let default =
+  {
+    rows = 12;
+    cols = 12;
+    r_seg = 50e-3;
+    l_seg = 5.6e-15;
+    c_node = 2.2e-9 /. 144.0;
+    r_via = 40e-3;
+    l_via = 72e-12;
+    vdd = 1.0;
+    vdd_ports = [ (0, 0); (0, 11); (11, 0); (11, 11) ];
+    loads = [ (5, 5, 1.0) ];
+  }
+
+let rc_grid ?loads ~rows ~cols () =
+  let total_decap = default.c_node *. 144.0 in
+  let loads =
+    match loads with
+    | Some l -> l
+    | None -> [ (rows / 2, cols / 2, 1.0) ]
+  in
+  {
+    default with
+    rows;
+    cols;
+    l_seg = 0.0;
+    l_via = 0.0;
+    c_node = total_decap /. float_of_int (rows * cols);
+    vdd_ports = [ (0, 0); (0, cols - 1); (rows - 1, 0); (rows - 1, cols - 1) ];
+    loads;
+  }
+
+type t = {
+  spec : spec;
+  netlist : Netlist.t;
+  nodes : Netlist.node array array;
+  asm : Assembly.t;
+}
+
+let load_name ~row ~col = Printf.sprintf "iload_%d_%d" row col
+
+let validate_spec s =
+  if s.rows < 2 || s.cols < 2 then invalid_arg "Pdn.build: grid smaller than 2x2";
+  if s.r_seg <= 0.0 || s.r_via <= 0.0 then
+    invalid_arg "Pdn.build: non-positive segment/via resistance";
+  if s.l_seg < 0.0 || s.l_via < 0.0 || s.c_node < 0.0 then
+    invalid_arg "Pdn.build: negative inductance or decap";
+  if s.vdd_ports = [] then invalid_arg "Pdn.build: no vdd ports";
+  let in_range (r, c) = r >= 0 && r < s.rows && c >= 0 && c < s.cols in
+  if not (List.for_all in_range s.vdd_ports) then
+    invalid_arg "Pdn.build: vdd port outside the grid";
+  if not (List.for_all (fun (r, c, _) -> in_range (r, c)) s.loads) then
+    invalid_arg "Pdn.build: load outside the grid"
+
+(* an RL mesh edge degrades to a plain resistor when l = 0 so a pure
+   RC grid carries no branch-current unknowns *)
+let add_edge nl ~name a b ~ohms ~henries =
+  if henries > 0.0 then Netlist.add_rl_branch ~name nl a b ~ohms ~henries
+  else Netlist.add_resistor ~name nl a b ohms
+
+let build spec =
+  validate_spec spec;
+  let nl = Netlist.create () in
+  let nodes =
+    Array.init spec.rows (fun r ->
+        Array.init spec.cols (fun c ->
+            Netlist.fresh_node ~name:(Printf.sprintf "g%d_%d" r c) nl))
+  in
+  for r = 0 to spec.rows - 1 do
+    for c = 0 to spec.cols - 1 do
+      if c + 1 < spec.cols then
+        add_edge nl
+          ~name:(Printf.sprintf "rh%d_%d" r c)
+          nodes.(r).(c)
+          nodes.(r).(c + 1)
+          ~ohms:spec.r_seg ~henries:spec.l_seg;
+      if r + 1 < spec.rows then
+        add_edge nl
+          ~name:(Printf.sprintf "rv%d_%d" r c)
+          nodes.(r).(c)
+          nodes.(r + 1).(c)
+          ~ohms:spec.r_seg ~henries:spec.l_seg;
+      if spec.c_node > 0.0 then
+        Netlist.add_capacitor
+          ~name:(Printf.sprintf "cd%d_%d" r c)
+          nl
+          nodes.(r).(c)
+          Netlist.ground spec.c_node
+    done
+  done;
+  List.iteri
+    (fun i (r, c) ->
+      let bump = Netlist.fresh_node ~name:(Printf.sprintf "bump%d" i) nl in
+      Netlist.add_vsource
+        ~name:(Printf.sprintf "vdd%d" i)
+        nl bump Netlist.ground (Stimulus.Dc spec.vdd);
+      add_edge nl
+        ~name:(Printf.sprintf "via%d" i)
+        bump
+        nodes.(r).(c)
+        ~ohms:spec.r_via ~henries:spec.l_via)
+    spec.vdd_ports;
+  List.iter
+    (fun (r, c, amps) ->
+      Netlist.add_isource ~name:(load_name ~row:r ~col:c) nl
+        nodes.(r).(c)
+        Netlist.ground (Stimulus.Dc amps))
+    spec.loads;
+  { spec; netlist = nl; nodes; asm = Assembly.of_netlist nl }
+
+let node t ~row ~col =
+  if row < 0 || row >= t.spec.rows || col < 0 || col >= t.spec.cols then
+    invalid_arg "Pdn.node: site outside the grid";
+  t.nodes.(row).(col)
+
+let size t = t.asm.Assembly.size
+
+let input_index asm name =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i (inp : Assembly.input) -> if inp.name = name then found := i)
+    asm.Assembly.inputs;
+  !found
+
+let m_points = Rlc_instr.Metrics.counter "pdn.scan.points"
+
+let impedance ?pool ?backend t ~at:(row, col) ~freqs =
+  let pool =
+    match pool with Some p -> p | None -> Rlc_parallel.Pool.sequential
+  in
+  if Array.length freqs = 0 then [||]
+  else begin
+    let input = input_index t.asm (load_name ~row ~col) in
+    if input < 0 then invalid_arg "Pdn.impedance: no load at that site";
+    let out = node t ~row ~col - 1 in
+    Rlc_instr.Span.with_ "pdn.impedance" (fun () ->
+        (* one engine for the whole sweep, built before the fan-out:
+           the sparse symbolic analysis (and its pivot sequence) is
+           shared read-only by every frequency point *)
+        let eng =
+          Assembly.cengine ?backend t.asm ~s_ref:(Ac.s_of_freq freqs.(0))
+        in
+        let plan = Assembly.cengine_plan eng in
+        let rhs = Array.map Cx.of_float (Assembly.b_column t.asm input) in
+        let scratch_key =
+          Domain.DLS.new_key (fun () -> Assembly.cengine_scratch eng)
+        in
+        let n = plan.Solver.n in
+        Rlc_parallel.Pool.map pool
+          (fun f ->
+            Rlc_instr.Metrics.incr m_points;
+            let x = Array.make n Cx.zero in
+            Assembly.cengine_solve_into eng
+              (Domain.DLS.get scratch_key)
+              ~s:(Ac.s_of_freq f) ~rhs ~x;
+            (f, Cx.norm x.(out)))
+          freqs)
+  end

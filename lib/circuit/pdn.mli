@@ -1,0 +1,81 @@
+(** Power-delivery-network grid workloads.
+
+    An [rows] x [cols] mesh of identical R(L) segments with a decap to
+    ground at every grid node, fed from VDD through bump/via branches
+    at a few port sites and loaded by current sinks — the standard
+    on-chip power-grid model (the shape of the DATE 2007 distributed
+    PDN, as modelled by PowerScout-style generators).  These are the
+    grid-structured systems the sparse LU backend exists for: a
+    100 x 100 mesh is ~10^4 unknowns whose RCM band is ~100 wide, so
+    the banded path costs O(n^3/2) while minimum-degree sparse LU
+    stays near O(n^1.5).
+
+    The mesh compiles to an ordinary {!Netlist.t}, so every engine in
+    the repository (DC, transient, AC, PRIMA) runs on it unchanged;
+    {!impedance} is the canonical scan — |Z(f)| seen at a load site —
+    run through the {!Assembly.cengine} sweep engine so the sparse
+    symbolic analysis happens once for the whole frequency sweep. *)
+
+type spec = {
+  rows : int;  (** grid rows, >= 2 *)
+  cols : int;  (** grid columns, >= 2 *)
+  r_seg : float;  (** resistance of one mesh edge, ohm (> 0) *)
+  l_seg : float;  (** inductance of one mesh edge, H (0 = RC mesh) *)
+  c_node : float;  (** decap to ground at each grid node, F (>= 0) *)
+  r_via : float;  (** bump/via branch resistance, ohm (> 0) *)
+  l_via : float;  (** bump/via branch inductance, H (>= 0) *)
+  vdd : float;  (** supply level behind the bumps *)
+  vdd_ports : (int * int) list;  (** (row, col) bump sites, non-empty *)
+  loads : (int * int * float) list;
+      (** (row, col, amps) switching-current sinks *)
+}
+
+val default : spec
+(** A 12 x 12 die grid with DATE-2007-flavoured values (2.2 nF total
+    die decap, 50 mohm segments, 40 mohm / 72 pH bumps at the four
+    corners, a 1 A load at the grid centre). *)
+
+val rc_grid : ?loads:(int * int * float) list -> rows:int -> cols:int -> unit -> spec
+(** [default] rescaled to an [rows] x [cols] pure-RC mesh (l_seg and
+    l_via zero, total decap kept at [default]'s, corner ports, centre
+    load unless [loads] overrides) — the cheap way to make a
+    grid-structured system of any size for tests and benches. *)
+
+type t = private {
+  spec : spec;
+  netlist : Netlist.t;
+  nodes : Netlist.node array array;  (** [rows] x [cols] grid nodes *)
+  asm : Assembly.t;  (** compiled stamp IR, shared by every scan *)
+}
+
+val build : spec -> t
+(** Builds and compiles the mesh.  Raises [Invalid_argument] on a
+    non-physical spec (sizes < 2, r_seg or r_via <= 0, negative l or
+    c, empty or out-of-range ports/loads). *)
+
+val node : t -> row:int -> col:int -> Netlist.node
+(** The netlist node of a grid site.  Raises [Invalid_argument] out of
+    range. *)
+
+val size : t -> int
+(** Unknown count of the compiled system. *)
+
+val load_name : row:int -> col:int -> string
+(** Element name of the load current source at a grid site (a
+    transient current probe, or the AC input of {!impedance}). *)
+
+val impedance :
+  ?pool:Rlc_parallel.Pool.t ->
+  ?backend:Rlc_numerics.Solver.backend ->
+  t ->
+  at:int * int ->
+  freqs:float array ->
+  (float * float) array
+(** [impedance t ~at:(r, c) ~freqs] is the input-impedance magnitude
+    [(f, |Z(f)|)] seen looking into the grid at load site [(r, c)] —
+    the voltage there in response to its unit AC load current, with
+    the VDD sources quiesced (AC small-signal).  [(r, c)] must be one
+    of [spec.loads].  The whole sweep shares one
+    {!Assembly.cengine}: on the sparse backend the symbolic analysis
+    is done once and refactored per point, and the scan is
+    deterministic for any [pool] size. *)

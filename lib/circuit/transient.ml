@@ -11,7 +11,7 @@ let m_step_s = M.hist "transient.step_s"
 
 type integration = Trapezoidal | Backward_euler
 
-type backend = Solver.backend = Auto | Dense | Banded
+type backend = Solver.backend = Auto | Dense | Banded | Sparse
 
 type probe = Node_v of Netlist.node | Branch_i of string
 
@@ -223,6 +223,10 @@ type engine = {
   max_state_iterations : int;
   mutable nonconverged : int;
   mutable factorizations : int;
+  mutable sparse_sym : Solver.symbolic option;
+      (* the sparse backend's symbolic analysis, discovered by the
+         first factorisation and replayed by every later (method, dt)
+         restamp — the companion pattern never changes, only values *)
 }
 
 let vi node = node - 1
@@ -332,6 +336,7 @@ let make_engine (config : Config.t) netlist =
     max_state_iterations;
     nonconverged = 0;
     factorizations = 0;
+    sparse_sym = None;
   }
 
 (* The factorisation cache is keyed by the (method, dt-bits) pair
@@ -353,10 +358,13 @@ let factorization eng meth dt =
         stamp_coo ~compiled:eng.compiled ~n_nodes:eng.n_nodes ~m:eng.m meth dt
       in
       let f =
-        try Solver.factor eng.plan ~fill:(Assembly.Coo.iter coo)
-        with Lu.Singular | Banded.Singular ->
+        try
+          Solver.factor_with ?symbolic:eng.sparse_sym eng.plan
+            ~fill:(Assembly.Coo.iter coo)
+        with Lu.Singular | Banded.Singular | Sparse.Singular ->
           failwith "Transient: singular MNA matrix"
       in
+      if eng.sparse_sym = None then eng.sparse_sym <- Solver.symbolic_of f;
       if Hashtbl.length eng.lu_cache >= lu_cache_limit then
         Hashtbl.reset eng.lu_cache;
       Hashtbl.replace eng.lu_cache key f;

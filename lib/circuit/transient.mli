@@ -21,10 +21,13 @@
 type integration = Trapezoidal | Backward_euler
 
 type backend = Rlc_numerics.Solver.backend =
-  | Auto  (** banded when the measured band occupies at most a third
-              of the matrix (and m >= 12); dense otherwise *)
+  | Auto
+      (** cost-model choice: banded for narrow bands, sparse when the
+          predicted min-degree fill beats the predicted banded work,
+          dense for small systems *)
   | Dense  (** force dense LU *)
   | Banded  (** force the banded kernel *)
+  | Sparse  (** force general sparse LU (min-degree ordered) *)
       (** Re-export of {!Rlc_numerics.Solver.backend}: the engine's
           structure analysis and factorisations run through the shared
           {!Rlc_numerics.Solver.plan}, the same pass the DC, AC and

@@ -28,7 +28,8 @@ let ( /: ) = Cx.( /: )
 let make_g_solver (asm : Rlc_circuit.Assembly.t) =
   let f =
     try Rlc_circuit.Assembly.factor_g asm
-    with Lu.Singular | Banded.Singular -> failwith "Prima: singular G matrix"
+    with Lu.Singular | Banded.Singular | Sparse.Singular ->
+      failwith "Prima: singular G matrix"
   in
   fun b -> Rlc_circuit.Assembly.solve_g asm f b
 

@@ -1,0 +1,268 @@
+(* Approximate minimum-degree ordering on a quotient graph.
+
+   The implementation follows the AMD family (Amestoy, Davis, Duff):
+   eliminating a pivot turns it into an *element* whose boundary is the
+   set of still-live variables it was adjacent to; variables keep a
+   short list of adjacent variables plus a list of adjacent elements,
+   and the clique an element represents is never materialised.  Degrees
+   of the pivot's neighbours are recomputed with the AMD approximation
+   (|Le \ Lp| per element, obtained for all affected elements in one
+   shared pass), which keeps the update cost proportional to the lists
+   actually touched instead of the clique sizes.
+
+   Differences from a production AMD kept deliberately out of scope:
+   no supervariable detection (indistinguishable-variable merging) and
+   no aggressive element absorption beyond the pivot's own elements.
+   On the mesh/grid patterns this repository produces the orderings are
+   within a few percent of full AMD fill while the code stays a
+   fraction of the size.
+
+   Determinism: pivots come off a binary min-heap keyed on
+   (approximate degree, vertex index), so ties always break towards the
+   lowest vertex index and the ordering is a pure function of the
+   adjacency — the property every parallel consumer of a shared
+   Solver.plan relies on. *)
+
+(* growable int vector *)
+type vec = { mutable a : int array; mutable len : int }
+
+let vmake cap = { a = Array.make (Int.max cap 1) 0; len = 0 }
+
+let vpush v x =
+  if v.len = Array.length v.a then begin
+    let b = Array.make (2 * v.len) 0 in
+    Array.blit v.a 0 b 0 v.len;
+    v.a <- b
+  end;
+  v.a.(v.len) <- x;
+  v.len <- v.len + 1
+
+type result = {
+  perm : int array;  (* vertex -> position in elimination order *)
+  fill : float;  (* estimated nnz(L), diagonal included *)
+  flops : float;  (* estimated sum over pivots of |Lp|^2 *)
+}
+
+(* binary min-heap of (key, vertex) pairs with lazy deletion: a fresh
+   entry is pushed on every degree change, stale entries are skipped on
+   pop when their key no longer matches the vertex's current degree. *)
+module Heap = struct
+  type t = {
+    mutable keys : int array;
+    mutable verts : int array;
+    mutable len : int;
+  }
+
+  let create n = { keys = Array.make (Int.max n 1) 0; verts = Array.make (Int.max n 1) 0; len = 0 }
+
+  let swap h i j =
+    let k = h.keys.(i) and v = h.verts.(i) in
+    h.keys.(i) <- h.keys.(j);
+    h.verts.(i) <- h.verts.(j);
+    h.keys.(j) <- k;
+    h.verts.(j) <- v
+
+  let less h i j =
+    h.keys.(i) < h.keys.(j)
+    || (h.keys.(i) = h.keys.(j) && h.verts.(i) < h.verts.(j))
+
+  let push h key vert =
+    if h.len = Array.length h.keys then begin
+      let cap = 2 * h.len in
+      let ks = Array.make cap 0 and vs = Array.make cap 0 in
+      Array.blit h.keys 0 ks 0 h.len;
+      Array.blit h.verts 0 vs 0 h.len;
+      h.keys <- ks;
+      h.verts <- vs
+    end;
+    h.keys.(h.len) <- key;
+    h.verts.(h.len) <- vert;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && less h !i ((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    let key = h.keys.(0) and vert = h.verts.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.keys.(0) <- h.keys.(h.len);
+      h.verts.(0) <- h.verts.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.len && less h l !m then m := l;
+        if r < h.len && less h r !m then m := r;
+        if !m <> !i then begin
+          swap h !i !m;
+          i := !m
+        end
+        else continue := false
+      done
+    end;
+    (key, vert)
+end
+
+let order adj =
+  let n = Array.length adj in
+  if n = 0 then invalid_arg "Mindeg.order: empty adjacency";
+  (* variable state *)
+  let av = Array.init n (fun i -> vmake (List.length adj.(i))) in
+  let ae = Array.init n (fun _ -> vmake 2) in
+  Array.iteri
+    (fun i l -> List.iter (fun j -> if j <> i then vpush av.(i) j) l)
+    adj;
+  let eliminated = Array.make n false in
+  (* element state: vertex p, once eliminated, is the element p *)
+  let evars = Array.make n None in
+  let absorbed = Array.make n false in
+  let degree = Array.make n 0 in
+  Array.iteri (fun i v -> degree.(i) <- v.len) av;
+  (* set-membership stamps *)
+  let vmark = Array.make n 0 in
+  let vstamp = ref 0 in
+  let emark = Array.make n 0 in
+  let estamp = ref 0 in
+  let ew = Array.make n 0 in
+  let heap = Heap.create (2 * n) in
+  for i = 0 to n - 1 do
+    Heap.push heap degree.(i) i
+  done;
+  let perm = Array.make n 0 in
+  let fill = ref 0.0 and flops = ref 0.0 in
+  (* compact an element's variable list down to live variables,
+     returning the live count *)
+  let prune_element e =
+    match evars.(e) with
+    | None -> 0
+    | Some ev ->
+        let w = ref 0 in
+        for r = 0 to ev.len - 1 do
+          let x = ev.a.(r) in
+          if not eliminated.(x) then begin
+            ev.a.(!w) <- x;
+            incr w
+          end
+        done;
+        ev.len <- !w;
+        !w
+  in
+  let lp = vmake 16 in
+  for k = 0 to n - 1 do
+    (* next pivot: smallest (current degree, index) still alive *)
+    let p = ref (-1) in
+    while !p < 0 do
+      let key, v = Heap.pop heap in
+      if (not eliminated.(v)) && key = degree.(v) then p := v
+    done;
+    let p = !p in
+    eliminated.(p) <- true;
+    perm.(p) <- k;
+    (* Lp := union of live av(p) and the boundaries of p's elements *)
+    lp.len <- 0;
+    incr vstamp;
+    vmark.(p) <- !vstamp;
+    for r = 0 to av.(p).len - 1 do
+      let x = av.(p).a.(r) in
+      if (not eliminated.(x)) && vmark.(x) <> !vstamp then begin
+        vmark.(x) <- !vstamp;
+        vpush lp x
+      end
+    done;
+    for r = 0 to ae.(p).len - 1 do
+      let e = ae.(p).a.(r) in
+      if not absorbed.(e) then begin
+        (match evars.(e) with
+        | None -> ()
+        | Some ev ->
+            for q = 0 to ev.len - 1 do
+              let x = ev.a.(q) in
+              if (not eliminated.(x)) && vmark.(x) <> !vstamp then begin
+                vmark.(x) <- !vstamp;
+                vpush lp x
+              end
+            done);
+        (* p's elements are absorbed into the new element p *)
+        absorbed.(e) <- true;
+        evars.(e) <- None
+      end
+    done;
+    let d_p = lp.len in
+    fill := !fill +. float_of_int (d_p + 1);
+    flops := !flops +. (float_of_int d_p *. float_of_int d_p);
+    if d_p > 0 then begin
+      (* freeze Lp as the boundary of element p *)
+      let boundary = vmake d_p in
+      Array.blit lp.a 0 boundary.a 0 d_p;
+      boundary.len <- d_p;
+      evars.(p) <- Some boundary;
+      av.(p) <- vmake 1;
+      ae.(p) <- vmake 1;
+      (* shared pass: ew.(e) = |Le \ Lp| for every element adjacent to
+         a variable of Lp (AMD's approximate external degree input) *)
+      incr estamp;
+      for r = 0 to d_p - 1 do
+        let i = boundary.a.(r) in
+        for q = 0 to ae.(i).len - 1 do
+          let e = ae.(i).a.(q) in
+          if (not absorbed.(e)) && e <> p then begin
+            if emark.(e) <> !estamp then begin
+              emark.(e) <- !estamp;
+              ew.(e) <- prune_element e
+            end;
+            ew.(e) <- ew.(e) - 1
+          end
+        done
+      done;
+      (* update each boundary variable *)
+      for r = 0 to d_p - 1 do
+        let i = boundary.a.(r) in
+        (* drop dead variables and variables now covered by element p
+           (vmark still holds Lp ∪ {p} from the gather above) *)
+        let vi = av.(i) in
+        let w = ref 0 in
+        for q = 0 to vi.len - 1 do
+          let x = vi.a.(q) in
+          if (not eliminated.(x)) && vmark.(x) <> !vstamp then begin
+            vi.a.(!w) <- x;
+            incr w
+          end
+        done;
+        vi.len <- !w;
+        (* drop absorbed elements, count the live ones' contributions *)
+        let ei = ae.(i) in
+        let w = ref 0 in
+        let d_elems = ref 0 in
+        for q = 0 to ei.len - 1 do
+          let e = ei.a.(q) in
+          if not absorbed.(e) then begin
+            ei.a.(!w) <- e;
+            incr w;
+            d_elems :=
+              !d_elems
+              + (if emark.(e) = !estamp then Int.max 0 ew.(e)
+                 else prune_element e)
+          end
+        done;
+        ei.len <- !w;
+        vpush ei p;
+        let d_new = vi.len + (d_p - 1) + !d_elems in
+        (* clamp: never above the number of remaining variables, never
+           above the previous degree plus the new clique *)
+        let live_left = n - k - 2 in
+        let d =
+          Int.min (Int.max 0 live_left)
+            (Int.min d_new (degree.(i) + d_p - 1))
+        in
+        if d <> degree.(i) then begin
+          degree.(i) <- d;
+          Heap.push heap d i
+        end
+      done
+    end
+  done;
+  { perm; fill = !fill; flops = !flops }

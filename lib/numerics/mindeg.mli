@@ -1,0 +1,36 @@
+(** Approximate minimum-degree (AMD-style) fill-reducing ordering.
+
+    Reverse Cuthill-McKee ({!Rcm}) minimises *bandwidth*, which is the
+    right objective for the banded kernel on chain-structured systems
+    but the wrong one for general sparse LU on 2-D meshes, where the
+    band grows like sqrt(n) and the factor fills it completely.  This
+    module orders for *fill*: vertices are eliminated smallest
+    (approximate) degree first on a quotient graph, the standard greedy
+    heuristic behind AMD/COLAMD.  The sparse backend of {!Solver} uses
+    it both for the ordering itself and for the fill/flop estimates
+    the [Auto] cost model compares against the banded prediction.
+
+    The ordering is deterministic: ties in degree always break towards
+    the lowest vertex index, so a shared {!Solver.plan} is a pure
+    function of the stamped structure — the property the
+    domain-parallel consumers rely on for bit-identical runs. *)
+
+type result = {
+  perm : int array;
+      (** [perm.(u)] is the position of vertex [u] in the elimination
+          order (same convention as {!Rcm.permutation}). *)
+  fill : float;
+      (** Estimated nonzeros of the Cholesky-shaped factor L (diagonal
+          included) under [perm]; LU on a structurally symmetric
+          pattern costs about twice this. *)
+  flops : float;
+      (** Estimated [sum over pivots of |Lp|^2] — the dominant term of
+          the factorisation work under [perm]. *)
+}
+
+val order : int list array -> result
+(** [order adj] takes an undirected adjacency (vertex [u]'s neighbour
+    list at index [u]; self-loops ignored, symmetry assumed — the same
+    shape {!Rcm.permutation} takes) and returns the min-degree
+    elimination order with its fill/flop estimates.  Raises
+    [Invalid_argument] on an empty adjacency. *)

@@ -2,8 +2,10 @@ module M = Rlc_instr.Metrics
 
 let m_plan_banded = M.counter "solver.plan.banded"
 let m_plan_dense = M.counter "solver.plan.dense"
+let m_plan_sparse = M.counter "solver.plan.sparse"
 let m_bandwidth = M.gauge "solver.plan.bandwidth"
 let m_n = M.gauge "solver.plan.n"
+let m_sparse_flops = M.gauge "solver.plan.sparse_flops"
 let m_factor = M.counter "solver.factor"
 let m_factor_s = M.hist "solver.factor_s"
 let m_solve = M.counter "solver.solve"
@@ -12,8 +14,15 @@ let m_cfactor = M.counter "solver.cfactor"
 let m_cfactor_s = M.hist "solver.cfactor_s"
 let m_csolve = M.counter "solver.csolve"
 let m_csolve_s = M.hist "solver.csolve_s"
+let m_analyze = M.counter "solver.sparse.analyze"
+let m_refactor = M.counter "solver.sparse.refactor"
+let m_canalyze = M.counter "solver.sparse.canalyze"
+let m_crefactor = M.counter "solver.sparse.crefactor"
+let m_repivot = M.counter "solver.sparse.repivot"
+let m_lu_nnz = M.gauge "solver.sparse.lu_nnz"
 
-type backend = Auto | Dense | Banded
+type backend = Auto | Dense | Banded | Sparse
+type choice = Dense_lu | Banded_lu | Sparse_lu
 
 type plan = {
   n : int;
@@ -21,17 +30,33 @@ type plan = {
   kl : int;
   ku : int;
   use_banded : bool;
+  choice : choice;
+  sparse_flops : float;
 }
 
-(* Use the banded kernel when the band occupies at most a third of the
-   matrix and the system is big enough for the bookkeeping to pay off;
+(* Banded-vs-dense: the band must occupy at most a third of the matrix
+   and the system must be big enough for the bookkeeping to pay off;
    RC/RLC ladders have kl = ku of 2-3 independent of length. *)
 let banded_pays ~n ~kl ~ku = n >= 12 && 3 * (kl + ku + 1) <= n
 
-let plan ?(backend = Auto) adj =
-  let n = Array.length adj in
-  if n = 0 then invalid_arg "Solver.plan: empty adjacency";
-  let perm = Rcm.permutation adj in
+(* A band this narrow is chain structure: the banded kernel is within
+   a small constant of optimal and the min-degree analysis would cost
+   more than it could save.  Everything the repository built before
+   the sparse backend (ladders, buses, small meshes) lands here, which
+   is what keeps those plans — permutation, backend, results —
+   bit-identical to the pre-sparse ones. *)
+let narrow_band ~kl ~ku = kl + ku <= 16
+
+(* One sparse "flop" pays for index chasing a dense flop does not; the
+   factor was calibrated on the RC-grid matrix of BENCH_sparse.json.
+   Measured on those grids, a fresh sparse factor crosses the banded
+   kernel near a 48x48 mesh but a symbolic-reusing refactor — what AC
+   sweeps and transient restamps actually pay per point — already wins
+   from 24x24, so the penalty is set to put the crossover there: 24x24
+   and larger meshes route to sparse, 16x16 stays banded. *)
+let sparse_flop_penalty = 3.0
+
+let bandwidths_under perm adj =
   let kl = ref 0 and ku = ref 0 in
   Array.iteri
     (fun i neighbours ->
@@ -42,37 +67,121 @@ let plan ?(backend = Auto) adj =
           if -d > !ku then ku := -d)
         neighbours)
     adj;
-  let use_banded =
-    match backend with
-    | Dense -> false
-    | Banded -> true
-    | Auto -> banded_pays ~n ~kl:!kl ~ku:!ku
+  (!kl, !ku)
+
+let plan ?(backend = Auto) adj =
+  let n = Array.length adj in
+  if n = 0 then invalid_arg "Solver.plan: empty adjacency";
+  let rcm_perm = lazy (Rcm.permutation adj) in
+  let rcm_widths = lazy (bandwidths_under (Lazy.force rcm_perm) adj) in
+  let mindeg = lazy (Mindeg.order adj) in
+  (* LU on a structurally symmetric pattern does about twice the
+     Cholesky-shaped work the estimator counts, plus a traversal term
+     per stored entry *)
+  let mindeg_flops () =
+    let md = Lazy.force mindeg in
+    (2.0 *. md.Mindeg.flops) +. (8.0 *. md.Mindeg.fill)
   in
-  M.incr (if use_banded then m_plan_banded else m_plan_dense);
-  M.set m_bandwidth (Float.of_int (!kl + !ku + 1));
+  let choice =
+    match backend with
+    | Dense -> Dense_lu
+    | Banded -> Banded_lu
+    | Sparse -> Sparse_lu
+    | Auto ->
+        let kl, ku = Lazy.force rcm_widths in
+        if narrow_band ~kl ~ku then
+          if banded_pays ~n ~kl ~ku then Banded_lu else Dense_lu
+        else begin
+          let fn = float_of_int n in
+          let dense_flops = fn *. fn *. fn /. 3.0 in
+          let banded_flops =
+            fn *. float_of_int kl *. float_of_int (kl + ku + 1)
+          in
+          let sparse_cost = sparse_flop_penalty *. mindeg_flops () in
+          if sparse_cost < banded_flops && sparse_cost < dense_flops then
+            Sparse_lu
+          else if banded_pays ~n ~kl ~ku then Banded_lu
+          else Dense_lu
+        end
+  in
+  let perm, sparse_flops =
+    match choice with
+    | Sparse_lu -> ((Lazy.force mindeg).Mindeg.perm, mindeg_flops ())
+    | Dense_lu | Banded_lu -> (Lazy.force rcm_perm, 0.0)
+  in
+  let kl, ku =
+    match choice with
+    | Sparse_lu -> bandwidths_under perm adj
+    | Dense_lu | Banded_lu -> Lazy.force rcm_widths
+  in
+  M.incr
+    (match choice with
+    | Banded_lu -> m_plan_banded
+    | Dense_lu -> m_plan_dense
+    | Sparse_lu -> m_plan_sparse);
+  M.set m_bandwidth (Float.of_int (kl + ku + 1));
   M.set m_n (Float.of_int n);
-  { n; perm; kl = !kl; ku = !ku; use_banded }
+  if choice = Sparse_lu then M.set m_sparse_flops sparse_flops;
+  { n; perm; kl; ku; use_banded = choice = Banded_lu; choice; sparse_flops }
 
-type factor = F_dense of Lu.t | F_banded of Banded.t
+type factor =
+  | F_dense of Lu.t
+  | F_banded of Banded.t
+  | F_sparse of Sparse.t
 
-let factor p ~fill =
+type symbolic = Sparse.symbolic
+
+let symbolic_of = function
+  | F_sparse sf -> Some (Sparse.symbolic sf)
+  | F_dense _ | F_banded _ -> None
+
+let sparse_csc p ~fill =
+  Sparse.of_fill ~n:p.n (fun add ->
+      fill (fun i j v -> add p.perm.(i) p.perm.(j) v))
+
+let factor_with ?symbolic p ~fill =
   M.incr m_factor;
   M.timed m_factor_s (fun () ->
-      if p.use_banded then begin
-        let s = Banded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
-        fill (fun i j v -> Banded.add_to s p.perm.(i) p.perm.(j) v);
-        F_banded (Banded.decompose s)
-      end
-      else begin
-        let a = Matrix.create p.n p.n in
-        fill (fun i j v -> Matrix.add_to a p.perm.(i) p.perm.(j) v);
-        F_dense (Lu.decompose a)
-      end)
+      match p.choice with
+      | Banded_lu ->
+          let s = Banded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
+          fill (fun i j v -> Banded.add_to s p.perm.(i) p.perm.(j) v);
+          F_banded (Banded.decompose s)
+      | Dense_lu ->
+          let a = Matrix.create p.n p.n in
+          fill (fun i j v -> Matrix.add_to a p.perm.(i) p.perm.(j) v);
+          F_dense (Lu.decompose a)
+      | Sparse_lu ->
+          let a = sparse_csc p ~fill in
+          let sf =
+            match symbolic with
+            | None ->
+                M.incr m_analyze;
+                Sparse.factor a
+            | Some sym -> begin
+                try
+                  let sf = Sparse.refactor sym a in
+                  M.incr m_refactor;
+                  sf
+                with Sparse.Repivot | Sparse.Singular ->
+                  (* values moved too far from the analysed ones for
+                     the recorded pivots: analyse afresh (a genuinely
+                     singular system re-raises from the factor) *)
+                  M.incr m_repivot;
+                  M.incr m_analyze;
+                  Sparse.factor a
+              end
+          in
+          M.set m_lu_nnz (Float.of_int (Sparse.lu_nnz sf));
+          F_sparse sf)
+
+let factor p ~fill = factor_with p ~fill
 
 let solve_permuted_into_raw f ~b ~x =
   match f with
   | F_dense lu -> Lu.solve_into lu ~b ~x
   | F_banded bd -> Banded.solve_into bd ~b ~x
+  | F_sparse sf -> Sparse.solve_into sf ~b ~x
 
 let solve_permuted_into f ~b ~x =
   (* hot path: when recording is off this is one predicted branch on
@@ -85,45 +194,110 @@ let solve_permuted_into f ~b ~x =
   end
   else solve_permuted_into_raw f ~b ~x
 
-let solve p f b =
+type scratch = { sb : float array; sx : float array }
+
+let scratch p = { sb = Array.make p.n 0.0; sx = Array.make p.n 0.0 }
+
+let solve_into p f s ~b ~x =
   let n = p.n in
-  if Array.length b <> n then invalid_arg "Solver.solve: size mismatch";
-  let bp = Array.make n 0.0 in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Solver.solve_into: size mismatch";
+  if Array.length s.sb <> n then
+    invalid_arg "Solver.solve_into: scratch from another plan";
   for i = 0 to n - 1 do
-    bp.(p.perm.(i)) <- b.(i)
+    s.sb.(p.perm.(i)) <- b.(i)
   done;
-  let xp = Array.make n 0.0 in
-  solve_permuted_into f ~b:bp ~x:xp;
-  Array.init n (fun i -> xp.(p.perm.(i)))
+  solve_permuted_into f ~b:s.sb ~x:s.sx;
+  for i = 0 to n - 1 do
+    x.(i) <- s.sx.(p.perm.(i))
+  done
 
-type cfactor = C_dense of Clu.t | C_banded of Cbanded.t
+let solve p f b =
+  if Array.length b <> p.n then invalid_arg "Solver.solve: size mismatch";
+  let x = Array.make p.n 0.0 in
+  solve_into p f (scratch p) ~b ~x;
+  x
 
-let cfactor p ~fill =
+type cfactor =
+  | C_dense of Clu.t
+  | C_banded of Cbanded.t
+  | C_sparse of Sparse.ct
+
+let csymbolic_of = function
+  | C_sparse sf -> Some (Sparse.csymbolic sf)
+  | C_dense _ | C_banded _ -> None
+
+let sparse_ccsc p ~fill =
+  Sparse.cof_fill ~n:p.n (fun add ->
+      fill (fun i j v -> add p.perm.(i) p.perm.(j) v))
+
+let cfactor_with ?symbolic p ~fill =
   M.incr m_cfactor;
   M.timed m_cfactor_s (fun () ->
-      if p.use_banded then begin
-        let s = Cbanded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
-        fill (fun i j v -> Cbanded.add_to s p.perm.(i) p.perm.(j) v);
-        C_banded (Cbanded.decompose s)
-      end
-      else begin
-        let a = Cmatrix.create p.n p.n in
-        fill (fun i j v -> Cmatrix.add_to a p.perm.(i) p.perm.(j) v);
-        C_dense (Clu.decompose a)
-      end)
+      match p.choice with
+      | Banded_lu ->
+          let s = Cbanded.create_storage ~n:p.n ~kl:p.kl ~ku:p.ku in
+          fill (fun i j v -> Cbanded.add_to s p.perm.(i) p.perm.(j) v);
+          C_banded (Cbanded.decompose s)
+      | Dense_lu ->
+          let a = Cmatrix.create p.n p.n in
+          fill (fun i j v -> Cmatrix.add_to a p.perm.(i) p.perm.(j) v);
+          C_dense (Clu.decompose a)
+      | Sparse_lu ->
+          let a = sparse_ccsc p ~fill in
+          let sf =
+            match symbolic with
+            | None ->
+                M.incr m_canalyze;
+                Sparse.cfactor a
+            | Some sym -> begin
+                try
+                  let sf = Sparse.crefactor sym a in
+                  M.incr m_crefactor;
+                  sf
+                with Sparse.Repivot | Sparse.Singular ->
+                  M.incr m_repivot;
+                  M.incr m_canalyze;
+                  Sparse.cfactor a
+              end
+          in
+          M.set m_lu_nnz (Float.of_int (Sparse.clu_nnz sf));
+          C_sparse sf)
+
+let cfactor p ~fill = cfactor_with p ~fill
+
+type cscratch = { cb : Cx.t array; cx : Cx.t array }
+
+let cscratch p = { cb = Array.make p.n Cx.zero; cx = Array.make p.n Cx.zero }
+
+let csolve_permuted_into_raw f ~b ~x =
+  match f with
+  | C_dense lu -> Clu.solve_into lu ~b ~x
+  | C_banded bd -> Cbanded.solve_into bd ~b ~x
+  | C_sparse sf -> Sparse.csolve_into sf ~b ~x
+
+let csolve_into p f s ~b ~x =
+  let n = p.n in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Solver.csolve_into: size mismatch";
+  if Array.length s.cb <> n then
+    invalid_arg "Solver.csolve_into: scratch from another plan";
+  for i = 0 to n - 1 do
+    s.cb.(p.perm.(i)) <- b.(i)
+  done;
+  if M.recording () then begin
+    M.incr m_csolve;
+    let t = Rlc_instr.Timer.start () in
+    csolve_permuted_into_raw f ~b:s.cb ~x:s.cx;
+    M.observe m_csolve_s (Rlc_instr.Timer.elapsed_s t)
+  end
+  else csolve_permuted_into_raw f ~b:s.cb ~x:s.cx;
+  for i = 0 to n - 1 do
+    x.(i) <- s.cx.(p.perm.(i))
+  done
 
 let csolve p f b =
-  let n = p.n in
-  if Array.length b <> n then invalid_arg "Solver.csolve: size mismatch";
-  let bp = Array.make n Cx.zero in
-  for i = 0 to n - 1 do
-    bp.(p.perm.(i)) <- b.(i)
-  done;
-  M.incr m_csolve;
-  let xp =
-    M.timed m_csolve_s (fun () ->
-        match f with
-        | C_dense lu -> Clu.solve lu bp
-        | C_banded bd -> Cbanded.solve bd bp)
-  in
-  Array.init n (fun i -> xp.(p.perm.(i)))
+  if Array.length b <> p.n then invalid_arg "Solver.csolve: size mismatch";
+  let x = Array.make p.n Cx.zero in
+  csolve_into p f (cscratch p) ~b ~x;
+  x

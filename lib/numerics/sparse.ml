@@ -1,0 +1,634 @@
+(* General sparse LU, Gilbert-Peierls style.
+
+   The factorisation is left-looking over columns: the pattern of each
+   column of L and U is the reach of the column's nonzeros in the
+   directed graph of the L computed so far (one depth-first search per
+   column, O(flops) total), the numeric update applies exactly the
+   columns that pattern names, and the pivot is chosen among the
+   not-yet-pivotal rows of the pattern with threshold partial pivoting
+   that prefers the diagonal (MNA systems carry structurally zero
+   diagonals on the source/branch rows, so pure diagonal pivoting is
+   not an option, while unrestricted partial pivoting destroys the
+   fill the min-degree ordering bought — the threshold buys stability
+   without the fill).
+
+   The split that matters to the callers: {!factor} discovers the
+   pattern and the pivot sequence (the *symbolic* analysis) while
+   computing the first numeric factorisation; {!refactor} replays that
+   analysis against new values in the same stamped pattern — no graph
+   search, no pivot search, just the recorded update sequence.  An AC
+   sweep analyses once at its first frequency and refactors at every
+   other point; the transient engine analyses once per netlist and
+   refactors per (method, dt).  A replayed pivot can of course go bad
+   on values far from the analysed ones, so {!refactor} watches the
+   multiplier growth and raises {!Repivot} for the caller to fall back
+   to a fresh {!factor}.
+
+   Storage is compressed-column throughout: L strictly lower with unit
+   diagonal implicit, U strictly upper per column in the exact order
+   the updates were applied (topological for the analysed pattern,
+   which is what makes the replay a straight array walk), diagonal of
+   U separate.  Row indices inside the factors live in *pivot*
+   coordinates (position in the elimination sequence); {!solve_into}
+   carries the row permutation.  The complex mirror ({!cfactor} /
+   {!crefactor} / {!csolve_into}) duplicates the code over split
+   re/im arrays rather than an array of records, like {!Cbanded}. *)
+
+exception Singular
+exception Repivot
+
+(* ------------------------------------------------------------------ *)
+(* compressed-column inputs                                            *)
+(* ------------------------------------------------------------------ *)
+
+type csc = {
+  n : int;
+  colptr : int array;
+  rowind : int array;
+  values : float array;
+}
+
+type ccsc = {
+  cn : int;
+  ccolptr : int array;
+  crowind : int array;
+  vre : float array;
+  vim : float array;
+}
+
+(* growable triplet buffers *)
+type 'a buf = { mutable a : 'a array; mutable len : int }
+
+let bmake z = { a = Array.make 64 z; len = 0 }
+
+let bpush b x =
+  if b.len = Array.length b.a then begin
+    let c = Array.make (2 * b.len) b.a.(0) in
+    Array.blit b.a 0 c 0 b.len;
+    b.a <- c
+  end;
+  b.a.(b.len) <- x;
+  b.len <- b.len + 1
+
+(* triplets -> CSC with duplicates accumulated; within a column the
+   entries keep first-occurrence order, so the pattern is a pure
+   function of the stamp sequence (refactor relies on that). *)
+let compress ~n ~rows ~cols ~push_vals =
+  let nnz_raw = rows.len in
+  let cnt = Array.make (n + 1) 0 in
+  for k = 0 to nnz_raw - 1 do
+    let j = cols.a.(k) in
+    cnt.(j + 1) <- cnt.(j + 1) + 1
+  done;
+  for j = 0 to n - 1 do
+    cnt.(j + 1) <- cnt.(j + 1) + cnt.(j)
+  done;
+  let colptr_raw = Array.copy cnt in
+  let order = Array.make (Int.max nnz_raw 1) 0 in
+  let next = Array.copy cnt in
+  for k = 0 to nnz_raw - 1 do
+    let j = cols.a.(k) in
+    order.(next.(j)) <- k;
+    next.(j) <- next.(j) + 1
+  done;
+  (* dedup per column with a dense slot map *)
+  let slot = Array.make n (-1) in
+  let colptr = Array.make (n + 1) 0 in
+  let rowind = bmake 0 in
+  for j = 0 to n - 1 do
+    colptr.(j) <- rowind.len;
+    for p = colptr_raw.(j) to colptr_raw.(j + 1) - 1 do
+      let k = order.(p) in
+      let i = rows.a.(k) in
+      if slot.(i) >= colptr.(j) && slot.(i) < rowind.len && rowind.a.(slot.(i)) = i
+      then push_vals ~dst:slot.(i) ~src:k
+      else begin
+        slot.(i) <- rowind.len;
+        bpush rowind i;
+        push_vals ~dst:(-1) ~src:k
+      end
+    done
+  done;
+  colptr.(n) <- rowind.len;
+  (colptr, Array.sub rowind.a 0 rowind.len)
+
+let of_fill ~n fill =
+  if n <= 0 then invalid_arg "Sparse.of_fill: n <= 0";
+  let rows = bmake 0 and cols = bmake 0 and vals = bmake 0.0 in
+  fill (fun i j v ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Sparse.of_fill: index out of range";
+      bpush rows i;
+      bpush cols j;
+      bpush vals v);
+  let out = bmake 0.0 in
+  let colptr, rowind =
+    compress ~n ~rows ~cols ~push_vals:(fun ~dst ~src ->
+        if dst >= 0 then out.a.(dst) <- out.a.(dst) +. vals.a.(src)
+        else bpush out vals.a.(src))
+  in
+  { n; colptr; rowind; values = Array.sub out.a 0 out.len }
+
+let cof_fill ~n fill =
+  if n <= 0 then invalid_arg "Sparse.cof_fill: n <= 0";
+  let rows = bmake 0 and cols = bmake 0 in
+  let vre = bmake 0.0 and vim = bmake 0.0 in
+  fill (fun i j (v : Cx.t) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Sparse.cof_fill: index out of range";
+      bpush rows i;
+      bpush cols j;
+      bpush vre v.Cx.re;
+      bpush vim v.Cx.im);
+  let ore = bmake 0.0 and oim = bmake 0.0 in
+  let colptr, rowind =
+    compress ~n ~rows ~cols ~push_vals:(fun ~dst ~src ->
+        if dst >= 0 then begin
+          ore.a.(dst) <- ore.a.(dst) +. vre.a.(src);
+          oim.a.(dst) <- oim.a.(dst) +. vim.a.(src)
+        end
+        else begin
+          bpush ore vre.a.(src);
+          bpush oim vim.a.(src)
+        end)
+  in
+  {
+    cn = n;
+    ccolptr = colptr;
+    crowind = rowind;
+    vre = Array.sub ore.a 0 ore.len;
+    vim = Array.sub oim.a 0 oim.len;
+  }
+
+let nnz a = a.colptr.(a.n)
+let cnnz a = a.ccolptr.(a.cn)
+
+(* ------------------------------------------------------------------ *)
+(* symbolic structure (shared by real and complex factors)             *)
+(* ------------------------------------------------------------------ *)
+
+type symbolic = {
+  n : int;
+  pinv : int array;  (* input row -> pivot position *)
+  prow : int array;  (* pivot position -> input row *)
+  lp : int array;  (* L colptr, n+1; row indices in pivot coords, > j *)
+  li : int array;
+  up : int array;  (* U colptr, n+1; entries in applied (topological)
+                      order, pivot coords < j; diagonal separate *)
+  ui : int array;
+  annz : int;  (* nnz of the analysed input, a cheap pattern check *)
+}
+
+let sym_n s = s.n
+let sym_lu_nnz s = s.lp.(s.n) + s.up.(s.n) + s.n
+
+(* reach of column-j pattern in the graph of L-so-far; non-recursive
+   DFS after cs_dfs.  [li_buf]/[lp_live] describe L columns discovered
+   so far with *input* row indices; [mark] carries stamp [j + 1].
+   Returns [top]; the pattern sits in [xi.(top .. n-1)] in topological
+   order. *)
+let reach ~n ~acolptr ~arowind ~j ~pinv ~lp_live ~li_buf ~mark ~xi ~pstack =
+  let top = ref n in
+  let head = ref 0 in
+  let stamp = j + 1 in
+  for p = acolptr.(j) to acolptr.(j + 1) - 1 do
+    let root = arowind.(p) in
+    if mark.(root) <> stamp then begin
+      (* DFS from root *)
+      head := 0;
+      xi.(0) <- root;
+      while !head >= 0 do
+        let i = xi.(!head) in
+        if mark.(i) <> stamp then begin
+          mark.(i) <- stamp;
+          pstack.(!head) <- (if pinv.(i) < 0 then 0 else lp_live.(pinv.(i)))
+        end;
+        let col = pinv.(i) in
+        let pend = if col < 0 then 0 else lp_live.(col + 1) in
+        let advanced = ref false in
+        let q = ref pstack.(!head) in
+        while (not !advanced) && !q < pend do
+          let child = li_buf.(!q) in
+          incr q;
+          if mark.(child) <> stamp then begin
+            pstack.(!head) <- !q;
+            incr head;
+            xi.(!head) <- child;
+            advanced := true
+          end
+        done;
+        if not !advanced then begin
+          (* all children done: pop to output *)
+          decr head;
+          decr top;
+          xi.(!top) <- i
+        end
+      done
+    end
+  done;
+  !top
+
+(* ------------------------------------------------------------------ *)
+(* real factorisation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  sym : symbolic;
+  lx : float array;  (* multipliers, aligned with sym.li *)
+  ux : float array;  (* aligned with sym.ui *)
+  ud : float array;  (* diagonal of U, pivot order *)
+}
+
+let symbolic t = t.sym
+let lu_nnz t = sym_lu_nnz t.sym
+
+let factor ?(pivot_tol = 0.001) (a : csc) =
+  let n = a.n in
+  let pinv = Array.make n (-1) in
+  let prow = Array.make n (-1) in
+  let lp_live = Array.make (n + 1) 0 in
+  let up = Array.make (n + 1) 0 in
+  let li = bmake 0 and lx = bmake 0.0 in
+  let ui = bmake 0 and ux = bmake 0.0 in
+  let ud = Array.make n 0.0 in
+  let x = Array.make n 0.0 in
+  let xi = Array.make n 0 in
+  let pstack = Array.make n 0 in
+  let mark = Array.make n 0 in
+  for j = 0 to n - 1 do
+    let top =
+      reach ~n ~acolptr:a.colptr ~arowind:a.rowind ~j ~pinv ~lp_live
+        ~li_buf:li.a ~mark ~xi ~pstack
+    in
+    (* numeric: clear, scatter, apply in topological order *)
+    for p = top to n - 1 do
+      x.(xi.(p)) <- 0.0
+    done;
+    for p = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+      x.(a.rowind.(p)) <- a.values.(p)
+    done;
+    for p = top to n - 1 do
+      let i = xi.(p) in
+      let t = pinv.(i) in
+      if t >= 0 then begin
+        let xt = x.(i) in
+        bpush ui t;
+        bpush ux xt;
+        for q = lp_live.(t) to lp_live.(t + 1) - 1 do
+          let r = li.a.(q) in
+          x.(r) <- x.(r) -. (lx.a.(q) *. xt)
+        done
+      end
+    done;
+    (* pivot among the non-pivotal pattern rows *)
+    let amax = ref 0.0 and ipiv = ref (-1) in
+    for p = top to n - 1 do
+      let i = xi.(p) in
+      if pinv.(i) < 0 then begin
+        let m = Float.abs x.(i) in
+        if m > !amax then begin
+          amax := m;
+          ipiv := i
+        end
+      end
+    done;
+    if !ipiv < 0 || not (Float.is_finite !amax) || !amax <= 1e-300 then
+      raise Singular;
+    (* threshold preference for the diagonal *)
+    if
+      j <> !ipiv && pinv.(j) < 0 && mark.(j) = j + 1
+      && Float.abs x.(j) >= pivot_tol *. !amax
+      && Float.abs x.(j) > 1e-300
+    then ipiv := j;
+    let pivot = x.(!ipiv) in
+    ud.(j) <- pivot;
+    pinv.(!ipiv) <- j;
+    prow.(j) <- !ipiv;
+    for p = top to n - 1 do
+      let i = xi.(p) in
+      if pinv.(i) < 0 then begin
+        bpush li i;
+        bpush lx (x.(i) /. pivot)
+      end;
+      x.(i) <- 0.0
+    done;
+    lp_live.(j + 1) <- li.len;
+    up.(j + 1) <- ui.len
+  done;
+  (* remap L row indices into pivot coordinates *)
+  let lin = Array.sub li.a 0 li.len in
+  for k = 0 to li.len - 1 do
+    lin.(k) <- pinv.(lin.(k))
+  done;
+  let sym =
+    {
+      n;
+      pinv;
+      prow;
+      lp = lp_live;
+      li = lin;
+      up;
+      ui = Array.sub ui.a 0 ui.len;
+      annz = nnz a;
+    }
+  in
+  { sym; lx = Array.sub lx.a 0 lx.len; ux = Array.sub ux.a 0 ux.len; ud }
+
+let refactor ?(growth_limit = 1e8) sym (a : csc) =
+  let n = sym.n in
+  if a.n <> n || nnz a <> sym.annz then
+    invalid_arg "Sparse.refactor: pattern mismatch";
+  let { pinv; lp; li; up; ui; _ } = sym in
+  let lx = Array.make (Array.length li) 0.0 in
+  let ux = Array.make (Array.length ui) 0.0 in
+  let ud = Array.make n 0.0 in
+  let x = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    (* the column pattern in pivot coords is ui-col ∪ {j} ∪ li-col,
+       and x is kept zero outside it, so scatter needs no clearing *)
+    for p = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+      x.(pinv.(a.rowind.(p))) <- x.(pinv.(a.rowind.(p))) +. a.values.(p)
+    done;
+    for k = up.(j) to up.(j + 1) - 1 do
+      let t = ui.(k) in
+      let xt = x.(t) in
+      ux.(k) <- xt;
+      x.(t) <- 0.0;
+      if xt <> 0.0 then
+        for q = lp.(t) to lp.(t + 1) - 1 do
+          let r = li.(q) in
+          x.(r) <- x.(r) -. (lx.(q) *. xt)
+        done
+    done;
+    let pivot = x.(j) in
+    x.(j) <- 0.0;
+    if (not (Float.is_finite pivot)) || Float.abs pivot <= 1e-300 then begin
+      (* leave x clean for the caller's retry *)
+      for q = lp.(j) to lp.(j + 1) - 1 do
+        x.(li.(q)) <- 0.0
+      done;
+      if Float.is_finite pivot then raise Repivot else raise Singular
+    end;
+    ud.(j) <- pivot;
+    let lmax = ref 0.0 in
+    for q = lp.(j) to lp.(j + 1) - 1 do
+      let r = li.(q) in
+      let m = x.(r) /. pivot in
+      lx.(q) <- m;
+      x.(r) <- 0.0;
+      let am = Float.abs m in
+      if am > !lmax then lmax := am
+    done;
+    if (not (Float.is_finite !lmax)) || !lmax > growth_limit then raise Repivot
+  done;
+  { sym; lx; ux; ud }
+
+let solve_into t ~b ~x =
+  let { n; prow; lp; li; up; ui; _ } = t.sym in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Sparse.solve_into: size mismatch";
+  if b == x then invalid_arg "Sparse.solve_into: b and x must be distinct";
+  for k = 0 to n - 1 do
+    x.(k) <- b.(prow.(k))
+  done;
+  for k = 0 to n - 1 do
+    let xk = x.(k) in
+    if xk <> 0.0 then
+      for q = lp.(k) to lp.(k + 1) - 1 do
+        x.(li.(q)) <- x.(li.(q)) -. (t.lx.(q) *. xk)
+      done
+  done;
+  for k = n - 1 downto 0 do
+    let xk = x.(k) /. t.ud.(k) in
+    x.(k) <- xk;
+    if xk <> 0.0 then
+      for q = up.(k) to up.(k + 1) - 1 do
+        x.(ui.(q)) <- x.(ui.(q)) -. (t.ux.(q) *. xk)
+      done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* complex factorisation (split re/im arrays, Cbanded idiom)           *)
+(* ------------------------------------------------------------------ *)
+
+type ct = {
+  csym : symbolic;
+  lre : float array;
+  lim : float array;
+  ure : float array;
+  uim : float array;
+  udre : float array;
+  udim : float array;
+}
+
+let csymbolic t = t.csym
+let clu_nnz t = sym_lu_nnz t.csym
+
+let cfactor ?(pivot_tol = 0.001) (a : ccsc) =
+  let n = a.cn in
+  let pinv = Array.make n (-1) in
+  let prow = Array.make n (-1) in
+  let lp_live = Array.make (n + 1) 0 in
+  let up = Array.make (n + 1) 0 in
+  let li = bmake 0 in
+  let lre = bmake 0.0 and lim = bmake 0.0 in
+  let ui = bmake 0 in
+  let ure = bmake 0.0 and uim = bmake 0.0 in
+  let udre = Array.make n 0.0 and udim = Array.make n 0.0 in
+  let xre = Array.make n 0.0 and xim = Array.make n 0.0 in
+  let xi = Array.make n 0 in
+  let pstack = Array.make n 0 in
+  let mark = Array.make n 0 in
+  let tol2 = pivot_tol *. pivot_tol in
+  for j = 0 to n - 1 do
+    let top =
+      reach ~n ~acolptr:a.ccolptr ~arowind:a.crowind ~j ~pinv ~lp_live
+        ~li_buf:li.a ~mark ~xi ~pstack
+    in
+    for p = top to n - 1 do
+      xre.(xi.(p)) <- 0.0;
+      xim.(xi.(p)) <- 0.0
+    done;
+    for p = a.ccolptr.(j) to a.ccolptr.(j + 1) - 1 do
+      xre.(a.crowind.(p)) <- a.vre.(p);
+      xim.(a.crowind.(p)) <- a.vim.(p)
+    done;
+    for p = top to n - 1 do
+      let i = xi.(p) in
+      let t = pinv.(i) in
+      if t >= 0 then begin
+        let xtr = xre.(i) and xti = xim.(i) in
+        bpush ui t;
+        bpush ure xtr;
+        bpush uim xti;
+        for q = lp_live.(t) to lp_live.(t + 1) - 1 do
+          let r = li.a.(q) in
+          let lr = lre.a.(q) and lm = lim.a.(q) in
+          xre.(r) <- xre.(r) -. ((lr *. xtr) -. (lm *. xti));
+          xim.(r) <- xim.(r) -. ((lr *. xti) +. (lm *. xtr))
+        done
+      end
+    done;
+    let amax2 = ref 0.0 and ipiv = ref (-1) in
+    for p = top to n - 1 do
+      let i = xi.(p) in
+      if pinv.(i) < 0 then begin
+        let m2 = (xre.(i) *. xre.(i)) +. (xim.(i) *. xim.(i)) in
+        if m2 > !amax2 then begin
+          amax2 := m2;
+          ipiv := i
+        end
+      end
+    done;
+    if !ipiv < 0 || not (Float.is_finite !amax2) || !amax2 <= 1e-300 then
+      raise Singular;
+    if j <> !ipiv && pinv.(j) < 0 && mark.(j) = j + 1 then begin
+      let d2 = (xre.(j) *. xre.(j)) +. (xim.(j) *. xim.(j)) in
+      if d2 >= tol2 *. !amax2 && d2 > 1e-300 then ipiv := j
+    end;
+    let pr = xre.(!ipiv) and pi = xim.(!ipiv) in
+    udre.(j) <- pr;
+    udim.(j) <- pi;
+    pinv.(!ipiv) <- j;
+    prow.(j) <- !ipiv;
+    let den = (pr *. pr) +. (pi *. pi) in
+    let invr = pr /. den and invi = -.pi /. den in
+    for p = top to n - 1 do
+      let i = xi.(p) in
+      if pinv.(i) < 0 then begin
+        bpush li i;
+        bpush lre ((xre.(i) *. invr) -. (xim.(i) *. invi));
+        bpush lim ((xre.(i) *. invi) +. (xim.(i) *. invr))
+      end;
+      xre.(i) <- 0.0;
+      xim.(i) <- 0.0
+    done;
+    lp_live.(j + 1) <- li.len;
+    up.(j + 1) <- ui.len
+  done;
+  let lin = Array.sub li.a 0 li.len in
+  for k = 0 to li.len - 1 do
+    lin.(k) <- pinv.(lin.(k))
+  done;
+  let csym =
+    {
+      n;
+      pinv;
+      prow;
+      lp = lp_live;
+      li = lin;
+      up;
+      ui = Array.sub ui.a 0 ui.len;
+      annz = cnnz a;
+    }
+  in
+  {
+    csym;
+    lre = Array.sub lre.a 0 lre.len;
+    lim = Array.sub lim.a 0 lim.len;
+    ure = Array.sub ure.a 0 ure.len;
+    uim = Array.sub uim.a 0 uim.len;
+    udre;
+    udim;
+  }
+
+let crefactor ?(growth_limit = 1e8) sym (a : ccsc) =
+  let n = sym.n in
+  if a.cn <> n || cnnz a <> sym.annz then
+    invalid_arg "Sparse.crefactor: pattern mismatch";
+  let { pinv; lp; li; up; ui; _ } = sym in
+  let lre = Array.make (Array.length li) 0.0 in
+  let lim = Array.make (Array.length li) 0.0 in
+  let ure = Array.make (Array.length ui) 0.0 in
+  let uim = Array.make (Array.length ui) 0.0 in
+  let udre = Array.make n 0.0 and udim = Array.make n 0.0 in
+  let xre = Array.make n 0.0 and xim = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    for p = a.ccolptr.(j) to a.ccolptr.(j + 1) - 1 do
+      let r = pinv.(a.crowind.(p)) in
+      xre.(r) <- xre.(r) +. a.vre.(p);
+      xim.(r) <- xim.(r) +. a.vim.(p)
+    done;
+    for k = up.(j) to up.(j + 1) - 1 do
+      let t = ui.(k) in
+      let xtr = xre.(t) and xti = xim.(t) in
+      ure.(k) <- xtr;
+      uim.(k) <- xti;
+      xre.(t) <- 0.0;
+      xim.(t) <- 0.0;
+      if xtr <> 0.0 || xti <> 0.0 then
+        for q = lp.(t) to lp.(t + 1) - 1 do
+          let r = li.(q) in
+          let lr = lre.(q) and lm = lim.(q) in
+          xre.(r) <- xre.(r) -. ((lr *. xtr) -. (lm *. xti));
+          xim.(r) <- xim.(r) -. ((lr *. xti) +. (lm *. xtr))
+        done
+    done;
+    let pr = xre.(j) and pi = xim.(j) in
+    xre.(j) <- 0.0;
+    xim.(j) <- 0.0;
+    let den = (pr *. pr) +. (pi *. pi) in
+    if (not (Float.is_finite den)) || den <= 1e-300 then begin
+      for q = lp.(j) to lp.(j + 1) - 1 do
+        xre.(li.(q)) <- 0.0;
+        xim.(li.(q)) <- 0.0
+      done;
+      if Float.is_finite den then raise Repivot else raise Singular
+    end;
+    udre.(j) <- pr;
+    udim.(j) <- pi;
+    let invr = pr /. den and invi = -.pi /. den in
+    let lmax2 = ref 0.0 in
+    for q = lp.(j) to lp.(j + 1) - 1 do
+      let r = li.(q) in
+      let mr = (xre.(r) *. invr) -. (xim.(r) *. invi) in
+      let mi = (xre.(r) *. invi) +. (xim.(r) *. invr) in
+      lre.(q) <- mr;
+      lim.(q) <- mi;
+      xre.(r) <- 0.0;
+      xim.(r) <- 0.0;
+      let m2 = (mr *. mr) +. (mi *. mi) in
+      if m2 > !lmax2 then lmax2 := m2
+    done;
+    if (not (Float.is_finite !lmax2)) || !lmax2 > growth_limit *. growth_limit
+    then raise Repivot
+  done;
+  { csym = sym; lre; lim; ure; uim; udre; udim }
+
+let csolve_into t ~b ~x =
+  let { n; prow; lp; li; up; ui; _ } = t.csym in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Sparse.csolve_into: size mismatch";
+  if b == x then invalid_arg "Sparse.csolve_into: b and x must be distinct";
+  for k = 0 to n - 1 do
+    x.(k) <- (b.(prow.(k)) : Cx.t)
+  done;
+  for k = 0 to n - 1 do
+    let xk = x.(k) in
+    if xk.Cx.re <> 0.0 || xk.Cx.im <> 0.0 then
+      for q = lp.(k) to lp.(k + 1) - 1 do
+        let r = li.(q) in
+        let xr = x.(r) in
+        x.(r) <-
+          Cx.make
+            (xr.Cx.re -. ((t.lre.(q) *. xk.Cx.re) -. (t.lim.(q) *. xk.Cx.im)))
+            (xr.Cx.im -. ((t.lre.(q) *. xk.Cx.im) +. (t.lim.(q) *. xk.Cx.re)))
+      done
+  done;
+  for k = n - 1 downto 0 do
+    let xk = x.(k) in
+    let pr = t.udre.(k) and pi = t.udim.(k) in
+    let den = (pr *. pr) +. (pi *. pi) in
+    let vr = ((xk.Cx.re *. pr) +. (xk.Cx.im *. pi)) /. den in
+    let vi = ((xk.Cx.im *. pr) -. (xk.Cx.re *. pi)) /. den in
+    x.(k) <- Cx.make vr vi;
+    if vr <> 0.0 || vi <> 0.0 then
+      for q = up.(k) to up.(k + 1) - 1 do
+        let r = ui.(q) in
+        let xr = x.(r) in
+        x.(r) <-
+          Cx.make
+            (xr.Cx.re -. ((t.ure.(q) *. vr) -. (t.uim.(q) *. vi)))
+            (xr.Cx.im -. ((t.ure.(q) *. vi) +. (t.uim.(q) *. vr)))
+      done
+  done

@@ -49,3 +49,62 @@ let skew ?f ?driver_cp ~driver_rs tree =
           (d, d) rest
       in
       hi -. lo
+
+(* ---------------- netlist compilation ---------------- *)
+
+open Rlc_circuit
+
+let to_netlist ?(segments_per_wire = 1) ?(driver_rs = 0.0) ?(vdd = 1.0)
+    ?(t_rise = 0.0) tree =
+  if segments_per_wire < 1 then
+    invalid_arg "Htree.to_netlist: segments_per_wire < 1";
+  if driver_rs < 0.0 then invalid_arg "Htree.to_netlist: driver_rs < 0";
+  let nl = Netlist.create () in
+  let src = Netlist.fresh_node ~name:"clk_src" nl in
+  Netlist.add_vsource ~name:"clk_drv" nl src Netlist.ground
+    (if t_rise <= 0.0 then Stimulus.Dc vdd
+     else Stimulus.Step { v0 = 0.0; v1 = vdd; t_delay = 0.0; t_rise });
+  let root =
+    if driver_rs > 0.0 then begin
+      let r = Netlist.fresh_node ~name:"clk_root" nl in
+      Netlist.add_resistor ~name:"clk_rs" nl src r driver_rs;
+      r
+    end
+    else src
+  in
+  let edge_count = ref 0 in
+  let sinks = ref [] in
+  let load name node cap =
+    if cap > 0.0 then Netlist.add_capacitor ~name nl node Netlist.ground cap
+  in
+  (* each tree edge becomes a segments_per_wire-section RL ladder with
+     pi-distributed shunt capacitance (total exactly the edge's c),
+     through the same Ladder builder the point-to-point lines use *)
+  let rec go tree from_node =
+    match tree with
+    | Tree.Sink { name; cap } ->
+        load ("cl_" ^ name) from_node cap;
+        sinks := (name, from_node) :: !sinks
+    | Tree.Node { name; cap; branches } ->
+        load ("cn_" ^ name) from_node cap;
+        List.iter
+          (fun ((w : Tree.wire), sub) ->
+            let prefix = Printf.sprintf "e%d" !edge_count in
+            incr edge_count;
+            let far =
+              Netlist.fresh_node ~name:(prefix ^ "_far") nl
+            in
+            Ladder.make ~name_prefix:prefix nl
+              {
+                Ladder.r = w.Tree.r;
+                l = w.Tree.l;
+                c = w.Tree.c;
+                length = 1.0;
+                segments = segments_per_wire;
+              }
+              ~from_node ~to_node:far;
+            go sub far)
+          branches
+  in
+  go tree root;
+  (nl, root, List.rev !sinks)

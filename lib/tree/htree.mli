@@ -31,3 +31,23 @@ val sink_delays :
 val skew :
   ?f:float -> ?driver_cp:float -> driver_rs:float -> Tree.t -> float
 (** max - min over {!sink_delays}. *)
+
+val to_netlist :
+  ?segments_per_wire:int ->
+  ?driver_rs:float ->
+  ?vdd:float ->
+  ?t_rise:float ->
+  Tree.t ->
+  Rlc_circuit.Netlist.t * Rlc_circuit.Netlist.node
+  * (string * Rlc_circuit.Netlist.node) list
+(** Compile a tree into a full circuit netlist: a step (or DC, when
+    [t_rise <= 0]) driver of amplitude [vdd] behind [driver_rs] (0 =
+    ideal source) at the root, every edge expanded into a
+    [segments_per_wire]-section RL ladder with pi-distributed shunt
+    capacitance (see {!Rlc_circuit.Ladder.make}; defaults to one
+    section per edge) and every sink load as a capacitor to ground.
+    Returns the netlist, the root node and the sink nodes in traversal
+    order — inputs for the transient and AC engines, and (as a deep
+    tree is 2^levels sinks) the second grid-structured workload the
+    sparse solver backend targets.  Raises [Invalid_argument] for
+    [segments_per_wire < 1] or [driver_rs < 0]. *)

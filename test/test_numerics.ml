@@ -403,7 +403,7 @@ let test_solver_factor_solve () =
       Array.iteri
         (fun i v -> check_close (Printf.sprintf "x%d" i) v x.(i) ~tol:1e-10)
         oracle)
-    [ Solver.Dense; Solver.Banded; Solver.Auto ]
+    [ Solver.Dense; Solver.Banded; Solver.Sparse; Solver.Auto ]
 
 let test_solver_cfactor_csolve () =
   let rand = lcg 4242 in
@@ -433,7 +433,7 @@ let test_solver_cfactor_csolve () =
       Array.iteri
         (fun i v -> check_cx (Printf.sprintf "x%d" i) v x.(i))
         oracle)
-    [ Solver.Dense; Solver.Banded; Solver.Auto ]
+    [ Solver.Dense; Solver.Banded; Solver.Sparse; Solver.Auto ]
 
 (* ---------------- Roots ---------------- *)
 

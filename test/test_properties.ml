@@ -475,7 +475,8 @@ let prop_assembly_matches_dense_oracle =
 
 let prop_ac_backends_agree =
   QCheck2.Test.make
-    ~name:"solve_complex: dense and banded backends agree to 1e-9" ~count:60
+    ~name:"solve_complex: dense, banded and sparse backends agree to 1e-9"
+    ~count:60
     QCheck2.Gen.(
       let* recipe = recipe_gen in
       let* freq = float_range 1e5 1e10 in
@@ -489,12 +490,16 @@ let prop_ac_backends_agree =
       let s = Cx.make 0.0 (2.0 *. Float.pi *. freq) in
       let xd = Assembly.solve_complex ~backend:Solver.Dense asm ~s ~rhs in
       let xb = Assembly.solve_complex ~backend:Solver.Banded asm ~s ~rhs in
+      let xs = Assembly.solve_complex ~backend:Solver.Sparse asm ~s ~rhs in
       let scale =
         Array.fold_left (fun acc z -> Float.max acc (Cx.norm z)) 1.0 xd
       in
-      Array.for_all2
-        (fun a b -> Cx.norm (Cx.( -: ) a b) <= 1e-9 *. scale)
-        xd xb)
+      let agree a b =
+        Array.for_all2
+          (fun u v -> Cx.norm (Cx.( -: ) u v) <= 1e-9 *. scale)
+          a b
+      in
+      agree xd xb && agree xd xs)
 
 let prop_dc_matches_dense_oracle =
   QCheck2.Test.make
@@ -531,8 +536,8 @@ let prop_dc_matches_dense_oracle =
 
 let prop_transient_backends_agree =
   QCheck2.Test.make
-    ~name:"transient: dense and banded backends agree to 1e-9" ~count:25
-    recipe_gen (fun recipe ->
+    ~name:"transient: dense, banded and sparse backends agree to 1e-9"
+    ~count:25 recipe_gen (fun recipe ->
       let open Rlc_circuit in
       let nl, nodes = build_netlist recipe in
       let probe = Transient.Node_v nodes.(Array.length nodes - 1) in
@@ -541,9 +546,37 @@ let prop_transient_backends_agree =
       in
       let vd = Transient.final_voltages (run Transient.Dense) in
       let vb = Transient.final_voltages (run Transient.Banded) in
-      Array.for_all2
-        (fun a b -> Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a))
-        vd vb)
+      let vs = Transient.final_voltages (run Transient.Sparse) in
+      let agree a b =
+        Array.for_all2
+          (fun u v -> Float.abs (u -. v) <= 1e-9 *. (1.0 +. Float.abs u))
+          a b
+      in
+      agree vd vb && agree vd vs)
+
+let prop_sparse_matches_dense_oracle =
+  QCheck2.Test.make
+    ~name:"sparse LU on the stamped G matches a dense-LU oracle to 1e-12"
+    ~count:60 recipe_gen (fun recipe ->
+      let open Rlc_circuit in
+      let open Rlc_numerics in
+      let nl, _ = build_netlist recipe in
+      let asm = Assembly.of_netlist nl in
+      let size, g, _, _ = dense_oracle nl in
+      let plan = Solver.plan ~backend:Solver.Sparse asm.Assembly.adj in
+      let fact =
+        Solver.factor plan ~fill:(fun put -> Assembly.Coo.iter asm.Assembly.g put)
+      in
+      let rhs = Assembly.b_column asm 0 in
+      let x = Solver.solve plan fact rhs in
+      let x_ref = Lu.solve (Lu.decompose g) rhs in
+      let scale =
+        Array.fold_left (fun acc z -> Float.max acc (Float.abs z)) 1.0 x_ref
+      in
+      size = asm.Assembly.size
+      && Array.for_all2
+           (fun a b -> Float.abs (a -. b) <= 1e-12 *. scale)
+           x x_ref)
 
 (* ---------------- simulator physics ---------------- *)
 
@@ -653,6 +686,7 @@ let () =
           prop_ac_backends_agree;
           prop_dc_matches_dense_oracle;
           prop_transient_backends_agree;
+          prop_sparse_matches_dense_oracle;
         ];
       qsuite "simulator-passivity" [ prop_rc_ladder_passivity ];
       ( "simulator-convergence",

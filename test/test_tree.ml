@@ -433,6 +433,52 @@ let test_htree_capacitive_imbalance_creates_skew () =
   let s = Htree.skew ~driver_rs:15.0 (Htree.imbalance_first_branch heavier t) in
   Alcotest.(check bool) "miller-style imbalance skews too" true (s > 1e-12)
 
+let test_htree_to_netlist () =
+  let line = Rlc_core.Line.of_node node100 ~l:1.5e-6 in
+  let t = Htree.build ~levels:3 ~total_span:0.02 ~line ~sink_cap:4e-13 in
+  let nl, _root, sinks =
+    Htree.to_netlist ~segments_per_wire:2 ~driver_rs:15.0 ~t_rise:5e-12 t
+  in
+  Alcotest.(check int) "8 sink nodes" 8 (List.length sinks);
+  Alcotest.(check (list string))
+    "sink order matches the tree" (List.map fst (Tree.sinks t))
+    (List.map fst sinks);
+  let probes =
+    List.map (fun (_, n) -> Rlc_circuit.Transient.Node_v n) sinks
+  in
+  (* size the window from the moment engine's own delay estimate *)
+  let d_est =
+    List.fold_left
+      (fun acc (_, d) -> Float.max acc d)
+      0.0
+      (Htree.sink_delays ~driver_rs:15.0 t)
+  in
+  let res =
+    Rlc_circuit.Transient.simulate nl ~t_end:(8.0 *. d_est)
+      ~dt:(d_est /. 400.0) ~probes
+  in
+  let delay_of probe =
+    match
+      Rlc_waveform.Measure.first_crossing
+        (Rlc_circuit.Transient.get res probe)
+        ~level:0.5
+    with
+    | Some t50 -> t50
+    | None -> Alcotest.fail "sink never crossed 50%"
+  in
+  let delays = List.map delay_of probes in
+  let d0 = List.hd delays in
+  Alcotest.(check bool) "positive delay" true (d0 > 0.0);
+  (* the tree is balanced: every sink must see the same waveform *)
+  List.iter
+    (fun d -> check_close ~tol:1e-9 "balanced sinks agree" d0 d)
+    delays;
+  (* and the circuit-level skew agrees with the moment engine's zero *)
+  let spread =
+    List.fold_left Float.max d0 delays -. List.fold_left Float.min d0 delays
+  in
+  Alcotest.(check bool) "zero skew in simulation" true (spread < 1e-13)
+
 let test_htree_validation () =
   let line = Rlc_core.Line.of_node node100 ~l:0.0 in
   Alcotest.check_raises "levels" (Invalid_argument "Htree.build: levels must be in 1..12")
@@ -498,6 +544,8 @@ let () =
             test_htree_inductance_imbalance_creates_skew;
           Alcotest.test_case "capacitive imbalance skews" `Quick
             test_htree_capacitive_imbalance_creates_skew;
+          Alcotest.test_case "to_netlist transient skew" `Quick
+            test_htree_to_netlist;
           Alcotest.test_case "validation" `Quick test_htree_validation;
         ] );
     ]
