@@ -1,16 +1,17 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check fmt fmt-check test test-jobs4 test-all stats-check bench bench-fast bench-smoke examples clean
+.PHONY: all build check fmt fmt-check test test-jobs4 test-all stats-check bench bench-fast bench-smoke serve-demo examples clean
 
 all: build
 
 # what CI runs (see .github/workflows/ci.yml): the test suite under a
 # sequential and a 4-domain pool, once more with metrics recording on
-# (results must not change by a bit), then the bench smoke (which
-# asserts the parallel runs are bit-identical, gates the disabled-path
-# instrumentation overhead, and records BENCH_parallel.json /
-# BENCH_instr.json)
-check: build test test-jobs4 stats-check bench-smoke
+# (results must not change by a bit), the bench smoke (which asserts
+# the parallel runs are bit-identical, gates the disabled-path
+# instrumentation overhead and the serving layer's warm >= 2x cache
+# speedup, and records BENCH_parallel.json / BENCH_instr.json /
+# BENCH_serve.json), and the rlcserved demo round-trip
+check: build test test-jobs4 stats-check bench-smoke serve-demo
 
 build:
 	dune build @all
@@ -46,6 +47,12 @@ bench-fast:
 # tiny dense-vs-banded cross-check (also part of `dune runtest`)
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# round-trip the demo job stream through rlcserved and diff against
+# the checked-in golden (results are bit-identical at any -j)
+serve-demo:
+	dune exec bin/rlcserved.exe -- --jobs-file examples/jobs/demo.jobs -q \
+	  | diff examples/jobs/demo.golden -
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1201,6 +1201,197 @@ let run_extensions () =
     Rlc_experiments.Extensions.print_chain ~pool ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Serving layer: compiled-deck cache, cold vs warm                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The service consumes decks as text, so unlike the other benches the
+   workload families are generated as netlist source: square RC grids
+   (sparse plans, DC + AC queries) and W-card RLC ladders (banded
+   plans, transient + delay queries).  [scale] perturbs element values
+   only; every scale of one family shares a structural hash, which is
+   exactly what the compiled-deck cache keys on. *)
+let serve_grid_text ~scale n =
+  let b = Buffer.create (n * n * 96) in
+  Buffer.add_string b "* rc grid family\nV1 n_0_0 0 DC 1\n";
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      if c + 1 < n then
+        Printf.bprintf b "Rh%d_%d n_%d_%d n_%d_%d %.6g\n" r c r c r (c + 1)
+          (10.0 *. scale);
+      if r + 1 < n then
+        Printf.bprintf b "Rv%d_%d n_%d_%d n_%d_%d %.6g\n" r c r c (r + 1) c
+          (12.0 *. scale);
+      Printf.bprintf b "C%d_%d n_%d_%d 0 %.6gp\n" r c r c (0.5 *. scale)
+    done
+  done;
+  Buffer.add_string b ".end\n";
+  Buffer.contents b
+
+let serve_ladder_text ~scale segments =
+  Printf.sprintf
+    "* rlc ladder family\n\
+     V1 in 0 PULSE(0 1 0 20p 20p 2n 4n)\n\
+     W1 in far r=%.6g l=%.6gu c=%.6gp len=11m seg=%d\n\
+     .end\n"
+    (4400.0 *. scale) (1.5 *. scale) (123.33 *. scale) segments
+
+let serve_job id query deck =
+  Printf.sprintf "%s %s | %s" id query (Rlc_serve.Protocol.escape_deck deck)
+
+let serve_workload ~grids ~ladders ~scales =
+  let lines = ref [] in
+  let add l = lines := l :: !lines in
+  List.iter
+    (fun n ->
+      let mid = Printf.sprintf "n_%d_%d" (n / 2) (n / 2) in
+      List.iteri
+        (fun i scale ->
+          let deck = serve_grid_text ~scale n in
+          add (serve_job (Printf.sprintf "g%d-dc%d" n i)
+                 (Printf.sprintf "dc %s" mid) deck);
+          (* the AC sweep refactors per frequency point even when warm,
+             so sweep once per family; the value variants replay the
+             cheap refactor-only DC path the cache accelerates *)
+          if i = 0 then
+            add (serve_job (Printf.sprintf "g%d-ac%d" n i)
+                   (Printf.sprintf "ac %s 1 1e6 1e9" mid) deck))
+        scales)
+    grids;
+  List.iter
+    (fun segments ->
+      List.iteri
+        (fun i scale ->
+          let deck = serve_ladder_text ~scale segments in
+          add (serve_job (Printf.sprintf "l%d-tr%d" segments i)
+                 "tran far 20p 0.5n" deck);
+          add (serve_job (Printf.sprintf "l%d-dl%d" segments i)
+                 "delay far 0.5 20p 2n" deck))
+        scales)
+    ladders;
+  List.rev !lines
+
+let write_serve_json path ~n_families ~n_jobs ~cold_s ~warm_s ~speedup
+    ~identical ~(warm_stats : Rlc_serve.Deck_cache.stats) ~quantiles =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  write_meta oc ~jobs;
+  Printf.fprintf oc
+    "  \"description\": \"rlcserved compiled-deck cache: one job stream \
+     (RC-grid DC/AC + RLC-ladder transient/delay families, value-only \
+     variants within each family) replayed against a cold service and \
+     again against the warm one.  Wall seconds are best-of-reps for the \
+     whole stream; the warm pass reuses every plan and sparse symbolic \
+     through the cache.  Gates: warm speedup >= 2x, cold and warm result \
+     streams byte-identical, all warm lookups hit, latency quantiles \
+     recorded.\",\n";
+  Printf.fprintf oc
+    "  \"workload\": {\"families\": %d, \"jobs_per_pass\": %d},\n" n_families
+    n_jobs;
+  Printf.fprintf oc
+    "  \"passes\": {\"cold_s\": %.6f, \"warm_s\": %.6f, \"warm_speedup\": \
+     %.3f, \"streams_identical\": %b},\n"
+    cold_s warm_s speedup identical;
+  Printf.fprintf oc
+    "  \"warm_cache\": {\"hits\": %d, \"misses\": %d, \"aliases\": %d, \
+     \"evictions\": %d, \"entries\": %d},\n"
+    warm_stats.Rlc_serve.Deck_cache.hits warm_stats.Rlc_serve.Deck_cache.misses
+    warm_stats.Rlc_serve.Deck_cache.aliases
+    warm_stats.Rlc_serve.Deck_cache.evictions
+    warm_stats.Rlc_serve.Deck_cache.entries;
+  (match quantiles with
+  | Some (p50, p90, p99) ->
+      Printf.fprintf oc
+        "  \"latency\": {\"p50_s\": %.6g, \"p90_s\": %.6g, \"p99_s\": %.6g}\n"
+        p50 p90 p99
+  | None -> Printf.fprintf oc "  \"latency\": null\n");
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let run_serve_bench ~json =
+  section "Serving layer: compiled-deck cache cold vs warm";
+  let was_recording = Rlc_instr.Control.enabled () in
+  Rlc_instr.Control.set_enabled true;
+  let module Service = Rlc_serve.Service in
+  let grids = if smoke then [ 32; 48 ] else [ 32; 40; 48 ] in
+  let ladders = if smoke then [ 100 ] else [ 200; 400 ] in
+  let scales = [ 1.0; 0.92 ] in
+  let n_families = List.length grids + List.length ladders in
+  let lines = serve_workload ~grids ~ladders ~scales in
+  let n_jobs = List.length lines in
+  let config = { Service.default_config with pool; batch_size = n_jobs } in
+  let reps = 3 in
+  (* cold: a fresh service per rep (first sight of every family pays
+     plan + validation + symbolic analysis); keep the fastest rep's
+     service for the warm passes *)
+  let svc = ref (Service.create ~config ()) in
+  let cold_results = ref [] and cold_s = ref infinity in
+  for _ = 1 to reps do
+    let s = Service.create ~config () in
+    let r, t = wall (fun () -> Service.process_lines s lines) in
+    cold_results := r;
+    if t < !cold_s then cold_s := t;
+    svc := s
+  done;
+  let hits_before = (Service.cache_stats !svc).Rlc_serve.Deck_cache.hits in
+  let warm_results = ref [] and warm_s = ref infinity in
+  for _ = 1 to reps do
+    let r, t = wall (fun () -> Service.process_lines !svc lines) in
+    warm_results := r;
+    if t < !warm_s then warm_s := t
+  done;
+  let warm_stats = Service.cache_stats !svc in
+  let speedup = !cold_s /. !warm_s in
+  let identical = List.equal String.equal !cold_results !warm_results in
+  let quantiles =
+    match
+      Rlc_instr.Metrics.hist_quantiles
+        (Rlc_instr.Metrics.hist "serve.job_s")
+        [| 0.5; 0.9; 0.99 |]
+    with
+    | Some [| p50; p90; p99 |] -> Some (p50, p90, p99)
+    | Some _ | None -> None
+  in
+  Printf.printf
+    "%d families, %d jobs/pass: cold %.4f s, warm %.4f s (%.2fx), streams \
+     %s\n"
+    n_families n_jobs !cold_s !warm_s speedup
+    (if identical then "identical" else "DIFFER");
+  (match quantiles with
+  | Some (p50, p90, p99) ->
+      Printf.printf "job latency: p50 <= %.3g s, p90 <= %.3g s, p99 <= %.3g s\n"
+        p50 p90 p99
+  | None -> ());
+  (* gates *)
+  List.iter
+    (fun l ->
+      if String.length l < 3 || String.sub l 0 3 <> "ok " then
+        failwith ("serve bench: job failed: " ^ l))
+    !cold_results;
+  if not identical then
+    failwith "serve bench: warm result stream differs from the cold one";
+  if speedup < 2.0 then
+    failwith
+      (Printf.sprintf
+         "serve bench: warm pass only %.2fx faster than cold (gate: 2x)"
+         speedup);
+  let warm_hits = warm_stats.Rlc_serve.Deck_cache.hits - hits_before in
+  if warm_hits <> reps * n_jobs then
+    failwith
+      (Printf.sprintf
+         "serve bench: warm passes should hit on every job (%d hits over \
+          %d jobs)"
+         warm_hits (reps * n_jobs));
+  if quantiles = None then
+    failwith "serve bench: no p50/p99 job latency recorded";
+  Rlc_instr.Control.set_enabled was_recording;
+  (match json with
+  | Some path ->
+      write_serve_json path ~n_families ~n_jobs ~cold_s:!cold_s
+        ~warm_s:!warm_s ~speedup ~identical ~warm_stats ~quantiles;
+      Printf.printf "\nrecorded baseline in %s\n" path
+  | None -> ())
+
 let () =
   if smoke then begin
     (* tiny, fast (<~2 s) cross-check of the backend-selection machinery
@@ -1217,6 +1408,7 @@ let () =
       (run_instr_bench ~segments:200 ~steps:400
          ~json:(Some "BENCH_instr.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
+    run_serve_bench ~json:(Some "BENCH_serve.json");
     print_endline "\nbench smoke OK"
   end
   else begin
@@ -1246,6 +1438,7 @@ let () =
       (run_instr_bench ~segments:800 ~steps:1000
          ~json:(Some "BENCH_instr.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
+    run_serve_bench ~json:(Some "BENCH_serve.json");
     run_extensions ();
     if not no_bechamel then run_bechamel ()
   end

@@ -1,0 +1,45 @@
+(* Shared command-line wiring for the rlc binaries: the --stats /
+   --trace instrumentation switches and the -j/--jobs pool sizing.
+   Keeping them here makes rlcopt, rlcsim and rlcserved flag-compatible
+   (one doc string, one default, one Control.setup call). *)
+
+open Cmdliner
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print solver/engine/pool metrics and span timings to stderr on \
+           exit ($(b,RLC_STATS=1) enables the recording by default). \
+           Recording never changes any computed result.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json"
+        ~doc:
+          "Write a Chrome trace_event JSON of all recorded spans to \
+           $(docv) on exit (load it in about:tracing or Perfetto). \
+           Implies enabling recording.")
+
+(* Prepend to a subcommand's term: runs Control.setup before the
+   command body, so at-exit dumps are registered first. *)
+let term =
+  Term.(
+    const (fun stats trace -> Rlc_instr.Control.setup ~stats ?trace ())
+    $ stats_arg $ trace_arg)
+
+let jobs_arg ~doc =
+  Arg.(
+    value
+    & opt int (Rlc_parallel.Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let default_jobs_doc =
+  "Worker domains for the parallel fan-outs (default: $(b,RLC_JOBS) or \
+   the machine's recommended domain count). Results are bit-identical \
+   for any value."
+
+let pool_of_jobs jobs = Rlc_parallel.Pool.create ~domains:jobs ()

@@ -24,42 +24,11 @@ let node_arg =
     & info [ "n"; "node" ] ~docv:"NODE"
         ~doc:"Technology node: 250nm, 100nm or 100nm-c250.")
 
-let jobs_arg =
-  Arg.(
-    value
-    & opt int (Rlc_parallel.Pool.default_domains ())
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Worker domains for the parallel fan-outs (default: \
-           $(b,RLC_JOBS) or the machine's recommended domain count). \
-           Results are bit-identical for any value.")
-
-let pool_of_jobs jobs = Rlc_parallel.Pool.create ~domains:jobs ()
+let jobs_arg = Instr_cli.jobs_arg ~doc:Instr_cli.default_jobs_doc
+let pool_of_jobs = Instr_cli.pool_of_jobs
 
 (* shared --stats / --trace wiring, prepended to every subcommand *)
-let instr_term =
-  let stats_arg =
-    Arg.(
-      value & flag
-      & info [ "stats" ]
-          ~doc:
-            "Print solver/engine/pool metrics and span timings to stderr \
-             on exit ($(b,RLC_STATS=1) enables the recording by default). \
-             Recording never changes any computed result.")
-  in
-  let trace_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE.json"
-          ~doc:
-            "Write a Chrome trace_event JSON of all recorded spans to \
-             $(docv) on exit (load it in about:tracing or Perfetto). \
-             Implies enabling recording.")
-  in
-  Term.(
-    const (fun stats trace -> Rlc_instr.Control.setup ~stats ?trace ())
-    $ stats_arg $ trace_arg)
+let instr_term = Instr_cli.term
 
 let l_arg =
   Arg.(

@@ -1,0 +1,93 @@
+(* rlcserved -- long-running batch job service over the MNA engines.
+
+   Reads line-delimited jobs (see Rlc_serve.Protocol) from a file or
+   stdin, streams one result line per job to stdout, and prints a
+   throughput/cache/latency summary to stderr on shutdown.
+
+   Usage:  rlcserved --jobs-file examples/jobs/demo.jobs
+           ... | rlcserved -j 4 --stats *)
+
+open Cmdliner
+module Serve = Rlc_serve.Service
+
+let jobs_file_arg =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "jobs-file" ] ~docv:"FILE"
+        ~doc:
+          "Read job lines from $(docv) instead of standard input (one job \
+           per line; see the Rlc_serve.Protocol grammar).")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int Serve.default_config.cache_capacity
+    & info [ "cache" ] ~docv:"N"
+        ~doc:
+          "Compiled-deck cache capacity in structural families (0 \
+           disables caching; every deck then recompiles).")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt int Serve.default_config.batch_size
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Jobs gathered per parallel batch. Result order is always the \
+           input order, whatever the batch size or domain count.")
+
+let jobs_arg =
+  Instr_cli.jobs_arg
+    ~doc:
+      "Worker domains executing jobs of a batch in parallel (default: \
+       $(b,RLC_JOBS) or the machine's recommended domain count). The \
+       result stream is bit-identical for any value."
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ] ~doc:"Suppress the shutdown summary on stderr.")
+
+let run () jobs_file jobs cache_capacity batch_size quiet =
+  if cache_capacity < 0 then begin
+    Printf.eprintf "rlcserved: --cache must be >= 0\n";
+    exit 2
+  end;
+  if batch_size < 1 then begin
+    Printf.eprintf "rlcserved: --batch must be >= 1\n";
+    exit 2
+  end;
+  (* Latency quantiles in the summary come from the metrics histograms,
+     so the service records even when --stats did not request the
+     at-exit metrics dump. *)
+  Rlc_instr.Control.set_enabled true;
+  let config =
+    {
+      Serve.pool = Instr_cli.pool_of_jobs jobs;
+      cache_capacity;
+      memo_capacity = Serve.default_config.memo_capacity;
+      batch_size;
+    }
+  in
+  let service = Serve.create ~config () in
+  (match jobs_file with
+  | Some path ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Serve.run_channel service ic stdout)
+  | None -> Serve.run_channel service stdin stdout);
+  if not quiet then Serve.pp_summary Format.err_formatter service
+
+let cmd =
+  Cmd.v
+    (Cmd.info "rlcserved" ~version:"1.0.0"
+       ~doc:
+         "Batch job service: DC / AC / transient / delay queries over \
+          SPICE-flavoured RLC decks, with compiled-deck caching.")
+    Term.(
+      const run $ Instr_cli.term $ jobs_file_arg $ jobs_arg $ cache_arg
+      $ batch_arg $ quiet_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -26,39 +26,14 @@ let ac_arg =
            analysis; probed node voltages become Bode responses.")
 
 let jobs_arg =
-  Arg.(
-    value
-    & opt int (Rlc_parallel.Pool.default_domains ())
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Worker domains for parallel fan-outs (AC frequency points; \
-           speculative steps of the adaptive transient). Default: \
-           $(b,RLC_JOBS) or the machine's recommended domain count. \
-           Results are bit-identical for any value.")
+  Instr_cli.jobs_arg
+    ~doc:
+      "Worker domains for parallel fan-outs (AC frequency points; \
+       speculative steps of the adaptive transient). Default: \
+       $(b,RLC_JOBS) or the machine's recommended domain count. \
+       Results are bit-identical for any value."
 
-let stats_arg =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:
-          "Print solver/engine/pool metrics and span timings to stderr on \
-           exit ($(b,RLC_STATS=1) enables the recording by default). \
-           Recording never changes the computed waveforms.")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE.json"
-        ~doc:
-          "Write a Chrome trace_event JSON of all recorded spans to \
-           $(docv) on exit (load it in about:tracing or Perfetto). \
-           Implies enabling recording.")
-
-let instr_term =
-  Term.(
-    const (fun stats trace -> Rlc_instr.Control.setup ~stats ?trace ())
-    $ stats_arg $ trace_arg)
+let instr_term = Instr_cli.term
 
 let probe_label deck = function
   | Rlc_circuit.Transient.Node_v n ->

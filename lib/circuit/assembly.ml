@@ -144,8 +144,8 @@ let count_extras elems =
     elems;
   (!currents, !vsrcs, !srcs)
 
-let of_netlist netlist =
-  Netlist.validate netlist;
+let of_netlist ?plan:plan_hint ?(validate = true) netlist =
+  if validate then Netlist.validate netlist;
   let elems = Netlist.elements netlist in
   let n_nodes = Netlist.node_count netlist in
   let n_currents, n_vsrcs, _n_srcs = count_extras elems in
@@ -249,7 +249,12 @@ let of_netlist netlist =
     b_vals = Array.map (fun (_, _, v) -> v) b;
     inputs = Array.of_list (List.rev !inputs);
     adj;
-    plan = Solver.plan adj;
+    plan =
+      (match plan_hint with
+      | Some p when p.Solver.n = size -> p
+      | Some _ ->
+          invalid_arg "Assembly.of_netlist: plan hint sized for another deck"
+      | None -> Solver.plan adj);
   }
 
 let dense_g t = Coo.to_dense t.g
@@ -270,7 +275,8 @@ let b_column t input =
   iter_b t (fun r cl v -> if cl = input then col.(r) <- col.(r) +. v);
   col
 
-let factor_g t = Solver.factor t.plan ~fill:(Coo.iter t.g)
+let factor_g ?symbolic t =
+  Solver.factor_with ?symbolic t.plan ~fill:(Coo.iter t.g)
 
 let solve_g t f b = Solver.solve t.plan f b
 
@@ -300,17 +306,24 @@ type cengine = {
   ce_sym : Solver.symbolic option;
 }
 
-let cengine ?(backend = Solver.Auto) t ~s_ref =
+let cengine ?(backend = Solver.Auto) ?symbolic t ~s_ref =
   let plan = plan_for t backend in
   let sym =
     match plan.Solver.choice with
-    | Solver.Sparse_lu ->
-        Solver.csymbolic_of (Solver.cfactor plan ~fill:(cfill t s_ref))
+    | Solver.Sparse_lu -> begin
+        (* a caller-provided symbolic (the serving layer's compiled-deck
+           cache) skips the reference-frequency analysis entirely *)
+        match symbolic with
+        | Some _ -> symbolic
+        | None ->
+            Solver.csymbolic_of (Solver.cfactor plan ~fill:(cfill t s_ref))
+      end
     | Solver.Dense_lu | Solver.Banded_lu -> None
   in
   { ce_asm = t; ce_plan = plan; ce_sym = sym }
 
 let cengine_plan e = e.ce_plan
+let cengine_symbolic e = e.ce_sym
 let cengine_scratch e = Solver.cscratch e.ce_plan
 
 let cengine_solve_into e cs ~s ~rhs ~x =

@@ -99,12 +99,21 @@ type t = private {
       bandwidth + backend) every consumer reuses *)
 }
 
-val of_netlist : Netlist.t -> t
+val of_netlist : ?plan:Solver.plan -> ?validate:bool -> Netlist.t -> t
 (** Validates the netlist (see {!Netlist.validate}) and compiles the
     stamp IR.  Unlike the frequency-domain descriptor {!Mna.t}, a
     source-free netlist (e.g. a latch of inverters, solved for its DC
     point) is accepted; only an empty system raises
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    [?plan] substitutes a previously computed structure analysis for
+    the fresh [Solver.plan] call — sound only when it was built from a
+    deck with the same {!Netlist.structural_signature} (the serving
+    layer's compiled-deck cache guarantees this); a size mismatch
+    raises [Invalid_argument], any deeper mismatch is on the caller.
+    [?validate:false] skips {!Netlist.validate} for the same
+    signature-match reason: topological validity is a structural
+    property, so revalidating a value-only variant buys nothing. *)
 
 val dense_g : t -> Matrix.t
 val dense_c : t -> Matrix.t
@@ -121,10 +130,13 @@ val b_column : t -> int -> float array
 val iter_b : t -> (int -> int -> float -> unit) -> unit
 (** The B triplets: [f row input_column value]. *)
 
-val factor_g : t -> Solver.factor
+val factor_g : ?symbolic:Solver.symbolic -> t -> Solver.factor
 (** Factor G under the shared plan (banded + RCM when the band is
-    narrow).  Raises {!Rlc_numerics.Lu.Singular} or
-    {!Rlc_numerics.Banded.Singular}. *)
+    narrow).  On the sparse backend [?symbolic] replays a previous
+    analysis of the same G pattern (value-only restamps go straight to
+    numeric refactor; see {!Rlc_numerics.Solver.factor_with}).  Raises
+    {!Rlc_numerics.Lu.Singular}, {!Rlc_numerics.Banded.Singular} or
+    {!Rlc_numerics.Sparse.Singular}. *)
 
 val solve_g : t -> Solver.factor -> float array -> float array
 (** Solve [G x = b] in natural unknown order with a {!factor_g}
@@ -155,12 +167,23 @@ type cengine
     also pins the pivot sequence to the reference frequency, keeping
     sweeps deterministic at any domain count. *)
 
-val cengine : ?backend:Solver.backend -> t -> s_ref:Cx.t -> cengine
+val cengine :
+  ?backend:Solver.backend -> ?symbolic:Solver.symbolic -> t ->
+  s_ref:Cx.t -> cengine
 (** [cengine t ~s_ref] builds the engine, analysing at [s_ref]
     (sweeps pass their first frequency point).  Raises like
-    {!solve_complex} when the pencil is singular at [s_ref]. *)
+    {!solve_complex} when the pencil is singular at [s_ref].
+    [?symbolic] adopts a previous engine's analysis instead of
+    analysing at [s_ref] (skipping the reference factorisation
+    entirely) — sound only for an assembly with the identical stamp
+    pattern, i.e. the same {!Netlist.structural_signature}. *)
 
 val cengine_plan : cengine -> Solver.plan
+
+val cengine_symbolic : cengine -> Solver.symbolic option
+(** The engine's sparse symbolic analysis ([None] on the dense/banded
+    backends) — what a compiled-deck cache stores and feeds back into
+    {!cengine}'s [?symbolic]. *)
 
 val cengine_scratch : cengine -> Solver.cscratch
 (** Fresh solver scratch sized for this engine — one per domain. *)

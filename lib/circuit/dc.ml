@@ -13,6 +13,7 @@ let assembly s = s.asm
 let inputs s = s.asm.Assembly.inputs
 let voltages s = s.voltages
 let unknowns s = s.x
+let g_symbolic s = Solver.symbolic_of s.factor
 
 (* Inverter drives enter the RHS, not B: they are internal switching
    stages, not independent inputs. *)
@@ -42,10 +43,14 @@ let rhs_at_t0_into asm netlist states rhs =
   Assembly.iter_b asm (fun row col v -> rhs.(row) <- rhs.(row) +. (v *. u.(col)));
   add_inverter_drives netlist states rhs
 
-let make ?(max_state_iterations = 64) netlist =
-  let asm = Assembly.of_netlist netlist in
+let make ?(max_state_iterations = 64) ?assembly ?symbolic netlist =
+  let asm =
+    match assembly with
+    | Some a -> a
+    | None -> Assembly.of_netlist netlist
+  in
   let factor =
-    try Assembly.factor_g asm
+    try Assembly.factor_g ?symbolic asm
     with Lu.Singular | Banded.Singular | Sparse.Singular ->
       failwith "Dc.operating_point: singular system"
   in

@@ -15,12 +15,24 @@ type system
     [G] factorisation, the settled inverter states and the solved
     operating point. *)
 
-val make : ?max_state_iterations:int -> Netlist.t -> system
+val make :
+  ?max_state_iterations:int ->
+  ?assembly:Assembly.t ->
+  ?symbolic:Rlc_numerics.Solver.symbolic ->
+  Netlist.t ->
+  system
 (** Compile, factor once, and settle the operating point.  Raises
     [Failure] on a singular system — run {!Netlist.validate} first for
     a better diagnostic — and [Failure] when the inverter states do
     not settle (a ring oscillator has no stable DC point; use the
-    transient engine for those). *)
+    transient engine for those).
+
+    [?assembly] skips the compile step by adopting an already-built
+    stamp IR (it must be the IR of [netlist]); [?symbolic] replays a
+    previous sparse analysis of the same G pattern, turning the
+    factorisation into a numeric refactor.  Both are the serving
+    layer's compiled-deck cache hooks; both are sound only across
+    decks with equal {!Netlist.structural_signature}. *)
 
 val voltages : system -> float array
 (** Node voltages (index = node id, entry 0 is ground = 0 V). *)
@@ -32,6 +44,13 @@ val unknowns : system -> float array
 
 val assembly : system -> Assembly.t
 (** The stamp IR behind the system. *)
+
+val g_symbolic : system -> Rlc_numerics.Solver.symbolic option
+(** The sparse symbolic analysis behind the G factorisation ([None] on
+    the dense/banded backends).  A compiled-deck cache stores this and
+    feeds it back through {!make}'s [?symbolic]; comparing it
+    physically against the symbolic that was passed in detects a
+    repivot fallback (the factor re-analysed instead of replaying). *)
 
 val inputs : system -> Assembly.input array
 (** The independent sources, in the input-column order

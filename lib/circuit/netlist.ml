@@ -122,6 +122,62 @@ let add_inverter ?name t ~input ~output dev =
 
 let elements t = Array.of_list (List.rev t.elems)
 
+let node_name t n =
+  Hashtbl.fold
+    (fun name id acc -> if id = n then Some name else acc)
+    t.node_names None
+
+(* ---------------- structural identity ---------------- *)
+
+(* A deck's structure is its element kinds and connectivity; values
+   (ohms, farads, stimulus waveforms, device parameters) are excluded.
+   The one value that IS structural: an RL branch with henries = 0
+   stamps as a plain resistor (no branch-current unknown), so it gets
+   the resistor's kind tag. *)
+let descriptor label e =
+  match e with
+  | Resistor { a; b; _ } -> Printf.sprintf "R(%s,%s)" (label a) (label b)
+  | Capacitor { a; b; _ } -> Printf.sprintf "C(%s,%s)" (label a) (label b)
+  | Rl_branch { a; b; henries; _ } ->
+      if henries = 0.0 then Printf.sprintf "R(%s,%s)" (label a) (label b)
+      else Printf.sprintf "B(%s,%s)" (label a) (label b)
+  | Coupled_rl { a1; b1; a2; b2; _ } ->
+      Printf.sprintf "P(%s,%s,%s,%s)" (label a1) (label b1) (label a2)
+        (label b2)
+  | Vsource { a; b; _ } -> Printf.sprintf "V(%s,%s)" (label a) (label b)
+  | Isource { a; b; _ } -> Printf.sprintf "I(%s,%s)" (label a) (label b)
+  | Inverter { input; output; _ } ->
+      Printf.sprintf "X(%s,%s)" (label input) (label output)
+
+let structural_hash t =
+  (* node labels by *name* where available so that two decks listing
+     the same cards in a different order — which assigns different
+     node ids — still describe each element identically; the sorted
+     multiset then erases the card order itself *)
+  let names = Array.make t.n_nodes None in
+  Hashtbl.iter
+    (fun name id -> if id >= 0 && id < t.n_nodes then names.(id) <- Some name)
+    t.node_names;
+  let label n =
+    if n = ground then "0"
+    else
+      match names.(n) with Some nm -> nm | None -> Printf.sprintf "#%d" n
+  in
+  let ds = Array.to_list (Array.map (descriptor label) (elements t)) in
+  let ds = List.sort String.compare ds in
+  Digest.to_hex (Digest.string (String.concat ";" ds))
+
+let structural_signature t =
+  let label n = string_of_int n in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "n%d" t.n_nodes);
+  Array.iter
+    (fun e ->
+      Buffer.add_char b ';';
+      Buffer.add_string b (descriptor label e))
+    (elements t);
+  Buffer.contents b
+
 let find_element t name = Hashtbl.find_opt t.elem_names name
 
 let element_name t id =

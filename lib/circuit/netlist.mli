@@ -47,6 +47,10 @@ val node_count : t -> int
 
 val find_node : t -> string -> node option
 
+val node_name : t -> node -> string option
+(** Reverse lookup of a node's registered name (linear in the name
+    table — not for hot loops). *)
+
 val add_resistor : ?name:string -> t -> node -> node -> float -> unit
 val add_capacitor : ?name:string -> t -> node -> node -> float -> unit
 val add_rl_branch :
@@ -77,6 +81,33 @@ val find_element : t -> string -> int option
 
 val element_name : t -> int -> string
 (** Name of element [id] (auto-generated when not provided). *)
+
+val structural_hash : t -> string
+(** Hex digest of the deck's *structure*: element kinds and
+    connectivity, with every element value (ohms, farads, stimulus
+    waveforms, device parameters) excluded — value-only edits hash
+    equal, topology edits hash different.  Elements are described by
+    node {e names} and digested as a sorted multiset, so two
+    equivalent decks that list the same cards in a different order
+    (and therefore number their nodes differently) hash equal, as
+    long as their nodes are named ({!fresh_node}'s [?name]; the SPICE
+    parser names every node after its card token).  Unnamed nodes
+    fall back to their ids, which are insertion-order dependent.
+
+    The one structural value: an RL branch with [henries = 0] stamps
+    as a plain resistor (no branch-current unknown) and is hashed as
+    one.  This is the compiled-deck cache key of the serving layer. *)
+
+val structural_signature : t -> string
+(** The exact value-stripped element sequence (insertion order, raw
+    node ids).  Equal signatures guarantee the two decks drive
+    {!Assembly.of_netlist} through the identical stamp-call sequence —
+    same COO patterns, same adjacency, same
+    {!Rlc_numerics.Solver.plan}, same sparse symbolic structure — so
+    compiled artifacts of one deck are sound to reuse for the other.
+    Two decks can hash equal ({!structural_hash}) yet differ here
+    (e.g. permuted cards); such aliases must be recompiled, not
+    served from a cache. *)
 
 val validate : t -> unit
 (** Checks node indices are in range, element values are physical and

@@ -112,7 +112,10 @@ let node_id b name =
     match Hashtbl.find_opt b.names key with
     | Some n -> n
     | None ->
-        let n = Netlist.fresh_node b.nl in
+        (* registering the name on the netlist too makes parsed decks
+           order-independently hashable (Netlist.structural_hash
+           labels nodes by name) and Netlist.find_node usable *)
+        let n = Netlist.fresh_node ~name:key b.nl in
         Hashtbl.add b.names key n;
         n
 

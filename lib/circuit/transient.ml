@@ -26,6 +26,7 @@ module Config = struct
     atol : float;
     dt_min : float option;
     pool : Rlc_parallel.Pool.t option;
+    plan_hint : Solver.plan option;
   }
 
   let default =
@@ -39,6 +40,7 @@ module Config = struct
       atol = 1e-6;
       dt_min = None;
       pool = None;
+      plan_hint = None;
     }
 end
 
@@ -314,9 +316,17 @@ let make_engine (config : Config.t) netlist =
     compiled;
   (* structural probe (any positive dt): the companion structure is
      dt-independent, so one stamp gives the adjacency the shared plan
-     (RCM ordering + bandwidth + backend choice) is built from *)
-  let probe = stamp_coo ~compiled ~n_nodes ~m Trapezoidal 1.0 in
-  let plan = Solver.plan ~backend (Assembly.Coo.adjacency probe) in
+     (RCM ordering + bandwidth + backend choice) is built from.  A
+     [plan_hint] sized for this system (from {!structure_plan} on a
+     structurally identical deck — the serving layer's cache) skips
+     the probe stamp and the ordering entirely. *)
+  let plan =
+    match config.Config.plan_hint with
+    | Some p when p.Solver.n = m -> p
+    | Some _ | None ->
+        let probe = stamp_coo ~compiled ~n_nodes ~m Trapezoidal 1.0 in
+        Solver.plan ~backend (Assembly.Coo.adjacency probe)
+  in
   {
     compiled;
     compiled_of_id;
@@ -338,6 +348,19 @@ let make_engine (config : Config.t) netlist =
     factorizations = 0;
     sparse_sym = None;
   }
+
+(* The engine's structure analysis without an engine: what the serving
+   layer computes once per structural family and feeds back through
+   [Config.plan_hint].  Note this is the *companion* system's plan
+   (unknowns = nodes - 1 + vsources), distinct from the MNA plan of
+   {!Assembly.of_netlist}. *)
+let structure_plan ?(backend = Auto) netlist =
+  let n_nodes = Netlist.node_count netlist in
+  let compiled, _, (_, _, n_vsrcs, _) = compile netlist in
+  let m = n_nodes - 1 + n_vsrcs in
+  if m = 0 then invalid_arg "Transient: empty circuit";
+  let probe = stamp_coo ~compiled ~n_nodes ~m Trapezoidal 1.0 in
+  Solver.plan ~backend (Assembly.Coo.adjacency probe)
 
 (* The factorisation cache is keyed by the (method, dt-bits) pair
    itself — never by its hash, where a collision between two distinct

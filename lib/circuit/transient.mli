@@ -73,10 +73,26 @@ module Config : sig
             and final voltages are bit-identical with or without the
             pool; only the {!lu_factorizations} diagnostic may differ
             (the two engines keep separate caches). *)
+    plan_hint : Rlc_numerics.Solver.plan option;
+        (** a {!structure_plan} of a structurally identical deck
+            (equal {!Netlist.structural_signature}): skips the
+            engine's structure probe and ordering pass.  Ignored when
+            its size does not match.  Since a plan is a pure function
+            of the companion structure, waveforms are bit-identical
+            with or without the hint — it only saves the analysis.
+            (default [None]) *)
   }
 
   val default : t
 end
+
+val structure_plan : ?backend:backend -> Netlist.t -> Rlc_numerics.Solver.plan
+(** The engine's structure analysis (RCM/min-degree ordering +
+    backend choice over the companion-model pattern) without building
+    an engine — compute once per structural family, reuse via
+    [Config.plan_hint].  Note the companion system's unknown count is
+    [nodes - 1 + vsources], distinct from {!Assembly.of_netlist}'s MNA
+    plan.  Raises [Invalid_argument] on an empty circuit. *)
 
 val simulate :
   ?config:Config.t ->

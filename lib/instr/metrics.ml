@@ -124,7 +124,7 @@ let quantile ~count buckets q =
   in
   go 0 0
 
-let hist_summary h =
+let merged_buckets h =
   let count = ref 0
   and sum = ref 0.0
   and mn = ref infinity
@@ -145,17 +145,33 @@ let hist_summary h =
               cell.Shard.hbuckets
       end)
     (Shard.all_shards ());
-  if !count = 0 then None
+  (!count, !sum, !mn, !mx, buckets)
+
+let hist_quantiles h qs =
+  let count, _, _, _, buckets = merged_buckets h in
+  if count = 0 then None
+  else begin
+    Array.iter
+      (fun q ->
+        if not (q >= 0.0 && q <= 1.0) then
+          invalid_arg "Rlc_instr.Metrics.hist_quantiles: quantile outside [0,1]")
+      qs;
+    Some (Array.map (quantile ~count buckets) qs)
+  end
+
+let hist_summary h =
+  let count, sum, mn, mx, buckets = merged_buckets h in
+  if count = 0 then None
   else
     Some
       {
-        count = !count;
-        sum = !sum;
-        mean = !sum /. Float.of_int !count;
-        min = !mn;
-        max = !mx;
-        p50 = quantile ~count:!count buckets 0.50;
-        p95 = quantile ~count:!count buckets 0.95;
+        count;
+        sum;
+        mean = sum /. Float.of_int count;
+        min = mn;
+        max = mx;
+        p50 = quantile ~count buckets 0.50;
+        p95 = quantile ~count buckets 0.95;
       }
 
 type snapshot_entry =

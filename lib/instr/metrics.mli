@@ -65,6 +65,14 @@ type summary = {
 val hist_summary : hist -> summary option
 (** Merged over all shards; [None] if no samples were recorded. *)
 
+val hist_quantiles : hist -> float array -> float array option
+(** [hist_quantiles h qs] is the upper bucket edge containing each
+    requested quantile (each in [\[0, 1\]]), merged over all shards —
+    the same estimate [hist_summary] reports for p50/p95, for any
+    quantile list (the serving layer reads p50/p90/p99).  [None] if no
+    samples were recorded; raises [Invalid_argument] on a quantile
+    outside [\[0, 1\]]. *)
+
 type snapshot_entry =
   | Counter_v of float
   | Gauge_v of float option

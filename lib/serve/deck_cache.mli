@@ -1,0 +1,68 @@
+(** Bounded LRU cache of compiled decks, keyed by
+    {!Rlc_circuit.Netlist.structural_hash}.
+
+    An entry holds everything about a deck that depends only on its
+    {e structure} — the {!Rlc_numerics.Solver.plan} of the MNA
+    assembly, the sparse symbolic analyses of the DC factorisation and
+    the AC sweep engine, and the transient companion-system plan — so
+    a value-only variant of a cached deck skips validation, ordering
+    and symbolic analysis and goes straight to numeric refactor.
+
+    Because the order-independent hash is coarser than what artifact
+    reuse requires, each entry also records the deck's exact
+    {!Rlc_circuit.Netlist.structural_signature}; a probe whose hash
+    matches but whose signature differs is an {e alias} (e.g. the same
+    cards permuted, numbering the nodes differently) and is reported
+    as such, never served stale artifacts.
+
+    Not domain-safe: the serving layer does all cache operations on
+    the coordinating domain, between parallel batches; workers only
+    read the immutable artifacts handed to them. *)
+
+open Rlc_numerics
+
+type entry = {
+  signature : string;
+  asm_plan : Solver.plan;  (** the {!Rlc_circuit.Assembly} plan *)
+  mutable dc_sym : Solver.symbolic option;
+  mutable ac_sym : Solver.symbolic option;
+  mutable tran_plan : Solver.plan option;
+      (** the transient companion-system plan — a different structure
+          than [asm_plan] (no inductor branch rows, symmetric vsource
+          rows), see {!Rlc_circuit.Transient.structure_plan} *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 64.  Capacity 0 disables caching (every lookup
+    misses, inserts are dropped); raises [Invalid_argument] below 0. *)
+
+val capacity : t -> int
+val size : t -> int
+
+type lookup =
+  | Hit of entry
+  | Alias  (** hash present, signature different: recompile *)
+  | Miss
+
+val find : t -> hash:string -> signature:string -> lookup
+(** Counts the outcome ([serve.cache.hit] / [.alias] / [.miss]) and
+    refreshes the entry's LRU position on a hit. *)
+
+val insert : t -> hash:string -> entry -> unit
+(** Inserts (or replaces — the alias path refreshing a poisoned
+    family) and evicts the least-recently-used entry beyond capacity,
+    counting [serve.cache.evict]. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  aliases : int;
+  evictions : int;
+  entries : int;
+}
+
+val stats : t -> stats
+(** Plain-int mirror of the counters, independent of whether
+    {!Rlc_instr.Metrics} recording is enabled. *)

@@ -1,0 +1,175 @@
+type query =
+  | Q_dc of { node : string }
+  | Q_ac of {
+      node : string;
+      points_per_decade : int;
+      fstart : float;
+      fstop : float;
+    }
+  | Q_tran of { node : string; dt : float; t_end : float }
+  | Q_delay of { node : string; fraction : float; dt : float; t_end : float }
+
+type deck_source = Deck_file of string | Deck_inline of string
+
+type job = { id : string; query : query; deck : deck_source }
+
+type parsed =
+  | Blank
+  | Job of job
+  | Malformed of { id : string; message : string }
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let tokens s =
+  String.split_on_char ' ' (String.map (fun c -> if is_space c then ' ' else c) s)
+  |> List.filter (fun t -> t <> "")
+
+let unescape_deck s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      (if s.[i] = '\\' && i + 1 < n then begin
+         match s.[i + 1] with
+         | 'n' ->
+             Buffer.add_char b '\n';
+             go (i + 2)
+         | '\\' ->
+             Buffer.add_char b '\\';
+             go (i + 2)
+         | c ->
+             Buffer.add_char b '\\';
+             Buffer.add_char b c;
+             go (i + 2)
+       end
+       else begin
+         Buffer.add_char b s.[i];
+         go (i + 1)
+       end)
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let escape_deck s =
+  let b = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* SPICE-suffixed numbers ("10p", "4.4k", "1meg") as well as plain
+   floats, matching the deck syntax the jobs carry. *)
+let float_of_token ctx t =
+  match Rlc_circuit.Parser.parse_value t with
+  | v when Float.is_finite v -> v
+  | _ | (exception Failure _) -> failwith (Printf.sprintf "bad %s %S" ctx t)
+
+let int_of_token ctx t =
+  match int_of_string_opt t with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "bad %s %S" ctx t)
+
+let parse_query = function
+  | [ "dc"; node ] -> Q_dc { node }
+  | [ "ac"; node; ppd; fstart; fstop ] ->
+      let points_per_decade = int_of_token "points/decade" ppd in
+      let fstart = float_of_token "fstart" fstart in
+      let fstop = float_of_token "fstop" fstop in
+      if points_per_decade < 1 then failwith "ac needs >= 1 point per decade";
+      if fstart <= 0.0 || fstop < fstart then
+        failwith "ac needs 0 < fstart <= fstop";
+      Q_ac { node; points_per_decade; fstart; fstop }
+  | [ "tran"; node; dt; t_end ] ->
+      let dt = float_of_token "dt" dt in
+      let t_end = float_of_token "t_end" t_end in
+      if dt <= 0.0 || t_end <= 0.0 then failwith "tran needs dt > 0, t_end > 0";
+      Q_tran { node; dt; t_end }
+  | [ "delay"; node; fraction; dt; t_end ] ->
+      let fraction = float_of_token "fraction" fraction in
+      let dt = float_of_token "dt" dt in
+      let t_end = float_of_token "t_end" t_end in
+      if not (fraction > 0.0 && fraction < 1.0) then
+        failwith "delay needs 0 < fraction < 1";
+      if dt <= 0.0 || t_end <= 0.0 then
+        failwith "delay needs dt > 0, t_end > 0";
+      Q_delay { node; fraction; dt; t_end }
+  | kind :: _ -> failwith (Printf.sprintf "unknown query kind %S" kind)
+  | [] -> failwith "missing query"
+
+let parse_job_line line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then Blank
+  else begin
+    let id =
+      match tokens trimmed with first :: _ -> first | [] -> "-"
+    in
+    match String.index_opt trimmed '|' with
+    | None -> Malformed { id; message = "missing '|' deck separator" }
+    | Some bar -> begin
+        let head = String.sub trimmed 0 bar in
+        let deck_spec =
+          String.trim
+            (String.sub trimmed (bar + 1) (String.length trimmed - bar - 1))
+        in
+        match tokens head with
+        | [] -> Malformed { id; message = "missing job id and query" }
+        | id :: query_tokens -> begin
+            match parse_query query_tokens with
+            | exception Failure m -> Malformed { id; message = m }
+            | query ->
+                if deck_spec = "" then
+                  Malformed { id; message = "empty deck" }
+                else begin
+                  let deck =
+                    if deck_spec.[0] = '@' then
+                      Deck_file
+                        (String.sub deck_spec 1 (String.length deck_spec - 1))
+                    else Deck_inline (unescape_deck deck_spec)
+                  in
+                  Job { id; query; deck }
+                end
+          end
+      end
+  end
+
+type outcome =
+  | R_dc of float
+  | R_ac of Rlc_circuit.Ac.point array
+  | R_tran of { final : float; vmin : float; vmax : float; steps : int }
+  | R_delay of float option
+
+type result = { id : string; reply : (outcome, string) Stdlib.result }
+
+let g17 = Printf.sprintf "%.17g"
+
+let one_line msg =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
+
+let result_line r =
+  match r.reply with
+  | Error msg -> Printf.sprintf "err %s %s" r.id (one_line msg)
+  | Ok (R_dc v) -> Printf.sprintf "ok %s dc v=%s" r.id (g17 v)
+  | Ok (R_ac points) ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b
+        (Printf.sprintf "ok %s ac n=%d" r.id (Array.length points));
+      Array.iter
+        (fun p ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b (g17 p.Rlc_circuit.Ac.freq);
+          Buffer.add_char b ':';
+          Buffer.add_string b (g17 p.Rlc_circuit.Ac.mag_db);
+          Buffer.add_char b ':';
+          Buffer.add_string b (g17 p.Rlc_circuit.Ac.phase_deg))
+        points;
+      Buffer.contents b
+  | Ok (R_tran { final; vmin; vmax; steps }) ->
+      Printf.sprintf "ok %s tran final=%s min=%s max=%s steps=%d" r.id
+        (g17 final) (g17 vmin) (g17 vmax) steps
+  | Ok (R_delay (Some t)) -> Printf.sprintf "ok %s delay t=%s" r.id (g17 t)
+  | Ok (R_delay None) -> Printf.sprintf "ok %s delay t=none" r.id

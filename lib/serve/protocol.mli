@@ -1,0 +1,75 @@
+(** The line-delimited job protocol of the batch service.
+
+    One job per input line:
+
+    {v
+    <id> dc    <node>                             | <deck>
+    <id> ac    <node> <pts/decade> <fstart> <fstop> | <deck>
+    <id> tran  <node> <dt> <t_end>                | <deck>
+    <id> delay <node> <fraction> <dt> <t_end>     | <deck>
+    v}
+
+    [<id>] is any whitespace-free token the client uses to correlate
+    results.  Numeric fields accept SPICE-suffixed values ("10p",
+    "1meg") as well as plain floats.  [<deck>] — everything after the first ["|"] — is either
+    [@path] (a netlist file, parsed relative to the working directory)
+    or an inline SPICE deck with newlines escaped as [\n] (literal
+    backslashes as [\\]).  Empty lines and lines starting with [#] are
+    skipped and produce no result.
+
+    One result per job, in submission order:
+
+    {v
+    ok  <id> dc v=<v>
+    ok  <id> ac n=<points> <freq>:<mag_db>:<phase_deg> ...
+    ok  <id> tran final=<v> min=<v> max=<v> steps=<n>
+    ok  <id> delay t=<seconds | none>
+    err <id> <message>
+    v}
+
+    Floats print as [%.17g] — enough digits to round-trip a double
+    exactly, which is what lets the bench compare cold and warm result
+    streams for bit-identity with [String.equal].  A malformed line
+    yields an [err] result (never a crash or a stream abort). *)
+
+type query =
+  | Q_dc of { node : string }
+  | Q_ac of {
+      node : string;
+      points_per_decade : int;
+      fstart : float;
+      fstop : float;
+    }
+  | Q_tran of { node : string; dt : float; t_end : float }
+  | Q_delay of { node : string; fraction : float; dt : float; t_end : float }
+
+type deck_source =
+  | Deck_file of string  (** [@path] *)
+  | Deck_inline of string  (** unescaped netlist text *)
+
+type job = { id : string; query : query; deck : deck_source }
+
+type parsed =
+  | Blank  (** empty or [#] comment line: no result *)
+  | Job of job
+  | Malformed of { id : string; message : string }
+      (** [id] is the line's first token when one exists, ["-"]
+          otherwise *)
+
+val parse_job_line : string -> parsed
+
+val escape_deck : string -> string
+(** Newlines to [\n], backslashes to [\\] — for writing job files. *)
+
+type outcome =
+  | R_dc of float  (** node voltage at the DC operating point *)
+  | R_ac of Rlc_circuit.Ac.point array
+  | R_tran of { final : float; vmin : float; vmax : float; steps : int }
+  | R_delay of float option
+      (** threshold-crossing time; [None] if never crossed *)
+
+type result = { id : string; reply : (outcome, string) Stdlib.result }
+
+val result_line : result -> string
+(** The wire form (no trailing newline).  Error messages have
+    newlines flattened to spaces so every result stays one line. *)

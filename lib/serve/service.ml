@@ -1,0 +1,501 @@
+open Rlc_circuit
+open Rlc_numerics
+module Pool = Rlc_parallel.Pool
+module M = Rlc_instr.Metrics
+module Timer = Rlc_instr.Timer
+
+let m_jobs = M.counter "serve.jobs"
+let m_errors = M.counter "serve.errors"
+let m_batches = M.counter "serve.batches"
+let m_resym = M.counter "serve.cache.resym"
+let m_memo_hit = M.counter "serve.memo.hit"
+let m_memo_miss = M.counter "serve.memo.miss"
+let m_memo_evict = M.counter "serve.memo.evict"
+let m_job_s = M.hist "serve.job_s"
+let m_prepare_s = M.hist "serve.batch.prepare_s"
+let m_dc_s = M.hist "serve.dc_s"
+let m_ac_s = M.hist "serve.ac_s"
+let m_tran_s = M.hist "serve.tran_s"
+let m_delay_s = M.hist "serve.delay_s"
+
+type config = {
+  pool : Pool.t;
+  cache_capacity : int;
+  memo_capacity : int;
+  batch_size : int;
+}
+
+let default_config =
+  {
+    pool = Pool.sequential;
+    cache_capacity = 64;
+    memo_capacity = 512;
+    batch_size = 64;
+  }
+
+(* The second cache level: exact deck text (by digest) to its parsed
+   netlist, structural keys and stamped assembly.  Where the
+   structural cache shares artifacts across value-only *variants*,
+   the memo short-circuits byte-identical *replays* — a resubmitted
+   deck skips parse, hash and stamping and goes straight to numeric
+   work.  Sound because the key is the exact text; all entries are
+   created and read on the coordinating domain. *)
+module Memo = struct
+  type entry = {
+    netlist : Netlist.t;
+    hash : string;
+    signature : string;
+    mutable asm : Assembly.t option;
+  }
+
+  type slot = { entry : entry; mutable last_use : int }
+
+  type t = {
+    cap : int;
+    table : (string, slot) Hashtbl.t;
+    mutable clock : int;
+  }
+
+  let create cap = { cap; table = Hashtbl.create 64; clock = 0 }
+
+  let tick t =
+    t.clock <- t.clock + 1;
+    t.clock
+
+  let find t key =
+    match Hashtbl.find_opt t.table key with
+    | Some slot ->
+        slot.last_use <- tick t;
+        M.incr m_memo_hit;
+        Some slot.entry
+    | None ->
+        M.incr m_memo_miss;
+        None
+
+  let evict_lru t =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key slot ->
+        match !victim with
+        | Some (_, best) when best <= slot.last_use -> ()
+        | _ -> victim := Some (key, slot.last_use))
+      t.table;
+    match !victim with
+    | Some (key, _) ->
+        Hashtbl.remove t.table key;
+        M.incr m_memo_evict
+    | None -> ()
+
+  let insert t key entry =
+    if t.cap > 0 then begin
+      Hashtbl.replace t.table key { entry; last_use = tick t };
+      while Hashtbl.length t.table > t.cap do
+        evict_lru t
+      done
+    end
+end
+
+type t = {
+  cfg : config;
+  cache : Deck_cache.t;
+  memo : Memo.t;
+  mutable jobs : int;
+  mutable errors : int;
+  mutable batches : int;
+  mutable resyms : int;
+  mutable busy_s : float;
+}
+
+let create ?(config = default_config) () =
+  if config.batch_size < 1 then
+    invalid_arg "Service.create: batch_size < 1";
+  if config.memo_capacity < 0 then
+    invalid_arg "Service.create: memo_capacity < 0";
+  {
+    cfg = config;
+    cache = Deck_cache.create ~capacity:config.cache_capacity ();
+    memo = Memo.create config.memo_capacity;
+    jobs = 0;
+    errors = 0;
+    batches = 0;
+    resyms = 0;
+    busy_s = 0.0;
+  }
+
+let config t = t.cfg
+let cache_stats t = Deck_cache.stats t.cache
+
+(* ------------------------------------------------------------------ *)
+(* phase A: prepare (sequential)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A line ready for the pool: either a result decided during prepare
+   (malformed line, unreadable deck, parse error) or a runnable job.
+   [entry] is [None] on the alias path — a hash collision must not
+   touch the cached artifacts.  [asm] is the memoised stamped assembly
+   (prepare always materialises it); the worker-side rebuild in
+   [the_assembly] is a defensive fallback only. *)
+type exec =
+  | E_done of Protocol.result
+  | E_run of {
+      job : Protocol.job;
+      netlist : Netlist.t;
+      entry : Deck_cache.entry option;
+      asm : Assembly.t option;
+    }
+
+let deck_text = function
+  | Protocol.Deck_inline text -> text
+  | Protocol.Deck_file path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+let sparse_plan (p : Solver.plan) = p.Solver.choice = Solver.Sparse_lu
+
+(* Parse (or recall) a deck.  The memo is keyed on the exact bytes, so
+   a byte-identical replay skips the parse and the structural hash. *)
+let memo_deck t text =
+  let key = Digest.string text in
+  match Memo.find t.memo key with
+  | Some m -> m
+  | None ->
+      let netlist = (Parser.parse_string text).Parser.netlist in
+      let m =
+        {
+          Memo.netlist;
+          hash = Netlist.structural_hash netlist;
+          signature = Netlist.structural_signature netlist;
+          asm = None;
+        }
+      in
+      Memo.insert t.memo key m;
+      m
+
+(* The deck's stamped assembly, materialised at most once per exact
+   text: under the family plan when the structural cache already knows
+   the pattern, with full validation on first sight of a family. *)
+let memo_assembly (m : Memo.entry) plan_hint =
+  match m.Memo.asm with
+  | Some a -> a
+  | None ->
+      let a =
+        match plan_hint with
+        | Some plan -> Assembly.of_netlist ~plan ~validate:false m.Memo.netlist
+        | None -> Assembly.of_netlist m.Memo.netlist
+      in
+      m.Memo.asm <- Some a;
+      a
+
+(* Build the artifacts [query] needs that [e] still lacks — runs at
+   most once per (family, query kind), sequentially, so the entry
+   mutation is domain-safe.  Failures (singular deck, empty circuit)
+   are swallowed: execution hits the same condition on the same values
+   and reports it per job, keeping cold and warm passes identical. *)
+let ensure_artifacts e netlist query asm =
+  try
+    match query with
+    | Protocol.Q_dc _ ->
+        if e.Deck_cache.dc_sym = None && sparse_plan e.Deck_cache.asm_plan
+        then e.Deck_cache.dc_sym <- Solver.symbolic_of (Assembly.factor_g asm)
+    | Protocol.Q_ac { fstart; _ } ->
+        if e.Deck_cache.ac_sym = None && sparse_plan e.Deck_cache.asm_plan
+        then
+          e.Deck_cache.ac_sym <-
+            Assembly.cengine_symbolic
+              (Assembly.cengine asm ~s_ref:(Ac.s_of_freq fstart))
+    | Protocol.Q_tran _ | Protocol.Q_delay _ ->
+        if e.Deck_cache.tran_plan = None then
+          e.Deck_cache.tran_plan <- Some (Transient.structure_plan netlist)
+  with _ -> ()
+
+let prepare t line =
+  match Protocol.parse_job_line line with
+  | Protocol.Blank -> None
+  | Protocol.Malformed { id; message } ->
+      Some (E_done { Protocol.id; reply = Error ("bad job line: " ^ message) })
+  | Protocol.Job job ->
+      let exec =
+        try
+          let m = memo_deck t (deck_text job.Protocol.deck) in
+          let netlist = m.Memo.netlist in
+          match
+            Deck_cache.find t.cache ~hash:m.Memo.hash
+              ~signature:m.Memo.signature
+          with
+          | Deck_cache.Alias ->
+              E_run
+                { job; netlist; entry = None; asm = Some (memo_assembly m None) }
+          | Deck_cache.Hit e ->
+              let asm = memo_assembly m (Some e.Deck_cache.asm_plan) in
+              ensure_artifacts e netlist job.Protocol.query asm;
+              E_run { job; netlist; entry = Some e; asm = Some asm }
+          | Deck_cache.Miss ->
+              let asm = memo_assembly m None in
+              let e =
+                {
+                  Deck_cache.signature = m.Memo.signature;
+                  asm_plan = asm.Assembly.plan;
+                  dc_sym = None;
+                  ac_sym = None;
+                  tran_plan = None;
+                }
+              in
+              Deck_cache.insert t.cache ~hash:m.Memo.hash e;
+              ensure_artifacts e netlist job.Protocol.query asm;
+              E_run { job; netlist; entry = Some e; asm = Some asm }
+        with
+        | Parser.Parse_error (ln, msg) ->
+            E_done
+              {
+                Protocol.id = job.Protocol.id;
+                reply = Error (Printf.sprintf "deck line %d: %s" ln msg);
+              }
+        | Sys_error msg | Invalid_argument msg | Failure msg ->
+            E_done { Protocol.id = job.Protocol.id; reply = Error msg }
+      in
+      Some exec
+
+(* ------------------------------------------------------------------ *)
+(* phase B: execute (parallel, read-only on cache entries)             *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_node netlist name =
+  let key = String.lowercase_ascii name in
+  if key = "0" || key = "gnd" then Netlist.ground
+  else
+    match Netlist.find_node netlist key with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "unknown node %S" name)
+
+let waveform_summary w =
+  let values = Rlc_waveform.Waveform.values w in
+  let n = Array.length values in
+  if n = 0 then failwith "empty waveform";
+  let vmin = ref values.(0) and vmax = ref values.(0) in
+  Array.iter
+    (fun v ->
+      if v < !vmin then vmin := v;
+      if v > !vmax then vmax := v)
+    values;
+  (values.(n - 1), !vmin, !vmax)
+
+let the_assembly prep =
+  match prep with
+  | E_done _ -> assert false
+  | E_run { asm = Some a; _ } -> a
+  | E_run { asm = None; netlist; entry; _ } -> (
+      match entry with
+      | Some e ->
+          Assembly.of_netlist ~plan:e.Deck_cache.asm_plan ~validate:false
+            netlist
+      | None -> Assembly.of_netlist netlist)
+
+let simulate_probe prep netlist node ~dt ~t_end =
+  let plan_hint =
+    match prep with
+    | E_run { entry = Some e; _ } -> e.Deck_cache.tran_plan
+    | _ -> None
+  in
+  let config = { Transient.Config.default with plan_hint } in
+  let probe = Transient.Node_v node in
+  let res = Transient.simulate ~config netlist ~t_end ~dt ~probes:[ probe ] in
+  (Transient.get res probe, Transient.steps_taken res)
+
+(* Runs on a pool worker.  Returns the job's outcome plus, for DC, the
+   fresh symbolic when the cached one was abandoned by the repivot
+   fallback (the factor no longer shares it physically) — the
+   coordinator installs it in phase C. *)
+let run_query prep (job : Protocol.job) netlist =
+  let entry = match prep with E_run { entry; _ } -> entry | _ -> None in
+  match job.Protocol.query with
+  | Protocol.Q_dc { node } ->
+      let n = resolve_node netlist node in
+      let symbolic = Option.bind entry (fun e -> e.Deck_cache.dc_sym) in
+      let sys = Dc.make ~assembly:(the_assembly prep) ?symbolic netlist in
+      let refresh =
+        match (symbolic, Dc.g_symbolic sys) with
+        | Some cached, (Some fresh as r) when not (cached == fresh) -> r
+        | _ -> None
+      in
+      (Protocol.R_dc (Dc.voltages sys).(n), refresh)
+  | Protocol.Q_ac { node; points_per_decade; fstart; fstop } ->
+      let n = resolve_node netlist node in
+      if n = Netlist.ground then failwith "cannot ac-probe ground";
+      let asm = the_assembly prep in
+      if Array.length asm.Assembly.inputs = 0 then
+        failwith "deck has no independent source";
+      let symbolic = Option.bind entry (fun e -> e.Deck_cache.ac_sym) in
+      let freqs = Ac.decade_grid ~points_per_decade ~fstart ~fstop in
+      let ce = Assembly.cengine ?symbolic asm ~s_ref:(Ac.s_of_freq fstart) in
+      let scratch = Assembly.cengine_scratch ce in
+      let rhs = Array.map Cx.of_float (Assembly.b_column asm 0) in
+      let x = Array.make asm.Assembly.size Cx.zero in
+      let points =
+        Array.map
+          (fun freq ->
+            Assembly.cengine_solve_into ce scratch ~s:(Ac.s_of_freq freq)
+              ~rhs ~x;
+            Ac.point_of ~freq x.(n - 1))
+          freqs
+      in
+      (Protocol.R_ac points, None)
+  | Protocol.Q_tran { node; dt; t_end } ->
+      let n = resolve_node netlist node in
+      let w, steps = simulate_probe prep netlist n ~dt ~t_end in
+      let final, vmin, vmax = waveform_summary w in
+      (Protocol.R_tran { final; vmin; vmax; steps }, None)
+  | Protocol.Q_delay { node; fraction; dt; t_end } ->
+      let n = resolve_node netlist node in
+      let w, _ = simulate_probe prep netlist n ~dt ~t_end in
+      let v_final, _, _ = waveform_summary w in
+      ( Protocol.R_delay
+          (Rlc_waveform.Measure.threshold_delay w ~fraction ~v_final),
+        None )
+
+let latency_hist = function
+  | Protocol.Q_dc _ -> m_dc_s
+  | Protocol.Q_ac _ -> m_ac_s
+  | Protocol.Q_tran _ -> m_tran_s
+  | Protocol.Q_delay _ -> m_delay_s
+
+let execute prep =
+  match prep with
+  | E_done r -> (r, None)
+  | E_run { job; netlist; _ } -> (
+      let clock = Timer.start () in
+      let finish reply =
+        let dt = Timer.elapsed_s clock in
+        M.observe m_job_s dt;
+        M.observe (latency_hist job.Protocol.query) dt;
+        reply
+      in
+      match run_query prep job netlist with
+      | outcome, refresh ->
+          finish ({ Protocol.id = job.Protocol.id; reply = Ok outcome }, refresh)
+      | exception e ->
+          let msg =
+            match e with
+            | Failure m | Invalid_argument m | Sys_error m -> m
+            | e -> Printexc.to_string e
+          in
+          finish ({ Protocol.id = job.Protocol.id; reply = Error msg }, None))
+
+(* ------------------------------------------------------------------ *)
+(* phase C: postprocess (sequential) and the batch driver              *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch t lines =
+  let clock = Timer.start () in
+  let preps =
+    M.timed m_prepare_s (fun () ->
+        Array.of_list (List.filter_map (prepare t) lines))
+  in
+  let out = Pool.map t.cfg.pool execute preps in
+  let rendered =
+    Array.mapi
+      (fun i (result, refresh) ->
+        (match (refresh, preps.(i)) with
+        | Some _, E_run { entry = Some e; _ } ->
+            e.Deck_cache.dc_sym <- refresh;
+            t.resyms <- t.resyms + 1;
+            M.incr m_resym
+        | _ -> ());
+        (match result.Protocol.reply with
+        | Error _ ->
+            t.errors <- t.errors + 1;
+            M.incr m_errors
+        | Ok _ -> ());
+        Protocol.result_line result)
+      out
+  in
+  t.jobs <- t.jobs + Array.length preps;
+  M.add m_jobs (float_of_int (Array.length preps));
+  t.batches <- t.batches + 1;
+  M.incr m_batches;
+  t.busy_s <- t.busy_s +. Timer.elapsed_s clock;
+  Array.to_list rendered
+
+let rec take_batch n = function
+  | rest when n = 0 -> ([], rest)
+  | [] -> ([], [])
+  | line :: rest ->
+      let batch, remainder = take_batch (n - 1) rest in
+      (line :: batch, remainder)
+
+let rec process_lines t lines =
+  match take_batch t.cfg.batch_size lines with
+  | [], _ -> []
+  | batch, rest -> run_batch t batch @ process_lines t rest
+
+let run_channel t ic oc =
+  let pending = ref [] and count = ref 0 in
+  let flush_batch () =
+    if !count > 0 then begin
+      let lines = List.rev !pending in
+      pending := [];
+      count := 0;
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (process_lines t lines);
+      flush oc
+    end
+  in
+  (try
+     while true do
+       pending := input_line ic :: !pending;
+       incr count;
+       if !count >= t.cfg.batch_size then flush_batch ()
+     done
+   with End_of_file -> ());
+  flush_batch ()
+
+(* ------------------------------------------------------------------ *)
+(* summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  jobs : int;
+  errors : int;
+  batches : int;
+  resyms : int;
+  busy_s : float;
+  decks_per_s : float;
+  latency_quantiles : (float * float * float) option;
+  cache : Deck_cache.stats;
+}
+
+let summary (t : t) =
+  let latency_quantiles =
+    match M.hist_quantiles m_job_s [| 0.5; 0.9; 0.99 |] with
+    | Some [| p50; p90; p99 |] -> Some (p50, p90, p99)
+    | Some _ | None -> None
+  in
+  {
+    jobs = t.jobs;
+    errors = t.errors;
+    batches = t.batches;
+    resyms = t.resyms;
+    busy_s = t.busy_s;
+    decks_per_s = (if t.busy_s > 0.0 then float_of_int t.jobs /. t.busy_s
+                   else 0.0);
+    latency_quantiles;
+    cache = Deck_cache.stats t.cache;
+  }
+
+let pp_summary fmt t =
+  let s = summary t in
+  Format.fprintf fmt "serve: %d jobs in %.3f s (%.1f decks/s), %d errors, %d batches@."
+    s.jobs s.busy_s s.decks_per_s s.errors s.batches;
+  Format.fprintf fmt
+    "cache: %d hits / %d misses / %d aliases / %d evictions (%d entries), %d symbolic refreshes@."
+    s.cache.Deck_cache.hits s.cache.Deck_cache.misses s.cache.Deck_cache.aliases
+    s.cache.Deck_cache.evictions s.cache.Deck_cache.entries s.resyms;
+  match s.latency_quantiles with
+  | Some (p50, p90, p99) ->
+      Format.fprintf fmt
+        "latency: p50 <= %.3g s, p90 <= %.3g s, p99 <= %.3g s@." p50 p90 p99
+  | None -> ()
