@@ -1266,7 +1266,12 @@ let serve_workload ~grids ~ladders ~scales =
           add (serve_job (Printf.sprintf "l%d-tr%d" segments i)
                  "tran far 20p 0.5n" deck);
           add (serve_job (Printf.sprintf "l%d-dl%d" segments i)
-                 "delay far 0.5 20p 2n" deck))
+                 "delay far 0.5 20p 2n" deck);
+          (* adjoint sensitivities of the two-pole delay: one forward +
+             one adjoint factorisation regardless of parameter count *)
+          if i = 0 then
+            add (serve_job (Printf.sprintf "l%d-sn%d" segments i)
+                   "delay-sens far 0.5 W1_seg0:r W1_seg0:l W1_c1:c" deck))
         scales)
     ladders;
   List.rev !lines
@@ -1307,6 +1312,224 @@ let write_serve_json path ~n_families ~n_jobs ~cold_s ~warm_s ~speedup
   | None -> Printf.fprintf oc "  \"latency\": null\n");
   Printf.fprintf oc "}\n";
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* What-if workspace: rank-k value sweeps vs per-point refactors       *)
+(* ------------------------------------------------------------------ *)
+
+let write_whatif_json path ~grid ~unknowns ~k ~ladder_segments ~fast_points
+    ~fast_s ~base_points ~base_s ~speedup ~exact_samples ~max_dev
+    ~adjoint_rel ~(fast_stats : Rlc_circuit.Whatif.stats)
+    ~(base_stats : Rlc_circuit.Whatif.stats) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  write_meta oc ~jobs;
+  Printf.fprintf oc
+    "  \"description\": \"Whatif workspace on a PDN mesh (the sparse \
+     backend's grid workload): the same stream of rank-%d resistance \
+     perturbations evaluated through the Sherman-Morrison-Woodbury \
+     fast path (compile once, O(k n) per point) and through a \
+     max_rank:0 workspace that refactors per point.  The adjoint gate \
+     takes the two-pole delay gradient of a %d-segment driven RLC \
+     ladder from one forward + one adjoint solve.  Gates: fast-path \
+     throughput >= 5x the refactor baseline, sampled fast-vs-refactor \
+     deviation <= 1e-9, adjoint delay gradient within 1e-6 of central \
+     differences, and the workspace counters match the paths taken.\",\n"
+    k ladder_segments;
+  Printf.fprintf oc
+    "  \"workload\": {\"grid\": \"%s\", \"unknowns\": %d, \"rank_k\": %d, \
+     \"adjoint_ladder_segments\": %d},\n"
+    grid unknowns k ladder_segments;
+  Printf.fprintf oc
+    "  \"sweep\": {\"fast_points\": %d, \"fast_s\": %.6f, \
+     \"fast_pts_per_s\": %.1f, \"refactor_points\": %d, \"refactor_s\": \
+     %.6f, \"refactor_pts_per_s\": %.1f, \"speedup\": %.2f},\n"
+    fast_points fast_s
+    (float_of_int fast_points /. fast_s)
+    base_points base_s
+    (float_of_int base_points /. base_s)
+    speedup;
+  Printf.fprintf oc
+    "  \"exactness\": {\"samples\": %d, \"max_abs_dev\": %.3g},\n"
+    exact_samples max_dev;
+  Printf.fprintf oc "  \"adjoint\": {\"max_rel_err_vs_fdiff\": %.3g},\n"
+    adjoint_rel;
+  Printf.fprintf oc
+    "  \"counters\": {\"fast\": {\"updates\": %d, \"refactors\": %d, \
+     \"fallbacks\": %d}, \"refactor_baseline\": {\"updates\": %d, \
+     \"refactors\": %d, \"fallbacks\": %d}}\n"
+    fast_stats.Rlc_circuit.Whatif.updates
+    fast_stats.Rlc_circuit.Whatif.refactors
+    fast_stats.Rlc_circuit.Whatif.fallbacks
+    base_stats.Rlc_circuit.Whatif.updates
+    base_stats.Rlc_circuit.Whatif.refactors
+    base_stats.Rlc_circuit.Whatif.fallbacks;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let run_whatif_bench ~json =
+  section "What-if workspace: rank-k updates vs per-point refactors";
+  let was_recording = Rlc_instr.Control.enabled () in
+  Rlc_instr.Control.set_enabled true;
+  let module Whatif = Rlc_circuit.Whatif in
+  (* the sweep fixture is the sparse backend's grid workload: mesh
+     refactors cost real time there, which is exactly what the rank-k
+     fast path amortises *)
+  let n_grid = if smoke then 24 else 40 in
+  let fast_points = 10_000 in
+  let base_points = if smoke then 1_000 else 10_000 in
+  let pdn = Rlc_circuit.Pdn.build (Rlc_circuit.Pdn.rc_grid ~rows:n_grid ~cols:n_grid ()) in
+  let netlist = pdn.Rlc_circuit.Pdn.netlist in
+  let ws = Whatif.compile netlist in
+  let ws0 = Whatif.compile ~max_rank:0 netlist in
+  let target =
+    Whatif.Dc_voltage
+      (Rlc_circuit.Pdn.node pdn ~row:(n_grid / 2) ~col:(n_grid / 2))
+  in
+  let pname i = Printf.sprintf "rh%d_%d" i i in
+  let picks = [| n_grid / 5; n_grid / 2; 4 * n_grid / 5 |] in
+  let k = Array.length picks in
+  let fparams = Array.map (fun i -> Whatif.param ws (pname i) `R) picks in
+  let bparams = Array.map (fun i -> Whatif.param ws0 (pname i) `R) picks in
+  let st = Random.State.make [| 2001 |] in
+  let pts =
+    Array.init fast_points (fun _ ->
+        Array.init k (fun j ->
+            Whatif.base_value fparams.(j)
+            *. (0.7 +. (0.6 *. Random.State.float st 1.0))))
+  in
+  let set_of ps vs = List.init k (fun j -> (ps.(j), vs.(j))) in
+  (* exactness: the fast path against the per-point refactor on a
+     spread of the sweep's own points, before the timed passes *)
+  let exact_samples = 200 in
+  let stride = fast_points / exact_samples in
+  let max_dev = ref 0.0 in
+  for i = 0 to exact_samples - 1 do
+    let vs = pts.(i * stride) in
+    let a = Whatif.evaluate ~set:(set_of fparams vs) ws target in
+    let b = Whatif.evaluate ~set:(set_of bparams vs) ws0 target in
+    if Float.is_nan a || Float.is_nan b then
+      failwith "whatif bench: nan evaluation";
+    let d = Float.abs (a -. b) in
+    if d > !max_dev then max_dev := d
+  done;
+  let s_f0 = Whatif.stats ws and s_b0 = Whatif.stats ws0 in
+  let acc = ref 0.0 in
+  let _, fast_s =
+    wall (fun () ->
+        Array.iter
+          (fun vs ->
+            acc := !acc +. Whatif.evaluate ~set:(set_of fparams vs) ws target)
+          pts)
+  in
+  let _, base_s =
+    wall (fun () ->
+        for i = 0 to base_points - 1 do
+          acc :=
+            !acc +. Whatif.evaluate ~set:(set_of bparams pts.(i)) ws0 target
+        done)
+  in
+  if not (Float.is_finite !acc) then
+    failwith "whatif bench: non-finite sweep accumulator";
+  let diff (a : Whatif.stats) (b : Whatif.stats) =
+    { Whatif.updates = a.Whatif.updates - b.Whatif.updates;
+      refactors = a.Whatif.refactors - b.Whatif.refactors;
+      fallbacks = a.Whatif.fallbacks - b.Whatif.fallbacks }
+  in
+  let fast_stats = diff (Whatif.stats ws) s_f0 in
+  let base_stats = diff (Whatif.stats ws0) s_b0 in
+  let fast_pps = float_of_int fast_points /. fast_s in
+  let base_pps = float_of_int base_points /. base_s in
+  let speedup = fast_pps /. base_pps in
+  (* the whole delay gradient of a driven line from one forward + one
+     adjoint solve, cross-checked against relative-step central
+     differences *)
+  let ladder_segments = if smoke then 80 else 150 in
+  let lnl, _, far =
+    Rlc_circuit.Ladder.driven_line (ladder_spec ladder_segments)
+  in
+  let lws = Whatif.compile lnl in
+  let wrt =
+    [| Whatif.param lws
+         (Printf.sprintf "line_seg%d" (ladder_segments / 5)) `R;
+       Whatif.param lws
+         (Printf.sprintf "line_seg%d" (ladder_segments / 2)) `L;
+       Whatif.param lws (Printf.sprintf "line_c%d" (ladder_segments / 2)) `C
+    |]
+  in
+  let delay_t = Whatif.Delay far in
+  let adj =
+    Rlc_core.Sensitivity.gradient ~method_:`Adjoint lws delay_t ~wrt
+  in
+  let fdm =
+    Rlc_core.Sensitivity.gradient ~method_:`Fdiff lws delay_t ~wrt
+  in
+  let adjoint_rel = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      let f = fdm.(i) in
+      if Float.is_nan a || Float.is_nan f then
+        failwith "whatif bench: nan gradient";
+      let rel = Float.abs (a -. f) /. Float.max (Float.abs f) 1e-300 in
+      if rel > !adjoint_rel then adjoint_rel := rel)
+    adj;
+  let unknowns = (Whatif.assembly ws).Rlc_circuit.Assembly.size in
+  Printf.printf
+    "%dx%d PDN mesh (%d unknowns), rank-%d value points: fast %d pts in \
+     %.4f s (%.0f/s), refactor %d pts in %.4f s (%.0f/s) -- %.1fx\n"
+    n_grid n_grid unknowns k fast_points fast_s fast_pps base_points base_s
+    base_pps speedup;
+  Printf.printf
+    "exactness: max |fast - refactor| = %.3g over %d samples; adjoint vs \
+     fdiff: %.3g rel\n"
+    !max_dev exact_samples !adjoint_rel;
+  (* gates *)
+  if speedup < 5.0 then
+    failwith
+      (Printf.sprintf
+         "whatif bench: fast path only %.2fx the refactor baseline (gate: \
+          5x)"
+         speedup);
+  if !max_dev > 1e-9 then
+    failwith
+      (Printf.sprintf "whatif bench: fast path deviates %.3g (gate: 1e-9)"
+         !max_dev);
+  if !adjoint_rel > 1e-6 then
+    failwith
+      (Printf.sprintf
+         "whatif bench: adjoint gradient off by %.3g rel vs fdiff (gate: \
+          1e-6)"
+         !adjoint_rel);
+  if fast_stats.Whatif.updates <> fast_points
+     || fast_stats.Whatif.refactors <> 0
+     || fast_stats.Whatif.fallbacks <> 0
+  then
+    failwith
+      (Printf.sprintf
+         "whatif bench: fast sweep counters off (updates %d, refactors %d, \
+          fallbacks %d)"
+         fast_stats.Whatif.updates fast_stats.Whatif.refactors
+         fast_stats.Whatif.fallbacks);
+  if base_stats.Whatif.refactors <> base_points
+     || base_stats.Whatif.updates <> 0
+     || base_stats.Whatif.fallbacks <> 0
+  then
+    failwith
+      (Printf.sprintf
+         "whatif bench: baseline counters off (updates %d, refactors %d, \
+          fallbacks %d)"
+         base_stats.Whatif.updates base_stats.Whatif.refactors
+         base_stats.Whatif.fallbacks);
+  Rlc_instr.Control.set_enabled was_recording;
+  match json with
+  | Some path ->
+      write_whatif_json path
+        ~grid:(Printf.sprintf "%dx%d" n_grid n_grid)
+        ~unknowns ~k ~ladder_segments ~fast_points ~fast_s ~base_points
+        ~base_s ~speedup ~exact_samples ~max_dev:!max_dev
+        ~adjoint_rel:!adjoint_rel ~fast_stats ~base_stats;
+      Printf.printf "\nrecorded baseline in %s\n" path
+  | None -> ()
 
 let run_serve_bench ~json =
   section "Serving layer: compiled-deck cache cold vs warm";
@@ -1408,6 +1631,7 @@ let () =
       (run_instr_bench ~segments:200 ~steps:400
          ~json:(Some "BENCH_instr.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
+    run_whatif_bench ~json:(Some "BENCH_whatif.json");
     run_serve_bench ~json:(Some "BENCH_serve.json");
     print_endline "\nbench smoke OK"
   end
@@ -1438,6 +1662,7 @@ let () =
       (run_instr_bench ~segments:800 ~steps:1000
          ~json:(Some "BENCH_instr.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
+    run_whatif_bench ~json:(Some "BENCH_whatif.json");
     run_serve_bench ~json:(Some "BENCH_serve.json");
     run_extensions ();
     if not no_bechamel then run_bechamel ()

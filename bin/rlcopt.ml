@@ -309,6 +309,85 @@ let variation_cmd =
        ~doc:"Delay statistics under inductance/Miller/driver variation.")
     Term.(const run $ instr_term $ node_arg $ jobs_arg)
 
+(* ---- whatif ---- *)
+
+let whatif_cmd =
+  let deck_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DECK" ~doc:"SPICE deck of the net to compile.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "node" ] ~docv:"NODE" ~doc:"Output node of the net.")
+  in
+  let params_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "p"; "param" ] ~docv:"NAME:KIND"
+          ~doc:
+            "Element parameter to report sensitivities for (kind one of \
+             r, l, c, m).  Repeatable.")
+  in
+  let run () deck_path out f params =
+    let deck = Rlc_circuit.Parser.parse_file deck_path in
+    let netlist = deck.Rlc_circuit.Parser.netlist in
+    let node =
+      match Rlc_circuit.Parser.node_of_name deck out with
+      | Some n when n <> Rlc_circuit.Netlist.ground -> n
+      | Some _ -> failwith "output node must not be ground"
+      | None -> failwith (Printf.sprintf "unknown node %S" out)
+    in
+    let ws = Rlc_circuit.Whatif.compile ~f netlist in
+    let parse_param tok =
+      match String.rindex_opt tok ':' with
+      | None ->
+          failwith (Printf.sprintf "bad param %S (want name:r|l|c|m)" tok)
+      | Some i ->
+          let name = String.sub tok 0 i in
+          let kind =
+            match
+              String.lowercase_ascii
+                (String.sub tok (i + 1) (String.length tok - i - 1))
+            with
+            | "r" -> `R
+            | "l" -> `L
+            | "c" -> `C
+            | "m" -> `M
+            | k ->
+                failwith
+                  (Printf.sprintf "bad param kind %S (want r, l, c or m)" k)
+          in
+          Rlc_circuit.Whatif.param ws name kind
+    in
+    let wrt = Array.of_list (List.map parse_param params) in
+    let target = Rlc_circuit.Whatif.Delay node in
+    let tau = Rlc_circuit.Whatif.evaluate ws target in
+    if Float.is_nan tau then
+      failwith "no threshold crossing for the two-pole response";
+    let grad = Rlc_circuit.Whatif.gradient ws target ~wrt in
+    Printf.printf "node %s: %.0f%% delay %.4f ps\n" out (f *. 100.0)
+      (tau *. 1e12);
+    Printf.printf "%-20s %14s %14s %12s\n" "param" "value" "dtau/dvalue"
+      "elasticity";
+    List.iteri
+      (fun i tok ->
+        let v = Rlc_circuit.Whatif.base_value wrt.(i) in
+        Printf.printf "%-20s %14.6g %14.6g %12.4f\n" tok v grad.(i)
+          (grad.(i) *. v /. tau))
+      params
+  in
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:
+         "Compile a deck into a what-if workspace and report adjoint \
+          delay sensitivities (one forward + one adjoint solve for the \
+          whole gradient).")
+    Term.(const run $ instr_term $ deck_arg $ out_arg $ f_arg $ params_arg)
+
 (* ---- pdn ---- *)
 
 let pdn_cmd =
@@ -398,7 +477,7 @@ let main_cmd =
     [
       optimize_cmd; delay_cmd; sweep_cmd; table1_cmd; ring_cmd; extract_cmd;
       models_cmd; power_cmd; xtalk_cmd; wiresize_cmd; insert_cmd; eye_cmd;
-      bode_cmd; buffer_tree_cmd; variation_cmd; pdn_cmd;
+      bode_cmd; buffer_tree_cmd; variation_cmd; whatif_cmd; pdn_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

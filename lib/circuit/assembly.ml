@@ -122,6 +122,7 @@ type t = {
   b_cols : int array;
   b_vals : float array;
   inputs : input array;
+  current_rows : int array array;
   adj : int list array;
   plan : Solver.plan;
 }
@@ -176,6 +177,7 @@ let of_netlist ?plan:plan_hint ?(validate = true) netlist =
   let next_current = ref (n_nodes - 1) in
   let next_vrow = ref (n_nodes - 1 + n_currents) in
   let next_col = ref 0 in
+  let current_rows = Array.make (Array.length elems) [||] in
   Array.iteri
     (fun id e ->
       match e with
@@ -186,6 +188,7 @@ let of_netlist ?plan:plan_hint ?(validate = true) netlist =
           else begin
             let row = !next_current in
             incr next_current;
+            current_rows.(id) <- [| row |];
             stamp_branch ~row a nb ohms;
             Coo.stamp_at c row row henries
           end
@@ -193,6 +196,7 @@ let of_netlist ?plan:plan_hint ?(validate = true) netlist =
           let row1 = !next_current in
           let row2 = row1 + 1 in
           next_current := !next_current + 2;
+          current_rows.(id) <- [| row1; row2 |];
           stamp_branch ~row:row1 a1 b1 ohms;
           stamp_branch ~row:row2 a2 b2 ohms;
           Coo.stamp_at c row1 row1 henries;
@@ -204,6 +208,7 @@ let of_netlist ?plan:plan_hint ?(validate = true) netlist =
              -v_a + v_b = -u *)
           let row = !next_vrow in
           incr next_vrow;
+          current_rows.(id) <- [| row |];
           if a <> Netlist.ground then begin
             Coo.stamp_at g (vi a) row 1.0;
             Coo.stamp_at g row (vi a) (-1.0)
@@ -248,6 +253,7 @@ let of_netlist ?plan:plan_hint ?(validate = true) netlist =
     b_cols = Array.map (fun (_, cl, _) -> cl) b;
     b_vals = Array.map (fun (_, _, v) -> v) b;
     inputs = Array.of_list (List.rev !inputs);
+    current_rows;
     adj;
     plan =
       (match plan_hint with

@@ -94,6 +94,13 @@ type t = private {
   b_cols : int array;  (** input columns, *)
   b_vals : float array;  (** values *)
   inputs : input array;  (** column order of B *)
+  current_rows : int array array;
+      (** extra MNA rows owned by each element id: the branch-current
+          row(s) of an inductive element (one for {!Netlist.element.Rl_branch},
+          two for {!Netlist.element.Coupled_rl}) or the current row of
+          a voltage source; [[||]] for elements with node unknowns
+          only.  This is how a value perturbation finds its O(1) stamp
+          positions without re-walking the netlist. *)
   adj : int list array;  (** union pattern of G and C *)
   plan : Solver.plan;  (** the shared structure analysis (RCM +
       bandwidth + backend) every consumer reuses *)
@@ -129,6 +136,13 @@ val b_column : t -> int -> float array
 
 val iter_b : t -> (int -> int -> float -> unit) -> unit
 (** The B triplets: [f row input_column value]. *)
+
+val cfill : t -> Cx.t -> (int -> int -> Cx.t -> unit) -> unit
+(** [cfill t s add] streams the entries of [G + sC] through [add] in
+    natural coordinates — the fill callback shape
+    {!Rlc_numerics.Solver.cfactor_with} consumes.  Exposed so
+    incremental consumers ({!Whatif}) can append their own delta
+    stamps to the base pattern under one factorisation. *)
 
 val factor_g : ?symbolic:Solver.symbolic -> t -> Solver.factor
 (** Factor G under the shared plan (banded + RCM when the band is

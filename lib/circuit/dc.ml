@@ -7,9 +7,12 @@ type system = {
   states : bool array;
   x : float array;
   voltages : float array;
+  rhs0 : float array;
 }
 
 let assembly s = s.asm
+let factor s = s.factor
+let rhs s = Array.copy s.rhs0
 let inputs s = s.asm.Assembly.inputs
 let voltages s = s.voltages
 let unknowns s = s.x
@@ -97,12 +100,15 @@ let make ?(max_state_iterations = 64) ?assembly ?symbolic netlist =
     if !changed then iterate (pass + 1) else x
   in
   let x = iterate 1 in
+  (* after the fixed point settles, [rhs] holds the RHS of the final
+     states — snapshot it for the what-if workspace *)
+  let rhs0 = Array.copy rhs in
   let n_nodes = asm.Assembly.n_nodes in
   let voltages = Array.make n_nodes 0.0 in
   for node = 1 to n_nodes - 1 do
     voltages.(node) <- x.(node - 1)
   done;
-  { asm; netlist; factor; states; x; voltages }
+  { asm; netlist; factor; states; x; voltages; rhs0 }
 
 let sensitivity s ~input =
   let n_inputs = Array.length s.asm.Assembly.inputs in

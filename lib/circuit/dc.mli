@@ -45,6 +45,18 @@ val unknowns : system -> float array
 val assembly : system -> Assembly.t
 (** The stamp IR behind the system. *)
 
+val factor : system -> Rlc_numerics.Solver.factor
+(** The settled G factorisation itself — the base factor a
+    {!Whatif} workspace builds its rank-k updates over.  Read-only;
+    sharing it is safe (factors are immutable once built). *)
+
+val rhs : system -> float array
+(** Copy of the DC right-hand side the operating point was solved
+    against: sources at their t = 0 values plus the settled inverter
+    drives.  [factor], [rhs] and {!unknowns} satisfy
+    [G x = rhs] exactly — the invariant what-if perturbations start
+    from. *)
+
 val g_symbolic : system -> Rlc_numerics.Solver.symbolic option
 (** The sparse symbolic analysis behind the G factorisation ([None] on
     the dense/banded backends).  A compiled-deck cache stores this and

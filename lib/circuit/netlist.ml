@@ -178,6 +178,21 @@ let structural_signature t =
     (elements t);
   Buffer.contents b
 
+(* The hash/signature PAIRING used by every layer that reuses compiled
+   artifacts across decks (the serving layer's deck cache, the what-if
+   workspace).  Keeping the pair in one place means a cache and a
+   workspace can never disagree about what "same deck" means: the
+   coarse order-independent hash finds the family, the exact signature
+   rejects aliases within it. *)
+type structural_key = { hash : string; signature : string }
+
+let structural_key t =
+  { hash = structural_hash t; signature = structural_signature t }
+
+let key_reusable ~cached ~probe =
+  String.equal cached.hash probe.hash
+  && String.equal cached.signature probe.signature
+
 let find_element t name = Hashtbl.find_opt t.elem_names name
 
 let element_name t id =

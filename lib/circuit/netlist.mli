@@ -109,6 +109,25 @@ val structural_signature : t -> string
     (e.g. permuted cards); such aliases must be recompiled, not
     served from a cache. *)
 
+type structural_key = {
+  hash : string;  (** {!structural_hash} — finds the deck family *)
+  signature : string;  (** {!structural_signature} — rejects aliases *)
+}
+(** The hash/signature pairing every compiled-artifact reuse decision
+    is made on.  {!structural_hash} alone is too coarse (permuted
+    decks collide); {!structural_signature} alone is too expensive as
+    a table key.  Layers that cache compiled decks (the serving
+    layer's {!Rlc_serve.Deck_cache}, the {!Whatif} workspace) key by
+    [hash] and verify [signature], and they all obtain the pair
+    through this one type so the two halves cannot drift apart. *)
+
+val structural_key : t -> structural_key
+
+val key_reusable : cached:structural_key -> probe:structural_key -> bool
+(** True when artifacts compiled for [cached] are sound for [probe]:
+    both halves equal.  Equal hashes with different signatures — an
+    alias — is exactly the unsafe case this returns [false] for. *)
+
 val validate : t -> unit
 (** Checks node indices are in range, element values are physical and
     every non-ground node has a DC path to ground (otherwise the MNA

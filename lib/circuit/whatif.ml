@@ -1,0 +1,905 @@
+open Rlc_numerics
+module M = Rlc_instr.Metrics
+
+let m_compile = M.counter "whatif.compile"
+let m_update = M.counter "whatif.update"
+let m_refactor = M.counter "whatif.refactor"
+let m_fallback = M.counter "whatif.fallback"
+let m_adjoint = M.counter "whatif.adjoint"
+
+(* A perturbation direction: a sparse +/-1 incidence vector in MNA
+   unknown coordinates (ground eliminated).  Every elementary value
+   perturbation shifts G or C by [delta * u v^T] with u, v of this
+   shape — one or two entries. *)
+type vec = { vidx : int array; vsgn : float array }
+
+type term = {
+  tid : int;  (* workspace-unique id: the z-cache key *)
+  tmat : [ `G | `C ];
+  tu : vec;
+  tv : vec;
+  mutable u_dense : float array option;
+  mutable v_dense : float array option;
+}
+
+type param = {
+  p_name : string;
+  p_kind : [ `R | `L | `C | `M ];
+  p_base : float;
+  p_terms : term array;
+  p_delta : float -> float;  (* absolute value -> stamp delta *)
+  p_ddelta : float -> float;  (* d delta / d value *)
+  p_ok : float -> bool;  (* physical-domain check *)
+}
+
+type ac_point = {
+  acf : Solver.cfactor;
+  ac_x0 : Cx.t array;  (* A^-1 b for the first source *)
+  ac_z : (int, Cx.t array) Hashtbl.t;  (* term id -> A^-1 u *)
+}
+
+type t = {
+  netlist : Netlist.t;
+  elems : Netlist.element array;
+  asm : Assembly.t;
+  wkey : Netlist.structural_key;
+  f_threshold : float;
+  max_rank : int;
+  condition_limit : float;
+  base_factor : Solver.factor;
+  g_symbolic : Solver.symbolic option;
+  rhs0 : float array;
+  x0 : float array;  (* base_factor^-1 rhs0, from the DC system *)
+  zcache : (int, float array) Hashtbl.t;  (* term id -> G^-1 u *)
+  mutable tfactor : Solver.factor option;  (* lazy factor of G^T *)
+  params : (string * [ `R | `L | `C | `M ], param) Hashtbl.t;
+  mutable next_tid : int;
+  ac : (float, ac_point) Hashtbl.t;  (* omega -> cached AC point *)
+  mutable ac_sym : Solver.symbolic option;
+  mutable n_updates : int;
+  mutable n_refactors : int;
+  mutable n_fallbacks : int;
+}
+
+let assembly t = t.asm
+let key t = t.wkey
+
+let compile ?(max_rank = 8) ?(condition_limit = 1e8) ?(f = 0.5) netlist =
+  if max_rank < 0 then invalid_arg "Whatif.compile: max_rank < 0";
+  if not (condition_limit > 1.0) then
+    invalid_arg "Whatif.compile: condition_limit <= 1";
+  if f <= 0.0 || f >= 1.0 then invalid_arg "Whatif.compile: f outside (0,1)";
+  let asm = Assembly.of_netlist netlist in
+  let sys = Dc.make ~assembly:asm netlist in
+  M.incr m_compile;
+  {
+    netlist;
+    elems = Netlist.elements netlist;
+    asm;
+    wkey = Netlist.structural_key netlist;
+    f_threshold = f;
+    max_rank;
+    condition_limit;
+    base_factor = Dc.factor sys;
+    g_symbolic = Dc.g_symbolic sys;
+    rhs0 = Dc.rhs sys;
+    x0 = Array.copy (Dc.unknowns sys);
+    zcache = Hashtbl.create 16;
+    tfactor = None;
+    params = Hashtbl.create 16;
+    next_tid = 0;
+    ac = Hashtbl.create 8;
+    ac_sym = None;
+    n_updates = 0;
+    n_refactors = 0;
+    n_fallbacks = 0;
+  }
+
+(* ---------------- parameters ---------------- *)
+
+let node_vec pairs =
+  let entries = List.filter (fun (n, _) -> n <> Netlist.ground) pairs in
+  {
+    vidx = Array.of_list (List.map (fun (n, _) -> n - 1) entries);
+    vsgn = Array.of_list (List.map snd entries);
+  }
+
+let row_vec row = { vidx = [| row |]; vsgn = [| 1.0 |] }
+
+let fresh_term t tmat tu tv =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  { tid; tmat; tu; tv; u_dense = None; v_dense = None }
+
+let positive v = v > 0.0 && Float.is_finite v
+
+let param t name kind =
+  match Hashtbl.find_opt t.params (name, kind) with
+  | Some p -> p
+  | None ->
+      let id =
+        match Netlist.find_element t.netlist name with
+        | Some id -> id
+        | None -> invalid_arg ("Whatif.param: unknown element " ^ name)
+      in
+      let reject what =
+        invalid_arg
+          (Printf.sprintf "Whatif.param: element %s has no %s value" name what)
+      in
+      let rows = t.asm.Assembly.current_rows.(id) in
+      let w = node_vec in
+      let p =
+        match (t.elems.(id), kind) with
+        | Netlist.Resistor { a; b; ohms }, `R ->
+            let wv = w [ (a, 1.0); (b, -1.0) ] in
+            {
+              p_name = name;
+              p_kind = `R;
+              p_base = ohms;
+              p_terms = [| fresh_term t `G wv wv |];
+              p_delta = (fun r -> (1.0 /. r) -. (1.0 /. ohms));
+              p_ddelta = (fun r -> -1.0 /. (r *. r));
+              p_ok = positive;
+            }
+        | Netlist.Rl_branch { a; b; ohms; henries }, `R ->
+            if henries = 0.0 then begin
+              (* stamps as a plain conductance: no branch row *)
+              let wv = w [ (a, 1.0); (b, -1.0) ] in
+              {
+                p_name = name;
+                p_kind = `R;
+                p_base = ohms;
+                p_terms = [| fresh_term t `G wv wv |];
+                p_delta = (fun r -> (1.0 /. r) -. (1.0 /. ohms));
+                p_ddelta = (fun r -> -1.0 /. (r *. r));
+                p_ok = positive;
+              }
+            end
+            else begin
+              let rv = row_vec rows.(0) in
+              {
+                p_name = name;
+                p_kind = `R;
+                p_base = ohms;
+                p_terms = [| fresh_term t `G rv rv |];
+                p_delta = (fun r -> r -. ohms);
+                p_ddelta = (fun _ -> 1.0);
+                p_ok = positive;
+              }
+            end
+        | Netlist.Rl_branch { henries; _ }, `L ->
+            if henries = 0.0 then
+              reject "inductance (henries = 0 stamps as a resistor)"
+            else begin
+              let rv = row_vec rows.(0) in
+              {
+                p_name = name;
+                p_kind = `L;
+                p_base = henries;
+                p_terms = [| fresh_term t `C rv rv |];
+                p_delta = (fun l -> l -. henries);
+                p_ddelta = (fun _ -> 1.0);
+                p_ok = positive;
+              }
+            end
+        | Netlist.Capacitor { a; b; farads }, `C ->
+            let wv = w [ (a, 1.0); (b, -1.0) ] in
+            {
+              p_name = name;
+              p_kind = `C;
+              p_base = farads;
+              p_terms = [| fresh_term t `C wv wv |];
+              p_delta = (fun c -> c -. farads);
+              p_ddelta = (fun _ -> 1.0);
+              p_ok = positive;
+            }
+        | Netlist.Coupled_rl { ohms; _ }, `R ->
+            let r1 = row_vec rows.(0) and r2 = row_vec rows.(1) in
+            {
+              p_name = name;
+              p_kind = `R;
+              p_base = ohms;
+              p_terms = [| fresh_term t `G r1 r1; fresh_term t `G r2 r2 |];
+              p_delta = (fun r -> r -. ohms);
+              p_ddelta = (fun _ -> 1.0);
+              p_ok = positive;
+            }
+        | Netlist.Coupled_rl { henries; _ }, `L ->
+            let r1 = row_vec rows.(0) and r2 = row_vec rows.(1) in
+            {
+              p_name = name;
+              p_kind = `L;
+              p_base = henries;
+              p_terms = [| fresh_term t `C r1 r1; fresh_term t `C r2 r2 |];
+              p_delta = (fun l -> l -. henries);
+              p_ddelta = (fun _ -> 1.0);
+              p_ok = positive;
+            }
+        | Netlist.Coupled_rl { mutual; _ }, `M ->
+            let r1 = row_vec rows.(0) and r2 = row_vec rows.(1) in
+            {
+              p_name = name;
+              p_kind = `M;
+              p_base = mutual;
+              p_terms = [| fresh_term t `C r1 r2; fresh_term t `C r2 r1 |];
+              p_delta = (fun m -> m -. mutual);
+              p_ddelta = (fun _ -> 1.0);
+              p_ok = (fun m -> m >= 0.0 && Float.is_finite m);
+            }
+        | Netlist.Resistor _, (`L | `C | `M) -> reject "non-resistance"
+        | Netlist.Rl_branch _, (`C | `M) -> reject "capacitance or mutual"
+        | Netlist.Capacitor _, (`R | `L | `M) -> reject "non-capacitance"
+        | Netlist.Coupled_rl _, `C -> reject "capacitance"
+        | (Netlist.Vsource _ | Netlist.Isource _ | Netlist.Inverter _), _ ->
+            reject "perturbable"
+      in
+      Hashtbl.add t.params (name, kind) p;
+      p
+
+let base_value p = p.p_base
+
+(* ---------------- evaluation plumbing ---------------- *)
+
+type target =
+  | Dc_voltage of Netlist.node
+  | Delay of Netlist.node
+  | Ac_mag of Netlist.node * float
+
+exception Reject
+
+let size t = t.asm.Assembly.size
+let plan t = t.asm.Assembly.plan
+
+let dense_u t term =
+  match term.u_dense with
+  | Some a -> a
+  | None ->
+      let a = Array.make (size t) 0.0 in
+      Array.iteri (fun k i -> a.(i) <- a.(i) +. term.tu.vsgn.(k)) term.tu.vidx;
+      term.u_dense <- Some a;
+      a
+
+let dense_v t term =
+  match term.v_dense with
+  | Some a -> a
+  | None ->
+      let a = Array.make (size t) 0.0 in
+      Array.iteri (fun k j -> a.(j) <- a.(j) +. term.tv.vsgn.(k)) term.tv.vidx;
+      term.v_dense <- Some a;
+      a
+
+let sparse_dot vec x =
+  let acc = ref 0.0 in
+  Array.iteri (fun k i -> acc := !acc +. (vec.vsgn.(k) *. x.(i))) vec.vidx;
+  !acc
+
+let check_set set =
+  if List.exists (fun (p, v) -> not (Float.is_finite v && p.p_ok v)) set then
+    raise Reject
+
+(* Active (term, delta) pairs on one matrix for a settings list. *)
+let active_terms which set =
+  List.concat_map
+    (fun (p, value) ->
+      let d = p.p_delta value in
+      if d = 0.0 then []
+      else
+        Array.to_list p.p_terms
+        |> List.filter_map (fun term ->
+               if term.tmat = which then Some (term, d) else None))
+    set
+
+(* Delta stamps of a (term, delta) list through a fill accumulator:
+   4 entries per rank-1 term (fewer at ground).  Every position is
+   inside the base pattern, so a refactor through this fill can replay
+   the base symbolic analysis. *)
+let stamp_deltas terms add =
+  List.iter
+    (fun (tm, d) ->
+      Array.iteri
+        (fun a i ->
+          let si = tm.tu.vsgn.(a) in
+          Array.iteri
+            (fun b j -> add i j (d *. si *. tm.tv.vsgn.(b)))
+            tm.tv.vidx)
+        tm.tu.vidx)
+    terms
+
+let count_update t =
+  t.n_updates <- t.n_updates + 1;
+  if M.recording () then M.incr m_update
+
+let count_refactor ?(fallback = false) t =
+  t.n_refactors <- t.n_refactors + 1;
+  if fallback then t.n_fallbacks <- t.n_fallbacks + 1;
+  if M.recording () then begin
+    M.incr m_refactor;
+    if fallback then M.incr m_fallback
+  end
+
+let zcol t term =
+  match Hashtbl.find_opt t.zcache term.tid with
+  | Some z -> z
+  | None ->
+      let z = Solver.solve (plan t) t.base_factor (dense_u t term) in
+      Hashtbl.add t.zcache term.tid z;
+      z
+
+(* How the perturbed G is served: untouched, a Woodbury view over the
+   base factor, or a numeric refactor reusing the symbolic. *)
+type resolved =
+  | R_base
+  | R_updated of Update.t
+  | R_refactored of Solver.factor
+
+let refactor_g ?(fallback = false) t gterms =
+  count_refactor ~fallback t;
+  let fill add =
+    Assembly.Coo.iter t.asm.Assembly.g add;
+    stamp_deltas gterms add
+  in
+  R_refactored (Solver.factor_with ?symbolic:t.g_symbolic (plan t) ~fill)
+
+let resolve_g t gterms =
+  match gterms with
+  | [] -> R_base
+  | _ -> begin
+      let k = List.length gterms in
+      if t.max_rank = 0 then refactor_g t gterms
+      else if k > t.max_rank then refactor_g ~fallback:true t gterms
+      else begin
+        let terms = Array.of_list gterms in
+        let u = Array.map (fun (tm, _) -> dense_u t tm) terms in
+        let v = Array.map (fun (tm, _) -> dense_v t tm) terms in
+        let z = Array.map (fun (tm, _) -> zcol t tm) terms in
+        let scale = Array.map snd terms in
+        match Update.make ~z ~scale (plan t) t.base_factor ~u ~v with
+        | upd when Update.condition upd <= t.condition_limit ->
+            count_update t;
+            R_updated upd
+        | _ -> refactor_g ~fallback:true t gterms
+        | exception Update.Singular -> refactor_g ~fallback:true t gterms
+      end
+    end
+
+let solve_resolved t res b =
+  match res with
+  | R_base -> Solver.solve (plan t) t.base_factor b
+  | R_updated upd -> Update.solve upd b
+  | R_refactored f -> Solver.solve (plan t) f b
+
+(* ---------------- DC ---------------- *)
+
+let check_node t node ctx =
+  if node < 0 || node >= t.asm.Assembly.n_nodes then
+    invalid_arg (Printf.sprintf "Whatif.%s: node %d out of range" ctx node)
+
+let dc_solution t set =
+  match resolve_g t (active_terms `G set) with
+  | R_base -> t.x0
+  | R_updated upd ->
+      let x = Array.make (size t) 0.0 in
+      Update.apply upd ~x0:t.x0 ~x;
+      x
+  | R_refactored f -> Solver.solve (plan t) f t.rhs0
+
+let dc_eval t set node =
+  check_node t node "evaluate";
+  let x = dc_solution t set in
+  if node = Netlist.ground then 0.0 else x.(node - 1)
+
+(* ---------------- two-pole delay from moments ----------------
+
+   The circuit library sits below the analytic core, so the two-pole
+   step-response crossing is restated here (same formulas as
+   [Rlc_core.Step_response] / [Rlc_core.Delay], which the tests
+   cross-validate): poles of 1 / (1 + b1 s + b2 s^2) with the
+   repeated-root branch inside the same relative band. *)
+
+let critical_band = 1e-7
+
+let step_eval ~b1 ~b2 tt =
+  if tt = 0.0 then 0.0
+  else begin
+    let disc = (b1 *. b1) -. (4.0 *. b2) in
+    if Float.abs disc <= critical_band *. b1 *. b1 then begin
+      let a = b1 /. (2.0 *. b2) in
+      1.0 -. ((1.0 +. (a *. tt)) *. Float.exp (-.a *. tt))
+    end
+    else begin
+      let sq = Cx.sqrt (Cx.of_float disc) in
+      let denom = 2.0 *. b2 in
+      let open Cx in
+      let s1 = scale (1.0 /. denom) (of_float (-.b1) +: sq) in
+      let s2 = scale (1.0 /. denom) (of_float (-.b1) -: sq) in
+      let d = s2 -: s1 in
+      let v =
+        of_float 1.0
+        -: (s2 /: d *: exp (scale tt s1))
+        +: (s1 /: d *: exp (scale tt s2))
+      in
+      Cx.real_part_checked ~tol:1e-6 v
+    end
+  end
+
+let step_deriv ~b1 ~b2 tt =
+  let disc = (b1 *. b1) -. (4.0 *. b2) in
+  if Float.abs disc <= critical_band *. b1 *. b1 then begin
+    let a = b1 /. (2.0 *. b2) in
+    a *. a *. tt *. Float.exp (-.a *. tt)
+  end
+  else begin
+    let sq = Cx.sqrt (Cx.of_float disc) in
+    let denom = 2.0 *. b2 in
+    let open Cx in
+    let s1 = scale (1.0 /. denom) (of_float (-.b1) +: sq) in
+    let s2 = scale (1.0 /. denom) (of_float (-.b1) -: sq) in
+    let d = s2 -: s1 in
+    let v = s1 *: s2 /: d *: (exp (scale tt s2) -: exp (scale tt s1)) in
+    Cx.real_part_checked ~tol:1e-6 v
+  end
+
+let crossing_delay ~f ~b1 ~b2 =
+  if not (b1 > 0.0 && b2 > 0.0) then Float.nan
+  else begin
+    let residual tt = step_eval ~b1 ~b2 tt -. f in
+    let lo, hi =
+      Roots.bracket_first residual ~t0:0.0 ~dt:(b1 /. 32.0)
+    in
+    if lo = hi then lo
+    else
+      Roots.newton_bracketed ~tol:1e-13 ~f:residual
+        ~df:(step_deriv ~b1 ~b2) lo hi
+  end
+
+let two_pole ~m0 ~m1 ~m2 =
+  if Float.abs m0 < 1e-300 then (Float.nan, Float.nan)
+  else begin
+    let r1 = m1 /. m0 in
+    (-.r1, (r1 *. r1) -. (m2 /. m0))
+  end
+
+let require_source t ctx =
+  if Array.length t.asm.Assembly.inputs = 0 then
+    invalid_arg ("Whatif." ^ ctx ^ ": deck has no sources")
+
+(* C' * y with the value deltas applied on the fly. *)
+let cmatvec t cterms y =
+  let r = Array.make (size t) 0.0 in
+  Assembly.Coo.iter t.asm.Assembly.c (fun i j v ->
+      r.(i) <- r.(i) +. (v *. y.(j)));
+  List.iter
+    (fun (tm, d) ->
+      let vy = sparse_dot tm.tv y in
+      Array.iteri
+        (fun a i -> r.(i) <- r.(i) +. (d *. tm.tu.vsgn.(a) *. vy))
+        tm.tu.vidx)
+    cterms;
+  r
+
+let moments t set node =
+  check_node t node "evaluate";
+  if node = Netlist.ground then
+    invalid_arg "Whatif.evaluate: delay at ground";
+  require_source t "evaluate";
+  let gterms = active_terms `G set in
+  let cterms = active_terms `C set in
+  let res = resolve_g t gterms in
+  let b0 = Assembly.b_column t.asm 0 in
+  let y0 = solve_resolved t res b0 in
+  let y1 = Array.map Float.neg (solve_resolved t res (cmatvec t cterms y0)) in
+  let y2 = Array.map Float.neg (solve_resolved t res (cmatvec t cterms y1)) in
+  (res, cterms, y0, y1, y2)
+
+let delay_eval t set node =
+  let _, _, y0, y1, y2 = moments t set node in
+  let p = node - 1 in
+  let b1, b2 = two_pole ~m0:y0.(p) ~m1:y1.(p) ~m2:y2.(p) in
+  crossing_delay ~f:t.f_threshold ~b1 ~b2
+
+(* ---------------- AC ---------------- *)
+
+let ac_point t omega =
+  match Hashtbl.find_opt t.ac omega with
+  | Some pt -> pt
+  | None ->
+      let s = Cx.make 0.0 omega in
+      let acf =
+        Solver.cfactor_with ?symbolic:t.ac_sym (plan t)
+          ~fill:(Assembly.cfill t.asm s)
+      in
+      (match t.ac_sym with
+      | None -> t.ac_sym <- Solver.csymbolic_of acf
+      | Some _ -> ());
+      let b0 = Array.map Cx.of_float (Assembly.b_column t.asm 0) in
+      let pt =
+        { acf; ac_x0 = Solver.csolve (plan t) acf b0; ac_z = Hashtbl.create 8 }
+      in
+      Hashtbl.add t.ac omega pt;
+      pt
+
+let czcol t pt term =
+  match Hashtbl.find_opt pt.ac_z term.tid with
+  | Some z -> z
+  | None ->
+      let u = Array.map Cx.of_float (dense_u t term) in
+      let z = Solver.csolve (plan t) pt.acf u in
+      Hashtbl.add pt.ac_z term.tid z;
+      z
+
+(* AC terms: a G delta shifts A = G + sC by [delta u v^T], a C delta
+   by [s delta u v^T]. *)
+let ac_terms ~s set =
+  List.map (fun (tm, d) -> (tm, Cx.of_float d)) (active_terms `G set)
+  @ List.map
+      (fun (tm, d) -> (tm, Cx.scale d s))
+      (active_terms `C set)
+
+let ac_refactor ?(fallback = false) ?(count = true) t ~s terms =
+  if count then count_refactor ~fallback t;
+  let fill add =
+    Assembly.cfill t.asm s add;
+    List.iter
+      (fun (tm, d) ->
+        Array.iteri
+          (fun a i ->
+            let si = tm.tu.vsgn.(a) in
+            Array.iteri
+              (fun b j ->
+                add i j (Cx.scale (si *. tm.tv.vsgn.(b)) d))
+              tm.tv.vidx)
+          tm.tu.vidx)
+      terms
+  in
+  Solver.cfactor_with ?symbolic:t.ac_sym (plan t) ~fill
+
+let ac_solution t set omega =
+  let s = Cx.make 0.0 omega in
+  let pt = ac_point t omega in
+  match ac_terms ~s set with
+  | [] -> pt.ac_x0
+  | terms -> begin
+      let k = List.length terms in
+      let solve_refactored ~fallback =
+        let acf = ac_refactor ~fallback t ~s terms in
+        let b0 = Array.map Cx.of_float (Assembly.b_column t.asm 0) in
+        Solver.csolve (plan t) acf b0
+      in
+      if t.max_rank = 0 then solve_refactored ~fallback:false
+      else if k > t.max_rank then solve_refactored ~fallback:true
+      else begin
+        let terms = Array.of_list terms in
+        let u =
+          Array.map (fun (tm, _) -> Array.map Cx.of_float (dense_u t tm)) terms
+        in
+        let v =
+          Array.map (fun (tm, _) -> Array.map Cx.of_float (dense_v t tm)) terms
+        in
+        let z = Array.map (fun (tm, _) -> czcol t pt tm) terms in
+        let scale = Array.map snd terms in
+        match Update.cmake ~z ~scale (plan t) pt.acf ~u ~v with
+        | upd when Update.ccondition upd <= t.condition_limit ->
+            count_update t;
+            let x = Array.make (size t) Cx.zero in
+            Update.capply upd ~x0:pt.ac_x0 ~x;
+            x
+        | _ -> solve_refactored ~fallback:true
+        | exception Update.Singular -> solve_refactored ~fallback:true
+      end
+    end
+
+let ac_eval t set node omega =
+  check_node t node "evaluate";
+  require_source t "evaluate";
+  if not (Float.is_finite omega) then
+    invalid_arg "Whatif.evaluate: non-finite omega";
+  let x = ac_solution t set omega in
+  if node = Netlist.ground then 0.0 else Cx.norm x.(node - 1)
+
+(* ---------------- evaluate ---------------- *)
+
+let evaluate ?(set = []) t target =
+  try
+    check_set set;
+    match target with
+    | Dc_voltage node -> dc_eval t set node
+    | Delay node -> delay_eval t set node
+    | Ac_mag (node, omega) -> ac_eval t set node omega
+  with
+  | Reject
+  | Lu.Singular | Banded.Singular | Sparse.Singular
+  | Clu.Singular | Cbanded.Singular
+  | Roots.No_bracket
+  | Roots.No_convergence _ ->
+      Float.nan
+
+(* ---------------- adjoint gradients ---------------- *)
+
+(* Transposed factors.  The G pattern is structurally symmetric (the
+   skew branch coupling occupies mirrored slots), so the transposed
+   stamps respect the same plan bandwidths, and the sparse symbolic
+   replays against transposed values like any other value-only
+   restamp (with the usual repivot fallback). *)
+let transpose_factor t gterms =
+  let fill add =
+    Assembly.Coo.iter t.asm.Assembly.g (fun i j v -> add j i v);
+    stamp_deltas gterms (fun i j v -> add j i v)
+  in
+  Solver.factor_with ?symbolic:t.g_symbolic (plan t) ~fill
+
+let base_transpose_factor t =
+  match t.tfactor with
+  | Some f -> f
+  | None ->
+      let f = transpose_factor t [] in
+      t.tfactor <- Some f;
+      f
+
+(* Forward/adjoint factor pair at a settings point: base factors when
+   the settings leave G untouched, exact refactors otherwise (the
+   gradient path is exact by construction; Woodbury views are for the
+   value-sweep hot loop). *)
+let gradient_factors t gterms =
+  match gterms with
+  | [] -> (t.base_factor, base_transpose_factor t)
+  | _ ->
+      let fill add =
+        Assembly.Coo.iter t.asm.Assembly.g add;
+        stamp_deltas gterms add
+      in
+      ( Solver.factor_with ?symbolic:t.g_symbolic (plan t) ~fill,
+        transpose_factor t gterms )
+
+let unit_vec n p =
+  let e = Array.make n 0.0 in
+  e.(p) <- 1.0;
+  e
+
+(* Value a parameter takes at a settings point. *)
+let value_at set p =
+  match List.find_opt (fun (q, _) -> q == p) set with
+  | Some (_, v) -> v
+  | None -> p.p_base
+
+let dc_gradient t set node ~wrt =
+  check_node t node "gradient";
+  if node = Netlist.ground then Array.make (Array.length wrt) 0.0
+  else begin
+    let gterms = active_terms `G set in
+    let fwd, adj = gradient_factors t gterms in
+    let x =
+      match gterms with
+      | [] -> t.x0
+      | _ -> Solver.solve (plan t) fwd t.rhs0
+    in
+    let lambda = Solver.solve (plan t) adj (unit_vec (size t) (node - 1)) in
+    Array.map
+      (fun p ->
+        let dd = p.p_ddelta (value_at set p) in
+        Array.fold_left
+          (fun acc tm ->
+            if tm.tmat = `G then
+              acc -. (dd *. sparse_dot tm.tu lambda *. sparse_dot tm.tv x)
+            else acc)
+          0.0 p.p_terms)
+      wrt
+  end
+
+(* C'^T * y with deltas. *)
+let ctmatvec t cterms y =
+  let r = Array.make (size t) 0.0 in
+  Assembly.Coo.iter t.asm.Assembly.c (fun i j v ->
+      r.(j) <- r.(j) +. (v *. y.(i)));
+  List.iter
+    (fun (tm, d) ->
+      let uy = sparse_dot tm.tu y in
+      Array.iteri
+        (fun b j -> r.(j) <- r.(j) +. (d *. tm.tv.vsgn.(b) *. uy))
+        tm.tv.vidx)
+    cterms;
+  r
+
+let delay_gradient t set node ~wrt =
+  check_node t node "gradient";
+  if node = Netlist.ground then
+    invalid_arg "Whatif.gradient: delay at ground";
+  require_source t "gradient";
+  let gterms = active_terms `G set in
+  let cterms = active_terms `C set in
+  let fwd, adj = gradient_factors t gterms in
+  let solve_f b = Solver.solve (plan t) fwd b in
+  let solve_a b = Solver.solve (plan t) adj b in
+  let b0 = Assembly.b_column t.asm 0 in
+  let y0 = solve_f b0 in
+  let y1 = Array.map Float.neg (solve_f (cmatvec t cterms y0)) in
+  let y2 = Array.map Float.neg (solve_f (cmatvec t cterms y1)) in
+  let p = node - 1 in
+  let m0 = y0.(p) and m1 = y1.(p) and m2 = y2.(p) in
+  let b1, b2 = two_pole ~m0 ~m1 ~m2 in
+  let tau = crossing_delay ~f:t.f_threshold ~b1 ~b2 in
+  if Float.is_nan tau then Array.make (Array.length wrt) Float.nan
+  else begin
+    let l0 = solve_a (unit_vec (size t) p) in
+    let l1 = Array.map Float.neg (solve_a (ctmatvec t cterms l0)) in
+    let l2 = Array.map Float.neg (solve_a (ctmatvec t cterms l1)) in
+    (* the crossing's scalar sensitivities to the two coefficients via
+       the implicit function theorem on V(tau; b1, b2) = f:
+       dtau/db = -(dV/db) / (dV/dt).  dV/dt is analytic; dV/db uses a
+       central difference of the smooth closed-form response with a
+       step relative to the coefficient (the coefficients are O(1e-12),
+       far below {!Fdiff}'s absolute step floor, and re-solving the
+       crossing under perturbed coefficients would drown the signal in
+       root-finder tolerance noise). *)
+    let vdot = step_deriv ~b1 ~b2 tau in
+    let dvdb g x =
+      let h = 1e-6 *. Float.abs x in
+      (g (x +. h) -. g (x -. h)) /. (2.0 *. h)
+    in
+    let dtau_db1 =
+      -.dvdb (fun b1' -> step_eval ~b1:b1' ~b2 tau) b1 /. vdot
+    in
+    let dtau_db2 =
+      -.dvdb (fun b2' -> step_eval ~b1 ~b2:b2' tau) b2 /. vdot
+    in
+    let ys = [| y0; y1; y2 |] and ls = [| l0; l1; l2 |] in
+    Array.map
+      (fun pr ->
+        let dd = pr.p_ddelta (value_at set pr) in
+        (* dm_j = - sum_{i+k=j-1} l_i^T dC y_k
+                  - sum_{i+k=j}   l_i^T dG y_k, with every rank-1
+           contraction an O(1) pair of sparse dots *)
+        let dm = [| 0.0; 0.0; 0.0 |] in
+        Array.iter
+          (fun tm ->
+            for i = 0 to 2 do
+              for k = 0 to 2 - i do
+                let lu = sparse_dot tm.tu ls.(i) in
+                let vy = sparse_dot tm.tv ys.(k) in
+                let contraction = dd *. lu *. vy in
+                match tm.tmat with
+                | `G ->
+                    if i + k <= 2 then
+                      dm.(i + k) <- dm.(i + k) -. contraction
+                | `C ->
+                    if i + k + 1 <= 2 then
+                      dm.(i + k + 1) <- dm.(i + k + 1) -. contraction
+              done
+            done)
+          pr.p_terms;
+        let r1 = m1 /. m0 in
+        let dr1 = ((dm.(1) *. m0) -. (m1 *. dm.(0))) /. (m0 *. m0) in
+        let db1 = -.dr1 in
+        let db2 =
+          (2.0 *. r1 *. dr1)
+          -. (((dm.(2) *. m0) -. (m2 *. dm.(0))) /. (m0 *. m0))
+        in
+        (dtau_db1 *. db1) +. (dtau_db2 *. db2))
+      wrt
+  end
+
+let ac_gradient t set node omega ~wrt =
+  check_node t node "gradient";
+  require_source t "gradient";
+  if node = Netlist.ground then Array.make (Array.length wrt) 0.0
+  else begin
+    let s = Cx.make 0.0 omega in
+    let terms = ac_terms ~s set in
+    let x =
+      match terms with
+      | [] -> (ac_point t omega).ac_x0
+      | _ ->
+          (* part of the gradient, not a sweep refactor: don't count *)
+          let acf = ac_refactor ~count:false t ~s terms in
+          let b0 = Array.map Cx.of_float (Assembly.b_column t.asm 0) in
+          Solver.csolve (plan t) acf b0
+    in
+    let adj =
+      let fill add =
+        Assembly.cfill t.asm s (fun i j v -> add j i v);
+        List.iter
+          (fun (tm, d) ->
+            Array.iteri
+              (fun a i ->
+                let si = tm.tu.vsgn.(a) in
+                Array.iteri
+                  (fun b j ->
+                    add j i (Cx.scale (si *. tm.tv.vsgn.(b)) d))
+                  tm.tv.vidx)
+              tm.tu.vidx)
+          terms
+      in
+      Solver.cfactor_with ?symbolic:t.ac_sym (plan t) ~fill
+    in
+    let e = Array.make (size t) Cx.zero in
+    e.(node - 1) <- Cx.one;
+    let lambda = Solver.csolve (plan t) adj e in
+    let h = x.(node - 1) in
+    let habs = Cx.norm h in
+    let csparse_dot vec (zv : Cx.t array) =
+      let acc = ref Cx.zero in
+      Array.iteri
+        (fun k i -> acc := Cx.( +: ) !acc (Cx.scale vec.vsgn.(k) zv.(i)))
+        vec.vidx;
+      !acc
+    in
+    Array.map
+      (fun p ->
+        if habs < 1e-300 then Float.nan
+        else begin
+          let dd = p.p_ddelta (value_at set p) in
+          let dh =
+            Array.fold_left
+              (fun acc tm ->
+                let sigma =
+                  match tm.tmat with `G -> Cx.one | `C -> s
+                in
+                let lu = csparse_dot tm.tu lambda in
+                let vx = csparse_dot tm.tv x in
+                Cx.( -: ) acc (Cx.scale dd (Cx.( *: ) sigma (Cx.( *: ) lu vx))))
+              Cx.zero p.p_terms
+          in
+          Cx.re (Cx.( *: ) (Cx.conj h) dh) /. habs
+        end)
+      wrt
+  end
+
+let gradient ?(set = []) t target ~wrt =
+  if M.recording () then M.incr m_adjoint;
+  try
+    check_set set;
+    match target with
+    | Dc_voltage node -> dc_gradient t set node ~wrt
+    | Delay node -> delay_gradient t set node ~wrt
+    | Ac_mag (node, omega) -> ac_gradient t set node omega ~wrt
+  with
+  | Reject
+  | Lu.Singular | Banded.Singular | Sparse.Singular
+  | Clu.Singular | Cbanded.Singular
+  | Roots.No_bracket
+  | Roots.No_convergence _ ->
+      Array.make (Array.length wrt) Float.nan
+
+(* ---------------- stats ---------------- *)
+
+type stats = { updates : int; refactors : int; fallbacks : int }
+
+let stats t =
+  { updates = t.n_updates; refactors = t.n_refactors;
+    fallbacks = t.n_fallbacks }
+
+(* ---------------- the unified objective interface ---------------- *)
+
+type 'w objective = {
+  workspace : 'w;
+  eval : 'w -> float array -> float;
+}
+
+type 'w residuals = {
+  rworkspace : 'w;
+  reval : 'w -> float array -> float array;
+}
+
+let objective t target ~wrt =
+  let eval ws x =
+    if Array.length x <> Array.length wrt then
+      invalid_arg "Whatif.objective: parameter vector length mismatch";
+    let set =
+      Array.to_list (Array.map2 (fun p v -> (p, v)) wrt x)
+    in
+    evaluate ~set ws target
+  in
+  { workspace = t; eval }
+
+let custom ~workspace ~eval = { workspace; eval }
+let custom_residuals ~workspace ~eval = { rworkspace = workspace; reval = eval }
+
+let eval o x = o.eval o.workspace x
+let eval_residuals r x = r.reval r.rworkspace x
+
+let minimize ?max_iter ?ftol ?xtol ?initial_step o ~x0 =
+  Nelder_mead.minimize_ctx ?max_iter ?ftol ?xtol ?initial_step ~ctx:o.workspace
+    ~f:o.eval ~x0 ()
+
+let solve_residuals ?max_iter ?tol ?lower ?upper r ~x0 =
+  Newton.solve_ctx ?max_iter ?tol ?lower ?upper ~ctx:r.rworkspace ~f:r.reval
+    ~x0 ()

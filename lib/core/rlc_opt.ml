@@ -77,24 +77,41 @@ let make_result ?(f = 0.5) node ~l ~h ~k ~method_ ~newton_converged
     newton_iterations;
   }
 
+(* The stage-model evaluation workspace: the precomputed context the
+   optimizer loops re-evaluate against, carried explicitly through the
+   unified {!Rlc_circuit.Whatif} objective/residuals interface instead
+   of being captured in per-call-site closure shapes. *)
+type stage_workspace = {
+  sw_node : Rlc_tech.Node.t;
+  sw_l : float;
+  sw_f : float;
+  sw_h0 : float;  (* (h, k) scaling seeds from the RC closed form *)
+  sw_k0 : float;
+}
+
+let newton_residuals ws x =
+  let h = x.(0) *. ws.sw_h0 and k = x.(1) *. ws.sw_k0 in
+  if h <= 0.0 || k <= 0.0 then [| nan; nan |]
+  else begin
+    try
+      let stage = Stage.of_node ws.sw_node ~l:ws.sw_l ~h ~k in
+      let g1, g2 = residuals ~f:ws.sw_f stage in
+      [| g1; g2 |]
+    with Invalid_argument _ | Delay.No_delay -> [| nan; nan |]
+  end
+
 let optimize_newton_only ?(f = 0.5) node ~l =
   let rc = Rc_opt.optimize node in
   let h0 = rc.Rc_opt.h_opt and k0 = rc.Rc_opt.k_opt in
-  let residual_fn x =
-    let h = x.(0) *. h0 and k = x.(1) *. k0 in
-    if h <= 0.0 || k <= 0.0 then [| nan; nan |]
-    else begin
-      try
-        let stage = Stage.of_node node ~l ~h ~k in
-        let g1, g2 = residuals ~f stage in
-        [| g1; g2 |]
-      with Invalid_argument _ | Delay.No_delay -> [| nan; nan |]
-    end
+  let ws = { sw_node = node; sw_l = l; sw_f = f; sw_h0 = h0; sw_k0 = k0 } in
+  let system =
+    Rlc_circuit.Whatif.custom_residuals ~workspace:ws ~eval:newton_residuals
   in
   try
     let sol =
-      Newton.solve ~max_iter:60 ~tol:1e-10 ~lower:[| 1e-3; 1e-3 |]
-        ~upper:[| 1e3; 1e3 |] ~f:residual_fn ~x0:[| 1.0; 1.0 |] ()
+      Rlc_circuit.Whatif.solve_residuals ~max_iter:60 ~tol:1e-10
+        ~lower:[| 1e-3; 1e-3 |] ~upper:[| 1e3; 1e3 |] system
+        ~x0:[| 1.0; 1.0 |]
     in
     if not sol.Newton.converged then None
     else begin
@@ -125,13 +142,20 @@ let grid_seed ?f node ~l ~h0 ~k0 =
   let h, k, _ = !best in
   (h, k)
 
+(* tau/h over log-space (h, k) — Nelder-Mead's half of the unified
+   interface; nan (out of domain) rejects per the Whatif convention. *)
+let nm_objective ws x =
+  objective ~f:ws.sw_f ws.sw_node ~l:ws.sw_l ~h:(Float.exp x.(0))
+    ~k:(Float.exp x.(1))
+
 let optimize_nm_only ?(f = 0.5) node ~l =
   let rc = Rc_opt.optimize node in
   let h0, k0 = grid_seed ~f node ~l ~h0:rc.Rc_opt.h_opt ~k0:rc.Rc_opt.k_opt in
-  let obj x = objective ~f node ~l ~h:(Float.exp x.(0)) ~k:(Float.exp x.(1)) in
+  let ws = { sw_node = node; sw_l = l; sw_f = f; sw_h0 = h0; sw_k0 = k0 } in
+  let obj = Rlc_circuit.Whatif.custom ~workspace:ws ~eval:nm_objective in
   let sol =
-    Nelder_mead.minimize ~max_iter:4000 ~ftol:1e-14 ~xtol:1e-9 ~f:obj
-      ~x0:[| Float.log h0; Float.log k0 |] ()
+    Rlc_circuit.Whatif.minimize ~max_iter:4000 ~ftol:1e-14 ~xtol:1e-9 obj
+      ~x0:[| Float.log h0; Float.log k0 |]
   in
   let h = Float.exp sol.Nelder_mead.x.(0)
   and k = Float.exp sol.Nelder_mead.x.(1) in

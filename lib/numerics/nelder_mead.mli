@@ -11,6 +11,27 @@ type result = {
   converged : bool;
 }
 
+val minimize_ctx :
+  ?max_iter:int ->
+  ?ftol:float ->
+  ?xtol:float ->
+  ?initial_step:float ->
+  ctx:'a ->
+  f:('a -> float array -> float) ->
+  x0:float array ->
+  unit ->
+  result
+(** [minimize_ctx ~ctx ~f ~x0 ()] runs the standard reflect / expand /
+    contract / shrink iteration from a simplex built around [x0] with
+    relative size [initial_step] (default 0.05), passing [ctx] — a
+    precompiled evaluation workspace, e.g. a
+    [Rlc_circuit.Whatif.t objective]'s workspace — to every objective
+    call.  Convergence requires both the spread of objective values
+    ([ftol], default 1e-12, relative) and of vertices ([xtol], default
+    1e-10, relative) to collapse.  Objective values of [nan] are
+    treated as +infinity, so the objective may simply reject invalid
+    regions. *)
+
 val minimize :
   ?max_iter:int ->
   ?ftol:float ->
@@ -20,10 +41,11 @@ val minimize :
   x0:float array ->
   unit ->
   result
-(** [minimize ~f ~x0 ()] runs the standard reflect / expand / contract /
-    shrink iteration from a simplex built around [x0] with relative
-    size [initial_step] (default 0.05).  Convergence requires both the
-    spread of objective values ([ftol], default 1e-12, relative) and of
-    vertices ([xtol], default 1e-10, relative) to collapse.  Objective
-    values of [nan] are treated as +infinity, so the objective may
-    simply reject invalid regions. *)
+(** [minimize ~f ~x0 ()] — {!minimize_ctx} with the workspace captured
+    in the closure.
+
+    @deprecated the bare-closure shape; new call sites should carry
+    their evaluation context explicitly (or through a
+    [Rlc_circuit.Whatif.objective] record) and use {!minimize_ctx}.
+    This wrapper threads a unit context through the same
+    implementation, so existing callers are bit-identical. *)

@@ -25,9 +25,13 @@ let clamp ?lower ?upper x =
       Array.iteri (fun i v -> if x.(i) > v then x.(i) <- v) hi);
   x
 
-let solve ?(max_iter = 60) ?(tol = 1e-10) ?jacobian ?lower ?upper ~f ~x0 () =
+let solve_ctx ?(max_iter = 60) ?(tol = 1e-10) ?jacobian ?lower ?upper ~ctx
+    ~f:fc ~x0 () =
+  let f x = fc ctx x in
   let jac =
-    match jacobian with Some j -> j | None -> fun x -> Fdiff.jacobian f x
+    match jacobian with
+    | Some j -> fun x -> j ctx x
+    | None -> fun x -> Fdiff.jacobian f x
   in
   let x = ref (clamp ?lower ?upper x0) in
   let fx = ref (f !x) in
@@ -70,3 +74,10 @@ let solve ?(max_iter = 60) ?(tol = 1e-10) ?jacobian ?lower ?upper ~f ~x0 () =
   done;
   let r = norm !fx in
   { x = !x; residual_norm = r; iterations = !iter; converged = r <= threshold }
+
+let solve ?max_iter ?tol ?jacobian ?lower ?upper ~f ~x0 () =
+  (* legacy closure shape: thread a unit context through the one real
+     implementation — same float operations in the same order *)
+  let jacobian = Option.map (fun j () x -> j x) jacobian in
+  solve_ctx ?max_iter ?tol ?jacobian ?lower ?upper ~ctx:() ~f:(fun () x -> f x)
+    ~x0 ()

@@ -14,6 +14,29 @@ type result = {
   converged : bool;
 }
 
+val solve_ctx :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?jacobian:('a -> float array -> Matrix.t) ->
+  ?lower:float array ->
+  ?upper:float array ->
+  ctx:'a ->
+  f:('a -> float array -> float array) ->
+  x0:float array ->
+  unit ->
+  result
+(** [solve_ctx ~ctx ~f ~x0 ()] iterates from [x0], passing [ctx] — a
+    precompiled evaluation workspace, e.g. a
+    [Rlc_circuit.Whatif.t] — to every residual (and Jacobian) call
+    instead of forcing callers to capture it in a closure.  This is
+    the residual half of the unified what-if evaluation interface:
+    the workspace is built once, the optimizer loop re-evaluates
+    cheaply.  Convergence is declared when the residual norm falls
+    below [tol] (default 1e-10) relative to the initial residual, or
+    absolutely below [tol].  When [jacobian] is omitted a central
+    finite-difference Jacobian is used.  [lower] / [upper] clamp every
+    iterate componentwise. *)
+
 val solve :
   ?max_iter:int ->
   ?tol:float ->
@@ -24,8 +47,10 @@ val solve :
   x0:float array ->
   unit ->
   result
-(** [solve ~f ~x0 ()] iterates from [x0].  Convergence is declared when
-    the residual norm falls below [tol] (default 1e-10) relative to the
-    initial residual, or absolutely below [tol].  When [jacobian] is
-    omitted a central finite-difference Jacobian is used.  [lower] /
-    [upper] clamp every iterate componentwise. *)
+(** [solve ~f ~x0 ()] — {!solve_ctx} with the workspace captured in
+    the closure.
+
+    @deprecated the bare-closure shape; new call sites should build a
+    context (or a [Rlc_circuit.Whatif.residuals] record) and use
+    {!solve_ctx}.  This wrapper threads a unit context through the
+    same implementation, so existing callers are bit-identical. *)

@@ -1,0 +1,93 @@
+(** Sherman-Morrison-Woodbury rank-k updates over the shared
+    {!Solver} factor types.
+
+    A what-if loop perturbs a handful of element values in a system
+    that was already factorised: the perturbed matrix is
+
+      A' = A + sum_i scale_i * u_i v_i^T
+
+    with k small (one segment's r/l/c touches one or two rank-1
+    terms).  Refactoring A' from scratch costs a full numeric
+    factorisation per point; the Woodbury identity serves the same
+    solve from the BASE factor plus k extra triangular solves:
+
+      A'^-1 b = x0 - Z S^-1 V^T x0,   x0 = A^-1 b,
+      Z = [A^-1 u_1 .. A^-1 u_k],     S = I + diag-free (V^T Z D)
+
+    where S is the k x k capacitance matrix.  The expensive pieces —
+    the columns [z_i = A^-1 u_i] and the base solution [x0] — depend
+    only on the base factor and the perturbation *directions*, not the
+    perturbation *values*, so a value sweep along fixed directions
+    precomputes them once and pays O(k n) per point.
+
+    The identity is exact in exact arithmetic; in floats it degrades
+    with the conditioning of S.  {!condition} estimates cond_1(S) so a
+    caller (the {!Rlc_circuit.Whatif} workspace) can fall back to a
+    full refactor when an update would lose digits. *)
+
+exception Singular
+(** The k x k capacitance matrix is numerically singular: the update
+    annihilates the base factor (e.g. a conductance perturbed to
+    exactly cancel a loop).  Fall back to a fresh factorisation. *)
+
+(** {1 Real updates} *)
+
+type t
+(** A rank-k updated view [A + sum scale_i u_i v_i^T] of a real base
+    factor.  Immutable once built. *)
+
+val make :
+  ?z:float array array ->
+  ?scale:float array ->
+  Solver.plan ->
+  Solver.factor ->
+  u:float array array ->
+  v:float array array ->
+  t
+(** [make plan factor ~u ~v] builds the update [A + sum scale_i u_i
+    v_i^T] ([scale] defaults to all ones).  [u] and [v] are k columns
+    in natural (unpermuted) coordinates; k = 0 degrades to the
+    identity update.  [?z] supplies precomputed base solves [z_i =
+    A^-1 u_i] (the value-sweep fast path: the caller caches them per
+    direction); when omitted they are computed here with k solves
+    through [factor].  Raises {!Singular} when S is exactly singular
+    and [Invalid_argument] on mismatched lengths. *)
+
+val rank : t -> int
+
+val condition : t -> float
+(** 1-norm condition estimate of the k x k capacitance matrix
+    (exact [||S||_1 ||S^-1||_1] — S is tiny).  Near 1 for benign
+    value perturbations; large values mean the update is cancelling
+    the base factor and digits are being lost.  1.0 at rank 0. *)
+
+val apply : t -> x0:float array -> x:float array -> unit
+(** [apply t ~x0 ~x] finishes a solve whose base part is already
+    known: given [x0 = A^-1 b], writes [A'^-1 b] into [x].  O(k n).
+    [x0] and [x] may alias.  This is the sweep hot path: [x0] for a
+    fixed RHS is computed once per sweep, not once per point. *)
+
+val solve : t -> float array -> float array
+(** [solve t b] is [A'^-1 b] from scratch: one base solve plus
+    {!apply} (fresh result array). *)
+
+(** {1 Complex updates} *)
+
+type ct
+(** Complex twin of {!t} over a {!Solver.cfactor} — the
+    AC what-if path, where a perturbation of G or C shifts [G + sC] by
+    complex-scaled rank-1 terms. *)
+
+val cmake :
+  ?z:Cx.t array array ->
+  ?scale:Cx.t array ->
+  Solver.plan ->
+  Solver.cfactor ->
+  u:Cx.t array array ->
+  v:Cx.t array array ->
+  ct
+
+val crank : ct -> int
+val ccondition : ct -> float
+val capply : ct -> x0:Cx.t array -> x:Cx.t array -> unit
+val csolve : ct -> Cx.t array -> Cx.t array

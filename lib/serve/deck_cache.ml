@@ -1,4 +1,5 @@
 open Rlc_numerics
+module Netlist = Rlc_circuit.Netlist
 module M = Rlc_instr.Metrics
 
 let m_hit = M.counter "serve.cache.hit"
@@ -47,9 +48,12 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
-let find t ~hash ~signature =
-  match Hashtbl.find_opt t.table hash with
-  | Some slot when String.equal slot.entry.signature signature ->
+let find_key t (probe : Netlist.structural_key) =
+  match Hashtbl.find_opt t.table probe.Netlist.hash with
+  | Some slot
+    when Netlist.key_reusable
+           ~cached:{ probe with Netlist.signature = slot.entry.signature }
+           ~probe ->
       slot.last_use <- tick t;
       t.hits <- t.hits + 1;
       M.incr m_hit;
@@ -62,6 +66,8 @@ let find t ~hash ~signature =
       t.misses <- t.misses + 1;
       M.incr m_miss;
       Miss
+
+let find t ~hash ~signature = find_key t { Netlist.hash; signature }
 
 (* Eviction scans for the stalest slot: O(capacity), but only on the
    (rare) insert past capacity of a cache that is small by design. *)
@@ -87,6 +93,11 @@ let insert t ~hash entry =
       evict_lru t
     done
   end
+
+let insert_key t (key : Netlist.structural_key) entry =
+  if not (String.equal entry.signature key.Netlist.signature) then
+    invalid_arg "Deck_cache.insert_key: entry signature disagrees with key";
+  insert t ~hash:key.Netlist.hash entry
 
 type stats = {
   hits : int;

@@ -46,14 +46,36 @@ type lookup =
   | Alias  (** hash present, signature different: recompile *)
   | Miss
 
+val find_key : t -> Rlc_circuit.Netlist.structural_key -> lookup
+(** Looks a deck up by its {!Rlc_circuit.Netlist.structural_key}; the
+    alias decision goes through the one shared
+    {!Rlc_circuit.Netlist.key_reusable} predicate (the same pairing
+    {!Rlc_circuit.Whatif} keys its workspaces by), so the two caches
+    can never diverge on what counts as "the same deck".  Counts the
+    outcome ([serve.cache.hit] / [.alias] / [.miss]) and refreshes the
+    entry's LRU position on a hit. *)
+
+val insert_key : t -> Rlc_circuit.Netlist.structural_key -> entry -> unit
+(** {!insert} keyed by a structural key.  Raises [Invalid_argument]
+    when [entry.signature] disagrees with the key's signature — the
+    mismatch that used to be possible when callers threaded hash and
+    signature separately. *)
+
 val find : t -> hash:string -> signature:string -> lookup
-(** Counts the outcome ([serve.cache.hit] / [.alias] / [.miss]) and
-    refreshes the entry's LRU position on a hit. *)
+(** {!find_key} over a key assembled from loose parts.
+
+    @deprecated carries the hash/signature pairing in two separate
+    arguments, which is exactly how a hash from one netlist ends up
+    paired with a signature from another.  Use {!find_key} with
+    {!Rlc_circuit.Netlist.structural_key}. *)
 
 val insert : t -> hash:string -> entry -> unit
 (** Inserts (or replaces — the alias path refreshing a poisoned
     family) and evicts the least-recently-used entry beyond capacity,
-    counting [serve.cache.evict]. *)
+    counting [serve.cache.evict].
+
+    @deprecated same loose-pairing hazard as {!find}; use
+    {!insert_key}. *)
 
 type stats = {
   hits : int;

@@ -8,6 +8,7 @@ type query =
     }
   | Q_tran of { node : string; dt : float; t_end : float }
   | Q_delay of { node : string; fraction : float; dt : float; t_end : float }
+  | Q_delay_sens of { node : string; fraction : float; params : string list }
 
 type deck_source = Deck_file of string | Deck_inline of string
 
@@ -98,6 +99,13 @@ let parse_query = function
       if dt <= 0.0 || t_end <= 0.0 then
         failwith "delay needs dt > 0, t_end > 0";
       Q_delay { node; fraction; dt; t_end }
+  | "delay-sens" :: node :: fraction :: params ->
+      let fraction = float_of_token "fraction" fraction in
+      if not (fraction > 0.0 && fraction < 1.0) then
+        failwith "delay-sens needs 0 < fraction < 1";
+      if params = [] then
+        failwith "delay-sens needs at least one param (name:r|l|c|m)";
+      Q_delay_sens { node; fraction; params }
   | kind :: _ -> failwith (Printf.sprintf "unknown query kind %S" kind)
   | [] -> failwith "missing query"
 
@@ -142,6 +150,7 @@ type outcome =
   | R_ac of Rlc_circuit.Ac.point array
   | R_tran of { final : float; vmin : float; vmax : float; steps : int }
   | R_delay of float option
+  | R_delay_sens of { tau : float; sens : (string * float) array }
 
 type result = { id : string; reply : (outcome, string) Stdlib.result }
 
@@ -173,3 +182,15 @@ let result_line r =
         (g17 final) (g17 vmin) (g17 vmax) steps
   | Ok (R_delay (Some t)) -> Printf.sprintf "ok %s delay t=%s" r.id (g17 t)
   | Ok (R_delay None) -> Printf.sprintf "ok %s delay t=none" r.id
+  | Ok (R_delay_sens { tau; sens }) ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b
+        (Printf.sprintf "ok %s delay-sens tau=%s" r.id (g17 tau));
+      Array.iter
+        (fun (name, v) ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b name;
+          Buffer.add_char b '=';
+          Buffer.add_string b (g17 v))
+        sens;
+      Buffer.contents b

@@ -7,7 +7,16 @@
     <id> ac    <node> <pts/decade> <fstart> <fstop> | <deck>
     <id> tran  <node> <dt> <t_end>                | <deck>
     <id> delay <node> <fraction> <dt> <t_end>     | <deck>
+    <id> delay-sens <node> <fraction> <name:kind> ... | <deck>
     v}
+
+    [delay-sens] asks for the adjoint sensitivities of the two-pole
+    (AWE Padé) [fraction]-crossing delay at [<node>] with respect to
+    the listed element parameters, each written [name:kind] with kind
+    one of [r], [l], [c], [m] (e.g. [seg3:r]).  The whole gradient is
+    computed from one forward + one adjoint factorisation of the
+    compiled deck ({!Rlc_circuit.Whatif.gradient}), so the cost does
+    not grow with the number of parameters.
 
     [<id>] is any whitespace-free token the client uses to correlate
     results.  Numeric fields accept SPICE-suffixed values ("10p",
@@ -24,6 +33,7 @@
     ok  <id> ac n=<points> <freq>:<mag_db>:<phase_deg> ...
     ok  <id> tran final=<v> min=<v> max=<v> steps=<n>
     ok  <id> delay t=<seconds | none>
+    ok  <id> delay-sens tau=<seconds> <name:kind>=<dtau/dvalue> ...
     err <id> <message>
     v}
 
@@ -42,6 +52,8 @@ type query =
     }
   | Q_tran of { node : string; dt : float; t_end : float }
   | Q_delay of { node : string; fraction : float; dt : float; t_end : float }
+  | Q_delay_sens of { node : string; fraction : float; params : string list }
+      (** [params] in [name:kind] wire form, validated at execution *)
 
 type deck_source =
   | Deck_file of string  (** [@path] *)
@@ -67,6 +79,9 @@ type outcome =
   | R_tran of { final : float; vmin : float; vmax : float; steps : int }
   | R_delay of float option
       (** threshold-crossing time; [None] if never crossed *)
+  | R_delay_sens of { tau : float; sens : (string * float) array }
+      (** the two-pole delay and d tau / d value per requested
+          parameter, in request order *)
 
 type result = { id : string; reply : (outcome, string) Stdlib.result }
 

@@ -17,6 +17,7 @@ let m_dc_s = M.hist "serve.dc_s"
 let m_ac_s = M.hist "serve.ac_s"
 let m_tran_s = M.hist "serve.tran_s"
 let m_delay_s = M.hist "serve.delay_s"
+let m_sens_s = M.hist "serve.delay_sens_s"
 
 type config = {
   pool : Pool.t;
@@ -43,8 +44,9 @@ let default_config =
 module Memo = struct
   type entry = {
     netlist : Netlist.t;
-    hash : string;
-    signature : string;
+    skey : Netlist.structural_key;
+        (* the hash/signature pairing travels as one value; it can no
+           longer be recombined across netlists *)
     mutable asm : Assembly.t option;
   }
 
@@ -163,12 +165,7 @@ let memo_deck t text =
   | None ->
       let netlist = (Parser.parse_string text).Parser.netlist in
       let m =
-        {
-          Memo.netlist;
-          hash = Netlist.structural_hash netlist;
-          signature = Netlist.structural_signature netlist;
-          asm = None;
-        }
+        { Memo.netlist; skey = Netlist.structural_key netlist; asm = None }
       in
       Memo.insert t.memo key m;
       m
@@ -196,7 +193,7 @@ let memo_assembly (m : Memo.entry) plan_hint =
 let ensure_artifacts e netlist query asm =
   try
     match query with
-    | Protocol.Q_dc _ ->
+    | Protocol.Q_dc _ | Protocol.Q_delay_sens _ ->
         if e.Deck_cache.dc_sym = None && sparse_plan e.Deck_cache.asm_plan
         then e.Deck_cache.dc_sym <- Solver.symbolic_of (Assembly.factor_g asm)
     | Protocol.Q_ac { fstart; _ } ->
@@ -220,10 +217,7 @@ let prepare t line =
         try
           let m = memo_deck t (deck_text job.Protocol.deck) in
           let netlist = m.Memo.netlist in
-          match
-            Deck_cache.find t.cache ~hash:m.Memo.hash
-              ~signature:m.Memo.signature
-          with
+          match Deck_cache.find_key t.cache m.Memo.skey with
           | Deck_cache.Alias ->
               E_run
                 { job; netlist; entry = None; asm = Some (memo_assembly m None) }
@@ -235,14 +229,14 @@ let prepare t line =
               let asm = memo_assembly m None in
               let e =
                 {
-                  Deck_cache.signature = m.Memo.signature;
+                  Deck_cache.signature = m.Memo.skey.Netlist.signature;
                   asm_plan = asm.Assembly.plan;
                   dc_sym = None;
                   ac_sym = None;
                   tran_plan = None;
                 }
               in
-              Deck_cache.insert t.cache ~hash:m.Memo.hash e;
+              Deck_cache.insert_key t.cache m.Memo.skey e;
               ensure_artifacts e netlist job.Protocol.query asm;
               E_run { job; netlist; entry = Some e; asm = Some asm }
         with
@@ -353,12 +347,48 @@ let run_query prep (job : Protocol.job) netlist =
       ( Protocol.R_delay
           (Rlc_waveform.Measure.threshold_delay w ~fraction ~v_final),
         None )
+  | Protocol.Q_delay_sens { node; fraction; params } ->
+      let n = resolve_node netlist node in
+      if n = Netlist.ground then
+        failwith "cannot take delay sensitivities at ground";
+      let ws = Whatif.compile ~f:fraction netlist in
+      let parse_param tok =
+        let bad () =
+          failwith (Printf.sprintf "bad param %S (want name:r|l|c|m)" tok)
+        in
+        match String.rindex_opt tok ':' with
+        | None -> bad ()
+        | Some i ->
+            let name = String.sub tok 0 i in
+            let kind =
+              match
+                String.lowercase_ascii
+                  (String.sub tok (i + 1) (String.length tok - i - 1))
+              with
+              | "r" -> `R
+              | "l" -> `L
+              | "c" -> `C
+              | "m" -> `M
+              | _ -> bad ()
+            in
+            if name = "" then bad ();
+            Whatif.param ws name kind
+      in
+      let wrt = Array.of_list (List.map parse_param params) in
+      let target = Whatif.Delay n in
+      let tau = Whatif.evaluate ws target in
+      let g = Whatif.gradient ws target ~wrt in
+      let sens =
+        Array.map2 (fun tok v -> (tok, v)) (Array.of_list params) g
+      in
+      (Protocol.R_delay_sens { tau; sens }, None)
 
 let latency_hist = function
   | Protocol.Q_dc _ -> m_dc_s
   | Protocol.Q_ac _ -> m_ac_s
   | Protocol.Q_tran _ -> m_tran_s
   | Protocol.Q_delay _ -> m_delay_s
+  | Protocol.Q_delay_sens _ -> m_sens_s
 
 let execute prep =
   match prep with
