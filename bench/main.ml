@@ -959,6 +959,141 @@ let run_instr_bench ~segments ~steps ~json =
   row
 
 (* ------------------------------------------------------------------ *)
+(* Observability: journaling overhead + waveform identity gate         *)
+(* ------------------------------------------------------------------ *)
+
+type obs_row = {
+  o_segments : int;
+  o_steps : int;
+  o_identical : bool;
+  o_step_s : float; (* per-step transient time, journaling off *)
+  o_call_s : float; (* per-call cost of a disabled Journal.record *)
+  o_overhead_pct : float;
+  o_events : int; (* journal events captured in the enabled pass *)
+}
+
+let write_obs_json path (r : obs_row) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  write_meta oc ~jobs;
+  Printf.fprintf oc
+    "  \"description\": \"Observability gate: fixed-step banded transient \
+     on a step-driven RLC ladder, run with journaling+health disabled and \
+     enabled (waveforms must be bit-identical), plus the measured per-call \
+     cost of a disabled Journal.record against the per-step cost of the \
+     transient hot loop. Times in seconds.\",\n";
+  Printf.fprintf oc "  \"segments\": %d,\n  \"steps\": %d,\n" r.o_segments
+    r.o_steps;
+  Printf.fprintf oc "  \"bit_identical\": %b,\n" r.o_identical;
+  Printf.fprintf oc "  \"per_step_s\": %.9f,\n" r.o_step_s;
+  Printf.fprintf oc "  \"disabled_call_s\": %.3e,\n" r.o_call_s;
+  Printf.fprintf oc "  \"calls_per_step\": %d,\n" calls_per_step;
+  Printf.fprintf oc "  \"journal_events\": %d,\n" r.o_events;
+  Printf.fprintf oc "  \"overhead_pct\": %.4f\n}\n" r.o_overhead_pct;
+  close_out oc
+
+(* Acceptance gate for the journal/health layer: capturing must never
+   change computed waveforms (the probes only read factorisation
+   by-products), the disabled Journal.record path must cost well under
+   2% of a transient step, and every captured event line must
+   round-trip through the rlcstat parser. *)
+let run_obs_bench ~segments ~steps ~json =
+  section "Observability: disabled journal overhead + waveform identity";
+  let open Rlc_circuit in
+  let nl, _src, far = Ladder.driven_line (ladder_spec segments) in
+  let t_end = 1e-9 in
+  let dt = t_end /. float_of_int steps in
+  let probes = [ Transient.Node_v far ] in
+  let run () =
+    Transient.run ~backend:Transient.Banded ~record_every:1 nl ~t_end ~dt
+      ~probes
+  in
+  let was = Rlc_instr.Control.enabled () in
+  Rlc_instr.Journal.stop ();
+  Rlc_instr.Control.set_enabled false;
+  let r_off, off_s = wall_best 3 run in
+  Rlc_instr.Journal.start ();
+  (* one synthetic event with every field type keeps the round-trip
+     check meaningful even when all solves classify Ok (healthy solves
+     journal nothing) *)
+  Rlc_instr.Journal.record "bench.obs"
+    [
+      ("n", Rlc_instr.Journal.Int 1);
+      ("x", Rlc_instr.Journal.Num 0.5);
+      ("s", Rlc_instr.Journal.Str "ok");
+    ];
+  let r_on, on_s = wall run in
+  let lines = Rlc_instr.Journal.to_lines () in
+  let entries, skipped = Rlc_instr.Stat.entries_of_lines lines in
+  Rlc_instr.Journal.stop ();
+  Rlc_instr.Control.set_enabled false;
+  let calls = 10_000_000 in
+  let (), loop_s =
+    wall (fun () ->
+        for _ = 1 to calls do
+          Rlc_instr.Journal.record "bench.obs_probe" []
+        done)
+  in
+  Rlc_instr.Control.set_enabled was;
+  let values r =
+    Rlc_waveform.Waveform.values (Transient.get r (Transient.Node_v far))
+  in
+  let v_off = values r_off and v_on = values r_on in
+  let identical =
+    Array.length v_off = Array.length v_on
+    && Array.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         v_off v_on
+  in
+  let step_s = off_s /. float_of_int steps in
+  let call_s = loop_s /. float_of_int calls in
+  let overhead_pct =
+    100.0 *. (float_of_int calls_per_step *. call_s) /. step_s
+  in
+  let row =
+    {
+      o_segments = segments;
+      o_steps = steps;
+      o_identical = identical;
+      o_step_s = step_s;
+      o_call_s = call_s;
+      o_overhead_pct = overhead_pct;
+      o_events = List.length lines;
+    }
+  in
+  Printf.printf "%8s %7s %12s %12s %14s %13s %10s %7s\n" "segments" "steps"
+    "off [s]" "on [s]" "bit-identical" "call [ns]" "overhead" "events";
+  Printf.printf "%8d %7d %12.5f %12.5f %14s %13.2f %9.4f%% %7d\n" segments
+    steps off_s on_s
+    (if identical then "yes" else "NO")
+    (call_s *. 1e9) overhead_pct row.o_events;
+  if not identical then
+    failwith
+      "obs bench: waveforms differ between journaling enabled and disabled";
+  if overhead_pct > 2.0 then
+    failwith
+      (Printf.sprintf
+         "obs bench: disabled journal overhead %.4f%% of a transient step \
+          exceeds the 2%% budget"
+         overhead_pct);
+  if skipped > 0 then
+    failwith
+      (Printf.sprintf
+         "obs bench: %d journal line(s) failed to round-trip through the \
+          rlcstat parser"
+         skipped);
+  if entries = [] then failwith "obs bench: journal round-trip lost all events";
+  let rollup = Rlc_instr.Stat.rollup ~skipped entries in
+  if rollup.Rlc_instr.Stat.events <> List.length entries then
+    failwith "obs bench: rollup event count mismatch";
+  (match json with
+  | Some path ->
+      write_obs_json path row;
+      Printf.printf "\nrecorded baseline in %s\n" path
+  | None -> ());
+  row
+
+(* ------------------------------------------------------------------ *)
 (* Parallel: domain scaling + determinism on the experiment fan-outs   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1630,6 +1765,8 @@ let () =
     ignore
       (run_instr_bench ~segments:200 ~steps:400
          ~json:(Some "BENCH_instr.json"));
+    ignore
+      (run_obs_bench ~segments:200 ~steps:400 ~json:(Some "BENCH_obs.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
     run_whatif_bench ~json:(Some "BENCH_whatif.json");
     run_serve_bench ~json:(Some "BENCH_serve.json");
@@ -1661,6 +1798,8 @@ let () =
     ignore
       (run_instr_bench ~segments:800 ~steps:1000
          ~json:(Some "BENCH_instr.json"));
+    ignore
+      (run_obs_bench ~segments:800 ~steps:1000 ~json:(Some "BENCH_obs.json"));
     ignore (run_parallel_bench ~json:(Some "BENCH_parallel.json"));
     run_whatif_bench ~json:(Some "BENCH_whatif.json");
     run_serve_bench ~json:(Some "BENCH_serve.json");

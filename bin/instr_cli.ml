@@ -24,12 +24,35 @@ let trace_arg =
            $(docv) on exit (load it in about:tracing or Perfetto). \
            Implies enabling recording.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Write the structured event journal (job lifecycle, cache \
+           traffic, solver fallbacks, numerical-health events — one JSON \
+           object per line, each tagged with its job's provenance id) to \
+           $(docv) on exit.  Implies enabling recording.  Analyse with \
+           $(b,rlcstat).")
+
+let trace_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-cap" ] ~docv:"N"
+        ~doc:
+          "Per-domain Chrome-trace event buffer cap (default \
+           $(b,RLC_TRACE_CAP) or 200000). Overflow drops events, never \
+           blocks.")
+
 (* Prepend to a subcommand's term: runs Control.setup before the
    command body, so at-exit dumps are registered first. *)
 let term =
   Term.(
-    const (fun stats trace -> Rlc_instr.Control.setup ~stats ?trace ())
-    $ stats_arg $ trace_arg)
+    const (fun stats trace journal trace_cap ->
+        Rlc_instr.Control.setup ~stats ?trace ?journal ?trace_cap ())
+    $ stats_arg $ trace_arg $ journal_arg $ trace_cap_arg)
 
 let jobs_arg ~doc =
   Arg.(

@@ -340,13 +340,33 @@ let refactor_g ?(fallback = false) t gterms =
   in
   R_refactored (Solver.factor_with ?symbolic:t.g_symbolic (plan t) ~fill)
 
+(* A tripped SMW guard means the rank-k path was abandoned for a full
+   refactor: journal the reason (and count the solve degraded only
+   when conditioning, not bookkeeping, caused it). *)
+let guard_trip ~reason ~rank ?condition () =
+  if Rlc_instr.Journal.capturing () then
+    Rlc_instr.Journal.record "smw.guard"
+      ([
+         ("reason", Rlc_instr.Journal.Str reason);
+         ("rank", Rlc_instr.Journal.Int rank);
+       ]
+      @
+      match condition with
+      | Some c -> [ ("condition", Rlc_instr.Journal.Num c) ]
+      | None -> []);
+  if reason <> "rank" then
+    Rlc_instr.Health.degraded ~kind:"smw" ~reason:("guard: " ^ reason)
+
 let resolve_g t gterms =
   match gterms with
   | [] -> R_base
   | _ -> begin
       let k = List.length gterms in
       if t.max_rank = 0 then refactor_g t gterms
-      else if k > t.max_rank then refactor_g ~fallback:true t gterms
+      else if k > t.max_rank then begin
+        guard_trip ~reason:"rank" ~rank:k ();
+        refactor_g ~fallback:true t gterms
+      end
       else begin
         let terms = Array.of_list gterms in
         let u = Array.map (fun (tm, _) -> dense_u t tm) terms in
@@ -357,8 +377,13 @@ let resolve_g t gterms =
         | upd when Update.condition upd <= t.condition_limit ->
             count_update t;
             R_updated upd
-        | _ -> refactor_g ~fallback:true t gterms
-        | exception Update.Singular -> refactor_g ~fallback:true t gterms
+        | upd ->
+            guard_trip ~reason:"condition" ~rank:k
+              ~condition:(Update.condition upd) ();
+            refactor_g ~fallback:true t gterms
+        | exception Update.Singular ->
+            guard_trip ~reason:"singular" ~rank:k ();
+            refactor_g ~fallback:true t gterms
       end
     end
 
@@ -566,7 +591,10 @@ let ac_solution t set omega =
         Solver.csolve (plan t) acf b0
       in
       if t.max_rank = 0 then solve_refactored ~fallback:false
-      else if k > t.max_rank then solve_refactored ~fallback:true
+      else if k > t.max_rank then begin
+        guard_trip ~reason:"rank" ~rank:k ();
+        solve_refactored ~fallback:true
+      end
       else begin
         let terms = Array.of_list terms in
         let u =
@@ -583,8 +611,13 @@ let ac_solution t set omega =
             let x = Array.make (size t) Cx.zero in
             Update.capply upd ~x0:pt.ac_x0 ~x;
             x
-        | _ -> solve_refactored ~fallback:true
-        | exception Update.Singular -> solve_refactored ~fallback:true
+        | upd ->
+            guard_trip ~reason:"condition" ~rank:k
+              ~condition:(Update.ccondition upd) ();
+            solve_refactored ~fallback:true
+        | exception Update.Singular ->
+            guard_trip ~reason:"singular" ~rank:k ();
+            solve_refactored ~fallback:true
       end
     end
 

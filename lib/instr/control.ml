@@ -4,6 +4,9 @@ let env_stats =
 let enabled () = !Shard.enabled
 let set_enabled v = Shard.enabled := v
 
+let trace_cap () = !Shard.max_events_per_shard
+let set_trace_cap n = if n > 0 then Shard.max_events_per_shard := n
+
 let dump ?(ppf = Format.err_formatter) () =
   Format.fprintf ppf "== rlc_instr metrics ==@.";
   Metrics.dump ppf;
@@ -12,14 +15,24 @@ let dump ?(ppf = Format.err_formatter) () =
     Format.fprintf ppf "@.== rlc_instr spans ==@.";
     Span.dump_tree ppf
   end;
+  let health = Health.report () in
+  if health.Health.solves > 0 then begin
+    Format.fprintf ppf "@.== rlc_instr health ==@.";
+    Health.pp_report ppf health
+  end;
   let dropped = Trace.dropped_events () in
   if dropped > 0 then
     Format.fprintf ppf "@.(trace buffer overflow: %d events dropped)@."
       dropped;
+  let jdropped = Journal.dropped () in
+  if jdropped > 0 then
+    Format.fprintf ppf "@.(journal buffer overflow: %d events dropped)@."
+      jdropped;
   Format.pp_print_flush ppf ()
 
-let setup ?(stats = false) ?trace () =
+let setup ?(stats = false) ?trace ?journal ?trace_cap () =
   if stats || env_stats then set_enabled true;
+  (match trace_cap with Some n -> set_trace_cap n | None -> ());
   (match trace with
   | Some path ->
       Trace.start ();
@@ -27,6 +40,15 @@ let setup ?(stats = false) ?trace () =
           try Trace.write path
           with Sys_error msg ->
             Printf.eprintf "rlc_instr: cannot write trace %s: %s\n%!" path
+              msg)
+  | None -> ());
+  (match journal with
+  | Some path ->
+      Journal.start ();
+      at_exit (fun () ->
+          try Journal.write path
+          with Sys_error msg ->
+            Printf.eprintf "rlc_instr: cannot write journal %s: %s\n%!" path
               msg)
   | None -> ());
   if stats then at_exit (fun () -> dump ())

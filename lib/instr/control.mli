@@ -1,5 +1,5 @@
 (** The on/off switch and the CLI-facing conveniences behind
-    [--stats] / [--trace] / [RLC_STATS]. *)
+    [--stats] / [--trace] / [--journal] / [RLC_STATS]. *)
 
 val env_stats : bool
 (** Whether [RLC_STATS] was set truthy ([1]/[true]/[yes]/[on]) when
@@ -10,12 +10,28 @@ val set_enabled : bool -> unit
 (** Flip recording globally. Flip only at quiescent points (no worker
     domains in flight) when a bit-exact metrics picture matters. *)
 
-val dump : ?ppf:Format.formatter -> unit -> unit
-(** Print the metrics table and (if any spans were recorded) the span
-    tree. Default formatter is stderr. *)
+val trace_cap : unit -> int
+val set_trace_cap : int -> unit
+(** Per-shard Chrome-trace event cap (default 200_000, or
+    [RLC_TRACE_CAP]); non-positive values are ignored.  When the cap
+    trips, the overflow is counted, reported by {!dump}, and — when
+    journaling — recorded as one [trace.dropped] journal event. *)
 
-val setup : ?stats:bool -> ?trace:string -> unit -> unit
+val dump : ?ppf:Format.formatter -> unit -> unit
+(** Print the metrics table, (if recorded) the span tree and the
+    numerical-health summary, plus any buffer-overflow notices.
+    Default formatter is stderr. *)
+
+val setup :
+  ?stats:bool ->
+  ?trace:string ->
+  ?journal:string ->
+  ?trace_cap:int ->
+  unit ->
+  unit
 (** One-stop CLI wiring: [stats] (or [RLC_STATS]) enables recording
     and registers an at-exit {!dump} to stderr; [trace] additionally
     starts {!Trace} capture and registers an at-exit {!Trace.write} to
-    the given path. *)
+    the given path; [journal] starts {!Journal} capture (which also
+    enables recording) and registers an at-exit {!Journal.write};
+    [trace_cap] overrides the per-shard trace event cap. *)

@@ -1,0 +1,149 @@
+(* Structured event journal: bounded per-domain JSONL buffers with the
+   same lock-free record discipline as [Metrics] — a record call
+   touches only the calling domain's shard, so journaling cannot
+   perturb the pool's bit-identical scheduling.  Every event carries
+   the shard's current provenance id (set by the serving layer around
+   each job), which is what makes a bad deck in a million-job stream
+   attributable after the fact. *)
+
+type field = Shard.jfield = Num of float | Int of int | Str of string
+
+type event = {
+  ts_us : float;
+  shard : int;
+  provenance : string;
+  name : string;
+  fields : (string * field) list;
+}
+
+(* Journaling implies recording: the numerical-health probes compute
+   their observations only under [Metrics.recording ()], so a journal
+   without metrics would be silently empty of health detail. *)
+let start () =
+  Shard.enabled := true;
+  Shard.journaling := true
+
+let stop () = Shard.journaling := false
+let capturing () = !Shard.journaling
+let set_cap n = if n > 0 then Shard.max_jevents_per_shard := n
+let cap () = !Shard.max_jevents_per_shard
+
+let record name fields =
+  if !Shard.journaling then begin
+    let sh = Shard.current () in
+    if sh.Shard.n_jevents < !Shard.max_jevents_per_shard then begin
+      sh.Shard.jevents <-
+        {
+          Shard.je_ts_us = Shard.now_us ();
+          je_name = name;
+          je_prov = sh.Shard.provenance;
+          je_fields = fields;
+        }
+        :: sh.Shard.jevents;
+      sh.Shard.n_jevents <- sh.Shard.n_jevents + 1
+    end
+    else sh.Shard.dropped_jevents <- sh.Shard.dropped_jevents + 1
+  end
+
+let set_provenance p = (Shard.current ()).Shard.provenance <- p
+
+let provenance () = (Shard.current ()).Shard.provenance
+
+let with_provenance p f =
+  let sh = Shard.current () in
+  let saved = sh.Shard.provenance in
+  sh.Shard.provenance <- p;
+  Fun.protect ~finally:(fun () -> sh.Shard.provenance <- saved) f
+
+let dropped () =
+  List.fold_left
+    (fun acc (sh : Shard.t) -> acc + sh.Shard.dropped_jevents)
+    0 (Shard.all_shards ())
+
+(* read side: quiescent points only, like every cross-shard merge *)
+
+let events () =
+  let all =
+    List.concat_map
+      (fun (sh : Shard.t) ->
+        List.rev_map
+          (fun (je : Shard.jevent) ->
+            {
+              ts_us = je.Shard.je_ts_us;
+              shard = sh.Shard.id;
+              provenance = je.Shard.je_prov;
+              name = je.Shard.je_name;
+              fields = je.Shard.je_fields;
+            })
+          sh.Shard.jevents)
+      (Shard.all_shards ())
+  in
+  List.stable_sort (fun a b -> Float.compare a.ts_us b.ts_us) all
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  Buffer.add_buffer buf (Shard.json_escape s);
+  Buffer.add_char buf '"'
+
+(* mirrors Metrics.json_num so non-finite field values can never
+   corrupt the JSONL stream *)
+let json_num v =
+  if Float.is_nan v then "null"
+  else if v = infinity then "1e999"
+  else if v = neg_infinity then "-1e999"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+(* One JSON object per line, reserved keys first, then the typed
+   fields inlined at top level (callers must avoid the reserved names
+   ts_us / shard / prov / event). *)
+let line_of_event e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"ts_us\":";
+  Buffer.add_string buf (json_num e.ts_us);
+  Buffer.add_string buf (Printf.sprintf ",\"shard\":%d" e.shard);
+  if e.provenance <> "" then begin
+    Buffer.add_string buf ",\"prov\":";
+    add_json_string buf e.provenance
+  end;
+  Buffer.add_string buf ",\"event\":";
+  add_json_string buf e.name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      match v with
+      | Num x -> Buffer.add_string buf (json_num x)
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Str s -> add_json_string buf s)
+    e.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_lines () = List.map line_of_event (events ())
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        (to_lines ()))
+
+(* typed field access for the in-process consumers (Health, tests) *)
+
+let field e k = List.assoc_opt k e.fields
+
+let num_field e k =
+  match field e k with
+  | Some (Num v) -> Some v
+  | Some (Int n) -> Some (float_of_int n)
+  | Some (Str _) | None -> None
+
+let str_field e k =
+  match field e k with Some (Str s) -> Some s | Some _ | None -> None

@@ -1,0 +1,23 @@
+(** Minimal JSON reader for the observability tooling (journal JSONL
+    lines, BENCH_*.json snapshots).  Numbers are doubles; out-of-range
+    literals such as the metric snapshots' [1e999] parse to
+    [infinity].  Not a general-purpose validator — it accepts exactly
+    the JSON this repository emits, plus the obvious superset. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects. *)
+
+val to_float : t -> float option
+(** Numbers, plus booleans as 0/1. *)
+
+val to_string : t -> string option

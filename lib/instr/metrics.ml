@@ -148,16 +148,16 @@ let merged_buckets h =
   (!count, !sum, !mn, !mx, buckets)
 
 let hist_quantiles h qs =
+  (* validate before the empty-histogram shortcut: a bogus quantile is
+     a caller bug whether or not samples have arrived yet *)
+  Array.iter
+    (fun q ->
+      if not (q >= 0.0 && q <= 1.0) then
+        invalid_arg "Rlc_instr.Metrics.hist_quantiles: quantile outside [0,1]")
+    qs;
   let count, _, _, _, buckets = merged_buckets h in
   if count = 0 then None
-  else begin
-    Array.iter
-      (fun q ->
-        if not (q >= 0.0 && q <= 1.0) then
-          invalid_arg "Rlc_instr.Metrics.hist_quantiles: quantile outside [0,1]")
-      qs;
-    Some (Array.map (quantile ~count buckets) qs)
-  end
+  else Some (Array.map (quantile ~count buckets) qs)
 
 let hist_summary h =
   let count, sum, mn, mx, buckets = merged_buckets h in

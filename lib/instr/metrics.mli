@@ -71,7 +71,7 @@ val hist_quantiles : hist -> float array -> float array option
     the same estimate [hist_summary] reports for p50/p95, for any
     quantile list (the serving layer reads p50/p90/p99).  [None] if no
     samples were recorded; raises [Invalid_argument] on a quantile
-    outside [\[0, 1\]]. *)
+    outside [\[0, 1\]] (validated even when the histogram is empty). *)
 
 type snapshot_entry =
   | Counter_v of float

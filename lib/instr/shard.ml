@@ -31,6 +31,15 @@ let enabled = ref (truthy (Sys.getenv_opt "RLC_STATS"))
    bound. *)
 let tracing = ref false
 
+(* Structured journal events (see {!Journal}) are recorded only when
+   this is on; like [tracing] it is flipped at quiescent points. *)
+let journaling = ref false
+
+let env_cap name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> default
+
 let now_s = Unix.gettimeofday
 let start_s = now_s ()
 let now_us () = (now_s () -. start_s) *. 1e6
@@ -84,6 +93,17 @@ let fresh_node name =
 
 type event = { ev_name : string; ev_ts_us : float; ev_dur_us : float }
 
+(* ---------------- journal events ---------------- *)
+
+type jfield = Num of float | Int of int | Str of string
+
+type jevent = {
+  je_ts_us : float;
+  je_name : string;
+  je_prov : string;  (** provenance id; [""] = none *)
+  je_fields : (string * jfield) list;
+}
+
 (* ---------------- shards ---------------- *)
 
 type t = {
@@ -97,10 +117,18 @@ type t = {
   mutable events : event list;  (** completed trace events, newest first *)
   mutable n_events : int;
   mutable dropped_events : int;
+  mutable jevents : jevent list;  (** journal events, newest first *)
+  mutable n_jevents : int;
+  mutable dropped_jevents : int;
+  mutable provenance : string;  (** stamped on journal events; [""] = none *)
 }
 
-(* backstop so a pathological tracing run cannot grow without bound *)
-let max_events_per_shard = 200_000
+(* Backstops so a pathological tracing/journaling run cannot grow
+   without bound.  Both are refs: overridable per process via the
+   environment ([RLC_TRACE_CAP] / [RLC_JOURNAL_CAP]) or
+   [Control.setup ~trace_cap]. *)
+let max_events_per_shard = ref (env_cap "RLC_TRACE_CAP" 200_000)
+let max_jevents_per_shard = ref (env_cap "RLC_JOURNAL_CAP" 100_000)
 
 let registry_mutex = Mutex.create ()
 let shards : t list ref = ref []
@@ -122,6 +150,10 @@ let fresh_shard id =
     events = [];
     n_events = 0;
     dropped_events = 0;
+    jevents = [];
+    n_jevents = 0;
+    dropped_jevents = 0;
+    provenance = "";
   }
 
 let key =
@@ -192,7 +224,11 @@ let reset () =
       sh.span_stack <- [];
       sh.events <- [];
       sh.n_events <- 0;
-      sh.dropped_events <- 0)
+      sh.dropped_events <- 0;
+      sh.jevents <- [];
+      sh.n_jevents <- 0;
+      sh.dropped_jevents <- 0;
+      sh.provenance <- "")
     (all_shards ())
 
 (* shared by the JSON emitters in Metrics and Trace *)

@@ -35,7 +35,7 @@ let exit () =
       node.Shard.total_us <- node.Shard.total_us +. (t1 -. t0);
       node.Shard.calls <- node.Shard.calls + 1;
       if !Shard.tracing then begin
-        if sh.Shard.n_events < Shard.max_events_per_shard then begin
+        if sh.Shard.n_events < !Shard.max_events_per_shard then begin
           sh.Shard.events <-
             {
               Shard.ev_name = node.Shard.sname;
@@ -45,7 +45,18 @@ let exit () =
             :: sh.Shard.events;
           sh.Shard.n_events <- sh.Shard.n_events + 1
         end
-        else sh.Shard.dropped_events <- sh.Shard.dropped_events + 1
+        else begin
+          (* journal the overflow once per shard, at the moment the cap
+             trips — the silent alternative loses the tail of a trace
+             with no trail to explain the gap *)
+          if sh.Shard.dropped_events = 0 then
+            Journal.record "trace.dropped"
+              [
+                ("span", Journal.Str node.Shard.sname);
+                ("cap", Journal.Int !Shard.max_events_per_shard);
+              ];
+          sh.Shard.dropped_events <- sh.Shard.dropped_events + 1
+        end
       end
 
 let with_ name f =

@@ -1,0 +1,76 @@
+(** The analysis half of [rlcstat], library-side so tests can drive
+    it: health/latency rollups over journal event streams, and
+    threshold-based regression diffs over two JSON snapshots. *)
+
+(** {1 Journal entries} *)
+
+type entry = {
+  eprov : string;  (** provenance id, [""] when absent *)
+  ename : string;  (** event kind *)
+  efields : (string * Jsonv.t) list;  (** non-reserved fields *)
+}
+
+val entry_of_line : string -> entry option
+(** One JSONL line; [None] when unparseable or missing ["event"]. *)
+
+val entries_of_lines : string list -> entry list * int
+(** Parses every non-blank line; the second component counts skipped
+    (unparseable) lines. *)
+
+val entries_of_file : string -> entry list * int
+
+val entry_of_event : Journal.event -> entry
+(** Bridge from the in-process journal (tests, bench). *)
+
+(** {1 Rollup} *)
+
+type quantiles = { p50 : float; p90 : float; p99 : float }
+
+type kind_stats = {
+  kind : string;
+  count : int;
+  errors : int;
+  latency : quantiles option;
+      (** exact nearest-rank quantiles over the [job.end] durations *)
+}
+
+type rollup = {
+  events : int;
+  skipped : int;
+  jobs : int;
+  errors : int;
+  kinds : kind_stats list;  (** per query kind, first-seen order *)
+  fallbacks : int;
+  resyms : int;
+  guard_trips : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_aliases : int;
+  health_ok : int;
+  health_degraded : int;
+  health_failed : int;
+  trace_dropped : int;
+}
+
+val rollup : ?skipped:int -> entry list -> rollup
+val pp_rollup : Format.formatter -> rollup -> unit
+
+(** {1 Snapshot diff} *)
+
+type finding = {
+  path : string;  (** dot-joined JSON path of the numeric leaf *)
+  old_v : float;
+  new_v : float;
+  delta : float;  (** relative change; [infinity] when [old_v = 0] *)
+}
+
+val flatten : Jsonv.t -> (string * float) list
+(** Every numeric leaf with its dot-joined path. The [meta] subtree
+    (dates, git revisions) is always skipped. *)
+
+val diff : ?threshold:float -> Jsonv.t -> Jsonv.t -> finding list
+(** Leaves present in both snapshots whose relative change exceeds
+    [threshold] (default 0.10 = 10%).  Keys only on one side are
+    ignored — snapshots evolve.  Identical inputs yield []. *)
+
+val pp_finding : Format.formatter -> finding -> unit

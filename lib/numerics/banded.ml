@@ -109,10 +109,24 @@ let of_matrix ?kl ?ku m =
 let m_decompose = Rlc_instr.Metrics.counter "banded.decompose"
 let m_solve = Rlc_instr.Metrics.counter "banded.solve"
 
+(* amax over the band array; the workspace rows are zero before
+   factorisation and hold L multipliers (|m| <= 1 under partial
+   pivoting) after, so the same sweep serves both probe sides *)
+let band_amax ab =
+  let m = ref 0.0 in
+  Array.iter
+    (fun v ->
+      let v = Float.abs v in
+      if v > !m then m := v)
+    ab;
+  !m
+
 let decompose ?(pivot_tol = 1e-300) s =
   Rlc_instr.Metrics.incr m_decompose;
   let { n; skl = kl; sku = ku; ldab; ab } = s in
   let at i j = (j * ldab) + kl + ku + i - j in
+  let probing = Rlc_instr.Metrics.recording () in
+  let amax = if probing then band_amax ab else 0.0 in
   let ipiv = Array.make n 0 in
   let ju = ref 0 in
   for j = 0 to n - 1 do
@@ -126,7 +140,10 @@ let decompose ?(pivot_tol = 1e-300) s =
         jp := i
       end
     done;
-    if !pv <= pivot_tol then raise Singular;
+    if !pv <= pivot_tol then begin
+      Rlc_instr.Health.failure ~kind:"banded" ~reason:"singular pivot";
+      raise Singular
+    end;
     ipiv.(j) <- j + !jp;
     ju := Int.max !ju (Int.min (j + ku + !jp) (n - 1));
     if !jp <> 0 then begin
@@ -152,6 +169,18 @@ let decompose ?(pivot_tol = 1e-300) s =
       done
     end
   done;
+  if probing then begin
+    let umax = band_amax ab in
+    let dmin = ref infinity and dmax = ref 0.0 in
+    for j = 0 to n - 1 do
+      let d = Float.abs ab.(at j j) in
+      if d < !dmin then dmin := d;
+      if d > !dmax then dmax := d
+    done;
+    let growth = if amax > 0.0 then umax /. amax else 1.0 in
+    let rcond = if !dmax > 0.0 then !dmin /. !dmax else 0.0 in
+    ignore (Rlc_instr.Health.observe ~kind:"banded" ~growth ~rcond ())
+  end;
   { fn = n; fkl = kl; fku = ku; fldab = ldab; fab = ab; ipiv }
 
 let size f = f.fn

@@ -113,10 +113,22 @@ let div_parts ar ai br bi =
 let m_decompose = Rlc_instr.Metrics.counter "cbanded.decompose"
 let m_solve = Rlc_instr.Metrics.counter "cbanded.solve"
 
+(* see Banded.band_amax: the same sweep works before (workspace rows
+   zero) and after (L multipliers have modulus <= 1) factorisation *)
+let cband_amax re im =
+  let m = ref 0.0 in
+  for k = 0 to Array.length re - 1 do
+    let v = Float.hypot re.(k) im.(k) in
+    if v > !m then m := v
+  done;
+  !m
+
 let decompose ?(pivot_tol = 1e-300) s =
   Rlc_instr.Metrics.incr m_decompose;
   let { n; skl = kl; sku = ku; ldab; re; im } = s in
   let at i j = (j * ldab) + kl + ku + i - j in
+  let probing = Rlc_instr.Metrics.recording () in
+  let amax = if probing then cband_amax re im else 0.0 in
   let ipiv = Array.make n 0 in
   let ju = ref 0 in
   for j = 0 to n - 1 do
@@ -131,7 +143,10 @@ let decompose ?(pivot_tol = 1e-300) s =
         jp := i
       end
     done;
-    if !pv <= pivot_tol then raise Singular;
+    if !pv <= pivot_tol then begin
+      Rlc_instr.Health.failure ~kind:"cbanded" ~reason:"singular pivot";
+      raise Singular
+    end;
     ipiv.(j) <- j + !jp;
     ju := Int.max !ju (Int.min (j + ku + !jp) (n - 1));
     if !jp <> 0 then begin
@@ -168,6 +183,19 @@ let decompose ?(pivot_tol = 1e-300) s =
       done
     end
   done;
+  if probing then begin
+    let umax = cband_amax re im in
+    let dmin = ref infinity and dmax = ref 0.0 in
+    for j = 0 to n - 1 do
+      let k = at j j in
+      let d = Float.hypot re.(k) im.(k) in
+      if d < !dmin then dmin := d;
+      if d > !dmax then dmax := d
+    done;
+    let growth = if amax > 0.0 then umax /. amax else 1.0 in
+    let rcond = if !dmax > 0.0 then !dmin /. !dmax else 0.0 in
+    ignore (Rlc_instr.Health.observe ~kind:"cbanded" ~growth ~rcond ())
+  end;
   { fn = n; fkl = kl; fku = ku; fldab = ldab; fre = re; fim = im; ipiv }
 
 let size f = f.fn

@@ -11,11 +11,38 @@ let m_solve = Rlc_instr.Metrics.counter "lu.solve"
 
 let size f = Array.length f.perm
 
+(* Health probes (pivot growth = max |U| over max |A|, rcond proxy =
+   min over max |U diagonal|) are cheap by-products of the factor but
+   still O(n^2) reads, so they are computed only while recording. *)
+let probe_decompose ~amax lu n =
+  let umax = ref 0.0 and dmin = ref infinity and dmax = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let v = Float.abs (Matrix.get lu i j) in
+      if v > !umax then umax := v
+    done;
+    let d = Float.abs (Matrix.get lu i i) in
+    if d < !dmin then dmin := d;
+    if d > !dmax then dmax := d
+  done;
+  let growth = if amax > 0.0 then !umax /. amax else 1.0 in
+  let rcond = if !dmax > 0.0 then !dmin /. !dmax else 0.0 in
+  ignore (Rlc_instr.Health.observe ~kind:"lu" ~growth ~rcond ())
+
 (* Doolittle factorisation with partial (row) pivoting. *)
 let decompose ?(pivot_tol = 1e-300) a =
   Rlc_instr.Metrics.incr m_decompose;
   let n = Matrix.rows a in
   if Matrix.cols a <> n then invalid_arg "Lu.decompose: matrix not square";
+  let probing = Rlc_instr.Metrics.recording () in
+  let amax = ref 0.0 in
+  if probing then
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let v = Float.abs (Matrix.get a i j) in
+        if v > !amax then amax := v
+      done
+    done;
   let lu = Matrix.copy a in
   let perm = Array.init n (fun k -> k) in
   let sign = ref 1.0 in
@@ -30,7 +57,10 @@ let decompose ?(pivot_tol = 1e-300) a =
         pivot_row := r
       end
     done;
-    if !pivot_val <= pivot_tol then raise Singular;
+    if !pivot_val <= pivot_tol then begin
+      Rlc_instr.Health.failure ~kind:"lu" ~reason:"singular pivot";
+      raise Singular
+    end;
     if !pivot_row <> k then begin
       for j = 0 to n - 1 do
         let tmp = Matrix.get lu k j in
@@ -51,6 +81,7 @@ let decompose ?(pivot_tol = 1e-300) a =
       done
     done
   done;
+  if probing then probe_decompose ~amax:!amax lu n;
   { lu; perm; sign = !sign }
 
 let solve_into f ~b ~x =

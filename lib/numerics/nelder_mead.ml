@@ -14,6 +14,7 @@ module M = Rlc_instr.Metrics
 let m_calls = M.counter "nelder_mead.calls"
 let m_iterations = M.counter "nelder_mead.iterations"
 let m_spread = M.hist "nelder_mead.fspread"
+let m_diverged = M.counter "nelder_mead.diverged"
 
 let minimize_ctx ?(max_iter = 2000) ?(ftol = 1e-12) ?(xtol = 1e-10)
     ?(initial_step = 0.05) ~ctx ~f:fc ~x0 () =
@@ -126,6 +127,18 @@ let minimize_ctx ?(max_iter = 2000) ?(ftol = 1e-12) ?(xtol = 1e-10)
   done;
   let idx = order () in
   let best = idx.(0) in
+  if not !converged then begin
+    M.incr m_diverged;
+    if Rlc_instr.Journal.capturing () then
+      Rlc_instr.Journal.record "nelder_mead.divergence"
+        [
+          ("iterations", Rlc_instr.Journal.Int !iter);
+          ( "fspread",
+            Rlc_instr.Journal.Num
+              (Float.abs (values.(idx.(n)) -. values.(best))) );
+        ];
+    Rlc_instr.Health.degraded ~kind:"nelder_mead" ~reason:"max iterations"
+  end;
   {
     x = Array.copy vertices.(best);
     fx = values.(best);

@@ -12,6 +12,7 @@ module M = Rlc_instr.Metrics
 let m_calls = M.counter "newton.calls"
 let m_iterations = M.counter "newton.iterations"
 let m_residual = M.hist "newton.residual"
+let m_diverged = M.counter "newton.diverged"
 
 let clamp ?lower ?upper x =
   let x = Array.copy x in
@@ -73,7 +74,24 @@ let solve_ctx ?(max_iter = 60) ?(tol = 1e-10) ?jacobian ?lower ?upper ~ctx
             fx := fx')
   done;
   let r = norm !fx in
-  { x = !x; residual_norm = r; iterations = !iter; converged = r <= threshold }
+  let converged = r <= threshold in
+  if not converged then begin
+    M.incr m_diverged;
+    if Rlc_instr.Journal.capturing () then
+      Rlc_instr.Journal.record "newton.divergence"
+        [
+          ("iterations", Rlc_instr.Journal.Int !iter);
+          ("residual", Rlc_instr.Journal.Num r);
+          ( "detail",
+            Rlc_instr.Journal.Str
+              (if !stalled then "stalled (singular jacobian or dead line \
+                                 search)"
+               else "iteration budget exhausted") );
+        ];
+    Rlc_instr.Health.degraded ~kind:"newton"
+      ~reason:(if !stalled then "stalled" else "max iterations")
+  end;
+  { x = !x; residual_norm = r; iterations = !iter; converged }
 
 let solve ?max_iter ?tol ?jacobian ?lower ?upper ~f ~x0 () =
   (* legacy closure shape: thread a unit context through the one real

@@ -139,6 +139,21 @@ let sparse_csc p ~fill =
   Sparse.of_fill ~n:p.n (fun add ->
       fill (fun i j v -> add p.perm.(i) p.perm.(j) v))
 
+(* The repivot fallback is the serving layer's main health signal:
+   journal it (with the plan size, under the current provenance) and
+   count the solve as degraded — the fresh analysis that follows
+   reports its own classification. *)
+let note_fallback ~kind n =
+  M.incr m_repivot;
+  if Rlc_instr.Journal.capturing () then
+    Rlc_instr.Journal.record "solver.fallback"
+      [
+        ("kind", Rlc_instr.Journal.Str kind);
+        ("reason", Rlc_instr.Journal.Str "repivot");
+        ("n", Rlc_instr.Journal.Int n);
+      ];
+  Rlc_instr.Health.degraded ~kind ~reason:"repivot"
+
 let factor_with ?symbolic p ~fill =
   M.incr m_factor;
   M.timed m_factor_s (fun () ->
@@ -167,7 +182,7 @@ let factor_with ?symbolic p ~fill =
                   (* values moved too far from the analysed ones for
                      the recorded pivots: analyse afresh (a genuinely
                      singular system re-raises from the factor) *)
-                  M.incr m_repivot;
+                  note_fallback ~kind:"sparse" p.n;
                   M.incr m_analyze;
                   Sparse.factor a
               end
@@ -256,7 +271,7 @@ let cfactor_with ?symbolic p ~fill =
                   M.incr m_crefactor;
                   sf
                 with Sparse.Repivot | Sparse.Singular ->
-                  M.incr m_repivot;
+                  note_fallback ~kind:"csparse" p.n;
                   M.incr m_canalyze;
                   Sparse.cfactor a
               end

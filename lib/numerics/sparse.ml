@@ -292,8 +292,10 @@ let factor ?(pivot_tol = 0.001) (a : csc) =
         end
       end
     done;
-    if !ipiv < 0 || not (Float.is_finite !amax) || !amax <= 1e-300 then
-      raise Singular;
+    if !ipiv < 0 || not (Float.is_finite !amax) || !amax <= 1e-300 then begin
+      Rlc_instr.Health.failure ~kind:"sparse" ~reason:"singular pivot";
+      raise Singular
+    end;
     (* threshold preference for the diagonal *)
     if
       j <> !ipiv && pinv.(j) < 0 && mark.(j) = j + 1
@@ -332,6 +334,28 @@ let factor ?(pivot_tol = 0.001) (a : csc) =
       annz = nnz a;
     }
   in
+  if Rlc_instr.Metrics.recording () then begin
+    let vmax arr len =
+      let m = ref 0.0 in
+      for k = 0 to len - 1 do
+        let v = Float.abs arr.(k) in
+        if v > !m then m := v
+      done;
+      !m
+    in
+    let amax = vmax a.values (Array.length a.values) in
+    let umax = Float.max (vmax ux.a ux.len) (vmax ud n) in
+    let dmin = ref infinity and dmax = ref 0.0 in
+    Array.iter
+      (fun d ->
+        let d = Float.abs d in
+        if d < !dmin then dmin := d;
+        if d > !dmax then dmax := d)
+      ud;
+    let growth = if amax > 0.0 then umax /. amax else 1.0 in
+    let rcond = if !dmax > 0.0 then !dmin /. !dmax else 0.0 in
+    ignore (Rlc_instr.Health.observe ~kind:"sparse" ~growth ~rcond ())
+  end;
   { sym; lx = Array.sub lx.a 0 lx.len; ux = Array.sub ux.a 0 ux.len; ud }
 
 let refactor ?(growth_limit = 1e8) sym (a : csc) =
@@ -480,8 +504,10 @@ let cfactor ?(pivot_tol = 0.001) (a : ccsc) =
         end
       end
     done;
-    if !ipiv < 0 || not (Float.is_finite !amax2) || !amax2 <= 1e-300 then
-      raise Singular;
+    if !ipiv < 0 || not (Float.is_finite !amax2) || !amax2 <= 1e-300 then begin
+      Rlc_instr.Health.failure ~kind:"csparse" ~reason:"singular pivot";
+      raise Singular
+    end;
     if j <> !ipiv && pinv.(j) < 0 && mark.(j) = j + 1 then begin
       let d2 = (xre.(j) *. xre.(j)) +. (xim.(j) *. xim.(j)) in
       if d2 >= tol2 *. !amax2 && d2 > 1e-300 then ipiv := j
@@ -522,6 +548,29 @@ let cfactor ?(pivot_tol = 0.001) (a : ccsc) =
       annz = cnnz a;
     }
   in
+  if Rlc_instr.Metrics.recording () then begin
+    let vmax2 re im len =
+      let m = ref 0.0 in
+      for k = 0 to len - 1 do
+        let v = (re.(k) *. re.(k)) +. (im.(k) *. im.(k)) in
+        if v > !m then m := v
+      done;
+      Float.sqrt !m
+    in
+    let amax = vmax2 a.vre a.vim (Array.length a.vre) in
+    let umax =
+      Float.max (vmax2 ure.a uim.a ure.len) (vmax2 udre udim n)
+    in
+    let dmin = ref infinity and dmax = ref 0.0 in
+    for k = 0 to n - 1 do
+      let d = Float.hypot udre.(k) udim.(k) in
+      if d < !dmin then dmin := d;
+      if d > !dmax then dmax := d
+    done;
+    let growth = if amax > 0.0 then umax /. amax else 1.0 in
+    let rcond = if !dmax > 0.0 then !dmin /. !dmax else 0.0 in
+    ignore (Rlc_instr.Health.observe ~kind:"csparse" ~growth ~rcond ())
+  end;
   {
     csym;
     lre = Array.sub lre.a 0 lre.len;

@@ -16,6 +16,10 @@ let m_apply = M.counter "update.apply"
 let m_rank = M.gauge "update.rank"
 let m_cond = M.gauge "update.condition"
 
+(* distribution of capacitance-matrix condition estimates — the gauge
+   above only keeps the latest, which hides intermittent spikes *)
+let m_cond_h = M.hist "update.condition_est"
+
 exception Singular
 
 let dot a b =
@@ -90,7 +94,13 @@ let make ?z ?scale plan factor ~u ~v =
           Matrix.set s i j (if i = j then 1.0 +. vij else vij)
         done
       done;
-      let lu = try Lu.decompose s with Lu.Singular -> raise Singular in
+      let lu =
+        try Lu.decompose s
+        with Lu.Singular ->
+          Rlc_instr.Health.failure ~kind:"smw"
+            ~reason:"singular capacitance matrix";
+          raise Singular
+      in
       let s_inv = Lu.inverse lu in
       let norm m = one_norm k (fun i j -> Float.abs (Matrix.get m i j)) in
       (Some lu, norm s *. norm s_inv)
@@ -99,7 +109,8 @@ let make ?z ?scale plan factor ~u ~v =
   if M.recording () then begin
     M.incr m_make;
     M.set m_rank (float_of_int k);
-    M.set m_cond (Float.min condition 1e18)
+    M.set m_cond (Float.min condition 1e18);
+    if k > 0 then M.observe m_cond_h condition
   end;
   { rank = k; plan; factor; z; v; scale; s_lu; condition }
 
@@ -195,7 +206,13 @@ let cmake ?z ?scale plan factor ~u ~v =
           Cmatrix.set s i j (if i = j then Cx.one +: vij else vij)
         done
       done;
-      let lu = try Clu.decompose s with Clu.Singular -> raise Singular in
+      let lu =
+        try Clu.decompose s
+        with Clu.Singular ->
+          Rlc_instr.Health.failure ~kind:"smw"
+            ~reason:"singular capacitance matrix";
+          raise Singular
+      in
       (* Clu has no inverse: recover S^-1 column by column — S is
          k x k with k a handful. *)
       let inv_cols =
@@ -212,7 +229,8 @@ let cmake ?z ?scale plan factor ~u ~v =
   if M.recording () then begin
     M.incr m_make;
     M.set m_rank (float_of_int k);
-    M.set m_cond (Float.min condition 1e18)
+    M.set m_cond (Float.min condition 1e18);
+    if k > 0 then M.observe m_cond_h condition
   end;
   { crank_ = k; cplan = plan; cfactor_ = factor; cz = z; cv = v;
     cscale = scale; cs_lu; ccondition_ = condition }

@@ -159,6 +159,8 @@ let g17 = Printf.sprintf "%.17g"
 let one_line msg =
   String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
 
+let annotate_health line ~note = line ^ " # health: " ^ one_line note
+
 let result_line r =
   match r.reply with
   | Error msg -> Printf.sprintf "err %s %s" r.id (one_line msg)

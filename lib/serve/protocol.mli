@@ -88,3 +88,10 @@ type result = { id : string; reply : (outcome, string) Stdlib.result }
 val result_line : result -> string
 (** The wire form (no trailing newline).  Error messages have
     newlines flattened to spaces so every result stays one line. *)
+
+val annotate_health : string -> note:string -> string
+(** [annotate_health line ~note] appends a [# health: <note>] comment
+    to a rendered result line.  The service adds one to [err] results
+    when journaling is on and the job's provenance id has health
+    events — never otherwise, so default result streams stay bitwise
+    identical. *)

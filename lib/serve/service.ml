@@ -3,6 +3,9 @@ open Rlc_numerics
 module Pool = Rlc_parallel.Pool
 module M = Rlc_instr.Metrics
 module Timer = Rlc_instr.Timer
+module Journal = Rlc_instr.Journal
+module Health = Rlc_instr.Health
+module Span = Rlc_instr.Span
 
 let m_jobs = M.counter "serve.jobs"
 let m_errors = M.counter "serve.errors"
@@ -106,6 +109,9 @@ type t = {
   mutable batches : int;
   mutable resyms : int;
   mutable busy_s : float;
+  mutable seq : int;
+      (* monotone per-service job counter: provenance ids are
+         [<job.id>#<seq>], unique even when clients reuse ids *)
 }
 
 let create ?(config = default_config) () =
@@ -122,6 +128,7 @@ let create ?(config = default_config) () =
     batches = 0;
     resyms = 0;
     busy_s = 0.0;
+    seq = 0;
   }
 
 let config t = t.cfg
@@ -141,6 +148,7 @@ type exec =
   | E_done of Protocol.result
   | E_run of {
       job : Protocol.job;
+      prov : string;  (** provenance id stamped on journal events *)
       netlist : Netlist.t;
       entry : Deck_cache.entry option;
       asm : Assembly.t option;
@@ -207,47 +215,81 @@ let ensure_artifacts e netlist query asm =
           e.Deck_cache.tran_plan <- Some (Transient.structure_plan netlist)
   with _ -> ()
 
+let kind_name = function
+  | Protocol.Q_dc _ -> "dc"
+  | Protocol.Q_ac _ -> "ac"
+  | Protocol.Q_tran _ -> "tran"
+  | Protocol.Q_delay _ -> "delay"
+  | Protocol.Q_delay_sens _ -> "delay-sens"
+
+(* A prepare-time rejection never runs, so its journal trace is the
+   single terminal event. *)
+let journal_rejected job =
+  if Journal.capturing () then
+    Journal.record "job.end"
+      [
+        ("kind", Journal.Str (kind_name job.Protocol.query));
+        ("status", Journal.Str "rejected");
+      ]
+
 let prepare t line =
   match Protocol.parse_job_line line with
   | Protocol.Blank -> None
   | Protocol.Malformed { id; message } ->
       Some (E_done { Protocol.id; reply = Error ("bad job line: " ^ message) })
   | Protocol.Job job ->
+      t.seq <- t.seq + 1;
+      let prov = Printf.sprintf "%s#%d" job.Protocol.id t.seq in
+      let journal_cache what =
+        if Journal.capturing () then Journal.record ("cache." ^ what) []
+      in
       let exec =
-        try
-          let m = memo_deck t (deck_text job.Protocol.deck) in
-          let netlist = m.Memo.netlist in
-          match Deck_cache.find_key t.cache m.Memo.skey with
-          | Deck_cache.Alias ->
-              E_run
-                { job; netlist; entry = None; asm = Some (memo_assembly m None) }
-          | Deck_cache.Hit e ->
-              let asm = memo_assembly m (Some e.Deck_cache.asm_plan) in
-              ensure_artifacts e netlist job.Protocol.query asm;
-              E_run { job; netlist; entry = Some e; asm = Some asm }
-          | Deck_cache.Miss ->
-              let asm = memo_assembly m None in
-              let e =
-                {
-                  Deck_cache.signature = m.Memo.skey.Netlist.signature;
-                  asm_plan = asm.Assembly.plan;
-                  dc_sym = None;
-                  ac_sym = None;
-                  tran_plan = None;
-                }
-              in
-              Deck_cache.insert_key t.cache m.Memo.skey e;
-              ensure_artifacts e netlist job.Protocol.query asm;
-              E_run { job; netlist; entry = Some e; asm = Some asm }
-        with
-        | Parser.Parse_error (ln, msg) ->
-            E_done
-              {
-                Protocol.id = job.Protocol.id;
-                reply = Error (Printf.sprintf "deck line %d: %s" ln msg);
-              }
-        | Sys_error msg | Invalid_argument msg | Failure msg ->
-            E_done { Protocol.id = job.Protocol.id; reply = Error msg }
+        Journal.with_provenance prov (fun () ->
+            try
+              let m = memo_deck t (deck_text job.Protocol.deck) in
+              let netlist = m.Memo.netlist in
+              match Deck_cache.find_key t.cache m.Memo.skey with
+              | Deck_cache.Alias ->
+                  journal_cache "alias";
+                  E_run
+                    {
+                      job;
+                      prov;
+                      netlist;
+                      entry = None;
+                      asm = Some (memo_assembly m None);
+                    }
+              | Deck_cache.Hit e ->
+                  journal_cache "hit";
+                  let asm = memo_assembly m (Some e.Deck_cache.asm_plan) in
+                  ensure_artifacts e netlist job.Protocol.query asm;
+                  E_run { job; prov; netlist; entry = Some e; asm = Some asm }
+              | Deck_cache.Miss ->
+                  journal_cache "miss";
+                  let asm = memo_assembly m None in
+                  let e =
+                    {
+                      Deck_cache.signature = m.Memo.skey.Netlist.signature;
+                      asm_plan = asm.Assembly.plan;
+                      dc_sym = None;
+                      ac_sym = None;
+                      tran_plan = None;
+                    }
+                  in
+                  Deck_cache.insert_key t.cache m.Memo.skey e;
+                  ensure_artifacts e netlist job.Protocol.query asm;
+                  E_run { job; prov; netlist; entry = Some e; asm = Some asm }
+            with
+            | Parser.Parse_error (ln, msg) ->
+                journal_rejected job;
+                E_done
+                  {
+                    Protocol.id = job.Protocol.id;
+                    reply = Error (Printf.sprintf "deck line %d: %s" ln msg);
+                  }
+            | Sys_error msg | Invalid_argument msg | Failure msg ->
+                journal_rejected job;
+                E_done { Protocol.id = job.Protocol.id; reply = Error msg })
       in
       Some exec
 
@@ -393,28 +435,60 @@ let latency_hist = function
 let execute prep =
   match prep with
   | E_done r -> (r, None)
-  | E_run { job; netlist; _ } -> (
+  | E_run { job; prov; netlist; _ } -> (
+      let capturing = Journal.capturing () in
+      let kind = kind_name job.Protocol.query in
+      if capturing then begin
+        (* runs on a pool worker: stamps the worker's own shard, so
+           every numerics probe fired by this job inherits the id *)
+        Journal.set_provenance prov;
+        Journal.record "job.start" [ ("kind", Journal.Str kind) ]
+      end;
       let clock = Timer.start () in
-      let finish reply =
+      let finish ~status reply =
         let dt = Timer.elapsed_s clock in
         M.observe m_job_s dt;
         M.observe (latency_hist job.Protocol.query) dt;
+        if capturing then begin
+          Journal.record "job.end"
+            [
+              ("kind", Journal.Str kind);
+              ("status", Journal.Str status);
+              ("s", Journal.Num dt);
+            ];
+          Journal.set_provenance ""
+        end;
         reply
       in
-      match run_query prep job netlist with
+      match Span.with_ "serve.job" (fun () -> run_query prep job netlist) with
       | outcome, refresh ->
-          finish ({ Protocol.id = job.Protocol.id; reply = Ok outcome }, refresh)
+          finish ~status:"ok"
+            ({ Protocol.id = job.Protocol.id; reply = Ok outcome }, refresh)
       | exception e ->
           let msg =
             match e with
             | Failure m | Invalid_argument m | Sys_error m -> m
             | e -> Printexc.to_string e
           in
-          finish ({ Protocol.id = job.Protocol.id; reply = Error msg }, None))
+          finish ~status:"error"
+            ({ Protocol.id = job.Protocol.id; reply = Error msg }, None))
 
 (* ------------------------------------------------------------------ *)
 (* phase C: postprocess (sequential) and the batch driver              *)
 (* ------------------------------------------------------------------ *)
+
+(* The [# health:] note for one err result: the worst health
+   classification journaled under the job's provenance id.  Only
+   consulted for errors while capturing, so the [Journal.events] merge
+   stays off every hot path. *)
+let health_note prep =
+  match prep with
+  | E_done _ -> None
+  | E_run { prov; _ } -> (
+      match Health.worst_for (Journal.events ()) ~provenance:prov with
+      | Some (c, reason) ->
+          Some (Printf.sprintf "%s (%s)" (Health.to_string c) reason)
+      | None -> None)
 
 let run_batch t lines =
   let clock = Timer.start () in
@@ -423,21 +497,31 @@ let run_batch t lines =
         Array.of_list (List.filter_map (prepare t) lines))
   in
   let out = Pool.map t.cfg.pool execute preps in
+  let capturing = Journal.capturing () in
   let rendered =
     Array.mapi
       (fun i (result, refresh) ->
         (match (refresh, preps.(i)) with
-        | Some _, E_run { entry = Some e; _ } ->
+        | Some _, E_run { entry = Some e; prov; _ } ->
             e.Deck_cache.dc_sym <- refresh;
             t.resyms <- t.resyms + 1;
-            M.incr m_resym
+            M.incr m_resym;
+            if capturing then
+              Journal.with_provenance prov (fun () ->
+                  Journal.record "cache.resym" [])
         | _ -> ());
         (match result.Protocol.reply with
         | Error _ ->
             t.errors <- t.errors + 1;
             M.incr m_errors
         | Ok _ -> ());
-        Protocol.result_line result)
+        let line = Protocol.result_line result in
+        match result.Protocol.reply with
+        | Error _ when capturing -> (
+            match health_note preps.(i) with
+            | Some note -> Protocol.annotate_health line ~note
+            | None -> line)
+        | _ -> line)
       out
   in
   t.jobs <- t.jobs + Array.length preps;

@@ -198,6 +198,67 @@ let test_disabled_records_nothing () =
       Alcotest.(check bool) "hist untouched" true
         (M.hist_summary merge_obs = None))
 
+(* ---------------- snapshot escaping ------------------------------- *)
+
+let test_snapshot_escaping () =
+  M.reset ();
+  with_recording true (fun () ->
+      (* metric names with JSON-hostile characters must escape *)
+      let c = M.counter "test.esc \"quoted\" back\\slash\tname" in
+      M.incr c;
+      (* non-finite values: NaN is not valid JSON, so it maps to null;
+         infinities round-trip as out-of-range literals *)
+      M.set (M.gauge "test.esc_nan") Float.nan;
+      M.set (M.gauge "test.esc_pinf") Float.infinity;
+      M.set (M.gauge "test.esc_ninf") Float.neg_infinity;
+      let s = M.json_snapshot () in
+      json_check s;
+      Alcotest.(check bool) "name is escaped" true
+        (contains s "test.esc \\\"quoted\\\" back\\\\slash\\tname");
+      Alcotest.(check bool) "NaN gauge is null" true
+        (contains s "\"test.esc_nan\":null");
+      Alcotest.(check bool) "+inf survives" true
+        (contains s "\"test.esc_pinf\":1e999");
+      Alcotest.(check bool) "-inf survives" true
+        (contains s "\"test.esc_ninf\":-1e999"))
+
+(* ---------------- histogram quantile edges ------------------------ *)
+
+let test_hist_quantile_edges () =
+  M.reset ();
+  with_recording true (fun () ->
+      let h = M.hist "test.hq_edges" in
+      (* empty histogram: no quantiles... *)
+      Alcotest.(check bool) "empty yields None" true
+        (M.hist_quantiles h [| 0.5 |] = None);
+      (* ...but the quantile arguments are still validated *)
+      (match M.hist_quantiles h [| 1.5 |] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "q > 1 must raise even on an empty histogram");
+      (match M.hist_quantiles h [| -0.1 |] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "q < 0 must raise even on an empty histogram");
+      (* a single observation is every quantile at once *)
+      M.observe h 3.0;
+      (match M.hist_quantiles h [| 0.0; 1.0 |] with
+      | Some qs ->
+          Alcotest.(check int) "two edges back" 2 (Array.length qs);
+          Alcotest.(check (float 0.0)) "q0 and q1 share the bucket" qs.(0)
+            qs.(1);
+          Alcotest.(check bool) "edge covers the observation" true
+            (qs.(0) >= 3.0)
+      | None -> Alcotest.fail "single observation must yield quantiles");
+      (* unsorted and duplicate requests map independently, in the
+         caller's order *)
+      M.observe h 1000.0;
+      match M.hist_quantiles h [| 1.0; 0.0; 1.0 |] with
+      | Some qs ->
+          Alcotest.(check (float 0.0)) "duplicates agree" qs.(0) qs.(2);
+          Alcotest.(check bool) "p100 at or above p0" true (qs.(0) >= qs.(1));
+          Alcotest.(check bool) "p100 covers the larger value" true
+            (qs.(0) >= 1000.0)
+      | None -> Alcotest.fail "populated histogram must yield quantiles")
+
 (* ---------------- recording never changes results ----------------- *)
 
 let step_ladder segments =
@@ -384,6 +445,10 @@ let () =
             test_gauge_and_snapshot;
           Alcotest.test_case "disabled records nothing" `Quick
             test_disabled_records_nothing;
+          Alcotest.test_case "snapshot escaping" `Quick
+            test_snapshot_escaping;
+          Alcotest.test_case "hist quantile edges" `Quick
+            test_hist_quantile_edges;
         ] );
       ( "identity",
         [
